@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.1, -2.5,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, -2.5, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseFloats = %v", got)
+		}
+	}
+	if _, err := parseFloats(""); err == nil {
+		t.Fatal("empty should fail")
+	}
+	if _, err := parseFloats("a,b"); err == nil {
+		t.Fatal("non-numeric should fail")
+	}
+}
+
+func TestDemoEndToEnd(t *testing.T) {
+	// Full hub + server + clients over loopback TCP with a small key.
+	if err := runDemo(3, 4, 128, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no command should fail")
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Fatal("unknown command should fail")
+	}
+	if err := run([]string{"client", "-values", ""}); err == nil {
+		t.Fatal("client without values should fail")
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestRunKeygen(t *testing.T) {
+	if err := run([]string{"keygen", "-bits", "128", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEncryptRoundTrip(t *testing.T) {
+	if err := run([]string{"encrypt", "-bits", "128", "-seed", "7", "12", "3456789"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAdd(t *testing.T) {
+	if err := run([]string{"add", "-bits", "128", "-seed", "7", "10", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"add", "-bits", "128", "-seed", "7", "10"}); err == nil {
+		t.Fatal("odd value count should fail")
+	}
+}
+
+func TestRunBench(t *testing.T) {
+	if err := run([]string{"bench", "-bits", "128", "-seed", "7", "-n", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no command should fail")
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Fatal("unknown command should fail")
+	}
+	if err := run([]string{"encrypt", "-bits", "128", "-seed", "7"}); err == nil {
+		t.Fatal("encrypt with no values should fail")
+	}
+	if err := run([]string{"encrypt", "-bits", "128", "-seed", "7", "xyz"}); err == nil {
+		t.Fatal("non-numeric value should fail")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	if prefix("abcdef", 3) != "abc" || prefix("ab", 3) != "ab" {
+		t.Fatal("prefix helper broken")
+	}
+}

@@ -1,0 +1,3 @@
+module flbooster
+
+go 1.22

@@ -1,0 +1,193 @@
+// Package batch implements FLBooster's Batch Compression layer (§IV-C):
+// packing n = ⌊k/(r+b)⌋ quantized gradients into a single k-bit plaintext
+// (Eq. 9) before encryption, so one HE operation and one ciphertext carry n
+// values. Because each slot keeps b zero guard bits above its r data bits,
+// homomorphic addition of up to p = 2^b ciphertexts cannot carry across slot
+// boundaries, and — since the top slot's guard bits are the integer's most
+// significant bits — a packed plaintext is always < 2^(k−b) < n, so it never
+// exceeds the Paillier modulus.
+//
+// The compression ratio (Eq. 11) and plaintext-space utilization (Eq. 12)
+// formulas are exposed for the Fig. 7 experiment.
+package batch
+
+import (
+	"fmt"
+
+	"flbooster/internal/mpint"
+	"flbooster/internal/quant"
+)
+
+// Packer packs quantized values into multi-precision plaintexts.
+type Packer struct {
+	q       *quant.Quantizer
+	keyBits int
+	slots   int // values per plaintext: ⌊k/(r+b)⌋
+}
+
+// New builds a packer for a key of keyBits bits over the given quantizer.
+func New(q *quant.Quantizer, keyBits int) (*Packer, error) {
+	if q == nil {
+		return nil, fmt.Errorf("batch: nil quantizer")
+	}
+	slotBits := int(q.SlotBits())
+	slots := keyBits / slotBits
+	// Safety bound the paper's n = ⌊k/(r+b)⌋ formula glosses: an aggregated
+	// plaintext is < 2^(slots·(r+b)), and the Paillier modulus only
+	// guarantees n ≥ 2^(k−1). When r+b divides k exactly, a full packing
+	// could wrap mod n after homomorphic addition, silently corrupting every
+	// slot — so keep slots·(r+b) ≤ k−1 (one slot fewer in the exact-divisor
+	// case, e.g. 31 instead of 32 at k=1024, r+b=32).
+	if slots*slotBits > keyBits-1 {
+		slots--
+	}
+	if slots < 1 {
+		return nil, fmt.Errorf("batch: key of %d bits cannot hold one %d-bit slot", keyBits, slotBits)
+	}
+	return &Packer{q: q, keyBits: keyBits, slots: slots}, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(q *quant.Quantizer, keyBits int) *Packer {
+	p, err := New(q, keyBits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Slots returns n, the number of values per plaintext.
+func (p *Packer) Slots() int { return p.slots }
+
+// Quantizer returns the underlying quantizer.
+func (p *Packer) Quantizer() *quant.Quantizer { return p.q }
+
+// NumPlaintexts returns how many plaintexts carry n values (⌈n/slots⌉).
+func (p *Packer) NumPlaintexts(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + p.slots - 1) / p.slots
+}
+
+// CompressionRatio is Eq. 11/13: the factor by which batching reduces both
+// ciphertext count and HE-operation count for a payload of n values.
+func (p *Packer) CompressionRatio(n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return float64(n) / float64(p.NumPlaintexts(n))
+}
+
+// PlaintextSpaceUtilization is Eq. 12: the fraction of the key's plaintext
+// bits carrying data for a payload of n values.
+func (p *Packer) PlaintextSpaceUtilization(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * float64(p.q.SlotBits()) / (float64(p.keyBits) * float64(p.NumPlaintexts(n)))
+}
+
+// Pack lays out quantized values into plaintexts, slot 0 at the least
+// significant position (Eq. 9 read right-to-left). Values must fit in r
+// bits; a violation is a programming error upstream and is reported.
+func (p *Packer) Pack(vals []uint64) ([]mpint.Nat, error) {
+	maxV := uint64(1)<<p.q.RBits() - 1
+	slotBits := uint(p.q.SlotBits())
+	out := make([]mpint.Nat, 0, p.NumPlaintexts(len(vals)))
+	for base := 0; base < len(vals); base += p.slots {
+		end := base + p.slots
+		if end > len(vals) {
+			end = len(vals)
+		}
+		// Assemble limb-by-limb: accumulate 32-bit words from slot bits.
+		words := make([]mpint.Word, (p.slots*int(slotBits)+31)/32)
+		for s := base; s < end; s++ {
+			v := vals[s]
+			if v > maxV {
+				return nil, fmt.Errorf("batch: value %d at index %d exceeds %d-bit slot", v, s, p.q.RBits())
+			}
+			bitPos := uint(s-base) * slotBits
+			orBits(words, bitPos, v)
+		}
+		out = append(out, mpint.FromWords(words))
+	}
+	return out, nil
+}
+
+// orBits ORs the low 64 bits of v into the word array starting at bitPos.
+func orBits(words []mpint.Word, bitPos uint, v uint64) {
+	w, off := bitPos/32, bitPos%32
+	words[w] |= mpint.Word(v << off)
+	if off != 0 || v>>32 != 0 {
+		rest := v >> (32 - off)
+		if off == 0 {
+			rest = v >> 32
+		}
+		if rest != 0 && int(w+1) < len(words) {
+			words[w+1] |= mpint.Word(rest)
+			if hi := rest >> 32; hi != 0 && int(w+2) < len(words) {
+				words[w+2] |= mpint.Word(hi)
+			}
+		}
+	}
+}
+
+// Unpack extracts `count` aggregated slot values from packed plaintexts.
+// After homomorphic aggregation each slot holds a sum that may occupy up to
+// r+b bits; the full slot is returned so quant.DequantizeSum sees the carry.
+func (p *Packer) Unpack(packed []mpint.Nat, count int) ([]uint64, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("batch: negative count %d", count)
+	}
+	if need := p.NumPlaintexts(count); need != len(packed) {
+		return nil, fmt.Errorf("batch: %d values need %d plaintexts, got %d", count, need, len(packed))
+	}
+	slotBits := uint(p.q.SlotBits())
+	mask := uint64(1)<<slotBits - 1
+	out := make([]uint64, 0, count)
+	for pi, pt := range packed {
+		words := pt.Words((p.slots*int(slotBits) + 31) / 32)
+		slotsHere := p.slots
+		if remaining := count - pi*p.slots; remaining < slotsHere {
+			slotsHere = remaining
+		}
+		for s := 0; s < slotsHere; s++ {
+			out = append(out, extractBits(words, uint(s)*slotBits, slotBits)&mask)
+		}
+	}
+	return out, nil
+}
+
+// extractBits reads `width` (≤ 64) bits starting at bitPos.
+func extractBits(words []mpint.Word, bitPos, width uint) uint64 {
+	w, off := bitPos/32, bitPos%32
+	var v uint64
+	if int(w) < len(words) {
+		v = uint64(words[w]) >> off
+	}
+	for shift := 32 - off; shift < width; shift += 32 {
+		w++
+		if int(w) >= len(words) {
+			break
+		}
+		v |= uint64(words[w]) << shift
+	}
+	return v & (uint64(1)<<width - 1)
+}
+
+// EncodeGradients is the full client-side path: quantize a float gradient
+// vector and pack it into plaintexts ready for encryption.
+func (p *Packer) EncodeGradients(grads []float64) ([]mpint.Nat, error) {
+	return p.Pack(p.q.QuantizeVec(grads))
+}
+
+// DecodeAggregated is the full server→client path after decryption: unpack
+// `count` slots and dequantize sums of `parties` contributions.
+func (p *Packer) DecodeAggregated(packed []mpint.Nat, count, parties int) ([]float64, error) {
+	sums, err := p.Unpack(packed, count)
+	if err != nil {
+		return nil, err
+	}
+	return p.q.DequantizeSumVec(sums, parties)
+}

@@ -1,0 +1,90 @@
+package batch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flbooster/internal/mpint"
+	"flbooster/internal/quant"
+)
+
+// TestPropertyPackUnpackIdentity quantifies pack∘unpack = id over random
+// value vectors and slot geometries.
+func TestPropertyPackUnpackIdentity(t *testing.T) {
+	f := func(seed uint32, rBitsRaw uint8, nRaw uint16) bool {
+		r := uint(rBitsRaw)%30 + 4 // r ∈ [4, 33]
+		q, err := quant.New(1, r, 4)
+		if err != nil {
+			return true // invalid geometry, skip
+		}
+		p, err := New(q, 512)
+		if err != nil {
+			return true
+		}
+		n := int(nRaw)%200 + 1
+		local := mpint.NewRNG(uint64(seed))
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = local.Uint64() & (1<<r - 1)
+		}
+		packed, err := p.Pack(vals)
+		if err != nil {
+			return false
+		}
+		got, err := p.Unpack(packed, n)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPackedAdditionIsSlotwise: adding packed plaintexts as integers
+// equals slot-wise addition of the values, for any sum that respects the
+// guard bits — the algebraic fact batch compression rests on.
+func TestPropertyPackedAdditionIsSlotwise(t *testing.T) {
+	q := quant.MustNew(1, 12, 8) // b = 3 guard bits: up to 8 addends
+	p := MustNew(q, 256)
+	rng := mpint.NewRNG(2)
+	for trial := 0; trial < 100; trial++ {
+		n := int(rng.Uint64()%60) + 1
+		addends := int(rng.Uint64()%8) + 1
+		sums := make([]uint64, n)
+		var accum []mpint.Nat
+		for a := 0; a < addends; a++ {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = rng.Uint64() & (1<<12 - 1)
+				sums[i] += vals[i]
+			}
+			packed, err := p.Pack(vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if accum == nil {
+				accum = packed
+			} else {
+				for i := range accum {
+					accum[i] = mpint.Add(accum[i], packed[i])
+				}
+			}
+		}
+		got, err := p.Unpack(accum, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sums {
+			if got[i] != sums[i] {
+				t.Fatalf("trial %d: slot %d = %d, want %d (addends %d)", trial, i, got[i], sums[i], addends)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"flbooster/internal/fl"
+	"flbooster/internal/ghe"
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+)
+
+// Ablation runs micro-ablations over the design decisions DESIGN.md §4
+// calls out, beyond the paper's own Table V: the fine-grained resource
+// manager, the Fig. 4 transfer/compute pipeline, the sliding-window width,
+// and the limb-parallel Montgomery thread count.
+func (r *Runner) Ablation(w io.Writer) error {
+	if err := r.ablationResourceManager(w); err != nil {
+		return err
+	}
+	if err := r.ablationPipeline(w); err != nil {
+		return err
+	}
+	if err := r.ablationWindow(w); err != nil {
+		return err
+	}
+	return r.ablationParMontThreads(w)
+}
+
+// ablationResourceManager compares fine vs coarse block-size selection at
+// HE register pressures across key sizes (the mechanism behind Fig. 6).
+func (r *Runner) ablationResourceManager(w io.Writer) error {
+	header(w, "Ablation A — resource manager: occupancy at HE register loads")
+	fmt.Fprintf(w, "%6s %8s %14s %14s %14s\n", "Key", "Regs/thr", "Coarse occ.", "Fine occ.", "Fine block")
+	fine := gpu.NewResourceManager(r.cfg.Device, true)
+	coarse := gpu.NewResourceManager(r.cfg.Device, false)
+	for _, keyBits := range r.cfg.KeyBits {
+		limbs := 2 * keyBits / 32 // HE kernels work mod n²
+		regs := 24 + limbs
+		if regs > 255 {
+			regs = 255
+		}
+		cb := coarse.PickBlockSize(1<<20, regs, 0)
+		fb := fine.PickBlockSize(1<<20, regs, 0)
+		fmt.Fprintf(w, "%6d %8d %13.1f%% %13.1f%% %14d\n",
+			keyBits, regs,
+			coarse.Occupancy(cb, regs, 0)*100,
+			fine.Occupancy(fb, regs, 0)*100, fb)
+	}
+	return nil
+}
+
+// ablationPipeline measures the modelled gain from overlapping PCIe
+// transfers with kernels (§V / Fig. 4) on an encryption workload.
+func (r *Runner) ablationPipeline(w io.Writer) error {
+	header(w, "Ablation B — pipelined processing: sequential vs overlapped stages")
+	fmt.Fprintf(w, "%6s %8s %14s %14s %9s\n", "Key", "Batch", "Sequential", "Pipelined", "Gain")
+	for _, keyBits := range r.cfg.KeyBits {
+		ctx, err := r.context(fl.SystemFLBooster, keyBits)
+		if err != nil {
+			return err
+		}
+		grads := make([]float64, 512)
+		for i := range grads {
+			grads[i] = 0.01 * float64(i%13)
+		}
+		// Several batches so the pipeline has something to overlap.
+		for b := 0; b < 8; b++ {
+			if _, err := ctx.EncryptGradients(grads); err != nil {
+				return err
+			}
+		}
+		st := ctx.Device.Stats()
+		seq, pipe := st.SimTime(), st.SimTimePipelined()
+		gain := 1.0
+		if pipe > 0 {
+			gain = float64(seq) / float64(pipe)
+		}
+		fmt.Fprintf(w, "%6d %8d %14s %14s %8.2fx\n",
+			keyBits, len(grads), fmtDur(seq), fmtDur(pipe), gain)
+	}
+	return nil
+}
+
+// ablationWindow sweeps the sliding-window width for modular
+// exponentiation, the §IV-A3 design choice.
+func (r *Runner) ablationWindow(w io.Writer) error {
+	header(w, "Ablation C — sliding-window width for modular exponentiation")
+	fmt.Fprintf(w, "%6s", "Key")
+	widths := []uint{1, 2, 3, 4, 5, 6}
+	for _, wd := range widths {
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("w=%d", wd))
+	}
+	fmt.Fprintln(w)
+	rng := mpint.NewRNG(r.cfg.Seed)
+	for _, keyBits := range r.cfg.KeyBits {
+		n := rng.RandBits(keyBits)
+		n[0] |= 1
+		m := mpint.NewMont(n)
+		base := rng.RandBelow(n)
+		e := rng.RandBits(keyBits)
+		fmt.Fprintf(w, "%6d", keyBits)
+		const reps = 3
+		for _, wd := range widths {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				m.ExpWindow(base, e, wd)
+			}
+			fmt.Fprintf(w, " %12s", fmtDur(time.Since(start)/reps))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// ablationParMontThreads sweeps the thread count of the limb-parallel
+// Montgomery multiplication (Algorithm 2), measuring cooperative-kernel
+// wall time per multiplication.
+func (r *Runner) ablationParMontThreads(w io.Writer) error {
+	header(w, "Ablation D — Algorithm 2 limb-parallel Montgomery, threads per multiplication")
+	fmt.Fprintf(w, "%6s %8s %14s\n", "Key", "Threads", "Wall/mul")
+	rng := mpint.NewRNG(r.cfg.Seed + 1)
+	dev := gpu.MustNew(r.cfg.Device, true)
+	for _, keyBits := range r.cfg.KeyBits {
+		n := rng.RandBits(keyBits)
+		n[0] |= 1
+		m := mpint.NewMont(n)
+		limbs := m.Limbs()
+		a := make([]mpint.Nat, 16)
+		b := make([]mpint.Nat, 16)
+		for i := range a {
+			a[i], b[i] = rng.RandBelow(n), rng.RandBelow(n)
+		}
+		for _, threads := range []int{1, 2, 4, 8, 16} {
+			if limbs%threads != 0 {
+				continue
+			}
+			pm, err := ghe.NewParMont(dev, m, threads)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			if _, err := pm.MulVec(a, b); err != nil {
+				return err
+			}
+			per := time.Since(start) / time.Duration(len(a))
+			fmt.Fprintf(w, "%6d %8d %14s\n", keyBits, threads, per)
+		}
+	}
+	return nil
+}

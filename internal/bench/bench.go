@@ -1,0 +1,251 @@
+// Package bench is the experiment harness: for every table and figure in
+// the paper's evaluation (Fig. 1, Tables III–VII, Figs. 6–8) it generates
+// the workload, runs the competing systems through identical code paths,
+// and prints rows in the paper's layout. See DESIGN.md §3 for the
+// experiment index and EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+//
+// Scale: paper cells are hours of a 4-server GPU cluster. The harness runs
+// every experiment at a configurable dataset scale and key size, reporting
+// the *modelled* end-to-end time (device cost model + Gigabit link model +
+// measured model-compute) whose ratios are the reproduction target.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"flbooster/internal/datasets"
+	"flbooster/internal/fl"
+	"flbooster/internal/gpu"
+	"flbooster/internal/models"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Scale shrinks every dataset (instances and features) by this factor.
+	Scale float64
+	// KeyBits lists the key sizes to sweep (the paper uses 1024/2048/4096).
+	KeyBits []int
+	// Parties is the participant count (the paper's cluster has 4 servers).
+	Parties int
+	// Epochs bounds convergence experiments.
+	Epochs int
+	// BatchSize for SGD models.
+	BatchSize int
+	// Seed drives all randomness.
+	Seed uint64
+	// Device is the modelled GPU.
+	Device gpu.Config
+	// NNHidden is the Hetero NN interactive-layer width.
+	NNHidden int
+}
+
+// Quick returns a configuration sized for laptop runs: heavily scaled
+// datasets and reduced key sizes with the paper's 1:2:4 progression.
+func Quick() Config {
+	return Config{
+		Scale:     0.0004,
+		KeyBits:   []int{256, 512},
+		Parties:   4,
+		Epochs:    3,
+		BatchSize: 64,
+		Seed:      1,
+		Device:    gpu.RTX3090(),
+		NNHidden:  4,
+	}
+}
+
+// Paper returns the paper's parameters (hours of compute at full scale —
+// use only on a large machine with patience).
+func Paper() Config {
+	c := Quick()
+	c.Scale = 1
+	c.KeyBits = []int{1024, 2048, 4096}
+	c.BatchSize = 1024
+	c.Epochs = 10
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Scale <= 0 || c.Scale > 1:
+		return fmt.Errorf("bench: scale must be in (0, 1], got %v", c.Scale)
+	case len(c.KeyBits) == 0:
+		return fmt.Errorf("bench: need at least one key size")
+	case c.Parties < 2:
+		return fmt.Errorf("bench: need at least two parties")
+	case c.Epochs < 1:
+		return fmt.Errorf("bench: need at least one epoch")
+	case c.BatchSize < 1:
+		return fmt.Errorf("bench: batch size must be positive")
+	case c.NNHidden < 1:
+		return fmt.Errorf("bench: NN hidden width must be positive")
+	}
+	return nil
+}
+
+// ModelNames lists the benchmark models in the paper's order.
+func ModelNames() []string {
+	return []string{"Homo LR", "Hetero LR", "Hetero SBT", "Hetero NN"}
+}
+
+// Runner caches datasets and HE contexts across experiments (key generation
+// dominates setup cost) and exposes one method per table/figure.
+type Runner struct {
+	cfg  Config
+	data map[string]*datasets.Dataset
+	ctxs map[ctxKey]*fl.Context
+}
+
+type ctxKey struct {
+	sys  fl.System
+	bits int
+}
+
+// NewRunner validates the config and prepares caches.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{
+		cfg:  cfg,
+		data: make(map[string]*datasets.Dataset),
+		ctxs: make(map[ctxKey]*fl.Context),
+	}, nil
+}
+
+// dataset returns the (cached) scaled dataset by spec name.
+func (r *Runner) dataset(spec datasets.Spec) (*datasets.Dataset, error) {
+	if ds, ok := r.data[spec.Name]; ok {
+		return ds, nil
+	}
+	ds, err := datasets.Generate(spec.Scaled(r.cfg.Scale), r.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.data[spec.Name] = ds
+	return ds, nil
+}
+
+// context returns a (cached) HE context for a system at a key size, with
+// costs reset for the caller's experiment.
+func (r *Runner) context(sys fl.System, keyBits int) (*fl.Context, error) {
+	k := ctxKey{sys, keyBits}
+	if ctx, ok := r.ctxs[k]; ok {
+		ctx.Costs.Reset()
+		if ctx.Device != nil {
+			ctx.Device.ResetStats()
+		}
+		return ctx, nil
+	}
+	p := fl.NewProfile(sys, keyBits, r.cfg.Parties)
+	p.Device = r.cfg.Device
+	p.Seed = r.cfg.Seed
+	ctx, err := fl.NewContext(p)
+	if err != nil {
+		return nil, fmt.Errorf("bench: context %s/%d: %w", sys, keyBits, err)
+	}
+	r.ctxs[k] = ctx
+	return ctx, nil
+}
+
+// trainable is the per-model handle the harness drives.
+type trainable interface {
+	TrainEpoch() (float64, error)
+	Loss() float64
+	Close() error
+}
+
+// buildModel constructs a benchmark model by its paper name. ctx may be nil
+// for the plaintext oracle.
+func (r *Runner) buildModel(name string, ctx *fl.Context, ds *datasets.Dataset) (trainable, error) {
+	opts := models.DefaultOptions()
+	opts.BatchSize = r.cfg.BatchSize
+	opts.Seed = r.cfg.Seed
+	opts.Parties = r.cfg.Parties // plaintext oracles mirror the topology
+	switch name {
+	case "Homo LR":
+		return models.NewHomoLR(ctx, ds, opts)
+	case "Hetero LR":
+		return models.NewHeteroLR(ctx, ds, opts)
+	case "Hetero SBT":
+		return models.NewHeteroSBT(ctx, ds, opts)
+	case "Hetero NN":
+		return models.NewHeteroNN(ctx, ds, r.cfg.NNHidden, opts)
+	default:
+		return nil, fmt.Errorf("bench: unknown model %q", name)
+	}
+}
+
+// EpochResult is one measured cell.
+type EpochResult struct {
+	Dataset     string
+	Model       string
+	System      fl.System
+	KeyBits     int
+	Costs       fl.CostSnapshot
+	Utilization float64
+	Loss        float64
+	WallTotal   time.Duration
+}
+
+// runEpochs trains `epochs` epochs of one model/system/dataset cell and
+// returns the aggregate costs (averaged per epoch by the caller if needed).
+func (r *Runner) runEpochs(modelName string, sys fl.System, keyBits int, spec datasets.Spec, epochs int) (EpochResult, error) {
+	ds, err := r.dataset(spec)
+	if err != nil {
+		return EpochResult{}, err
+	}
+	ctx, err := r.context(sys, keyBits)
+	if err != nil {
+		return EpochResult{}, err
+	}
+	m, err := r.buildModel(modelName, ctx, ds)
+	if err != nil {
+		return EpochResult{}, err
+	}
+	defer m.Close()
+	start := time.Now()
+	var loss float64
+	for e := 0; e < epochs; e++ {
+		if loss, err = m.TrainEpoch(); err != nil {
+			return EpochResult{}, fmt.Errorf("bench: %s/%s/%s k=%d: %w", modelName, sys, spec.Name, keyBits, err)
+		}
+	}
+	return EpochResult{
+		Dataset:     spec.Name,
+		Model:       modelName,
+		System:      sys,
+		KeyBits:     keyBits,
+		Costs:       ctx.Costs.Snapshot(),
+		Utilization: ctx.Utilization(),
+		Loss:        loss,
+		WallTotal:   time.Since(start),
+	}, nil
+}
+
+// fmtDur prints a duration in seconds with adaptive precision, matching the
+// paper's "seconds" columns.
+func fmtDur(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.1f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// header prints an underlined experiment title.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	for range title {
+		fmt.Fprint(w, "=")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,201 @@
+// Package core is FLBooster's platform layer: it assembles the GPU-HE
+// engine, encoding-quantization, batch compression, and the cryptosystems
+// into the user-facing API surface of Table I — vectorized multi-precision
+// arithmetic (add/sub/mul/div/mod), modular operations (mod_inv, mod_mul,
+// mod_pow), and the Paillier/RSA operation families — plus the acceleration
+// profiles the experiments compare.
+package core
+
+import (
+	"fmt"
+
+	"flbooster/internal/ghe"
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+	"flbooster/internal/rsa"
+)
+
+// Platform is one FLBooster instance bound to a (simulated) GPU.
+type Platform struct {
+	dev *gpu.Device
+	eng *ghe.Engine
+	rng *mpint.RNG
+}
+
+// New creates a platform over the given device configuration with the
+// fine-grained resource manager. seed drives key generation and nonces;
+// use a crypto-quality seed in production.
+func New(cfg gpu.Config, seed uint64) (*Platform, error) {
+	dev, err := gpu.New(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Platform{dev: dev, eng: ghe.NewEngine(dev), rng: mpint.NewRNG(seed)}, nil
+}
+
+// Default creates a platform modelling the paper's RTX 3090 testbed.
+func Default(seed uint64) *Platform {
+	p, err := New(gpu.RTX3090(), seed)
+	if err != nil {
+		panic(err) // RTX3090 config is statically valid
+	}
+	return p
+}
+
+// Device exposes the underlying device for stats and utilization readings.
+func (p *Platform) Device() *gpu.Device { return p.dev }
+
+// Engine exposes the GPU-HE engine.
+func (p *Platform) Engine() *ghe.Engine { return p.eng }
+
+// --- Table I: fundamental vector arithmetic --------------------------------
+
+// Add computes values1[i] + values2[i] on the device.
+func (p *Platform) Add(values1, values2 []mpint.Nat) ([]mpint.Nat, error) {
+	return p.eng.AddVec(values1, values2)
+}
+
+// Sub computes values1[i] − values2[i] on the device.
+func (p *Platform) Sub(values1, values2 []mpint.Nat) ([]mpint.Nat, error) {
+	return p.eng.SubVec(values1, values2)
+}
+
+// Mul computes values1[i] · values2[i] on the device.
+func (p *Platform) Mul(values1, values2 []mpint.Nat) ([]mpint.Nat, error) {
+	return p.eng.MulVec(values1, values2)
+}
+
+// Div computes values1[i] / values2[i] on the device.
+func (p *Platform) Div(values1, values2 []mpint.Nat) ([]mpint.Nat, error) {
+	return p.eng.DivVec(values1, values2)
+}
+
+// Mod computes x[i] mod n on the device.
+func (p *Platform) Mod(x []mpint.Nat, n mpint.Nat) ([]mpint.Nat, error) {
+	return p.eng.ModVec(x, n)
+}
+
+// --- Table I: modular operations --------------------------------------------
+
+// ModInv computes x[i]⁻¹ mod n; every element must be invertible.
+func (p *Platform) ModInv(x []mpint.Nat, n mpint.Nat) ([]mpint.Nat, error) {
+	out := make([]mpint.Nat, len(x))
+	for i, v := range x {
+		inv, ok := mpint.ModInverse(v, n)
+		if !ok {
+			return nil, fmt.Errorf("core: element %d has no inverse mod n", i)
+		}
+		out[i] = inv
+	}
+	return out, nil
+}
+
+// ModMul computes values1[i] · values2[i] mod n via the device's Montgomery
+// kernel; n must be odd.
+func (p *Platform) ModMul(values1, values2 []mpint.Nat, n mpint.Nat) ([]mpint.Nat, error) {
+	if n.IsZero() || n.IsEven() {
+		return nil, fmt.Errorf("core: ModMul needs an odd modulus")
+	}
+	return p.eng.ModMulVec(values1, values2, mpint.NewMont(n))
+}
+
+// ModPow computes x[i]^e mod n via the device's sliding-window kernel;
+// n must be odd.
+func (p *Platform) ModPow(x []mpint.Nat, e, n mpint.Nat) ([]mpint.Nat, error) {
+	if n.IsZero() || n.IsEven() {
+		return nil, fmt.Errorf("core: ModPow needs an odd modulus")
+	}
+	return p.eng.ModExpVec(x, e, mpint.NewMont(n))
+}
+
+// --- Table I: Paillier family ------------------------------------------------
+
+// PaillierKeyGen generates a Paillier key pair of the given size, with the
+// primes searched on the device.
+func (p *Platform) PaillierKeyGen(bits int) (*paillier.PrivateKey, error) {
+	pr, q, err := p.eng.GeneratePrimePair(bits/2, p.rng.Uint64())
+	if err != nil {
+		return nil, fmt.Errorf("core: PaillierKeyGen: %w", err)
+	}
+	return paillier.NewKeyFromPrimes(pr, q)
+}
+
+// PaillierEncrypt encrypts a batch of plaintexts on the device.
+func (p *Platform) PaillierEncrypt(pub *paillier.PublicKey, plaintexts []mpint.Nat) ([]paillier.Ciphertext, error) {
+	return paillier.NewGPUBackend(p.eng).EncryptVec(pub, plaintexts, p.rng.Uint64())
+}
+
+// PaillierDecrypt decrypts a batch of ciphertexts on the device.
+func (p *Platform) PaillierDecrypt(priv *paillier.PrivateKey, cts []paillier.Ciphertext) ([]mpint.Nat, error) {
+	return paillier.NewGPUBackend(p.eng).DecryptVec(priv, cts)
+}
+
+// PaillierAdd computes the homomorphic addition of two ciphertext batches.
+func (p *Platform) PaillierAdd(pub *paillier.PublicKey, a, b []paillier.Ciphertext) ([]paillier.Ciphertext, error) {
+	return paillier.NewGPUBackend(p.eng).AddVec(pub, a, b)
+}
+
+// --- Table I: RSA family ------------------------------------------------------
+
+// RSAKeyGen generates an RSA key pair of the given size with device-searched
+// primes.
+func (p *Platform) RSAKeyGen(bits int) (*rsa.PrivateKey, error) {
+	pr, q, err := p.eng.GeneratePrimePair(bits/2, p.rng.Uint64())
+	if err != nil {
+		return nil, fmt.Errorf("core: RSAKeyGen: %w", err)
+	}
+	return rsa.NewKeyFromPrimes(pr, q)
+}
+
+// RSAEncrypt encrypts a plaintext batch (one modexp kernel).
+func (p *Platform) RSAEncrypt(pub *rsa.PublicKey, plaintexts []mpint.Nat) ([]rsa.Ciphertext, error) {
+	for i, m := range plaintexts {
+		if mpint.Cmp(m, pub.N) >= 0 {
+			return nil, fmt.Errorf("core: RSAEncrypt element %d exceeds modulus", i)
+		}
+	}
+	pows, err := p.eng.ModExpVec(plaintexts, pub.E, pub.Mont())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rsa.Ciphertext, len(pows))
+	for i, c := range pows {
+		out[i] = rsa.Ciphertext{C: c}
+	}
+	return out, nil
+}
+
+// RSADecrypt decrypts a ciphertext batch (one modexp kernel with the private
+// exponent; per-element CRT is the serial path in internal/rsa).
+func (p *Platform) RSADecrypt(priv *rsa.PrivateKey, cts []rsa.Ciphertext) ([]mpint.Nat, error) {
+	bases := make([]mpint.Nat, len(cts))
+	for i, c := range cts {
+		if mpint.Cmp(c.C, priv.N) >= 0 {
+			return nil, fmt.Errorf("core: RSADecrypt element %d out of range", i)
+		}
+		bases[i] = c.C
+	}
+	return p.eng.ModExpVec(bases, priv.D, priv.Mont())
+}
+
+// RSAMul computes the multiplicative homomorphism over two batches.
+func (p *Platform) RSAMul(pub *rsa.PublicKey, a, b []rsa.Ciphertext) ([]rsa.Ciphertext, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("core: RSAMul length mismatch %d vs %d", len(a), len(b))
+	}
+	av := make([]mpint.Nat, len(a))
+	bv := make([]mpint.Nat, len(b))
+	for i := range a {
+		av[i], bv[i] = a[i].C, b[i].C
+	}
+	prods, err := p.eng.ModMulVec(av, bv, pub.Mont())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rsa.Ciphertext, len(prods))
+	for i, c := range prods {
+		out[i] = rsa.Ciphertext{C: c}
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+	"flbooster/internal/rsa"
+)
+
+func testPlatform(t testing.TB) *Platform {
+	t.Helper()
+	p, err := New(gpu.SmallTestDevice(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func natVec(vals ...uint64) []mpint.Nat {
+	out := make([]mpint.Nat, len(vals))
+	for i, v := range vals {
+		out[i] = mpint.FromUint64(v)
+	}
+	return out
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(gpu.Config{}, 1); err == nil {
+		t.Fatal("zero config should fail")
+	}
+	if Default(1) == nil {
+		t.Fatal("Default should construct")
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	p := testPlatform(t)
+	a := natVec(10, 20, 300)
+	b := natVec(3, 5, 7)
+
+	sum, err := p.Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := []uint64{13, 25, 307}
+	for i := range wantSum {
+		if v, _ := sum[i].Uint64(); v != wantSum[i] {
+			t.Fatalf("Add[%d] = %d", i, v)
+		}
+	}
+	diff, err := p.Sub(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := diff[2].Uint64(); v != 293 {
+		t.Fatalf("Sub[2] = %d", v)
+	}
+	prod, err := p.Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := prod[1].Uint64(); v != 100 {
+		t.Fatalf("Mul[1] = %d", v)
+	}
+	quot, err := p.Div(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := quot[2].Uint64(); v != 42 {
+		t.Fatalf("Div[2] = %d", v)
+	}
+	rem, err := p.Mod(a, mpint.FromUint64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rem[0].Uint64(); v != 3 {
+		t.Fatalf("Mod[0] = %d", v)
+	}
+}
+
+func TestModularOps(t *testing.T) {
+	p := testPlatform(t)
+	n := mpint.FromUint64(1000003) // prime, odd
+
+	inv, err := p.ModInv(natVec(2, 3, 999), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, base := range []uint64{2, 3, 999} {
+		prod := mpint.ModMul(mpint.FromUint64(base), inv[i], n)
+		if !prod.IsOne() {
+			t.Fatalf("ModInv[%d] wrong", i)
+		}
+	}
+	if _, err := p.ModInv(natVec(0), n); err == nil {
+		t.Fatal("inverse of 0 should fail")
+	}
+
+	mm, err := p.ModMul(natVec(123456, 999999), natVec(654321, 999999), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mpint.ModMul(mpint.FromUint64(123456), mpint.FromUint64(654321), n)
+	if mpint.Cmp(mm[0], want) != 0 {
+		t.Fatal("ModMul[0] wrong")
+	}
+	if _, err := p.ModMul(natVec(1), natVec(1), mpint.FromUint64(8)); err == nil {
+		t.Fatal("even modulus should fail")
+	}
+
+	mp, err := p.ModPow(natVec(5, 7), mpint.FromUint64(1000002), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fermat: a^(p-1) ≡ 1 mod p.
+	if !mp[0].IsOne() || !mp[1].IsOne() {
+		t.Fatal("ModPow violates Fermat")
+	}
+	if _, err := p.ModPow(natVec(1), mpint.One(), mpint.FromUint64(4)); err == nil {
+		t.Fatal("even modulus should fail")
+	}
+}
+
+func TestPaillierFamily(t *testing.T) {
+	p := testPlatform(t)
+	sk, err := p.PaillierKeyGen(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := natVec(0, 1, 42, 123456789)
+	cts, err := p.PaillierEncrypt(&sk.PublicKey, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := p.PaillierDecrypt(sk, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ms {
+		if mpint.Cmp(dec[i], ms[i]) != 0 {
+			t.Fatalf("Paillier round trip failed at %d", i)
+		}
+	}
+	sums, err := p.PaillierAdd(&sk.PublicKey, cts, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsum, err := p.PaillierDecrypt(sk, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ms {
+		want := mpint.ModAdd(ms[i], ms[i], sk.N)
+		if mpint.Cmp(dsum[i], want) != 0 {
+			t.Fatalf("PaillierAdd failed at %d", i)
+		}
+	}
+}
+
+func TestRSAFamily(t *testing.T) {
+	p := testPlatform(t)
+	sk, err := p.RSAKeyGen(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := natVec(2, 42, 99999)
+	cts, err := p.RSAEncrypt(&sk.PublicKey, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := p.RSADecrypt(sk, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ms {
+		if mpint.Cmp(dec[i], ms[i]) != 0 {
+			t.Fatalf("RSA round trip failed at %d", i)
+		}
+	}
+	prods, err := p.RSAMul(&sk.PublicKey, cts, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dprod, err := p.RSADecrypt(sk, prods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ms {
+		want := mpint.ModMul(ms[i], ms[i], sk.N)
+		if mpint.Cmp(dprod[i], want) != 0 {
+			t.Fatalf("RSAMul failed at %d", i)
+		}
+	}
+	if _, err := p.RSAEncrypt(&sk.PublicKey, []mpint.Nat{sk.N}); err == nil {
+		t.Fatal("oversized plaintext should fail")
+	}
+	if _, err := p.RSADecrypt(sk, []rsa.Ciphertext{{C: sk.N}}); err == nil {
+		t.Fatal("oversized ciphertext should fail")
+	}
+	if _, err := p.RSAMul(&sk.PublicKey, cts, cts[:1]); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestDeviceAccounting(t *testing.T) {
+	p := testPlatform(t)
+	if _, err := p.Add(natVec(1, 2), natVec(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Device().Stats().KernelLaunches == 0 {
+		t.Fatal("platform calls should launch kernels")
+	}
+	if p.Engine() == nil {
+		t.Fatal("engine accessor broken")
+	}
+}

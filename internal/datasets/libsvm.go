@@ -1,0 +1,125 @@
+package datasets
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadLIBSVM parses a dataset in LIBSVM/SVMlight format — the distribution
+// format of the real RCV1 and Avazu corpora — so users who have the files
+// can run every experiment on the genuine data instead of the
+// shape-preserving generators:
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// Labels are mapped to {0, 1}: anything > 0 becomes 1. Indices are 1-based
+// in the format and converted to 0-based. numFeatures == 0 infers the
+// dimension from the data.
+func LoadLIBSVM(r io.Reader, name string, numFeatures int) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	ds := &Dataset{Name: name, NumFeatures: numFeatures}
+	maxIdx := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		rawLabel, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: line %d: bad label %q", lineNo, fields[0])
+		}
+		label := 0.0
+		if rawLabel > 0 {
+			label = 1
+		}
+		idx := make([]int32, 0, len(fields)-1)
+		val := make([]float64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("datasets: line %d: feature %q lacks ':'", lineNo, f)
+			}
+			i, err := strconv.Atoi(f[:colon])
+			if err != nil || i < 1 {
+				return nil, fmt.Errorf("datasets: line %d: bad index %q", lineNo, f[:colon])
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("datasets: line %d: bad value %q", lineNo, f[colon+1:])
+			}
+			idx = append(idx, int32(i-1))
+			val = append(val, v)
+		}
+		// The format does not require sorted indices; our SparseVec does.
+		if !sort.SliceIsSorted(idx, func(a, b int) bool { return idx[a] < idx[b] }) {
+			perm := make([]int, len(idx))
+			for i := range perm {
+				perm[i] = i
+			}
+			sort.Slice(perm, func(a, b int) bool { return idx[perm[a]] < idx[perm[b]] })
+			si := make([]int32, len(idx))
+			sv := make([]float64, len(val))
+			for k, p := range perm {
+				si[k], sv[k] = idx[p], val[p]
+			}
+			idx, val = si, sv
+		}
+		for k := 1; k < len(idx); k++ {
+			if idx[k] == idx[k-1] {
+				return nil, fmt.Errorf("datasets: line %d: duplicate index %d", lineNo, idx[k]+1)
+			}
+		}
+		if len(idx) > 0 && idx[len(idx)-1] > maxIdx {
+			maxIdx = idx[len(idx)-1]
+		}
+		ds.Examples = append(ds.Examples, Example{
+			Features: SparseVec{Idx: idx, Val: val},
+			Label:    label,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datasets: reading LIBSVM input: %w", err)
+	}
+	if ds.NumFeatures == 0 {
+		ds.NumFeatures = int(maxIdx) + 1
+	}
+	if int(maxIdx) >= ds.NumFeatures {
+		return nil, fmt.Errorf("datasets: index %d exceeds declared dimension %d", maxIdx+1, ds.NumFeatures)
+	}
+	if len(ds.Examples) == 0 {
+		return nil, fmt.Errorf("datasets: no examples in LIBSVM input")
+	}
+	return ds, nil
+}
+
+// WriteLIBSVM serializes a dataset in LIBSVM format (inverse of LoadLIBSVM;
+// labels are written as ±1).
+func WriteLIBSVM(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, ex := range ds.Examples {
+		label := "-1"
+		if ex.Label > 0.5 {
+			label = "+1"
+		}
+		if _, err := bw.WriteString(label); err != nil {
+			return err
+		}
+		for k, idx := range ex.Features.Idx {
+			if _, err := fmt.Fprintf(bw, " %d:%g", idx+1, ex.Features.Val[k]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

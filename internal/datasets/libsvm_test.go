@@ -1,0 +1,94 @@
+package datasets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadLIBSVMBasic(t *testing.T) {
+	in := `+1 1:0.5 3:1.25
+-1 2:2
+# comment line
+
+0 1:1 2:1 3:1
+`
+	ds, err := LoadLIBSVM(strings.NewReader(in), "test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 || ds.NumFeatures != 3 {
+		t.Fatalf("shape %d × %d", ds.Len(), ds.NumFeatures)
+	}
+	if ds.Examples[0].Label != 1 || ds.Examples[1].Label != 0 || ds.Examples[2].Label != 0 {
+		t.Fatal("label mapping wrong")
+	}
+	ex := ds.Examples[0]
+	if ex.Features.NNZ() != 2 || ex.Features.Idx[0] != 0 || ex.Features.Idx[1] != 2 || ex.Features.Val[1] != 1.25 {
+		t.Fatalf("first example parsed wrong: %+v", ex.Features)
+	}
+}
+
+func TestLoadLIBSVMUnsortedIndices(t *testing.T) {
+	ds, err := LoadLIBSVM(strings.NewReader("+1 5:5 1:1 3:3\n"), "x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ds.Examples[0].Features
+	want := []int32{0, 2, 4}
+	for i, idx := range f.Idx {
+		if idx != want[i] || f.Val[i] != float64(want[i]+1) {
+			t.Fatalf("sorted features wrong: %+v", f)
+		}
+	}
+}
+
+func TestLoadLIBSVMErrors(t *testing.T) {
+	cases := []string{
+		"abc 1:1\n",    // bad label
+		"+1 0:1\n",     // index below 1
+		"+1 1\n",       // missing colon
+		"+1 1:xyz\n",   // bad value
+		"+1 1:1 1:2\n", // duplicate index
+		"",             // empty input
+		"# only comments\n",
+	}
+	for i, in := range cases {
+		if _, err := LoadLIBSVM(strings.NewReader(in), "bad", 0); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Declared dimension too small.
+	if _, err := LoadLIBSVM(strings.NewReader("+1 10:1\n"), "bad", 5); err == nil {
+		t.Error("out-of-dimension index should fail")
+	}
+}
+
+func TestLIBSVMRoundTrip(t *testing.T) {
+	orig, err := Generate(RCV1Spec.Scaled(0.0002), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLIBSVM(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLIBSVM(&buf, orig.Name, orig.NumFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip lost examples: %d vs %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Examples {
+		a, b := orig.Examples[i], back.Examples[i]
+		if a.Label != b.Label || a.Features.NNZ() != b.Features.NNZ() {
+			t.Fatalf("example %d diverged", i)
+		}
+		for k := range a.Features.Idx {
+			if a.Features.Idx[k] != b.Features.Idx[k] || a.Features.Val[k] != b.Features.Val[k] {
+				t.Fatalf("example %d feature %d diverged", i, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package fl
+
+import (
+	"fmt"
+	"time"
+
+	"flbooster/internal/batch"
+	"flbooster/internal/flnet"
+	"flbooster/internal/ghe"
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+	"flbooster/internal/quant"
+)
+
+// Context is one acceleration configuration instantiated: the Paillier key,
+// the HE backend the profile selects, the encoding-quantization and batch-
+// compression layers, the (possibly nil) GPU device, the link model, and the
+// cost tracker every operation reports into. It implements the pipelined
+// processing of Fig. 4.
+type Context struct {
+	Profile Profile
+	Key     *paillier.PrivateKey
+	Backend paillier.Backend
+	Quant   *quant.Quantizer
+	Packer  *batch.Packer // nil when batch compression is off
+	Device  *gpu.Device   // nil on CPU profiles
+	Link    flnet.Link
+	Costs   *Costs
+	seed    uint64
+}
+
+// NewContext builds a context from a profile, generating a fresh key pair
+// from the profile's seed.
+func NewContext(p Profile) (*Context, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ctx := &Context{
+		Profile: p,
+		Link:    flnet.FATEEffectiveLink(),
+		Costs:   &Costs{},
+		seed:    p.Seed,
+	}
+	q, err := quant.New(p.GradBound, p.RBits, p.Parties)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Quant = q
+	if p.UseBatch {
+		pk, err := batch.New(q, p.KeyBits)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Packer = pk
+	}
+	if p.UseGPU {
+		dev, err := gpu.New(p.Device, p.FineRM)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Device = dev
+		ctx.Backend = paillier.NewGPUBackend(ghe.NewEngine(dev))
+	} else {
+		ctx.Backend = paillier.CPUBackend{}
+	}
+	key, err := paillier.GenerateKey(mpint.NewRNG(p.Seed), p.KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("fl: key generation: %w", err)
+	}
+	ctx.Key = key
+	return ctx, nil
+}
+
+// nextSeed derives a fresh nonce-stream seed per HE batch.
+func (c *Context) nextSeed() uint64 {
+	c.seed = c.seed*6364136223846793005 + 1442695040888963407
+	return c.seed
+}
+
+// simDelta reads the device's modelled time before/after a batch. For CPU
+// profiles the modelled time equals the measured wall time.
+func (c *Context) simBase() time.Duration {
+	if c.Device == nil {
+		return 0
+	}
+	return c.Device.Stats().SimTime()
+}
+
+func (c *Context) simSince(base time.Duration, wall time.Duration) time.Duration {
+	if c.Device == nil {
+		return wall
+	}
+	return c.Device.Stats().SimTime() - base
+}
+
+// EncodePlaintexts converts a gradient vector into HE plaintexts: always
+// quantized (Encoding-Quantization layer); packed n-per-plaintext when batch
+// compression is on, one-per-plaintext otherwise.
+func (c *Context) EncodePlaintexts(grads []float64) ([]mpint.Nat, error) {
+	vals := c.Quant.QuantizeVec(grads)
+	if c.Packer != nil {
+		return c.Packer.Pack(vals)
+	}
+	out := make([]mpint.Nat, len(vals))
+	for i, v := range vals {
+		out[i] = mpint.FromUint64(v)
+	}
+	return out, nil
+}
+
+// DecodeAggregates inverts EncodePlaintexts for aggregated sums over
+// `parties` contributions, producing `count` gradient values.
+func (c *Context) DecodeAggregates(pts []mpint.Nat, count, parties int) ([]float64, error) {
+	if c.Packer != nil {
+		return c.Packer.DecodeAggregated(pts, count, parties)
+	}
+	if len(pts) != count {
+		return nil, fmt.Errorf("fl: %d plaintexts for %d values", len(pts), count)
+	}
+	sums := make([]uint64, count)
+	for i, pt := range pts {
+		v, ok := pt.Uint64()
+		if !ok {
+			return nil, fmt.Errorf("fl: aggregated slot %d overflows 64 bits", i)
+		}
+		sums[i] = v
+	}
+	return c.Quant.DequantizeSumVec(sums, parties)
+}
+
+// EncryptGradients runs the full client-side encryption phase (steps ①–④ of
+// Fig. 4): encode, quantize, pack, encrypt. Costs are charged to the HE
+// component; the plainval/ciphertext counts feed the compression ratio.
+func (c *Context) EncryptGradients(grads []float64) ([]paillier.Ciphertext, error) {
+	pts, err := c.EncodePlaintexts(grads)
+	if err != nil {
+		return nil, err
+	}
+	base := c.simBase()
+	start := time.Now()
+	cts, err := c.Backend.EncryptVec(&c.Key.PublicKey, pts, c.nextSeed())
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	c.Costs.AddHE(wall, c.simSince(base, wall), int64(len(cts)), int64(len(grads)))
+	c.Costs.AddCompression(int64(len(grads)), int64(len(cts)))
+	return cts, nil
+}
+
+// AggregateCiphertexts homomorphically sums per-party ciphertext batches
+// (the server side of Fig. 2). All batches must have equal length.
+func (c *Context) AggregateCiphertexts(batches [][]paillier.Ciphertext) ([]paillier.Ciphertext, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("fl: no batches to aggregate")
+	}
+	acc := batches[0]
+	for i := 1; i < len(batches); i++ {
+		if len(batches[i]) != len(acc) {
+			return nil, fmt.Errorf("fl: batch %d has %d ciphertexts, want %d", i, len(batches[i]), len(acc))
+		}
+		base := c.simBase()
+		start := time.Now()
+		sum, err := c.Backend.AddVec(&c.Key.PublicKey, acc, batches[i])
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		c.Costs.AddHE(wall, c.simSince(base, wall), int64(len(acc)), int64(len(acc)))
+		acc = sum
+	}
+	return acc, nil
+}
+
+// DecryptAggregated runs the decryption phase (steps ⑤–⑨ of Fig. 4) for an
+// aggregate of `parties` contributions carrying `count` gradient values.
+func (c *Context) DecryptAggregated(cts []paillier.Ciphertext, count, parties int) ([]float64, error) {
+	base := c.simBase()
+	start := time.Now()
+	pts, err := c.Backend.DecryptVec(c.Key, cts)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	c.Costs.AddHE(wall, c.simSince(base, wall), int64(len(cts)), int64(count))
+	return c.DecodeAggregates(pts, count, parties)
+}
+
+// MulPlainCiphertexts multiplies each ciphertext by a plaintext scalar — the
+// E(g)·x step vertical models use. Scalars are quantized values.
+func (c *Context) MulPlainCiphertexts(cts []paillier.Ciphertext, scalars []mpint.Nat) ([]paillier.Ciphertext, error) {
+	base := c.simBase()
+	start := time.Now()
+	out, err := c.Backend.MulPlainVec(&c.Key.PublicKey, cts, scalars)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	c.Costs.AddHE(wall, c.simSince(base, wall), int64(len(cts)), int64(len(cts)))
+	return out, nil
+}
+
+// CiphertextWireBytes is the encoded size of a ciphertext batch on the wire.
+func (c *Context) CiphertextWireBytes(n int) int64 {
+	return int64(n) * (int64(c.Key.CiphertextBytes()) + 4)
+}
+
+// RecordTransfer charges one message of n bytes to the communication
+// component through the link model.
+func (c *Context) RecordTransfer(n int64) {
+	c.Costs.AddComm(c.Link.TransferTime(n), n)
+}
+
+// TrackOther measures fn as model-computation ("other") time.
+func (c *Context) TrackOther(fn func()) {
+	start := time.Now()
+	fn()
+	c.Costs.AddOther(time.Since(start))
+}
+
+// Utilization reports the device's average SM utilization (0 for CPU
+// profiles) — the Fig. 6 reading.
+func (c *Context) Utilization() float64 {
+	if c.Device == nil {
+		return 0
+	}
+	return c.Device.Stats().AvgUtilization()
+}

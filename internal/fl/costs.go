@@ -1,0 +1,143 @@
+package fl
+
+import (
+	"sync"
+	"time"
+)
+
+// CostSnapshot is the per-run cost anatomy the paper reports: HE-operation
+// time, communication time, and everything else, plus the operation and byte
+// counts behind the throughput and compression tables. Wall times are real
+// host measurements at the experiment's (possibly reduced) scale; Sim times
+// come from the device and link models and represent the paper's
+// full-hardware testbed (see DESIGN.md §1, "Wall-clock scale").
+type CostSnapshot struct {
+	// HEWall is host time spent inside HE batches; HESim is the modelled
+	// device time for the same batches (equal to HEWall on CPU profiles).
+	HEWall time.Duration
+	HESim  time.Duration
+	// HEOps counts HE operations (encrypt/decrypt/hom-add elements).
+	HEOps int64
+	// Instances counts logical gradient values pushed through HE — the
+	// numerator of Table IV's throughput. With batch compression this is
+	// larger than HEOps.
+	Instances int64
+
+	// CommSim is modelled wire time; CommBytes/CommMsgs the raw traffic.
+	CommSim   time.Duration
+	CommBytes int64
+	CommMsgs  int64
+
+	// OtherWall is host time in model computation (gradients, trees,
+	// forward/backward passes) outside HE and communication.
+	OtherWall time.Duration
+
+	// Ciphertexts counts ciphertexts produced (the compression denominator).
+	Ciphertexts int64
+	// Plainvals counts plaintext values before packing (the numerator).
+	Plainvals int64
+}
+
+// Costs is the concurrency-safe accumulator behind CostSnapshot.
+type Costs struct {
+	mu sync.Mutex
+	s  CostSnapshot
+}
+
+// AddHE accounts one HE batch.
+func (c *Costs) AddHE(wall, sim time.Duration, ops, instances int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.HEWall += wall
+	c.s.HESim += sim
+	c.s.HEOps += ops
+	c.s.Instances += instances
+}
+
+// AddComm accounts one transfer.
+func (c *Costs) AddComm(sim time.Duration, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.CommSim += sim
+	c.s.CommBytes += bytes
+	c.s.CommMsgs++
+}
+
+// AddOther accounts model-computation time.
+func (c *Costs) AddOther(wall time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.OtherWall += wall
+}
+
+// AddCompression accounts a packing step: plainvals in, ciphertexts out.
+func (c *Costs) AddCompression(plainvals, ciphertexts int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Plainvals += plainvals
+	c.s.Ciphertexts += ciphertexts
+}
+
+// Snapshot returns a copy safe to read.
+func (c *Costs) Snapshot() CostSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}
+
+// Reset zeroes every counter.
+func (c *Costs) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s = CostSnapshot{}
+}
+
+// TotalSim is the modelled end-to-end time: device-scale HE + wire time +
+// measured model computation. This is the quantity Tables III and V report.
+func (c *Costs) TotalSim() time.Duration { return c.Snapshot().TotalSim() }
+
+// TotalSim is the modelled end-to-end time of the snapshot.
+func (s CostSnapshot) TotalSim() time.Duration { return s.HESim + s.CommSim + s.OtherWall }
+
+// TotalWall is the measured end-to-end host time plus modelled wire time.
+func (c *Costs) TotalWall() time.Duration { return c.Snapshot().TotalWall() }
+
+// TotalWall is the measured end-to-end host time plus modelled wire time.
+func (s CostSnapshot) TotalWall() time.Duration { return s.HEWall + s.CommSim + s.OtherWall }
+
+// Shares returns the fractions (other, HE, comm) of TotalSim — the rows of
+// Table VI.
+func (c *Costs) Shares() (other, he, comm float64) { return c.Snapshot().Shares() }
+
+// Shares returns the fractions (other, HE, comm) of the snapshot's TotalSim.
+func (s CostSnapshot) Shares() (other, he, comm float64) {
+	total := s.TotalSim()
+	if total <= 0 {
+		return 0, 0, 0
+	}
+	t := float64(total)
+	return float64(s.OtherWall) / t, float64(s.HESim) / t, float64(s.CommSim) / t
+}
+
+// Throughput returns HE instances per second of modelled HE time — the
+// cells of Table IV.
+func (c *Costs) Throughput() float64 { return c.Snapshot().Throughput() }
+
+// Throughput returns HE instances per second of modelled HE time.
+func (s CostSnapshot) Throughput() float64 {
+	if s.HESim <= 0 {
+		return 0
+	}
+	return float64(s.Instances) / s.HESim.Seconds()
+}
+
+// CompressionRatio returns plaintext values per ciphertext — Fig. 7.
+func (c *Costs) CompressionRatio() float64 { return c.Snapshot().CompressionRatio() }
+
+// CompressionRatio returns plaintext values per ciphertext — Fig. 7.
+func (s CostSnapshot) CompressionRatio() float64 {
+	if s.Ciphertexts == 0 {
+		return 1
+	}
+	return float64(s.Plainvals) / float64(s.Ciphertexts)
+}

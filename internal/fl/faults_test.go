@@ -1,0 +1,71 @@
+package fl
+
+import (
+	"testing"
+
+	"flbooster/internal/flnet"
+)
+
+// TestSecureAggregateSurfacesTransportFailures injects failures at each
+// protocol phase and verifies the round fails fast with a clear error
+// instead of hanging or producing a corrupt aggregate.
+func TestSecureAggregateSurfacesTransportFailures(t *testing.T) {
+	grads := [][]float64{{0.1}, {0.2}, {0.3}, {0.4}}
+	// Phases: 4 uploads, 4 server recvs, 4 broadcasts, 4 client recvs.
+	for _, fault := range []struct {
+		name string
+		prep func(*flnet.FaultyTransport)
+	}{
+		{"upload-send", func(f *flnet.FaultyTransport) { f.FailSendAt = 1 }},
+		{"server-recv", func(f *flnet.FaultyTransport) { f.FailRecvAt = 2 }},
+		{"broadcast-send", func(f *flnet.FaultyTransport) { f.FailSendAt = 6 }},
+		{"client-recv", func(f *flnet.FaultyTransport) { f.FailRecvAt = 5 }},
+	} {
+		fault := fault
+		t.Run(fault.name, func(t *testing.T) {
+			ctx, err := NewContext(testProfile(SystemFLBooster))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fed := NewFederation(ctx)
+			defer fed.Close()
+			ft := flnet.NewFaultyTransport(fed.Transport)
+			fault.prep(ft)
+			fed.Transport = ft
+			if _, err := fed.SecureAggregate(grads); err == nil {
+				t.Fatal("injected fault did not surface")
+			}
+		})
+	}
+}
+
+// TestSecureAggregateRecoversAfterTransientFault verifies a federation can
+// run a clean round after a failed one (no stuck state in the context).
+func TestSecureAggregateRecoversAfterTransientFault(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := [][]float64{{0.1, 0.2}, {0.1, 0.2}, {0.1, 0.2}, {0.1, 0.2}}
+
+	fed := NewFederation(ctx)
+	ft := flnet.NewFaultyTransport(fed.Transport)
+	ft.FailSendAt = 1
+	fed.Transport = ft
+	if _, err := fed.SecureAggregate(grads); err == nil {
+		t.Fatal("expected the first round to fail")
+	}
+	fed.Close()
+
+	// A fresh federation over the same context must work.
+	fed2 := NewFederation(ctx)
+	defer fed2.Close()
+	sum, err := fed2.SecureAggregate(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 4 * ctx.Quant.MaxError()
+	if d := sum[0] - 0.4; d > bound || d < -bound {
+		t.Fatalf("recovered round produced %v, want 0.4", sum[0])
+	}
+}

@@ -1,0 +1,146 @@
+package fl
+
+import (
+	"fmt"
+
+	"flbooster/internal/flnet"
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+)
+
+// Federation wires a Context to a transport and executes the SGD secure-
+// aggregation round of Fig. 2: clients encrypt local gradients and upload
+// ciphertexts, the server aggregates homomorphically and broadcasts, clients
+// decrypt and update. Party names are "client<i>" and "server".
+type Federation struct {
+	Ctx       *Context
+	Transport flnet.Transport
+	parties   []string
+}
+
+// ClientName returns the canonical name of client i.
+func ClientName(i int) string { return fmt.Sprintf("client%d", i) }
+
+// ServerName is the canonical aggregation-server party name.
+const ServerName = "server"
+
+// NewFederation builds a federation over the context's party count with an
+// in-process transport on the context's link model.
+func NewFederation(ctx *Context) *Federation {
+	names := make([]string, 0, ctx.Profile.Parties+1)
+	for i := 0; i < ctx.Profile.Parties; i++ {
+		names = append(names, ClientName(i))
+	}
+	names = append(names, ServerName)
+	return &Federation{
+		Ctx:       ctx,
+		Transport: flnet.NewSimTransport(ctx.Link, names...),
+		parties:   names,
+	}
+}
+
+// SecureAggregate executes one full round: grads[i] is client i's local
+// gradient vector (all equal length). It returns the element-wise sum as
+// decrypted by the clients. Every ciphertext crossing the wire is charged
+// to the communication component.
+func (f *Federation) SecureAggregate(grads [][]float64) ([]float64, error) {
+	p := f.Ctx.Profile.Parties
+	if len(grads) != p {
+		return nil, fmt.Errorf("fl: %d gradient vectors for %d parties", len(grads), p)
+	}
+	count := len(grads[0])
+	for i, g := range grads {
+		if len(g) != count {
+			return nil, fmt.Errorf("fl: client %d has %d gradients, want %d", i, len(g), count)
+		}
+	}
+
+	// Upload phase: every client encrypts and sends to the server.
+	for i := 0; i < p; i++ {
+		cts, err := f.Ctx.EncryptGradients(grads[i])
+		if err != nil {
+			return nil, fmt.Errorf("fl: client %d encrypt: %w", i, err)
+		}
+		payload := encodeCiphertexts(cts)
+		msg := flnet.Message{From: ClientName(i), To: ServerName, Kind: "grads", Payload: payload}
+		if err := f.Transport.Send(msg); err != nil {
+			return nil, err
+		}
+		f.Ctx.RecordTransfer(msg.WireSize())
+	}
+
+	// Server phase: receive p batches, aggregate homomorphically.
+	batches := make([][]paillier.Ciphertext, 0, p)
+	for i := 0; i < p; i++ {
+		msg, err := f.Transport.Recv(ServerName)
+		if err != nil {
+			return nil, err
+		}
+		cts, err := decodeCiphertexts(msg.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("fl: server decode from %s: %w", msg.From, err)
+		}
+		batches = append(batches, cts)
+	}
+	agg, err := f.Ctx.AggregateCiphertexts(batches)
+	if err != nil {
+		return nil, err
+	}
+
+	// Broadcast phase: server returns the aggregate to every client.
+	aggPayload := encodeCiphertexts(agg)
+	for i := 0; i < p; i++ {
+		msg := flnet.Message{From: ServerName, To: ClientName(i), Kind: "agg", Payload: aggPayload}
+		if err := f.Transport.Send(msg); err != nil {
+			return nil, err
+		}
+		f.Ctx.RecordTransfer(msg.WireSize())
+	}
+
+	// Client phase: decrypt once (all clients hold the private key in the
+	// Fig. 2 layout; decrypting once keeps host time proportional without
+	// changing the protocol's traffic, which was charged above).
+	var result []float64
+	for i := 0; i < p; i++ {
+		msg, err := f.Transport.Recv(ClientName(i))
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			cts, err := decodeCiphertexts(msg.Payload)
+			if err != nil {
+				return nil, err
+			}
+			result, err = f.Ctx.DecryptAggregated(cts, count, p)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return result, nil
+}
+
+// Close releases the transport.
+func (f *Federation) Close() error { return f.Transport.Close() }
+
+// encodeCiphertexts frames a ciphertext batch for the wire.
+func encodeCiphertexts(cts []paillier.Ciphertext) []byte {
+	nats := make([]mpint.Nat, len(cts))
+	for i, c := range cts {
+		nats[i] = c.C
+	}
+	return flnet.EncodeNats(nats)
+}
+
+// decodeCiphertexts parses a batch framed by encodeCiphertexts.
+func decodeCiphertexts(b []byte) ([]paillier.Ciphertext, error) {
+	nats, err := flnet.DecodeNats(b)
+	if err != nil {
+		return nil, err
+	}
+	cts := make([]paillier.Ciphertext, len(nats))
+	for i, n := range nats {
+		cts[i] = paillier.Ciphertext{C: n}
+	}
+	return cts, nil
+}

@@ -1,0 +1,314 @@
+package fl
+
+import (
+	"testing"
+
+	"flbooster/internal/gpu"
+	"flbooster/internal/paillier"
+)
+
+// testProfile returns a fast configuration for unit tests: small key, small
+// device.
+func testProfile(sys System) Profile {
+	p := NewProfile(sys, 128, 4)
+	p.Device = gpu.SmallTestDevice()
+	p.RBits = 14 // keep several slots per 128-bit plaintext
+	return p
+}
+
+func TestProfileToggles(t *testing.T) {
+	cases := []struct {
+		sys                    System
+		useGPU, useBatch, fine bool
+	}{
+		{SystemFATE, false, false, false},
+		{SystemHAFLO, true, false, false},
+		{SystemFLBooster, true, true, true},
+		{SystemNoGHE, false, true, false},
+		{SystemNoBC, true, false, true},
+	}
+	for _, c := range cases {
+		p := NewProfile(c.sys, 1024, 4)
+		if p.UseGPU != c.useGPU || p.UseBatch != c.useBatch || p.FineRM != c.fine {
+			t.Errorf("%s toggles = %v/%v/%v", c.sys, p.UseGPU, p.UseBatch, p.FineRM)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s default profile invalid: %v", c.sys, err)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := NewProfile(SystemFATE, 1024, 4)
+	bad.KeyBits = 8
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny key should fail")
+	}
+	bad = NewProfile(SystemFATE, 1024, 0)
+	if err := bad.Validate(); err == nil {
+		t.Error("zero parties should fail")
+	}
+	bad = NewProfile(SystemHAFLO, 1024, 4)
+	bad.Device = gpu.Config{}
+	if err := bad.Validate(); err == nil {
+		t.Error("GPU profile with bad device should fail")
+	}
+}
+
+func TestNewContextPerSystem(t *testing.T) {
+	for _, sys := range AllSystems() {
+		ctx, err := NewContext(testProfile(sys))
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if (ctx.Device != nil) != ctx.Profile.UseGPU {
+			t.Errorf("%s: device presence mismatch", sys)
+		}
+		if (ctx.Packer != nil) != ctx.Profile.UseBatch {
+			t.Errorf("%s: packer presence mismatch", sys)
+		}
+		if ctx.Key.KeyBits() != 128 {
+			t.Errorf("%s: key bits = %d", sys, ctx.Key.KeyBits())
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTripAllSystems(t *testing.T) {
+	grads := []float64{-0.9, -0.5, 0, 0.25, 0.8, 0.001, -0.0001, 0.333}
+	for _, sys := range AllSystems() {
+		sys := sys
+		t.Run(string(sys), func(t *testing.T) {
+			ctx, err := NewContext(testProfile(sys))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cts, err := ctx.EncryptGradients(grads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ctx.DecryptAggregated(cts, len(grads), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := ctx.Quant.MaxError()
+			for i := range grads {
+				if d := got[i] - grads[i]; d > bound || d < -bound {
+					t.Fatalf("grad %d error %v > %v", i, d, bound)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchCompressionReducesCiphertexts(t *testing.T) {
+	grads := make([]float64, 64)
+	noBC, err := NewContext(testProfile(SystemNoBC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBC, err := NewContext(testProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctsNo, err := noBC.EncryptGradients(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctsYes, err := withBC.EncryptGradients(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctsNo) != 64 {
+		t.Fatalf("w/o BC should emit one ciphertext per value, got %d", len(ctsNo))
+	}
+	if len(ctsYes) >= len(ctsNo)/4 {
+		t.Fatalf("batching should cut ciphertexts sharply: %d vs %d", len(ctsYes), len(ctsNo))
+	}
+	if r := withBC.Costs.CompressionRatio(); r < 4 {
+		t.Fatalf("compression ratio %v too small", r)
+	}
+	if r := noBC.Costs.CompressionRatio(); r != 1 {
+		t.Fatalf("uncompressed ratio %v, want 1", r)
+	}
+}
+
+func TestSecureAggregateSumsAcrossParties(t *testing.T) {
+	for _, sys := range []System{SystemFATE, SystemFLBooster} {
+		sys := sys
+		t.Run(string(sys), func(t *testing.T) {
+			ctx, err := NewContext(testProfile(sys))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fed := NewFederation(ctx)
+			defer fed.Close()
+			const n = 10
+			grads := make([][]float64, 4)
+			want := make([]float64, n)
+			for p := range grads {
+				grads[p] = make([]float64, n)
+				for i := range grads[p] {
+					grads[p][i] = float64((p+1)*(i+1)) / 100 * 0.1
+					want[i] += grads[p][i]
+				}
+			}
+			got, err := fed.SecureAggregate(grads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := 4 * ctx.Quant.MaxError()
+			for i := range want {
+				if d := got[i] - want[i]; d > bound || d < -bound {
+					t.Fatalf("sum[%d] = %v, want %v ± %v", i, got[i], want[i], bound)
+				}
+			}
+			// Cost anatomy must be populated.
+			c := ctx.Costs.Snapshot()
+			if c.HEOps == 0 || c.CommBytes == 0 || c.CommMsgs != 8 {
+				t.Fatalf("costs incomplete: %+v", c)
+			}
+		})
+	}
+}
+
+func TestSecureAggregateValidation(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFATE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	if _, err := fed.SecureAggregate(make([][]float64, 2)); err == nil {
+		t.Fatal("wrong party count should fail")
+	}
+	grads := [][]float64{{1}, {1}, {1}, {1, 2}}
+	if _, err := fed.SecureAggregate(grads); err == nil {
+		t.Fatal("ragged gradient vectors should fail")
+	}
+}
+
+func TestCompressionShrinksTraffic(t *testing.T) {
+	run := func(sys System) int64 {
+		ctx, err := NewContext(testProfile(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed := NewFederation(ctx)
+		defer fed.Close()
+		grads := make([][]float64, 4)
+		for p := range grads {
+			grads[p] = make([]float64, 32)
+		}
+		if _, err := fed.SecureAggregate(grads); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Costs.Snapshot().CommBytes
+	}
+	withBC := run(SystemFLBooster)
+	noBC := run(SystemNoBC)
+	if withBC*3 >= noBC {
+		t.Fatalf("batch compression should cut traffic by ≥3×: %d vs %d bytes", withBC, noBC)
+	}
+}
+
+func TestFasterSystemsOrdering(t *testing.T) {
+	// The headline inequality at equal workload: FLBooster's modelled epoch
+	// component times must beat HAFLO's, which must beat FATE's, on HE time.
+	grads := make([]float64, 128)
+	for i := range grads {
+		grads[i] = 0.01 * float64(i%7)
+	}
+	times := map[System]float64{}
+	for _, sys := range []System{SystemFATE, SystemHAFLO, SystemFLBooster} {
+		ctx, err := NewContext(testProfile(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctx.EncryptGradients(grads); err != nil {
+			t.Fatal(err)
+		}
+		times[sys] = ctx.Costs.Snapshot().HESim.Seconds()
+	}
+	if !(times[SystemFLBooster] < times[SystemHAFLO] && times[SystemHAFLO] < times[SystemFATE]) {
+		t.Fatalf("modelled HE ordering violated: %v", times)
+	}
+}
+
+func TestCostsShares(t *testing.T) {
+	c := &Costs{}
+	c.AddHE(50, 100, 10, 10)
+	c.AddComm(300, 1234)
+	c.AddOther(100)
+	o, h, m := c.Shares()
+	if o < 0.19 || o > 0.21 || h < 0.19 || h > 0.21 || m < 0.59 || m > 0.61 {
+		t.Fatalf("shares = %v/%v/%v", o, h, m)
+	}
+	if c.TotalSim() != 500 {
+		t.Fatalf("TotalSim = %v", c.TotalSim())
+	}
+	if c.TotalWall() != 450 {
+		t.Fatalf("TotalWall = %v", c.TotalWall())
+	}
+	empty := &Costs{}
+	if o, h, m := empty.Shares(); o != 0 || h != 0 || m != 0 {
+		t.Fatal("empty shares should be zero")
+	}
+	if empty.Throughput() != 0 {
+		t.Fatal("empty throughput should be zero")
+	}
+	c.Reset()
+	if c.TotalSim() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTrackOtherAndUtilization(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.TrackOther(func() {
+		s := 0.0
+		for i := 0; i < 10000; i++ {
+			s += float64(i)
+		}
+		_ = s
+	})
+	if ctx.Costs.Snapshot().OtherWall <= 0 {
+		t.Fatal("TrackOther did not record time")
+	}
+	if _, err := ctx.EncryptGradients([]float64{0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if u := ctx.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+	cpu, err := NewContext(testProfile(SystemFATE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Utilization() != 0 {
+		t.Fatal("CPU profile should report zero utilization")
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFATE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.AggregateCiphertexts(nil); err == nil {
+		t.Fatal("empty aggregation should fail")
+	}
+	a, err := ctx.EncryptGradients([]float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.EncryptGradients([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.AggregateCiphertexts([][]paillier.Ciphertext{a, b}); err == nil {
+		t.Fatal("ragged batches should fail")
+	}
+}

@@ -1,0 +1,115 @@
+// Package fl is the federated-learning framework substrate: acceleration
+// profiles (the FATE / HAFLO / FLBooster configurations plus the paper's
+// ablations), the HE context that runs the Fig. 4 pipeline with full cost
+// accounting (HE time, communication time, other time — the anatomy of
+// Tables III, V and VI), and the secure-aggregation protocol of Fig. 2 that
+// the four benchmark models in internal/models train over.
+package fl
+
+import (
+	"fmt"
+
+	"flbooster/internal/gpu"
+)
+
+// System identifies which evaluated system a profile reproduces.
+type System string
+
+// The systems compared throughout the paper's evaluation.
+const (
+	// SystemFATE: serial CPU Paillier, no compression — the baseline
+	// framework (FATE v1.x behaviour).
+	SystemFATE System = "FATE"
+	// SystemHAFLO: GPU-accelerated HE operations with coarse resource
+	// allocation, no compression.
+	SystemHAFLO System = "HAFLO"
+	// SystemFLBooster: GPU HE with the fine-grained resource manager plus
+	// batch compression — the full system.
+	SystemFLBooster System = "FLBooster"
+	// SystemNoGHE: FLBooster without GPU HE (ablation "w/o GHE").
+	SystemNoGHE System = "FLBooster w/o GHE"
+	// SystemNoBC: FLBooster without batch compression (ablation "w/o BC").
+	SystemNoBC System = "FLBooster w/o BC"
+)
+
+// Profile is one acceleration configuration. All five systems share every
+// code path except the toggles below, so ablation comparisons isolate
+// exactly the module under study.
+type Profile struct {
+	// System names the configuration.
+	System System
+	// KeyBits is the Paillier key size (the paper sweeps 1024/2048/4096;
+	// tests use smaller keys).
+	KeyBits int
+	// Parties is the number of federated participants p.
+	Parties int
+	// RBits is the quantization width; the paper uses r+b = 32 with two
+	// overflow bits at p = 4 (so r = 30).
+	RBits uint
+	// GradBound is the quantizer's α.
+	GradBound float64
+	// UseGPU routes HE batches through the GPU-HE engine.
+	UseGPU bool
+	// UseBatch enables batch compression.
+	UseBatch bool
+	// FineRM selects the fine-grained resource manager.
+	FineRM bool
+	// Device is the GPU model for GPU profiles.
+	Device gpu.Config
+	// Seed drives every random choice for reproducibility.
+	Seed uint64
+}
+
+// NewProfile returns the standard configuration for a system at the given
+// key size and party count.
+func NewProfile(sys System, keyBits, parties int) Profile {
+	p := Profile{
+		System:    sys,
+		KeyBits:   keyBits,
+		Parties:   parties,
+		RBits:     30, // r + b = 32 at p ≤ 4, the paper's setting
+		GradBound: 1,
+		Device:    gpu.RTX3090(),
+		Seed:      1,
+	}
+	switch sys {
+	case SystemFATE:
+		// all toggles off
+	case SystemHAFLO:
+		p.UseGPU = true
+	case SystemFLBooster:
+		p.UseGPU, p.UseBatch, p.FineRM = true, true, true
+	case SystemNoGHE:
+		p.UseBatch = true
+	case SystemNoBC:
+		p.UseGPU, p.FineRM = true, true
+	default:
+		panic(fmt.Sprintf("fl: unknown system %q", sys))
+	}
+	return p
+}
+
+// Validate reports profile configuration errors.
+func (p Profile) Validate() error {
+	switch {
+	case p.KeyBits < 32:
+		return fmt.Errorf("fl: key size %d too small", p.KeyBits)
+	case p.Parties < 1:
+		return fmt.Errorf("fl: need at least one party, got %d", p.Parties)
+	case p.RBits < 2:
+		return fmt.Errorf("fl: r = %d too small", p.RBits)
+	case p.GradBound <= 0:
+		return fmt.Errorf("fl: gradient bound must be positive")
+	}
+	if p.UseGPU {
+		if err := p.Device.Validate(); err != nil {
+			return fmt.Errorf("fl: GPU profile: %w", err)
+		}
+	}
+	return nil
+}
+
+// AllSystems lists the five configurations in reporting order.
+func AllSystems() []System {
+	return []System{SystemFATE, SystemHAFLO, SystemFLBooster, SystemNoGHE, SystemNoBC}
+}

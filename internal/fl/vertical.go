@@ -1,0 +1,146 @@
+package fl
+
+import (
+	"fmt"
+	"time"
+
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+)
+
+// Vertical-protocol helpers. The hetero models exchange two kinds of HE
+// payloads: *aggregatable* vectors (partial scores, histograms) that batch
+// compression can pack because downstream use is slot-wise addition, and
+// *per-sample* ciphertexts (residuals, gradient/hessian terms) that feed
+// per-sample homomorphic multiply-accumulate and therefore stay one value
+// per ciphertext under every profile. The methods below are the per-sample
+// path; EncryptGradients/DecryptAggregated remain the aggregatable path.
+
+// EncryptValuesUnpacked encrypts one quantized value per ciphertext
+// regardless of the batch-compression setting.
+func (c *Context) EncryptValuesUnpacked(vals []float64) ([]paillier.Ciphertext, error) {
+	qs := c.Quant.QuantizeVec(vals)
+	pts := make([]mpint.Nat, len(qs))
+	for i, q := range qs {
+		pts[i] = mpint.FromUint64(q)
+	}
+	base := c.simBase()
+	start := time.Now()
+	cts, err := c.Backend.EncryptVec(&c.Key.PublicKey, pts, c.nextSeed())
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	c.Costs.AddHE(wall, c.simSince(base, wall), int64(len(cts)), int64(len(vals)))
+	c.Costs.AddCompression(int64(len(vals)), int64(len(cts)))
+	return cts, nil
+}
+
+// DecryptRaw decrypts ciphertexts to raw unsigned plaintext values (no
+// dequantization) — the weighted homomorphic sums of the vertical gradient
+// step, which callers decode with their own correction terms.
+func (c *Context) DecryptRaw(cts []paillier.Ciphertext) ([]uint64, error) {
+	base := c.simBase()
+	start := time.Now()
+	pts, err := c.Backend.DecryptVec(c.Key, cts)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	c.Costs.AddHE(wall, c.simSince(base, wall), int64(len(cts)), int64(len(cts)))
+	out := make([]uint64, len(pts))
+	for i, pt := range pts {
+		v, ok := pt.Uint64()
+		if !ok {
+			return nil, fmt.Errorf("fl: raw plaintext %d overflows 64 bits (%d bits)", i, pt.BitLen())
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// EncryptZero returns a fresh encryption of zero (the neutral accumulator
+// for homomorphic sums).
+func (c *Context) EncryptZero() (paillier.Ciphertext, error) {
+	cts, err := c.EncryptNats([]mpint.Nat{mpint.Zero()}, 1)
+	if err != nil {
+		return paillier.Ciphertext{}, err
+	}
+	return cts[0], nil
+}
+
+// EncryptNats encrypts caller-prepared plaintexts, charging `instances`
+// logical values to the throughput counter (callers that pack several
+// values per plaintext pass the packed value count).
+func (c *Context) EncryptNats(pts []mpint.Nat, instances int64) ([]paillier.Ciphertext, error) {
+	base := c.simBase()
+	start := time.Now()
+	cts, err := c.Backend.EncryptVec(&c.Key.PublicKey, pts, c.nextSeed())
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	c.Costs.AddHE(wall, c.simSince(base, wall), int64(len(cts)), instances)
+	return cts, nil
+}
+
+// ReduceSum homomorphically folds a batch into a single ciphertext by
+// pairwise tree reduction, using the vectorized AddVec kernel at every
+// level so the GPU profiles keep their parallelism.
+func (c *Context) ReduceSum(cts []paillier.Ciphertext) (paillier.Ciphertext, error) {
+	if len(cts) == 0 {
+		return paillier.Ciphertext{}, fmt.Errorf("fl: ReduceSum of empty batch")
+	}
+	work := make([]paillier.Ciphertext, len(cts))
+	copy(work, cts)
+	for len(work) > 1 {
+		half := len(work) / 2
+		base := c.simBase()
+		start := time.Now()
+		sums, err := c.Backend.AddVec(&c.Key.PublicKey, work[:half], work[half:2*half])
+		if err != nil {
+			return paillier.Ciphertext{}, err
+		}
+		wall := time.Since(start)
+		c.Costs.AddHE(wall, c.simSince(base, wall), int64(half), int64(half))
+		if len(work)%2 == 1 {
+			sums = append(sums, work[len(work)-1])
+		}
+		work = sums
+	}
+	return work[0], nil
+}
+
+// WeightedSum computes E(Σ scalars[i]·plain(cts[i])) for non-negative
+// integer scalars: the homomorphic multiply-accumulate at the heart of the
+// vertical gradient/histogram steps. Zero scalars are skipped.
+func (c *Context) WeightedSum(cts []paillier.Ciphertext, scalars []uint64) (paillier.Ciphertext, error) {
+	if len(cts) != len(scalars) {
+		return paillier.Ciphertext{}, fmt.Errorf("fl: WeightedSum length mismatch %d vs %d", len(cts), len(scalars))
+	}
+	sel := make([]paillier.Ciphertext, 0, len(cts))
+	exps := make([]mpint.Nat, 0, len(cts))
+	ones := make([]paillier.Ciphertext, 0, len(cts))
+	for i, s := range scalars {
+		switch s {
+		case 0:
+		case 1:
+			ones = append(ones, cts[i])
+		default:
+			sel = append(sel, cts[i])
+			exps = append(exps, mpint.FromUint64(s))
+		}
+	}
+	terms := ones
+	if len(sel) > 0 {
+		pows, err := c.MulPlainCiphertexts(sel, exps)
+		if err != nil {
+			return paillier.Ciphertext{}, err
+		}
+		terms = append(terms, pows...)
+	}
+	if len(terms) == 0 {
+		return c.EncryptZero()
+	}
+	return c.ReduceSum(terms)
+}

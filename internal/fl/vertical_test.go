@@ -1,0 +1,148 @@
+package fl
+
+import (
+	"testing"
+
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+)
+
+func TestEncryptValuesUnpackedIgnoresPacker(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{-0.5, 0, 0.5, 0.999}
+	cts, err := ctx.EncryptValuesUnpacked(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cts) != len(vals) {
+		t.Fatalf("unpacked encryption produced %d ciphertexts for %d values", len(cts), len(vals))
+	}
+	// Round trip through DecryptRaw + manual dequantization.
+	raws, err := ctx.DecryptRaw(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, raw := range raws {
+		got := ctx.Quant.Dequantize(raw)
+		if d := got - vals[i]; d > ctx.Quant.MaxError() || d < -ctx.Quant.MaxError() {
+			t.Fatalf("value %d: %v vs %v", i, got, vals[i])
+		}
+	}
+}
+
+func TestDecryptRawOverflowDetected(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFATE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := mpint.NewRNG(1).RandBits(100) // wider than 64 bits
+	cts, err := ctx.EncryptNats([]mpint.Nat{big}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.DecryptRaw(cts); err == nil {
+		t.Fatal("overflowing raw plaintext should be reported")
+	}
+}
+
+func TestEncryptZero(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFATE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := ctx.EncryptZero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws, err := ctx.DecryptRaw([]paillier.Ciphertext{z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raws[0] != 0 {
+		t.Fatalf("E(0) decrypted to %d", raws[0])
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum 1..9 homomorphically.
+	pts := make([]mpint.Nat, 9)
+	for i := range pts {
+		pts[i] = mpint.FromUint64(uint64(i + 1))
+	}
+	cts, err := ctx.EncryptNats(pts, int64(len(pts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ctx.ReduceSum(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws, err := ctx.DecryptRaw([]paillier.Ciphertext{sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raws[0] != 45 {
+		t.Fatalf("ReduceSum = %d, want 45", raws[0])
+	}
+	if _, err := ctx.ReduceSum(nil); err == nil {
+		t.Fatal("empty reduce should fail")
+	}
+	// Single element passes through.
+	one, err := ctx.ReduceSum(cts[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws, err = ctx.DecryptRaw([]paillier.Ciphertext{one})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raws[0] != 1 {
+		t.Fatalf("single-element reduce = %d", raws[0])
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFATE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []mpint.Nat{mpint.FromUint64(3), mpint.FromUint64(5), mpint.FromUint64(7), mpint.FromUint64(11)}
+	cts, err := ctx.EncryptNats(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2*3 + 0*5 + 1*7 + 10*11 = 123
+	sum, err := ctx.WeightedSum(cts, []uint64{2, 0, 1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws, err := ctx.DecryptRaw([]paillier.Ciphertext{sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raws[0] != 123 {
+		t.Fatalf("WeightedSum = %d, want 123", raws[0])
+	}
+	// All-zero scalars produce E(0).
+	zero, err := ctx.WeightedSum(cts, []uint64{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws, err = ctx.DecryptRaw([]paillier.Ciphertext{zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raws[0] != 0 {
+		t.Fatalf("zero-weight sum = %d", raws[0])
+	}
+	if _, err := ctx.WeightedSum(cts, []uint64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}

@@ -1,0 +1,68 @@
+package flnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultyTransport wraps a Transport and injects deterministic failures —
+// used to verify that federated protocols surface transport errors instead
+// of hanging or silently corrupting training state.
+type FaultyTransport struct {
+	inner Transport
+
+	mu        sync.Mutex
+	sendCount int64
+	recvCount int64
+	// FailSendAt and FailRecvAt are 1-based operation indices at which the
+	// corresponding call fails; zero disables the fault.
+	FailSendAt int64
+	FailRecvAt int64
+	// DropKind silently drops (rather than fails) sends of this Kind.
+	DropKind string
+}
+
+// NewFaultyTransport wraps inner.
+func NewFaultyTransport(inner Transport) *FaultyTransport {
+	return &FaultyTransport{inner: inner}
+}
+
+// Send implements Transport with injected failures.
+func (f *FaultyTransport) Send(msg Message) error {
+	f.mu.Lock()
+	f.sendCount++
+	n := f.sendCount
+	failAt := f.FailSendAt
+	drop := f.DropKind != "" && msg.Kind == f.DropKind
+	f.mu.Unlock()
+	if failAt != 0 && n == failAt {
+		return fmt.Errorf("flnet: injected send failure at operation %d", n)
+	}
+	if drop {
+		return nil // delivered nowhere
+	}
+	return f.inner.Send(msg)
+}
+
+// Recv implements Transport with injected failures.
+func (f *FaultyTransport) Recv(party string) (Message, error) {
+	f.mu.Lock()
+	f.recvCount++
+	n := f.recvCount
+	failAt := f.FailRecvAt
+	f.mu.Unlock()
+	if failAt != 0 && n == failAt {
+		return Message{}, fmt.Errorf("flnet: injected recv failure at operation %d", n)
+	}
+	return f.inner.Recv(party)
+}
+
+// Close implements Transport.
+func (f *FaultyTransport) Close() error { return f.inner.Close() }
+
+// Counts reports how many sends and recvs have passed through.
+func (f *FaultyTransport) Counts() (sends, recvs int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sendCount, f.recvCount
+}

@@ -1,0 +1,71 @@
+package flnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultyTransportSendFailure(t *testing.T) {
+	inner := NewSimTransport(GigabitEthernet(), "a", "b")
+	ft := NewFaultyTransport(inner)
+	ft.FailSendAt = 2
+	if err := ft.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	err := ft.Send(Message{From: "a", To: "b"})
+	if err == nil || !strings.Contains(err.Error(), "injected send failure") {
+		t.Fatalf("second send should fail with the injected error, got %v", err)
+	}
+	// Third send passes again (the fault fires once).
+	if err := ft.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	sends, _ := ft.Counts()
+	if sends != 3 {
+		t.Fatalf("send count = %d", sends)
+	}
+}
+
+func TestFaultyTransportRecvFailure(t *testing.T) {
+	inner := NewSimTransport(GigabitEthernet(), "a", "b")
+	ft := NewFaultyTransport(inner)
+	ft.FailRecvAt = 1
+	if err := ft.Send(Message{From: "a", To: "b", Kind: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ft.Recv("b"); err == nil {
+		t.Fatal("first recv should fail")
+	}
+	msg, err := ft.Recv("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != "x" {
+		t.Fatal("message lost after injected failure")
+	}
+}
+
+func TestFaultyTransportDropKind(t *testing.T) {
+	inner := NewSimTransport(GigabitEthernet(), "a", "b")
+	ft := NewFaultyTransport(inner)
+	ft.DropKind = "grads"
+	if err := ft.Send(Message{From: "a", To: "b", Kind: "grads"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Send(Message{From: "a", To: "b", Kind: "agg"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ft.Recv("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != "agg" {
+		t.Fatalf("dropped message was delivered: %q", msg.Kind)
+	}
+	if err := ft.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Close(); err == nil {
+		t.Fatal("double close should propagate from the inner transport")
+	}
+}

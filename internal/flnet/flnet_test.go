@@ -1,0 +1,257 @@
+package flnet
+
+import (
+	"testing"
+	"time"
+
+	"flbooster/internal/mpint"
+)
+
+func TestLinkTransferTime(t *testing.T) {
+	l := GigabitEthernet()
+	// 1 MB at 1 Gb/s ≈ 8 ms + latency.
+	got := l.TransferTime(1 << 20)
+	if got < 8*time.Millisecond || got > 9*time.Millisecond {
+		t.Fatalf("TransferTime(1MiB) = %v", got)
+	}
+	if (Link{}).TransferTime(100) != 0 {
+		t.Fatal("zero link should cost nothing")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(GigabitEthernet())
+	m.Record(1000)
+	m.Record(2000)
+	bytes, msgs, sim := m.Snapshot()
+	if bytes != 3000 || msgs != 2 || sim <= 0 {
+		t.Fatalf("meter snapshot: %d bytes, %d msgs, %v", bytes, msgs, sim)
+	}
+	m.Reset()
+	if b, n, s := m.Snapshot(); b != 0 || n != 0 || s != 0 {
+		t.Fatal("reset did not clear the meter")
+	}
+}
+
+func TestSimTransportRoundTrip(t *testing.T) {
+	tr := NewSimTransport(GigabitEthernet(), "a", "b")
+	msg := Message{From: "a", To: "b", Kind: "test", Payload: []byte("hello")}
+	if err := tr.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Recv("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != "a" || got.Kind != "test" || string(got.Payload) != "hello" {
+		t.Fatalf("received %+v", got)
+	}
+	bytes, msgs, _ := tr.Meter().Snapshot()
+	if msgs != 1 || bytes != msg.WireSize() {
+		t.Fatalf("meter recorded %d bytes %d msgs", bytes, msgs)
+	}
+}
+
+func TestSimTransportErrors(t *testing.T) {
+	tr := NewSimTransport(GigabitEthernet(), "a")
+	if err := tr.Send(Message{To: "ghost"}); err == nil {
+		t.Fatal("unknown destination should fail")
+	}
+	if _, err := tr.Recv("ghost"); err == nil {
+		t.Fatal("unknown receiver should fail")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("double close should fail")
+	}
+	if err := tr.Send(Message{To: "a"}); err == nil {
+		t.Fatal("send after close should fail")
+	}
+	if _, err := tr.Recv("a"); err == nil {
+		t.Fatal("recv after close should fail")
+	}
+}
+
+func TestEncodeDecodeNats(t *testing.T) {
+	r := mpint.NewRNG(1)
+	batch := []mpint.Nat{nil, mpint.One(), r.RandBits(100), r.RandBits(2048)}
+	buf := EncodeNats(batch)
+	got, err := DecodeNats(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("decoded %d of %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if mpint.Cmp(got[i], batch[i]) != 0 {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeNatsErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 0, 0},                // truncated header
+		{1, 0, 0, 0},             // missing element length
+		{1, 0, 0, 0, 5, 0, 0, 0}, // missing body
+		append(EncodeNats([]mpint.Nat{mpint.One()}), 0xFF), // trailing bytes
+	}
+	for i, b := range cases {
+		if _, err := DecodeNats(b); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestEncodeDecodeFloats(t *testing.T) {
+	v := []float64{0, 1, -1, 0.5, -123.456, 1e-300, 1e300}
+	got, err := DecodeFloats(EncodeFloats(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], v[i])
+		}
+	}
+	if _, err := DecodeFloats([]byte{1, 2}); err == nil {
+		t.Fatal("truncated header should fail")
+	}
+	if _, err := DecodeFloats([]byte{1, 0, 0, 0, 9}); err == nil {
+		t.Fatal("short body should fail")
+	}
+}
+
+func TestTCPHubRoundTrip(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0", GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	alice, err := DialHub(hub.Addr(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := DialHub(hub.Addr(), "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bob.Close()
+
+	payload := EncodeNats([]mpint.Nat{mpint.FromUint64(12345), mpint.NewRNG(2).RandBits(512)})
+	if err := alice.Send(Message{From: "alice", To: "bob", Kind: "ct", Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bob.Recv("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != "alice" || got.Kind != "ct" {
+		t.Fatalf("routed message header wrong: %+v", got)
+	}
+	nats, err := DecodeNats(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := nats[0].Uint64(); v != 12345 {
+		t.Fatalf("payload corrupted: %v", v)
+	}
+	if _, err := bob.Recv("alice"); err == nil {
+		t.Fatal("receiving for another party should fail")
+	}
+}
+
+func TestTCPHubMetersTraffic(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0", GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	a, _ := DialHub(hub.Addr(), "a")
+	defer a.Close()
+	b, _ := DialHub(hub.Addr(), "b")
+	defer b.Close()
+	msg := Message{From: "a", To: "b", Kind: "x", Payload: make([]byte, 1000)}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv("b"); err != nil {
+		t.Fatal(err)
+	}
+	bytes, msgs, _ := hub.Meter().Snapshot()
+	if msgs != 1 || bytes != msg.WireSize() {
+		t.Fatalf("hub metered %d bytes %d msgs, want %d/1", bytes, msgs, msg.WireSize())
+	}
+}
+
+func TestTCPClientClose(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0", GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	c, _ := DialHub(hub.Addr(), "c")
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err == nil {
+		t.Fatal("double close should fail")
+	}
+	if err := c.Send(Message{To: "c"}); err == nil {
+		t.Fatal("send after close should fail")
+	}
+}
+
+func TestMessageWireSize(t *testing.T) {
+	m := Message{From: "ab", To: "cde", Kind: "f", Payload: []byte{1, 2, 3, 4}}
+	if got := m.WireSize(); got != 12+2+3+1+4 {
+		t.Fatalf("WireSize = %d", got)
+	}
+	// encode/decode agreement
+	dec, err := decodeMessage(encodeMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.From != m.From || dec.To != m.To || dec.Kind != m.Kind || len(dec.Payload) != 4 {
+		t.Fatalf("codec mismatch: %+v", dec)
+	}
+}
+
+func TestTCPHubBuffersEarlyMessages(t *testing.T) {
+	// Regression: a message sent before its destination completes the hello
+	// handshake must be queued and delivered, not dropped (clients race the
+	// server at startup in the demo topology).
+	hub, err := NewTCPHub("127.0.0.1:0", GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	early, err := DialHub(hub.Addr(), "early")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer early.Close()
+	if err := early.Send(Message{From: "early", To: "late", Kind: "hello", Payload: []byte("queued")}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the hub a moment to route (and queue) the frame.
+	time.Sleep(50 * time.Millisecond)
+	late, err := DialHub(hub.Addr(), "late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	msg, err := late.Recv("late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Payload) != "queued" {
+		t.Fatalf("early message corrupted: %q", msg.Payload)
+	}
+}

@@ -1,0 +1,241 @@
+package flnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPHub is a star-topology transport over real TCP connections: every
+// party dials the hub, which routes framed messages to the destination
+// party's connection. It exists so the federated protocols are exercised
+// over the net package end to end (cmd/flserver and the integration tests);
+// benches use SimTransport for deterministic timing.
+type TCPHub struct {
+	ln    net.Listener
+	meter *Meter
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn
+	pending map[string][][]byte // frames for parties that have not dialed yet
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewTCPHub listens on addr (e.g. "127.0.0.1:0") and routes messages among
+// `parties` expected participants.
+func NewTCPHub(addr string, link Link) (*TCPHub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: hub listen: %w", err)
+	}
+	h := &TCPHub{
+		ln:      ln,
+		meter:   NewMeter(link),
+		conns:   make(map[string]net.Conn),
+		pending: make(map[string][][]byte),
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
+
+// Meter exposes the hub-side traffic meter.
+func (h *TCPHub) Meter() *Meter { return h.meter }
+
+func (h *TCPHub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		// First frame on a connection is the party name.
+		hello, err := readFrame(conn)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		name := string(hello)
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			conn.Close()
+			return
+		}
+		h.conns[name] = conn
+		// Deliver anything queued while the party was still dialing.
+		queued := h.pending[name]
+		delete(h.pending, name)
+		h.mu.Unlock()
+		for _, frame := range queued {
+			writeFrame(conn, frame)
+		}
+		h.wg.Add(1)
+		go h.routeLoop(name, conn)
+	}
+}
+
+func (h *TCPHub) routeLoop(name string, conn net.Conn) {
+	defer h.wg.Done()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		msg, err := decodeMessage(frame)
+		if err != nil {
+			continue
+		}
+		h.meter.Record(msg.WireSize())
+		h.mu.Lock()
+		dst, ok := h.conns[msg.To]
+		if !ok {
+			// The destination has not completed its hello yet (clients race
+			// the server at startup); queue until it registers.
+			h.pending[msg.To] = append(h.pending[msg.To], frame)
+		}
+		h.mu.Unlock()
+		if ok {
+			writeFrame(dst, frame)
+		}
+	}
+}
+
+// Close shuts down the hub and all party connections.
+func (h *TCPHub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return fmt.Errorf("flnet: hub already closed")
+	}
+	h.closed = true
+	conns := make([]net.Conn, 0, len(h.conns))
+	for _, c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	h.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	h.wg.Wait()
+	return nil
+}
+
+// TCPClient is one party's connection to a hub; it implements Transport for
+// that single party (Recv must be called with the party's own name).
+type TCPClient struct {
+	name string
+	conn net.Conn
+
+	mu     sync.Mutex // serializes writes
+	closed bool
+}
+
+// DialHub connects a named party to a hub.
+func DialHub(addr, party string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: dial hub: %w", err)
+	}
+	if err := writeFrame(conn, []byte(party)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("flnet: hello: %w", err)
+	}
+	return &TCPClient{name: party, conn: conn}, nil
+}
+
+// Send implements Transport.
+func (c *TCPClient) Send(msg Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("flnet: send on closed client")
+	}
+	return writeFrame(c.conn, encodeMessage(msg))
+}
+
+// Recv implements Transport. party must equal the client's own name.
+func (c *TCPClient) Recv(party string) (Message, error) {
+	if party != c.name {
+		return Message{}, fmt.Errorf("flnet: client %q cannot receive for %q", c.name, party)
+	}
+	frame, err := readFrame(c.conn)
+	if err != nil {
+		return Message{}, fmt.Errorf("flnet: recv: %w", err)
+	}
+	return decodeMessage(frame)
+}
+
+// Close implements Transport.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("flnet: client already closed")
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// ---- framing ---------------------------------------------------------
+
+func writeFrame(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	const maxFrame = 1 << 30
+	if n > maxFrame {
+		return nil, fmt.Errorf("flnet: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func encodeMessage(m Message) []byte {
+	buf := make([]byte, 0, m.WireSize())
+	for _, s := range []string{m.From, m.To, m.Kind} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = append(buf, m.Payload...)
+	return buf
+}
+
+func decodeMessage(b []byte) (Message, error) {
+	var fields [3]string
+	for i := range fields {
+		if len(b) < 4 {
+			return Message{}, fmt.Errorf("flnet: message truncated")
+		}
+		l := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < l {
+			return Message{}, fmt.Errorf("flnet: message field truncated")
+		}
+		fields[i] = string(b[:l])
+		b = b[l:]
+	}
+	return Message{From: fields[0], To: fields[1], Kind: fields[2], Payload: b}, nil
+}

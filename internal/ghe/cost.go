@@ -1,0 +1,36 @@
+// Package ghe is the GPU-HE layer of FLBooster (§IV-A of the paper): it
+// lowers multi-precision modular arithmetic onto the gpu substrate as
+// data-parallel kernels (one work item per ciphertext) and provides the
+// faithful limb-parallel Montgomery multiplication of Algorithm 2, where the
+// threads of one block cooperate on a single multiplication through shared
+// memory and barriers.
+package ghe
+
+// Cost model: kernel word-op counts charged to the simulated device clock
+// (the β_gpu term of Eq. 10). One "word op" is a 32-bit multiply-add.
+
+// montMulWordOps approximates the CIOS inner-loop work for a k-limb modulus:
+// k iterations, each with two k-limb multiply-accumulate passes.
+func montMulWordOps(k int) int64 { return int64(2 * k * (k + 1)) }
+
+// modExpWordOps approximates sliding-window exponentiation: about one
+// squaring per exponent bit plus one multiply per window, with ~1.2 as the
+// aggregate window factor, all in units of Montgomery multiplications.
+func modExpWordOps(k, expBits int) int64 {
+	if expBits < 1 {
+		expBits = 1
+	}
+	return int64(float64(expBits)*1.2) * montMulWordOps(k)
+}
+
+// regsForLimbs models a kernel's per-thread register demand as a function of
+// operand size: the working set of CIOS holds the accumulator row plus
+// pointers and carries. Larger keys need more registers, which is what
+// degrades SM occupancy at 4096-bit keys in Fig. 6.
+func regsForLimbs(k int) int {
+	r := 24 + k
+	if r > 255 {
+		r = 255
+	}
+	return r
+}

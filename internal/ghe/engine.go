@@ -1,0 +1,215 @@
+package ghe
+
+import (
+	"fmt"
+
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+)
+
+// Engine executes vectorized multi-precision modular arithmetic on a
+// simulated GPU. All methods follow the pipeline of Fig. 4: account the
+// host→device copy, launch a data-parallel kernel (one item per element),
+// account the device→host copy, and return host-side results.
+type Engine struct {
+	dev *gpu.Device
+}
+
+// NewEngine wraps a device.
+func NewEngine(dev *gpu.Device) *Engine {
+	if dev == nil {
+		panic("ghe: nil device")
+	}
+	return &Engine{dev: dev}
+}
+
+// Device exposes the underlying device (for stats and utilization readings).
+func (e *Engine) Device() *gpu.Device { return e.dev }
+
+// natBytes is the device-transfer size of a vector of k-limb values.
+func natBytes(n, k int) int64 { return int64(n) * int64(k) * 4 }
+
+// ModExpVec computes bases[i]^exp mod m.N() for every i.
+func (e *Engine) ModExpVec(bases []mpint.Nat, exp mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
+	k := m.Limbs()
+	e.dev.CopyToDevice(natBytes(len(bases), k) + natBytes(1, k))
+	out := make([]mpint.Nat, len(bases))
+	kern := gpu.Kernel{
+		Name:          "mod_exp_vec",
+		Items:         len(bases),
+		RegsPerThread: regsForLimbs(k),
+		WordOps:       modExpWordOps(k, exp.BitLen()),
+	}
+	if _, err := e.dev.Launch(kern, func(i int) {
+		out[i] = m.Exp(bases[i], exp)
+	}); err != nil {
+		return nil, fmt.Errorf("ghe: ModExpVec: %w", err)
+	}
+	e.dev.CopyFromDevice(natBytes(len(bases), k))
+	return out, nil
+}
+
+// ModExpVarVec computes bases[i]^exps[i] mod m.N() for every i. bases and
+// exps must have equal length.
+func (e *Engine) ModExpVarVec(bases, exps []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
+	if len(bases) != len(exps) {
+		return nil, fmt.Errorf("ghe: ModExpVarVec length mismatch %d vs %d", len(bases), len(exps))
+	}
+	k := m.Limbs()
+	maxExpBits := 0
+	for _, x := range exps {
+		if b := x.BitLen(); b > maxExpBits {
+			maxExpBits = b
+		}
+	}
+	e.dev.CopyToDevice(2 * natBytes(len(bases), k))
+	out := make([]mpint.Nat, len(bases))
+	kern := gpu.Kernel{
+		Name:          "mod_exp_var_vec",
+		Items:         len(bases),
+		RegsPerThread: regsForLimbs(k),
+		WordOps:       modExpWordOps(k, maxExpBits),
+		// Variable exponents make warp lanes take different window paths.
+		DivergentLanes: e.dev.Config().WarpSize / 2,
+	}
+	if _, err := e.dev.Launch(kern, func(i int) {
+		out[i] = m.Exp(bases[i], exps[i])
+	}); err != nil {
+		return nil, fmt.Errorf("ghe: ModExpVarVec: %w", err)
+	}
+	e.dev.CopyFromDevice(natBytes(len(bases), k))
+	return out, nil
+}
+
+// FixedBaseExpVec computes base^exps[i] mod m.N() for every i. Paillier
+// encryption uses this shape for the g^m term.
+func (e *Engine) FixedBaseExpVec(base mpint.Nat, exps []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
+	bases := make([]mpint.Nat, len(exps))
+	for i := range bases {
+		bases[i] = base
+	}
+	return e.ModExpVarVec(bases, exps, m)
+}
+
+// ModMulVec computes a[i]*b[i] mod m.N() for every i.
+func (e *Engine) ModMulVec(a, b []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("ghe: ModMulVec length mismatch %d vs %d", len(a), len(b))
+	}
+	k := m.Limbs()
+	e.dev.CopyToDevice(2 * natBytes(len(a), k))
+	out := make([]mpint.Nat, len(a))
+	kern := gpu.Kernel{
+		Name:          "mod_mul_vec",
+		Items:         len(a),
+		RegsPerThread: regsForLimbs(k),
+		WordOps:       3 * montMulWordOps(k), // to-Mont ×2 conversions + multiply
+	}
+	if _, err := e.dev.Launch(kern, func(i int) {
+		out[i] = m.FromMont(m.Mul(m.ToMont(a[i]), m.ToMont(b[i])))
+	}); err != nil {
+		return nil, fmt.Errorf("ghe: ModMulVec: %w", err)
+	}
+	e.dev.CopyFromDevice(natBytes(len(a), k))
+	return out, nil
+}
+
+// elementwise launches a light arithmetic kernel shared by the Table-I
+// vector APIs (add/sub/mul/div/mod).
+func (e *Engine) elementwise(name string, n, limbs int, inputs int, fn func(i int)) error {
+	e.dev.CopyToDevice(int64(inputs) * natBytes(n, limbs))
+	kern := gpu.Kernel{
+		Name:          name,
+		Items:         n,
+		RegsPerThread: regsForLimbs(limbs),
+		WordOps:       int64(limbs + 1),
+	}
+	if _, err := e.dev.Launch(kern, fn); err != nil {
+		return fmt.Errorf("ghe: %s: %w", name, err)
+	}
+	e.dev.CopyFromDevice(natBytes(n, limbs))
+	return nil
+}
+
+// maxLimbs returns the limb count of the widest element across the vectors.
+func maxLimbs(vecs ...[]mpint.Nat) int {
+	k := 1
+	for _, v := range vecs {
+		for _, x := range v {
+			if l := (x.BitLen() + 31) / 32; l > k {
+				k = l
+			}
+		}
+	}
+	return k
+}
+
+// AddVec computes a[i]+b[i] for every i.
+func (e *Engine) AddVec(a, b []mpint.Nat) ([]mpint.Nat, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("ghe: AddVec length mismatch %d vs %d", len(a), len(b))
+	}
+	out := make([]mpint.Nat, len(a))
+	err := e.elementwise("add_vec", len(a), maxLimbs(a, b), 2, func(i int) {
+		out[i] = mpint.Add(a[i], b[i])
+	})
+	return out, err
+}
+
+// SubVec computes a[i]-b[i] for every i; it fails if any element underflows.
+func (e *Engine) SubVec(a, b []mpint.Nat) ([]mpint.Nat, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("ghe: SubVec length mismatch %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if mpint.Cmp(a[i], b[i]) < 0 {
+			return nil, fmt.Errorf("ghe: SubVec underflow at index %d", i)
+		}
+	}
+	out := make([]mpint.Nat, len(a))
+	err := e.elementwise("sub_vec", len(a), maxLimbs(a, b), 2, func(i int) {
+		out[i] = mpint.Sub(a[i], b[i])
+	})
+	return out, err
+}
+
+// MulVec computes a[i]*b[i] for every i.
+func (e *Engine) MulVec(a, b []mpint.Nat) ([]mpint.Nat, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("ghe: MulVec length mismatch %d vs %d", len(a), len(b))
+	}
+	out := make([]mpint.Nat, len(a))
+	err := e.elementwise("mul_vec", len(a), maxLimbs(a, b), 2, func(i int) {
+		out[i] = mpint.Mul(a[i], b[i])
+	})
+	return out, err
+}
+
+// DivVec computes a[i]/b[i] for every i; it fails on a zero divisor.
+func (e *Engine) DivVec(a, b []mpint.Nat) ([]mpint.Nat, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("ghe: DivVec length mismatch %d vs %d", len(a), len(b))
+	}
+	for i := range b {
+		if b[i].IsZero() {
+			return nil, fmt.Errorf("ghe: DivVec division by zero at index %d", i)
+		}
+	}
+	out := make([]mpint.Nat, len(a))
+	err := e.elementwise("div_vec", len(a), maxLimbs(a, b), 2, func(i int) {
+		out[i] = mpint.Div(a[i], b[i])
+	})
+	return out, err
+}
+
+// ModVec computes a[i] mod n for every i; n must be nonzero.
+func (e *Engine) ModVec(a []mpint.Nat, n mpint.Nat) ([]mpint.Nat, error) {
+	if n.IsZero() {
+		return nil, fmt.Errorf("ghe: ModVec zero modulus")
+	}
+	out := make([]mpint.Nat, len(a))
+	err := e.elementwise("mod_vec", len(a), maxLimbs(a), 1, func(i int) {
+		out[i] = mpint.Mod(a[i], n)
+	})
+	return out, err
+}

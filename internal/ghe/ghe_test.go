@@ -1,0 +1,373 @@
+package ghe
+
+import (
+	"testing"
+
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+)
+
+func testEngine(t testing.TB) *Engine {
+	t.Helper()
+	return NewEngine(gpu.MustNew(gpu.SmallTestDevice(), true))
+}
+
+func randVec(r *mpint.RNG, n int, below mpint.Nat) []mpint.Nat {
+	v := make([]mpint.Nat, n)
+	for i := range v {
+		v[i] = r.RandBelow(below)
+	}
+	return v
+}
+
+func TestModExpVecMatchesSerial(t *testing.T) {
+	e := testEngine(t)
+	r := mpint.NewRNG(1)
+	n := r.RandPrime(128)
+	m := mpint.NewMont(n)
+	bases := randVec(r, 50, n)
+	exp := r.RandBits(96)
+	got, err := e.ModExpVec(bases, exp, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bases {
+		if mpint.Cmp(got[i], m.Exp(b, exp)) != 0 {
+			t.Fatalf("ModExpVec[%d] mismatch", i)
+		}
+	}
+	st := e.Device().Stats()
+	if st.BytesHostToDev == 0 || st.BytesDevToHost == 0 || st.SimComputeTime <= 0 {
+		t.Fatalf("device accounting missing: %+v", st)
+	}
+}
+
+func TestModExpVarVec(t *testing.T) {
+	e := testEngine(t)
+	r := mpint.NewRNG(2)
+	n := r.RandPrime(96)
+	m := mpint.NewMont(n)
+	bases := randVec(r, 30, n)
+	exps := make([]mpint.Nat, 30)
+	for i := range exps {
+		exps[i] = r.RandBits(1 + r.Intn(80))
+	}
+	got, err := e.ModExpVarVec(bases, exps, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bases {
+		if mpint.Cmp(got[i], m.Exp(bases[i], exps[i])) != 0 {
+			t.Fatalf("ModExpVarVec[%d] mismatch", i)
+		}
+	}
+	if _, err := e.ModExpVarVec(bases, exps[:5], m); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestFixedBaseExpVec(t *testing.T) {
+	e := testEngine(t)
+	r := mpint.NewRNG(3)
+	n := r.RandPrime(96)
+	m := mpint.NewMont(n)
+	base := r.RandBelow(n)
+	exps := []mpint.Nat{mpint.Zero(), mpint.One(), r.RandBits(64)}
+	got, err := e.FixedBaseExpVec(base, exps, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].IsOne() {
+		t.Errorf("base^0 = %s", got[0])
+	}
+	if mpint.Cmp(got[1], mpint.Mod(base, n)) != 0 {
+		t.Errorf("base^1 mismatch")
+	}
+	if mpint.Cmp(got[2], m.Exp(base, exps[2])) != 0 {
+		t.Errorf("base^e mismatch")
+	}
+}
+
+func TestModMulVec(t *testing.T) {
+	e := testEngine(t)
+	r := mpint.NewRNG(4)
+	n := r.RandPrime(128)
+	m := mpint.NewMont(n)
+	a := randVec(r, 40, n)
+	b := randVec(r, 40, n)
+	got, err := e.ModMulVec(a, b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		want := mpint.ModMul(a[i], b[i], n)
+		if mpint.Cmp(got[i], want) != 0 {
+			t.Fatalf("ModMulVec[%d] = %s, want %s", i, got[i], want)
+		}
+	}
+}
+
+func TestElementwiseVectorAPIs(t *testing.T) {
+	e := testEngine(t)
+	r := mpint.NewRNG(5)
+	bound := r.RandBits(128)
+	a := randVec(r, 25, bound)
+	b := randVec(r, 25, bound)
+	sum, err := e.AddVec(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := e.SubVec(sum, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if mpint.Cmp(diff[i], a[i]) != 0 {
+			t.Fatalf("AddVec/SubVec round trip failed at %d", i)
+		}
+	}
+	prod, err := e.MulVec(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if mpint.Cmp(prod[i], mpint.Mul(a[i], b[i])) != 0 {
+			t.Fatalf("MulVec mismatch at %d", i)
+		}
+	}
+	bnz := make([]mpint.Nat, len(b))
+	for i := range b {
+		bnz[i] = mpint.AddWord(b[i], 1)
+	}
+	quot, err := e.DivVec(prod, bnz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if mpint.Cmp(quot[i], mpint.Div(prod[i], bnz[i])) != 0 {
+			t.Fatalf("DivVec mismatch at %d", i)
+		}
+	}
+	n := r.RandPrime(64)
+	rem, err := e.ModVec(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if mpint.Cmp(rem[i], mpint.Mod(a[i], n)) != 0 {
+			t.Fatalf("ModVec mismatch at %d", i)
+		}
+	}
+}
+
+func TestVectorAPIErrors(t *testing.T) {
+	e := testEngine(t)
+	one := []mpint.Nat{mpint.One()}
+	two := []mpint.Nat{mpint.FromUint64(2)}
+	if _, err := e.AddVec(one, nil); err == nil {
+		t.Error("AddVec length mismatch should fail")
+	}
+	if _, err := e.SubVec(one, two); err == nil {
+		t.Error("SubVec underflow should fail")
+	}
+	if _, err := e.DivVec(one, []mpint.Nat{mpint.Zero()}); err == nil {
+		t.Error("DivVec by zero should fail")
+	}
+	if _, err := e.ModVec(one, mpint.Zero()); err == nil {
+		t.Error("ModVec zero modulus should fail")
+	}
+	if _, err := e.MulVec(one, nil); err == nil {
+		t.Error("MulVec length mismatch should fail")
+	}
+	if _, err := e.ModMulVec(one, nil, mpint.NewMont(mpint.FromUint64(13))); err == nil {
+		t.Error("ModMulVec length mismatch should fail")
+	}
+}
+
+func TestParMontMatchesSerialCIOS(t *testing.T) {
+	dev := gpu.MustNew(gpu.SmallTestDevice(), true)
+	r := mpint.NewRNG(6)
+	for _, threads := range []int{1, 2, 4, 8} {
+		n := r.RandBits(256) // 8 limbs
+		n[0] |= 1
+		m := mpint.NewMont(n)
+		pm, err := NewParMont(dev, m, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := make([]mpint.Nat, 16)
+		b := make([]mpint.Nat, 16)
+		for i := range a {
+			a[i] = r.RandBelow(n)
+			b[i] = r.RandBelow(n)
+		}
+		got, err := pm.MulVec(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			want := m.Mul(a[i], b[i])
+			if mpint.Cmp(got[i], want) != 0 {
+				t.Fatalf("T=%d: parallel CIOS[%d] = %s, want %s", threads, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestParMontSingle(t *testing.T) {
+	dev := gpu.MustNew(gpu.SmallTestDevice(), true)
+	r := mpint.NewRNG(7)
+	n := r.RandBits(128)
+	n[0] |= 1
+	m := mpint.NewMont(n)
+	pm, err := NewParMont(dev, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := r.RandBelow(n), r.RandBelow(n)
+	got, err := pm.MulOne(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpint.Cmp(got, m.Mul(a, b)) != 0 {
+		t.Fatal("MulOne mismatch")
+	}
+}
+
+func TestParMontExercisesFinalSubtraction(t *testing.T) {
+	// Operands near n make the conditional subtraction path likely; run many
+	// random pairs to cover both branches.
+	dev := gpu.MustNew(gpu.SmallTestDevice(), true)
+	r := mpint.NewRNG(8)
+	n := r.RandBits(128)
+	n[0] |= 1
+	m := mpint.NewMont(n)
+	pm, err := NewParMont(dev, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm1 := mpint.SubWord(n, 1)
+	for i := 0; i < 50; i++ {
+		a := mpint.Sub(n, mpint.AddWord(mpint.FromUint64(uint64(i)), 1))
+		got, err := pm.MulOne(a, nm1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mpint.Cmp(got, m.Mul(a, nm1)) != 0 {
+			t.Fatalf("near-modulus case %d mismatch", i)
+		}
+	}
+}
+
+func TestParMontGeometryErrors(t *testing.T) {
+	dev := gpu.MustNew(gpu.SmallTestDevice(), true)
+	m := mpint.NewMont(mpint.NewRNG(9).RandPrime(96)) // 3 limbs
+	if _, err := NewParMont(dev, m, 2); err == nil {
+		t.Fatal("non-divisible thread count should fail")
+	}
+	if _, err := NewParMont(dev, m, 0); err == nil {
+		t.Fatal("zero threads should fail")
+	}
+	pm, err := NewParMont(dev, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.MulVec([]mpint.Nat{mpint.One()}, nil); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestRandVecDeterministicAndSized(t *testing.T) {
+	e := testEngine(t)
+	v1, err := e.RandVec(20, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := e.RandVec(20, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v1[i].BitLen() != 64 {
+			t.Fatalf("RandVec[%d] has %d bits", i, v1[i].BitLen())
+		}
+		if mpint.Cmp(v1[i], v2[i]) != 0 {
+			t.Fatal("RandVec not deterministic for equal seeds")
+		}
+	}
+	if _, err := e.RandVec(1, 0, 1); err == nil {
+		t.Fatal("zero width should fail")
+	}
+}
+
+func TestRandCoprimeVec(t *testing.T) {
+	e := testEngine(t)
+	m := mpint.FromUint64(2 * 3 * 5 * 7 * 11)
+	v, err := e.RandCoprimeVec(50, m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range v {
+		if !mpint.GCD(x, m).IsOne() {
+			t.Fatalf("element %d not coprime", i)
+		}
+	}
+	if _, err := e.RandCoprimeVec(1, mpint.One(), 1); err == nil {
+		t.Fatal("modulus 1 should fail")
+	}
+}
+
+func TestGeneratePrimePair(t *testing.T) {
+	e := testEngine(t)
+	p, q, err := e.GeneratePrimePair(64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpint.Cmp(p, q) == 0 {
+		t.Fatal("pair not distinct")
+	}
+	r := mpint.NewRNG(0)
+	if !mpint.IsPrime(p, r) || !mpint.IsPrime(q, r) {
+		t.Fatal("device-generated value is composite")
+	}
+	if p.BitLen() != 64 || q.BitLen() != 64 {
+		t.Fatalf("widths %d, %d", p.BitLen(), q.BitLen())
+	}
+	if _, err := e.GeneratePrime(2, 1); err == nil {
+		t.Fatal("tiny width should fail")
+	}
+}
+
+func TestCostModelMonotonicity(t *testing.T) {
+	if montMulWordOps(64) <= montMulWordOps(32) {
+		t.Error("CIOS cost should grow with limb count")
+	}
+	if modExpWordOps(32, 2048) <= modExpWordOps(32, 1024) {
+		t.Error("modexp cost should grow with exponent bits")
+	}
+	if modExpWordOps(32, 0) <= 0 {
+		t.Error("degenerate exponent should still cost something")
+	}
+	if regsForLimbs(1000) != 255 {
+		t.Error("register demand should clamp at the hardware limit")
+	}
+	if regsForLimbs(32) >= regsForLimbs(128) {
+		t.Error("register demand should grow with limbs")
+	}
+}
+
+func BenchmarkModExpVec512(b *testing.B) {
+	e := NewEngine(gpu.MustNew(gpu.RTX3090(), true))
+	r := mpint.NewRNG(20)
+	n := r.RandBits(512)
+	n[0] |= 1
+	m := mpint.NewMont(n)
+	bases := randVec(r, 256, n)
+	exp := r.RandBits(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ModExpVec(bases, exp, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package ghe
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+)
+
+// RandVec generates n random values with exactly `bits` significant bits on
+// the device, one per-thread generator per item as the paper assigns a
+// generator to each thread in a warp. Streams are derived deterministically
+// from seed and the item index, so results are reproducible and
+// order-independent across the worker pool.
+func (e *Engine) RandVec(n, bits int, seed uint64) ([]mpint.Nat, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("ghe: RandVec needs positive bit width, got %d", bits)
+	}
+	out := make([]mpint.Nat, n)
+	kern := gpu.Kernel{
+		Name:          "rand_vec",
+		Items:         n,
+		RegsPerThread: 16,
+		WordOps:       int64((bits + 31) / 32),
+	}
+	if _, err := e.dev.Launch(kern, func(i int) {
+		out[i] = mpint.NewRNG(seed ^ (uint64(i)+1)*0x9E3779B97F4A7C15).RandBits(bits)
+	}); err != nil {
+		return nil, fmt.Errorf("ghe: RandVec: %w", err)
+	}
+	e.dev.CopyFromDevice(natBytes(n, (bits+31)/32))
+	return out, nil
+}
+
+// RandCoprimeVec generates n values uniform in [1, m) and coprime with m —
+// the r parameters of a batch of Paillier encryptions.
+func (e *Engine) RandCoprimeVec(n int, m mpint.Nat, seed uint64) ([]mpint.Nat, error) {
+	if m.IsZero() || m.IsOne() {
+		return nil, fmt.Errorf("ghe: RandCoprimeVec modulus must be > 1")
+	}
+	out := make([]mpint.Nat, n)
+	kern := gpu.Kernel{
+		Name:          "rand_coprime_vec",
+		Items:         n,
+		RegsPerThread: 24,
+		WordOps:       int64(4 * ((m.BitLen() + 31) / 32)),
+	}
+	if _, err := e.dev.Launch(kern, func(i int) {
+		out[i] = mpint.NewRNG(seed ^ (uint64(i)+1)*0xD1B54A32D192ED03).RandCoprime(m)
+	}); err != nil {
+		return nil, fmt.Errorf("ghe: RandCoprimeVec: %w", err)
+	}
+	e.dev.CopyFromDevice(natBytes(n, (m.BitLen()+31)/32))
+	return out, nil
+}
+
+// GeneratePrime searches for a `bits`-wide probable prime using one
+// Miller–Rabin searcher per device thread; the first thread to find a prime
+// wins. This is the key-generation path of §IV-A3.
+func (e *Engine) GeneratePrime(bits int, seed uint64) (mpint.Nat, error) {
+	if bits < 4 {
+		return nil, fmt.Errorf("ghe: GeneratePrime width %d too small", bits)
+	}
+	searchers := e.dev.Config().SMs * 2
+	var found atomic.Pointer[mpint.Nat]
+	kern := gpu.Kernel{
+		Name:          "gen_prime",
+		Items:         searchers,
+		RegsPerThread: regsForLimbs((bits + 31) / 32),
+		// Expected candidates tested ≈ bits·ln2/searchers, each a modexp.
+		WordOps:        modExpWordOps((bits+31)/32, bits),
+		DivergentLanes: e.dev.Config().WarpSize - 1, // primality exits diverge
+	}
+	if _, err := e.dev.Launch(kern, func(i int) {
+		rng := mpint.NewRNG(seed ^ (uint64(i)+1)*0xBF58476D1CE4E5B9)
+		for attempt := 0; attempt < 1<<20; attempt++ {
+			if found.Load() != nil {
+				return
+			}
+			cand := rng.RandBits(bits)
+			cand[0] |= 1
+			if mpint.IsPrime(cand, rng) {
+				found.CompareAndSwap(nil, &cand)
+				return
+			}
+		}
+	}); err != nil {
+		return nil, fmt.Errorf("ghe: GeneratePrime: %w", err)
+	}
+	p := found.Load()
+	if p == nil {
+		return nil, fmt.Errorf("ghe: GeneratePrime found no prime (width %d)", bits)
+	}
+	e.dev.CopyFromDevice(natBytes(1, (bits+31)/32))
+	return *p, nil
+}
+
+// GeneratePrimePair returns two distinct device-generated primes.
+func (e *Engine) GeneratePrimePair(bits int, seed uint64) (p, q mpint.Nat, err error) {
+	p, err = e.GeneratePrime(bits, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := uint64(1); ; i++ {
+		q, err = e.GeneratePrime(bits, seed+i*0x94D049BB133111EB)
+		if err != nil {
+			return nil, nil, err
+		}
+		if mpint.Cmp(p, q) != 0 {
+			return p, q, nil
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Device is a simulated GPU. Kernel bodies run for real on a host goroutine
+// pool (one worker per core by default) while a simulated clock integrates
+// the paper's Eq. 10 cost model so experiments can report device-scale
+// timings independent of the host.
+type Device struct {
+	cfg Config
+	rm  *ResourceManager
+
+	workers int
+	sem     chan struct{} // bounds concurrently running blocks
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	KernelLaunches   int64
+	ThreadsExecuted  int64
+	WarpsExecuted    int64
+	BytesHostToDev   int64
+	BytesDevToHost   int64
+	SimTransferTime  time.Duration // modelled PCIe time (Eq. 10 transfer term)
+	SimComputeTime   time.Duration // modelled kernel time (Eq. 10 compute term)
+	WallKernelTime   time.Duration // real host time spent in kernel bodies
+	UtilizationSum   float64       // Σ occupancy per launch, for averaging
+	UtilizationCount int64
+}
+
+// SimTime is the total modelled device time with sequential stages:
+// transfer in, compute, transfer out (the three stages of §V-B).
+func (s Stats) SimTime() time.Duration { return s.SimTransferTime + s.SimComputeTime }
+
+// SimTimePipelined models the paper's pipelined processing (Fig. 4): PCIe
+// transfers of one batch overlap the kernel of the previous one, so the
+// steady-state cost is the maximum of the two streams plus one pipeline
+// fill of the smaller.
+func (s Stats) SimTimePipelined() time.Duration {
+	long, short := s.SimTransferTime, s.SimComputeTime
+	if short > long {
+		long, short = short, long
+	}
+	launches := s.KernelLaunches
+	if launches < 1 {
+		launches = 1
+	}
+	return long + short/time.Duration(launches)
+}
+
+// AvgUtilization is the mean SM utilization across launches, in [0,1].
+func (s Stats) AvgUtilization() float64 {
+	if s.UtilizationCount == 0 {
+		return 0
+	}
+	return s.UtilizationSum / float64(s.UtilizationCount)
+}
+
+// New creates a device from cfg with a resource manager using the
+// fine-grained policy when fineRM is true (FLBooster) or the coarse policy
+// otherwise (HAFLO-style).
+func New(cfg Config, fineRM bool) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := cfg.HostWorkers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	return &Device{
+		cfg:     cfg,
+		rm:      NewResourceManager(cfg, fineRM),
+		workers: w,
+		sem:     make(chan struct{}, w),
+	}, nil
+}
+
+// MustNew is New for known-good configs; it panics on error.
+func MustNew(cfg Config, fineRM bool) *Device {
+	d, err := New(cfg, fineRM)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// RM returns the device's resource manager.
+func (d *Device) RM() *ResourceManager { return d.rm }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the device counters (between experiment phases).
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// CopyToDevice accounts a host→device transfer of n bytes.
+func (d *Device) CopyToDevice(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.BytesHostToDev += n
+	d.stats.SimTransferTime += d.transferTime(n)
+}
+
+// CopyFromDevice accounts a device→host transfer of n bytes.
+func (d *Device) CopyFromDevice(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.BytesDevToHost += n
+	d.stats.SimTransferTime += d.transferTime(n)
+}
+
+func (d *Device) transferTime(n int64) time.Duration {
+	sec := d.cfg.TransferLatencySec + float64(n)/d.cfg.TransferBytesPerSec
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Kernel describes one launch.
+type Kernel struct {
+	// Name labels the launch in diagnostics.
+	Name string
+	// Items is the number of independent work items (e.g. ciphertexts).
+	Items int
+	// RegsPerThread is the kernel's register demand, which drives occupancy.
+	RegsPerThread int
+	// SharedPerBlock is per-block shared memory in bytes.
+	SharedPerBlock int
+	// WordOps is the modelled 32-bit multiply-add count *per item*, used by
+	// the simulated clock. Callers compute it from the arithmetic they run
+	// (e.g. CIOS cost k²+k per Montgomery multiplication).
+	WordOps int64
+	// DivergentLanes reports how many lanes of a warp take a divergent
+	// branch; the resource manager converts this into a cost factor.
+	DivergentLanes int
+}
+
+// Launch executes fn(i) for every item i of the kernel, distributing items
+// across the host worker pool, and charges the simulated clock with the
+// Eq. 10 compute term. It is the data-parallel path used for "one thread
+// block per ciphertext" kernels. It returns the launch's modelled occupancy.
+func (d *Device) Launch(k Kernel, fn func(item int)) (float64, error) {
+	if k.Items < 0 {
+		return 0, fmt.Errorf("gpu: kernel %q has negative item count", k.Name)
+	}
+	if k.RegsPerThread > d.cfg.MaxRegistersPerThread {
+		return 0, fmt.Errorf("gpu: kernel %q wants %d regs/thread, device caps at %d",
+			k.Name, k.RegsPerThread, d.cfg.MaxRegistersPerThread)
+	}
+	if k.Items == 0 {
+		return 0, nil
+	}
+	blockSize := d.rm.PickBlockSize(k.Items, k.RegsPerThread, k.SharedPerBlock)
+	occ := d.rm.Occupancy(blockSize, k.RegsPerThread, k.SharedPerBlock)
+	execFactor, regFactor := d.rm.BranchCost(k.DivergentLanes)
+	if regFactor > 1 {
+		// Splitting the warp doubles register pressure, reducing occupancy.
+		occ = d.rm.Occupancy(blockSize, int(float64(k.RegsPerThread)*regFactor), k.SharedPerBlock)
+	}
+	start := time.Now()
+	d.runParallel(k.Items, fn)
+	wall := time.Since(start)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.KernelLaunches++
+	d.stats.ThreadsExecuted += int64(k.Items)
+	d.stats.WarpsExecuted += int64((k.Items + d.cfg.WarpSize - 1) / d.cfg.WarpSize)
+	d.stats.WallKernelTime += wall
+	d.stats.UtilizationSum += occ
+	d.stats.UtilizationCount++
+	// Eq. 10 compute term: total word-ops divided by the device's effective
+	// throughput at this occupancy, times the divergence penalty.
+	if k.WordOps > 0 && occ > 0 {
+		throughput := d.cfg.WordOpsPerSec * float64(d.cfg.SMs) * occ
+		sec := float64(k.WordOps) * float64(k.Items) / throughput * execFactor
+		d.stats.SimComputeTime += time.Duration(sec * float64(time.Second))
+	}
+	return occ, nil
+}
+
+// runParallel spreads items across the worker pool in contiguous chunks.
+func (d *Device) runParallel(items int, fn func(int)) {
+	workers := d.workers
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (items + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > items {
+			hi = items
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ThreadCtx is the per-thread view inside a cooperative launch: the thread
+// and block index, the block's shared memory, and a barrier for intra-block
+// synchronization (the "inter-thread communication" of the paper's
+// Algorithm 2).
+type ThreadCtx struct {
+	Block   int
+	Thread  int
+	Threads int
+	Shared  []uint32
+	bar     *barrier
+}
+
+// SyncThreads blocks until every thread in the block reaches the barrier.
+func (t *ThreadCtx) SyncThreads() { t.bar.await() }
+
+// LaunchCooperative runs a kernel whose threads within a block cooperate
+// through shared memory and barriers — the execution model of the paper's
+// limb-parallel Montgomery multiplication (Algorithm 2). blocks × threads
+// goroutines are spawned, block-by-block through the worker semaphore.
+// sharedWords is the size of each block's shared memory in 32-bit words.
+func (d *Device) LaunchCooperative(name string, blocks, threads, sharedWords int, fn func(*ThreadCtx)) error {
+	if threads <= 0 || blocks < 0 {
+		return fmt.Errorf("gpu: cooperative kernel %q has invalid geometry %dx%d", name, blocks, threads)
+	}
+	if threads > d.cfg.MaxThreadsPerSM {
+		return fmt.Errorf("gpu: cooperative kernel %q block of %d exceeds SM capacity %d",
+			name, threads, d.cfg.MaxThreadsPerSM)
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < blocks; b++ {
+		d.sem <- struct{}{}
+		wg.Add(1)
+		go func(b int) {
+			defer func() { <-d.sem; wg.Done() }()
+			shared := make([]uint32, sharedWords)
+			bar := newBarrier(threads)
+			var tw sync.WaitGroup
+			for t := 0; t < threads; t++ {
+				tw.Add(1)
+				go func(t int) {
+					defer tw.Done()
+					fn(&ThreadCtx{Block: b, Thread: t, Threads: threads, Shared: shared, bar: bar})
+				}(t)
+			}
+			tw.Wait()
+		}(b)
+	}
+	wg.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.KernelLaunches++
+	d.stats.ThreadsExecuted += int64(blocks * threads)
+	d.stats.WarpsExecuted += int64(blocks * ((threads + d.cfg.WarpSize - 1) / d.cfg.WarpSize))
+	return nil
+}
+
+// barrier is a reusable counting barrier for one block's threads.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	waiting int
+	phase   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.n {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for b.phase == phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,54 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimTimePipelinedBounds(t *testing.T) {
+	s := Stats{
+		SimTransferTime: 100 * time.Millisecond,
+		SimComputeTime:  300 * time.Millisecond,
+		KernelLaunches:  10,
+	}
+	seq := s.SimTime()
+	pipe := s.SimTimePipelined()
+	if pipe >= seq {
+		t.Fatalf("pipelining should help: %v vs %v", pipe, seq)
+	}
+	// Lower bound: never below the longer stream.
+	if pipe < 300*time.Millisecond {
+		t.Fatalf("pipelined time %v below the compute stream", pipe)
+	}
+	// With many launches the overlap approaches max(transfer, compute).
+	s.KernelLaunches = 1 << 20
+	if d := s.SimTimePipelined() - 300*time.Millisecond; d > time.Millisecond {
+		t.Fatalf("steady-state pipeline should approach the longer stream, off by %v", d)
+	}
+}
+
+func TestSimTimePipelinedDegenerate(t *testing.T) {
+	// No launches: fill term must not divide by zero.
+	s := Stats{SimTransferTime: 10, SimComputeTime: 5}
+	if s.SimTimePipelined() != 15 {
+		t.Fatalf("zero-launch pipeline = %v", s.SimTimePipelined())
+	}
+	// Transfer-dominated workloads overlap the compute stream instead.
+	s = Stats{SimTransferTime: 400, SimComputeTime: 100, KernelLaunches: 100}
+	if got := s.SimTimePipelined(); got < 400 || got > 500 {
+		t.Fatalf("transfer-dominated pipeline = %v", got)
+	}
+}
+
+func TestPipelinedNeverExceedsSequential(t *testing.T) {
+	for launches := int64(1); launches < 100; launches *= 3 {
+		for _, tr := range []time.Duration{0, 1, 50, 1000} {
+			for _, cp := range []time.Duration{0, 1, 50, 1000} {
+				s := Stats{SimTransferTime: tr, SimComputeTime: cp, KernelLaunches: launches}
+				if s.SimTimePipelined() > s.SimTime() {
+					t.Fatalf("pipeline slower than sequential at tr=%v cp=%v l=%d", tr, cp, launches)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package models
+
+import (
+	"fmt"
+
+	"flbooster/internal/datasets"
+	"flbooster/internal/fl"
+)
+
+// HomoLR is horizontally federated logistic regression: every party holds a
+// shard of instances over the full feature space, computes local minibatch
+// gradients, and the parties run the secure-aggregation round of Fig. 2 to
+// average them under encryption.
+type HomoLR struct {
+	opts  Options
+	fed   *fl.Federation // nil in plaintext-oracle mode
+	parts []*datasets.Dataset
+	full  *datasets.Dataset
+
+	// Weights is the shared global model (read-only between epochs).
+	Weights []float64
+	// Bias is the shared intercept.
+	Bias float64
+
+	opt Optimizer
+}
+
+// NewHomoLR partitions ds horizontally across the context's parties and
+// prepares a trainer. ctx may be nil for the plaintext oracle.
+func NewHomoLR(ctx *fl.Context, ds *datasets.Dataset, opts Options) (*HomoLR, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	parties := oracleParties(opts)
+	var fed *fl.Federation
+	if ctx != nil {
+		parties = ctx.Profile.Parties
+		fed = fl.NewFederation(ctx)
+	}
+	parts, err := datasets.PartitionHorizontal(ds, parties)
+	if err != nil {
+		return nil, fmt.Errorf("models: HomoLR partition: %w", err)
+	}
+	return &HomoLR{
+		opts:    opts,
+		fed:     fed,
+		parts:   parts,
+		full:    ds,
+		Weights: make([]float64, ds.NumFeatures),
+		opt:     newOptimizer(opts),
+	}, nil
+}
+
+// Name implements Model.
+func (m *HomoLR) Name() string { return "Homo LR" }
+
+// Loss implements Model.
+func (m *HomoLR) Loss() float64 { return logisticLoss(m.Weights, m.Bias, m.full) }
+
+// localGradient computes one party's minibatch gradient (mean logistic
+// gradient + L2) over rows [lo, hi) of its shard. The bias gradient is
+// appended as the final element so it rides the same encrypted vector.
+func (m *HomoLR) localGradient(part *datasets.Dataset, lo, hi int) []float64 {
+	g := make([]float64, len(m.Weights)+1)
+	n := hi - lo
+	if n == 0 {
+		return g
+	}
+	for _, ex := range part.Examples[lo:hi] {
+		err := datasets.Sigmoid(ex.Features.Dot(m.Weights)+m.Bias) - ex.Label
+		ex.Features.AddScaledInto(g[:len(m.Weights)], err/float64(n))
+		g[len(m.Weights)] += err / float64(n)
+	}
+	for j, w := range m.Weights {
+		g[j] += m.opts.L2 * w
+	}
+	return g
+}
+
+// TrainEpoch implements Model: every party walks its shard in minibatches;
+// each round aggregates the per-party gradients securely and applies the
+// averaged update.
+func (m *HomoLR) TrainEpoch() (float64, error) {
+	// Use the smallest shard's batch count so every round has all parties.
+	rounds := m.parts[0].Batches(m.opts.BatchSize)
+	for _, p := range m.parts[1:] {
+		if b := p.Batches(m.opts.BatchSize); len(b) < len(rounds) {
+			rounds = b
+		}
+	}
+	parties := len(m.parts)
+	for _, r := range rounds {
+		grads := make([][]float64, parties)
+		if m.fed != nil {
+			m.fed.Ctx.TrackOther(func() {
+				m.computeLocalGrads(grads, r)
+			})
+			sum, err := m.fed.SecureAggregate(grads)
+			if err != nil {
+				return 0, err
+			}
+			m.fed.Ctx.TrackOther(func() {
+				m.apply(sum, parties)
+			})
+		} else {
+			m.computeLocalGrads(grads, r)
+			sum := make([]float64, len(grads[0]))
+			for _, g := range grads {
+				for j, v := range g {
+					sum[j] += v
+				}
+			}
+			m.apply(sum, parties)
+		}
+	}
+	return m.Loss(), nil
+}
+
+func (m *HomoLR) computeLocalGrads(grads [][]float64, r [2]int) {
+	bound := trainCtx{ctxOf(m.fed)}.gradBound()
+	for p, part := range m.parts {
+		lo, hi := r[0], r[1]
+		if hi > part.Len() {
+			hi = part.Len()
+		}
+		if lo > hi {
+			lo = hi
+		}
+		g := m.localGradient(part, lo, hi)
+		for j := range g {
+			g[j] = clampGrad(g[j], bound)
+		}
+		grads[p] = g
+	}
+}
+
+// apply performs the averaged optimizer step from the aggregated gradient
+// sum. Parameters are laid out [weights..., bias] so the optimizer's moment
+// state stays index-stable across rounds.
+func (m *HomoLR) apply(sum []float64, parties int) {
+	dim := len(m.Weights)
+	g := make([]float64, dim+1)
+	for j := range g {
+		g[j] = sum[j] / float64(parties)
+	}
+	params := make([]float64, dim+1)
+	copy(params, m.Weights)
+	params[dim] = m.Bias
+	m.opt.Step(params, g)
+	copy(m.Weights, params[:dim])
+	m.Bias = params[dim]
+}
+
+// Close releases the federation transport.
+func (m *HomoLR) Close() error {
+	if m.fed == nil {
+		return nil
+	}
+	return m.fed.Close()
+}
+
+// ctxOf tolerates the nil-federation oracle mode.
+func ctxOf(fed *fl.Federation) *fl.Context {
+	if fed == nil {
+		return nil
+	}
+	return fed.Ctx
+}

@@ -1,0 +1,421 @@
+package models
+
+import (
+	"testing"
+
+	"flbooster/internal/datasets"
+	"flbooster/internal/fl"
+	"flbooster/internal/gpu"
+)
+
+// testData builds a small sparse dataset with learnable structure.
+func testData(t testing.TB, n, features int) *datasets.Dataset {
+	t.Helper()
+	spec := datasets.Spec{Name: "unit", Instances: n, Features: features, AvgActive: features / 3}
+	ds, err := datasets.Generate(spec, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// denseData builds a small dense dataset (the Synthetic shape).
+func denseData(t testing.TB, n, features int) *datasets.Dataset {
+	t.Helper()
+	spec := datasets.Spec{Name: "dense-unit", Instances: n, Features: features, AvgActive: features, Dense: true}
+	ds, err := datasets.Generate(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func testCtx(t testing.TB, sys fl.System) *fl.Context {
+	t.Helper()
+	p := fl.NewProfile(sys, 128, 4)
+	p.Device = gpu.SmallTestDevice()
+	p.RBits = 14
+	ctx, err := fl.NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func testOpts() Options {
+	o := DefaultOptions()
+	o.BatchSize = 32
+	o.LearningRate = 0.1
+	o.L2 = 0.001
+	o.Parties = 4 // oracle runs mirror the encrypted topology
+	return o
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{LearningRate: 0, BatchSize: 1},
+		{LearningRate: 1, L2: -1, BatchSize: 1},
+		{LearningRate: 1, BatchSize: 0},
+	}
+	for i, o := range bad {
+		if err := o.validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if err := DefaultOptions().validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergenceBias(t *testing.T) {
+	if got := ConvergenceBias(0.5, 0.51); got < 0.019 || got > 0.021 {
+		t.Fatalf("ConvergenceBias = %v", got)
+	}
+	if ConvergenceBias(0.5, 0.49) != ConvergenceBias(0.5, 0.51) {
+		t.Fatal("bias should be symmetric")
+	}
+	if ConvergenceBias(0, 1) != 0 {
+		t.Fatal("zero baseline convention")
+	}
+}
+
+// --- Homo LR ---------------------------------------------------------------
+
+func TestHomoLROracleLearns(t *testing.T) {
+	ds := testData(t, 120, 24)
+	m, err := NewHomoLR(nil, ds, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := m.Loss()
+	var final float64
+	for e := 0; e < 5; e++ {
+		final, err = m.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if final >= initial {
+		t.Fatalf("oracle loss did not improve: %v -> %v", initial, final)
+	}
+}
+
+func TestHomoLREncryptedMatchesOracle(t *testing.T) {
+	ds := testData(t, 120, 24)
+	oracle, err := NewHomoLR(nil, ds, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle must use the same party count for identical averaging.
+	ctx := testCtx(t, fl.SystemFLBooster)
+	enc, err := NewHomoLR(ctx, ds, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+	var lossO, lossE float64
+	for e := 0; e < 3; e++ {
+		if lossO, err = oracle.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if lossE, err = enc.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The paper's Table VII: convergence bias well under 5%.
+	if bias := ConvergenceBias(lossO, lossE); bias > 0.05 {
+		t.Fatalf("Homo LR convergence bias %v exceeds 5%% (oracle %v, enc %v)", bias, lossO, lossE)
+	}
+	c := ctx.Costs.Snapshot()
+	if c.HEOps == 0 || c.CommBytes == 0 || c.OtherWall == 0 {
+		t.Fatalf("cost anatomy incomplete: %+v", c)
+	}
+}
+
+func TestHomoLRName(t *testing.T) {
+	ds := testData(t, 20, 8)
+	m, _ := NewHomoLR(nil, ds, testOpts())
+	if m.Name() != "Homo LR" {
+		t.Fatal("name drifted from the paper's tables")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomoLRRejectsBadOptions(t *testing.T) {
+	ds := testData(t, 20, 8)
+	if _, err := NewHomoLR(nil, ds, Options{}); err == nil {
+		t.Fatal("zero options should fail")
+	}
+}
+
+// --- Hetero LR --------------------------------------------------------------
+
+func TestHeteroLROracleLearns(t *testing.T) {
+	ds := testData(t, 120, 24)
+	m, err := NewHeteroLR(nil, ds, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := m.Loss()
+	var final float64
+	for e := 0; e < 5; e++ {
+		if final, err = m.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if final >= initial {
+		t.Fatalf("oracle loss did not improve: %v -> %v", initial, final)
+	}
+}
+
+func TestHeteroLREncryptedMatchesOracle(t *testing.T) {
+	ds := testData(t, 96, 20)
+	opts := testOpts()
+	ctx := testCtx(t, fl.SystemFLBooster)
+
+	oracle, err := NewHeteroLR(nil, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle with one "party" still trains the same joint model because the
+	// vertical split is a pure reindexing; run it with the same batches.
+	enc, err := NewHeteroLR(ctx, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+
+	var lossO, lossE float64
+	for e := 0; e < 2; e++ {
+		if lossO, err = oracle.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if lossE, err = enc.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bias := ConvergenceBias(lossO, lossE); bias > 0.08 {
+		t.Fatalf("Hetero LR bias %v too large (oracle %v, enc %v)", bias, lossO, lossE)
+	}
+	c := ctx.Costs.Snapshot()
+	if c.HEOps == 0 || c.CommBytes == 0 {
+		t.Fatalf("cost anatomy incomplete: %+v", c)
+	}
+}
+
+func TestHeteroLRDenseFeatures(t *testing.T) {
+	// Dense data exercises the negative-feature sign-split path.
+	ds := denseData(t, 48, 8)
+	ctx := testCtx(t, fl.SystemFLBooster)
+	opts := testOpts()
+	opts.BatchSize = 16
+	enc, err := NewHeteroLR(ctx, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+	oracle, err := NewHeteroLR(nil, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossE, err := enc.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossO, err := oracle.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bias := ConvergenceBias(lossO, lossE); bias > 0.1 {
+		t.Fatalf("dense Hetero LR bias %v (oracle %v, enc %v)", bias, lossO, lossE)
+	}
+}
+
+// --- Hetero SBT --------------------------------------------------------------
+
+func TestHeteroSBTOracleLearns(t *testing.T) {
+	ds := testData(t, 150, 24)
+	m, err := NewHeteroSBT(nil, ds, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := m.Loss()
+	var final float64
+	for e := 0; e < 5; e++ {
+		if final, err = m.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if final >= initial {
+		t.Fatalf("boosting did not improve loss: %v -> %v", initial, final)
+	}
+	if len(m.Trees) != 5 {
+		t.Fatalf("expected 5 trees, got %d", len(m.Trees))
+	}
+}
+
+func TestHeteroSBTEncryptedMatchesOracle(t *testing.T) {
+	for _, sys := range []fl.System{fl.SystemFLBooster, fl.SystemNoBC} {
+		sys := sys
+		t.Run(string(sys), func(t *testing.T) {
+			ds := testData(t, 100, 16)
+			ctx := testCtx(t, sys)
+			enc, err := NewHeteroSBT(ctx, ds, testOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer enc.Close()
+			oracle, err := NewHeteroSBT(nil, ds, testOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lossE, lossO float64
+			for e := 0; e < 2; e++ {
+				if lossE, err = enc.TrainEpoch(); err != nil {
+					t.Fatal(err)
+				}
+				if lossO, err = oracle.TrainEpoch(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Histogram quantization may shift split choices slightly; the
+			// ensembles must stay close.
+			if bias := ConvergenceBias(lossO, lossE); bias > 0.1 {
+				t.Fatalf("SBT bias %v (oracle %v, enc %v)", bias, lossO, lossE)
+			}
+			c := ctx.Costs.Snapshot()
+			if c.HEOps == 0 || c.CommBytes == 0 {
+				t.Fatalf("cost anatomy incomplete: %+v", c)
+			}
+		})
+	}
+}
+
+func TestSBTPackingHalvesCiphertexts(t *testing.T) {
+	ds := testData(t, 80, 16)
+	run := func(sys fl.System) int64 {
+		ctx := testCtx(t, sys)
+		m, err := NewHeteroSBT(ctx, ds, testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		if _, err := m.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Costs.Snapshot().Ciphertexts
+	}
+	packed := run(fl.SystemFLBooster)
+	unpacked := run(fl.SystemNoBC)
+	if packed*2 > unpacked+2 {
+		t.Fatalf("(g,h) packing should halve fresh ciphertexts: %d vs %d", packed, unpacked)
+	}
+}
+
+func TestSBTQuantRoundTrip(t *testing.T) {
+	ds := testData(t, 64, 8)
+	m, err := NewHeteroSBT(testCtx(t, fl.SystemFLBooster), ds, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	vals := []float64{-1, -0.5, 0, 0.25, 1}
+	for _, v := range vals {
+		q := m.quantGH(v)
+		back := m.dequantGHSum(q, 1)
+		step := 2 / float64(m.ghMax())
+		if d := back - v; d > step || d < -step {
+			t.Fatalf("GH quant round trip of %v: %v", v, back)
+		}
+	}
+	// Clamping.
+	if m.quantGH(-5) != 0 || m.quantGH(5) != m.ghMax() {
+		t.Fatal("GH quantization should clamp")
+	}
+}
+
+// --- Hetero NN --------------------------------------------------------------
+
+func TestHeteroNNOracleLearns(t *testing.T) {
+	ds := testData(t, 120, 20)
+	opts := testOpts()
+	m, err := NewHeteroNN(nil, ds, 6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := m.Loss()
+	var final float64
+	for e := 0; e < 6; e++ {
+		if final, err = m.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if final >= initial {
+		t.Fatalf("NN oracle loss did not improve: %v -> %v", initial, final)
+	}
+}
+
+func TestHeteroNNEncryptedMatchesOracle(t *testing.T) {
+	ds := testData(t, 64, 16)
+	opts := testOpts()
+	opts.BatchSize = 32
+	ctx := testCtx(t, fl.SystemFLBooster)
+	enc, err := NewHeteroNN(ctx, ds, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+	oracle, err := NewHeteroNN(nil, ds, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lossE, lossO float64
+	for e := 0; e < 2; e++ {
+		if lossE, err = enc.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if lossO, err = oracle.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bias := ConvergenceBias(lossO, lossE); bias > 0.1 {
+		t.Fatalf("NN bias %v (oracle %v, enc %v)", bias, lossO, lossE)
+	}
+	c := ctx.Costs.Snapshot()
+	if c.HEOps == 0 || c.CommBytes == 0 {
+		t.Fatalf("cost anatomy incomplete: %+v", c)
+	}
+}
+
+func TestHeteroNNValidation(t *testing.T) {
+	ds := testData(t, 20, 8)
+	if _, err := NewHeteroNN(nil, ds, 0, testOpts()); err == nil {
+		t.Fatal("zero hidden width should fail")
+	}
+	if _, err := NewHeteroNN(nil, ds, 4, Options{}); err == nil {
+		t.Fatal("bad options should fail")
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	ds := testData(t, 100, 16)
+	w := make([]float64, ds.NumFeatures)
+	acc := Accuracy(w, 0, ds)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy out of range: %v", acc)
+	}
+	// A trained model stays in range and does not collapse to the
+	// anti-majority class (accuracy itself may wiggle on tiny noisy data).
+	m, _ := NewHomoLR(nil, ds, testOpts())
+	for e := 0; e < 5; e++ {
+		if _, err := m.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trained := Accuracy(m.Weights, m.Bias, ds)
+	if trained < 0.35 || trained > 1 {
+		t.Fatalf("trained accuracy degenerate: %v (baseline %v)", trained, acc)
+	}
+}

@@ -1,0 +1,489 @@
+package models
+
+import (
+	"fmt"
+
+	"flbooster/internal/datasets"
+	"flbooster/internal/fl"
+	"flbooster/internal/flnet"
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+)
+
+// HeteroNN is a vertically federated neural network with an HE-protected
+// interactive layer (FATE's Hetero NN shape). Guest and hosts each own a
+// linear bottom tower mapping their feature slice to a shared hidden width;
+// the interactive layer merges the towers additively under encryption and
+// the guest's top model produces the prediction:
+//
+//	a_p = W_p · x_p                      (bottom towers, per party)
+//	z   = Σ_p a_p + b                    (interactive layer, HE-aggregated)
+//	m   = σ(z)                           (hidden activation, guest)
+//	ŷ   = σ(w_top · m)                   (top model, guest)
+//
+// Forward activations are an *aggregatable* flow (batch-compressible);
+// backward per-sample hidden deltas E(δ) travel one ciphertext per value and
+// drive the hosts' homomorphic weight-gradient accumulation, mirroring the
+// Hetero LR gradient step per hidden unit.
+type HeteroNN struct {
+	opts  Options
+	ctx   *fl.Context // nil in plaintext-oracle mode
+	net   flnet.Transport
+	parts []*datasets.Dataset
+	full  *datasets.Dataset
+
+	// Hidden is the interactive-layer width.
+	Hidden int
+	// W[p] is party p's bottom tower, Hidden × dim_p (row-major by unit).
+	W [][]float64
+	// HiddenBias and Top are guest-held.
+	HiddenBias []float64
+	Top        []float64
+	TopBias    float64
+
+	actScale   float64 // activation normalization for the quantizer
+	fixedPoint float64 // feature fixed-point scale (as in HeteroLR)
+
+	optW   []Optimizer // per-party bottom-tower optimizers
+	optTop Optimizer   // guest head: [Top..., HiddenBias..., TopBias]
+}
+
+// NewHeteroNN partitions ds vertically and initializes a two-tower network
+// with the given hidden width.
+func NewHeteroNN(ctx *fl.Context, ds *datasets.Dataset, hidden int, opts Options) (*HeteroNN, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if hidden < 1 {
+		return nil, fmt.Errorf("models: hidden width must be positive, got %d", hidden)
+	}
+	parties := oracleParties(opts)
+	if ctx != nil {
+		parties = ctx.Profile.Parties
+	}
+	parts, err := datasets.PartitionVertical(ds, parties)
+	if err != nil {
+		return nil, fmt.Errorf("models: HeteroNN partition: %w", err)
+	}
+	m := &HeteroNN{
+		opts:       opts,
+		ctx:        ctx,
+		parts:      parts,
+		full:       ds,
+		Hidden:     hidden,
+		W:          make([][]float64, parties),
+		HiddenBias: make([]float64, hidden),
+		Top:        make([]float64, hidden),
+		actScale:   8,
+		fixedPoint: 128,
+	}
+	rng := mpint.NewRNG(opts.Seed ^ 0xA5A5)
+	m.optW = make([]Optimizer, parties)
+	m.optTop = newOptimizer(opts)
+	for p, part := range parts {
+		m.W[p] = make([]float64, hidden*part.NumFeatures)
+		for i := range m.W[p] {
+			m.W[p][i] = rng.NormFloat64() * 0.05
+		}
+		m.optW[p] = newOptimizer(opts)
+	}
+	for i := range m.Top {
+		m.Top[i] = rng.NormFloat64() * 0.3
+	}
+	if ctx != nil {
+		names := make([]string, 0, parties+1)
+		for p := 0; p < parties; p++ {
+			names = append(names, hostName(p))
+		}
+		names = append(names, arbiterName)
+		m.net = flnet.NewSimTransport(ctx.Link, names...)
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *HeteroNN) Name() string { return "Hetero NN" }
+
+// bottomForward computes party p's activations for rows [lo, hi):
+// a[i][u] = Σ_j W_p[u,j]·x_ij, flattened sample-major.
+func (m *HeteroNN) bottomForward(p, lo, hi int) []float64 {
+	part := m.parts[p]
+	dim := part.NumFeatures
+	out := make([]float64, (hi-lo)*m.Hidden)
+	for i := lo; i < hi; i++ {
+		fv := part.Examples[i].Features
+		row := out[(i-lo)*m.Hidden:]
+		for u := 0; u < m.Hidden; u++ {
+			wRow := m.W[p][u*dim : (u+1)*dim]
+			var s float64
+			for k, j := range fv.Idx {
+				s += fv.Val[k] * wRow[j]
+			}
+			row[u] = s
+		}
+	}
+	return out
+}
+
+// forwardPlain runs the full network for rows [lo, hi), returning hidden
+// activations and predictions.
+func (m *HeteroNN) forwardPlain(lo, hi int) (hiddenAct, preds []float64) {
+	n := hi - lo
+	z := make([]float64, n*m.Hidden)
+	for p := range m.parts {
+		a := m.bottomForward(p, lo, hi)
+		for i := range z {
+			z[i] += a[i]
+		}
+	}
+	hiddenAct = make([]float64, n*m.Hidden)
+	preds = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var logit float64
+		for u := 0; u < m.Hidden; u++ {
+			h := datasets.Sigmoid(z[i*m.Hidden+u] + m.HiddenBias[u])
+			hiddenAct[i*m.Hidden+u] = h
+			logit += h * m.Top[u]
+		}
+		preds[i] = datasets.Sigmoid(logit + m.TopBias)
+	}
+	return hiddenAct, preds
+}
+
+// Loss implements Model.
+func (m *HeteroNN) Loss() float64 {
+	_, preds := m.forwardPlain(0, m.full.Len())
+	var loss float64
+	for i, ex := range m.full.Examples {
+		loss += crossEntropy(preds[i], ex.Label)
+	}
+	return loss / float64(m.full.Len())
+}
+
+// TrainEpoch implements Model.
+func (m *HeteroNN) TrainEpoch() (float64, error) {
+	for _, r := range m.full.Batches(m.opts.BatchSize) {
+		if err := m.trainBatch(r[0], r[1]); err != nil {
+			return 0, err
+		}
+	}
+	return m.Loss(), nil
+}
+
+func (m *HeteroNN) trainBatch(lo, hi int) error {
+	if m.ctx == nil {
+		m.trainBatchPlain(lo, hi)
+		return nil
+	}
+	parties := len(m.parts)
+	n := hi - lo
+
+	// Forward, interactive layer: every party encrypts its activation block
+	// (normalized into the quantizer interval), the guest aggregates
+	// homomorphically, and the arbiter decrypts the merged pre-activations.
+	acts := make([][]float64, parties)
+	m.ctx.TrackOther(func() {
+		for p := 0; p < parties; p++ {
+			acts[p] = m.bottomForward(p, lo, hi)
+		}
+	})
+	batches := make([][]paillier.Ciphertext, parties)
+	for p := 0; p < parties; p++ {
+		norm := make([]float64, len(acts[p]))
+		for i, a := range acts[p] {
+			norm[i] = clampGrad(a/m.actScale, m.ctx.Quant.Alpha())
+		}
+		cts, err := m.ctx.EncryptGradients(norm)
+		if err != nil {
+			return fmt.Errorf("models: party %d activation encrypt: %w", p, err)
+		}
+		if p != 0 {
+			if err := m.send(hostName(p), hostName(0), "acts", ciphertextBytes(m.ctx, len(cts))); err != nil {
+				return err
+			}
+		}
+		batches[p] = cts
+	}
+	agg, err := m.ctx.AggregateCiphertexts(batches)
+	if err != nil {
+		return err
+	}
+	if err := m.send(hostName(0), arbiterName, "act-agg", ciphertextBytes(m.ctx, len(agg))); err != nil {
+		return err
+	}
+	z, err := m.ctx.DecryptAggregated(agg, n*m.Hidden, parties)
+	if err != nil {
+		return err
+	}
+	if err := m.send(arbiterName, hostName(0), "act-plain", int64(8*len(z))); err != nil {
+		return err
+	}
+	for i := range z {
+		z[i] *= m.actScale
+	}
+
+	// Guest: top model forward + backward; hidden deltas.
+	deltas := make([]float64, n*m.Hidden) // δ w.r.t. pre-activation z
+	m.ctx.TrackOther(func() {
+		m.topStep(z, deltas, lo, hi)
+	})
+
+	// Backward to hosts: per-sample encrypted deltas per hidden unit.
+	bound := m.ctx.Quant.Alpha()
+	clamped := make([]float64, len(deltas))
+	for i, d := range deltas {
+		clamped[i] = clampGrad(d, bound)
+	}
+	encD, err := m.ctx.EncryptValuesUnpacked(clamped)
+	if err != nil {
+		return err
+	}
+	for p := 1; p < parties; p++ {
+		if err := m.send(hostName(0), hostName(p), "deltas", ciphertextBytes(m.ctx, len(encD))); err != nil {
+			return err
+		}
+	}
+
+	// Every party accumulates its bottom-tower gradient homomorphically and
+	// round-trips the sums through the arbiter (guest computes in plaintext
+	// since it owns the deltas).
+	for p := 0; p < parties; p++ {
+		if p == 0 {
+			m.ctx.TrackOther(func() { m.guestBottomUpdate(deltas, lo, hi) })
+			continue
+		}
+		if err := m.hostBottomUpdate(p, encD, lo, hi); err != nil {
+			return fmt.Errorf("models: party %d bottom update: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// topStep computes the guest-side forward through the top model, updates the
+// top weights, and fills the hidden-layer deltas.
+func (m *HeteroNN) topStep(z, deltas []float64, lo, hi int) {
+	n := hi - lo
+	gradTop := make([]float64, m.Hidden)
+	var gradTopBias float64
+	hb := make([]float64, m.Hidden)
+	for i := 0; i < n; i++ {
+		var logit float64
+		hAct := make([]float64, m.Hidden)
+		for u := 0; u < m.Hidden; u++ {
+			h := datasets.Sigmoid(z[i*m.Hidden+u] + m.HiddenBias[u])
+			hAct[u] = h
+			logit += h * m.Top[u]
+		}
+		p := datasets.Sigmoid(logit + m.TopBias)
+		dOut := (p - m.full.Examples[lo+i].Label) / float64(n)
+		gradTopBias += dOut
+		for u := 0; u < m.Hidden; u++ {
+			gradTop[u] += dOut * hAct[u]
+			d := dOut * m.Top[u] * hAct[u] * (1 - hAct[u])
+			deltas[i*m.Hidden+u] = d * float64(n) // per-sample (mean applied later)
+			hb[u] += d
+		}
+	}
+	// One optimizer step over the guest head [Top..., HiddenBias..., TopBias].
+	params := make([]float64, 2*m.Hidden+1)
+	grads := make([]float64, 2*m.Hidden+1)
+	copy(params, m.Top)
+	copy(params[m.Hidden:], m.HiddenBias)
+	params[2*m.Hidden] = m.TopBias
+	for u := 0; u < m.Hidden; u++ {
+		grads[u] = gradTop[u] + m.opts.L2*m.Top[u]
+		grads[m.Hidden+u] = hb[u]
+	}
+	grads[2*m.Hidden] = gradTopBias
+	m.optTop.Step(params, grads)
+	copy(m.Top, params[:m.Hidden])
+	copy(m.HiddenBias, params[m.Hidden:2*m.Hidden])
+	m.TopBias = params[2*m.Hidden]
+	// Rescale deltas to per-sample means for the weight gradients.
+	for i := range deltas {
+		deltas[i] /= float64(n)
+	}
+}
+
+// guestBottomUpdate applies the guest tower's gradient in plaintext.
+func (m *HeteroNN) guestBottomUpdate(deltas []float64, lo, hi int) {
+	part := m.parts[0]
+	dim := part.NumFeatures
+	grads := make([]float64, m.Hidden*dim)
+	for i := lo; i < hi; i++ {
+		fv := part.Examples[i].Features
+		for u := 0; u < m.Hidden; u++ {
+			d := deltas[(i-lo)*m.Hidden+u]
+			if d == 0 {
+				continue
+			}
+			row := grads[u*dim : (u+1)*dim]
+			for k, j := range fv.Idx {
+				row[j] += d * fv.Val[k]
+			}
+		}
+	}
+	for i := range grads {
+		grads[i] += m.opts.L2 * m.W[0][i]
+	}
+	m.optW[0].Step(m.W[0], grads)
+}
+
+// hostBottomUpdate runs the encrypted gradient accumulation for one host:
+// for each (hidden unit u, feature j), Σ_i E(δ_iu)^{x̃_ij}, arbiter decrypts,
+// host unshifts and applies SGD — the Hetero LR step per hidden unit.
+func (m *HeteroNN) hostBottomUpdate(p int, encD []paillier.Ciphertext, lo, hi int) error {
+	part := m.parts[p]
+	dim := part.NumFeatures
+
+	var cts []paillier.Ciphertext
+	type pending struct {
+		unit, feature int
+		neg           bool
+		corr          float64
+	}
+	var meta []pending
+	for u := 0; u < m.Hidden; u++ {
+		type acc struct {
+			pos, neg   []int
+			posW, negW []uint64
+			posX, negX float64
+		}
+		accums := make([]acc, dim)
+		for i := lo; i < hi; i++ {
+			fv := part.Examples[i].Features
+			for k, j := range fv.Idx {
+				x := fv.Val[k]
+				fp := uint64(absFloat(x)*m.fixedPoint + 0.5)
+				if fp == 0 {
+					continue
+				}
+				a := &accums[j]
+				if x > 0 {
+					a.pos = append(a.pos, (i-lo)*m.Hidden+u)
+					a.posW = append(a.posW, fp)
+					a.posX += float64(fp)
+				} else {
+					a.neg = append(a.neg, (i-lo)*m.Hidden+u)
+					a.negW = append(a.negW, fp)
+					a.negX += float64(fp)
+				}
+			}
+		}
+		for j := 0; j < dim; j++ {
+			a := &accums[j]
+			if len(a.pos) > 0 {
+				ct, err := m.weightedSum(encD, a.pos, a.posW)
+				if err != nil {
+					return err
+				}
+				cts = append(cts, ct)
+				meta = append(meta, pending{unit: u, feature: j, corr: a.posX})
+			}
+			if len(a.neg) > 0 {
+				ct, err := m.weightedSum(encD, a.neg, a.negW)
+				if err != nil {
+					return err
+				}
+				cts = append(cts, ct)
+				meta = append(meta, pending{unit: u, feature: j, neg: true, corr: a.negX})
+			}
+		}
+	}
+	if len(cts) == 0 {
+		return nil
+	}
+	if err := m.send(hostName(p), arbiterName, "nn-grad", ciphertextBytes(m.ctx, len(cts))); err != nil {
+		return err
+	}
+	raws, err := m.ctx.DecryptRaw(cts)
+	if err != nil {
+		return err
+	}
+	if err := m.send(arbiterName, hostName(p), "nn-grad-plain", int64(8*len(raws))); err != nil {
+		return err
+	}
+	grads := make([]float64, m.Hidden*dim)
+	alpha := m.ctx.Quant.Alpha()
+	mq := float64(uint64(1)<<m.ctx.Quant.RBits() - 1)
+	for k, raw := range raws {
+		v := (2*alpha/mq)*float64(raw) - alpha*meta[k].corr
+		if meta[k].neg {
+			v = -v
+		}
+		grads[meta[k].unit*dim+meta[k].feature] += v
+	}
+	scale := 1 / m.fixedPoint
+	m.ctx.TrackOther(func() {
+		for i := range grads {
+			grads[i] = grads[i]*scale + m.opts.L2*m.W[p][i]
+		}
+		m.optW[p].Step(m.W[p], grads)
+	})
+	return nil
+}
+
+// weightedSum mirrors HeteroLR.weightedSum.
+func (m *HeteroNN) weightedSum(encD []paillier.Ciphertext, idx []int, w []uint64) (paillier.Ciphertext, error) {
+	sel := make([]paillier.Ciphertext, len(idx))
+	for k, i := range idx {
+		sel[k] = encD[i]
+	}
+	return m.ctx.WeightedSum(sel, w)
+}
+
+// trainBatchPlain is the oracle backward pass (identical math, no HE).
+func (m *HeteroNN) trainBatchPlain(lo, hi int) {
+	n := hi - lo
+	z := make([]float64, n*m.Hidden)
+	for p := range m.parts {
+		a := m.bottomForward(p, lo, hi)
+		for i := range z {
+			z[i] += a[i]
+		}
+	}
+	deltas := make([]float64, n*m.Hidden)
+	m.topStep(z, deltas, lo, hi)
+	for p, part := range m.parts {
+		dim := part.NumFeatures
+		grads := make([]float64, m.Hidden*dim)
+		for i := lo; i < hi; i++ {
+			fv := part.Examples[i].Features
+			for u := 0; u < m.Hidden; u++ {
+				d := deltas[(i-lo)*m.Hidden+u]
+				if d == 0 {
+					continue
+				}
+				row := grads[u*dim : (u+1)*dim]
+				for k, j := range fv.Idx {
+					row[j] += d * fv.Val[k]
+				}
+			}
+		}
+		for i := range grads {
+			grads[i] += m.opts.L2 * m.W[p][i]
+		}
+		m.optW[p].Step(m.W[p], grads)
+	}
+}
+
+// send routes a protocol message, charging communication.
+func (m *HeteroNN) send(from, to, kind string, payloadBytes int64) error {
+	msg := flnet.Message{From: from, To: to, Kind: kind, Payload: make([]byte, payloadBytes)}
+	if err := m.net.Send(msg); err != nil {
+		return err
+	}
+	if _, err := m.net.Recv(to); err != nil {
+		return err
+	}
+	m.ctx.RecordTransfer(msg.WireSize())
+	return nil
+}
+
+// Close releases the transport.
+func (m *HeteroNN) Close() error {
+	if m.net == nil {
+		return nil
+	}
+	return m.net.Close()
+}

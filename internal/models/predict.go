@@ -1,0 +1,112 @@
+package models
+
+import (
+	"sort"
+
+	"flbooster/internal/datasets"
+)
+
+// Inference APIs: score unseen examples in the *original* (unpartitioned)
+// feature space. In deployment each party would evaluate its slice and the
+// guest would merge — numerically identical to the joint evaluation below,
+// which the harness and examples use for held-out metrics.
+
+// Predict returns P(y=1 | x) for one example under the Homo LR model.
+func (m *HomoLR) Predict(ex datasets.Example) float64 {
+	return datasets.Sigmoid(ex.Features.Dot(m.Weights) + m.Bias)
+}
+
+// FullWeights returns the joint weight vector in original feature order.
+func (m *HeteroLR) FullWeights() []float64 { return m.fullWeights() }
+
+// Predict returns P(y=1 | x) for one example under the Hetero LR model.
+func (m *HeteroLR) Predict(ex datasets.Example) float64 {
+	return datasets.Sigmoid(ex.Features.Dot(m.fullWeights()) + m.Bias)
+}
+
+// featureAt finds the value of original-space feature j in an example.
+func featureAt(ex datasets.Example, j int32) (float64, bool) {
+	k := sort.Search(len(ex.Features.Idx), func(i int) bool { return ex.Features.Idx[i] >= j })
+	if k < len(ex.Features.Idx) && ex.Features.Idx[k] == j {
+		return ex.Features.Val[k], true
+	}
+	return 0, false
+}
+
+// offsetsOf derives each party's offset into the original feature space
+// from a contiguous vertical partition.
+func offsetsOf(parts []*datasets.Dataset) []int {
+	off := make([]int, len(parts))
+	acc := 0
+	for p, part := range parts {
+		off[p] = acc
+		acc += part.NumFeatures
+	}
+	return off
+}
+
+// Predict returns P(y=1 | x) under the boosted ensemble for an example in
+// the original feature space.
+func (m *HeteroSBT) Predict(ex datasets.Example) float64 {
+	offs := offsetsOf(m.parts)
+	var margin float64
+	for _, tree := range m.Trees {
+		node := tree
+		for !node.Leaf {
+			j := int32(offs[node.Party] + node.Feature)
+			v, ok := featureAt(ex, j)
+			if !ok || v <= node.Threshold {
+				node = node.Left
+			} else {
+				node = node.Right
+			}
+		}
+		margin += m.Eta * node.Weight
+	}
+	return datasets.Sigmoid(margin)
+}
+
+// Predict returns P(y=1 | x) under the two-tower network for an example in
+// the original feature space.
+func (m *HeteroNN) Predict(ex datasets.Example) float64 {
+	offs := offsetsOf(m.parts)
+	z := make([]float64, m.Hidden)
+	for p, part := range m.parts {
+		dim := part.NumFeatures
+		lo := int32(offs[p])
+		hi := lo + int32(dim)
+		for k, j := range ex.Features.Idx {
+			if j < lo || j >= hi {
+				continue
+			}
+			local := int(j - lo)
+			x := ex.Features.Val[k]
+			for u := 0; u < m.Hidden; u++ {
+				z[u] += x * m.W[p][u*dim+local]
+			}
+		}
+	}
+	var logit float64
+	for u := 0; u < m.Hidden; u++ {
+		logit += datasets.Sigmoid(z[u]+m.HiddenBias[u]) * m.Top[u]
+	}
+	return datasets.Sigmoid(logit + m.TopBias)
+}
+
+// EvaluateAccuracy scores a predictor over a dataset at the 0.5 threshold.
+func EvaluateAccuracy(predict func(datasets.Example) float64, ds *datasets.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	var correct int
+	for _, ex := range ds.Examples {
+		pred := 0.0
+		if predict(ex) >= 0.5 {
+			pred = 1
+		}
+		if pred == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

@@ -1,0 +1,91 @@
+package models
+
+import (
+	"testing"
+
+	"flbooster/internal/datasets"
+)
+
+func TestHeteroLRPredictMatchesLoss(t *testing.T) {
+	ds := testData(t, 80, 16)
+	m, err := NewHeteroLR(nil, ds, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TrainEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	// Predict must agree with the joint weight view that Loss uses.
+	w := m.FullWeights()
+	for i := 0; i < 10; i++ {
+		ex := ds.Examples[i]
+		want := datasets.Sigmoid(ex.Features.Dot(w) + m.Bias)
+		if got := m.Predict(ex); got != want {
+			t.Fatalf("example %d: Predict %v, joint view %v", i, got, want)
+		}
+	}
+}
+
+func TestSBTPredictMatchesTrainingTraversal(t *testing.T) {
+	ds := testData(t, 120, 16)
+	m, err := NewHeteroSBT(nil, ds, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		if _, err := m.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// For training examples, Predict must reproduce the margin the trainer
+	// accumulated sample-by-sample.
+	for i := 0; i < ds.Len(); i += 7 {
+		want := datasets.Sigmoid(m.margins[i])
+		got := m.Predict(ds.Examples[i])
+		if d := got - want; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("sample %d: Predict %v, training margin %v", i, got, want)
+		}
+	}
+}
+
+func TestNNPredictMatchesForward(t *testing.T) {
+	ds := testData(t, 60, 12)
+	m, err := NewHeteroNN(nil, ds, 4, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TrainEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	_, preds := m.forwardPlain(0, ds.Len())
+	for i := 0; i < ds.Len(); i += 5 {
+		got := m.Predict(ds.Examples[i])
+		if d := got - preds[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("sample %d: Predict %v, forward %v", i, got, preds[i])
+		}
+	}
+}
+
+func TestHeldOutEvaluation(t *testing.T) {
+	full := testData(t, 200, 20)
+	train, test, err := datasets.SplitTrainTest(full, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewHomoLR(nil, train, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 5; e++ {
+		if _, err := m.TrainEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := EvaluateAccuracy(m.Predict, test)
+	if acc < 0.3 || acc > 1 {
+		t.Fatalf("held-out accuracy degenerate: %v", acc)
+	}
+	if EvaluateAccuracy(m.Predict, &datasets.Dataset{}) != 0 {
+		t.Fatal("empty dataset accuracy should be 0")
+	}
+}

@@ -1,0 +1,571 @@
+package models
+
+import (
+	"fmt"
+
+	"flbooster/internal/datasets"
+	"flbooster/internal/fl"
+	"flbooster/internal/flnet"
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+)
+
+// HeteroSBT is SecureBoost (Cheng et al.): gradient-boosted decision trees
+// over vertically partitioned data. The guest owns the labels, computes
+// first/second-order gradients (g, h) per sample each boosting round, and
+// encrypts them; hosts build encrypted per-(feature, bin) histograms by
+// homomorphic subset sums and return them; the guest decrypts, scores every
+// candidate split with the XGBoost gain, and grows the tree.
+//
+// Batch compression for SBT is SecureBoost+-style ciphertext packing: the
+// (g, h) pair of one sample shares a single plaintext (g in the high slot,
+// h in the low slot), halving ciphertext counts and HE operations on every
+// flow while keeping subset-sum aggregation valid — multi-sample packing is
+// impossible here because histogram bins select arbitrary sample subsets.
+type HeteroSBT struct {
+	opts  Options
+	ctx   *fl.Context // nil in plaintext-oracle mode
+	net   flnet.Transport
+	parts []*datasets.Dataset
+	full  *datasets.Dataset
+
+	// Trees is the grown ensemble.
+	Trees []*sbtNode
+	// margins holds the ensemble's raw scores per training sample.
+	margins []float64
+
+	// Tuning knobs (XGBoost-standard).
+	MaxDepth int
+	Bins     int
+	Lambda   float64 // leaf L2
+	Gamma    float64 // split penalty
+	Eta      float64 // shrinkage
+
+	// ghBits is the per-component quantization width; headBits the guard
+	// width sized for the largest possible node (the full dataset).
+	ghBits   uint
+	headBits uint
+}
+
+// sbtNode is one tree node. Split nodes carry the owning party and its
+// local feature/threshold; leaves carry the output weight.
+type sbtNode struct {
+	Party     int
+	Feature   int
+	Threshold float64
+	Left      *sbtNode
+	Right     *sbtNode
+	Leaf      bool
+	Weight    float64
+}
+
+// NewHeteroSBT partitions ds vertically and prepares a boosting trainer.
+func NewHeteroSBT(ctx *fl.Context, ds *datasets.Dataset, opts Options) (*HeteroSBT, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	parties := oracleParties(opts)
+	if ctx != nil {
+		parties = ctx.Profile.Parties
+	}
+	parts, err := datasets.PartitionVertical(ds, parties)
+	if err != nil {
+		return nil, fmt.Errorf("models: HeteroSBT partition: %w", err)
+	}
+	m := &HeteroSBT{
+		opts:     opts,
+		ctx:      ctx,
+		parts:    parts,
+		full:     ds,
+		margins:  make([]float64, ds.Len()),
+		MaxDepth: 3,
+		Bins:     8,
+		Lambda:   1,
+		Gamma:    0,
+		Eta:      0.3,
+	}
+	// Guard bits must absorb a sum over every sample; both packed
+	// components must fit one uint64 after aggregation.
+	m.headBits = ceilLog2U(ds.Len()) + 1
+	m.ghBits = 20
+	if ctx != nil && uint(ctx.Profile.RBits) < m.ghBits {
+		m.ghBits = ctx.Profile.RBits
+	}
+	for 2*(m.ghBits+m.headBits) > 62 && m.ghBits > 4 {
+		m.ghBits--
+	}
+	if ctx != nil {
+		names := make([]string, 0, parties+1)
+		for p := 0; p < parties; p++ {
+			names = append(names, hostName(p))
+		}
+		names = append(names, arbiterName)
+		m.net = flnet.NewSimTransport(ctx.Link, names...)
+	}
+	return m, nil
+}
+
+func ceilLog2U(n int) uint {
+	var b uint
+	v := 1
+	for v < n {
+		v <<= 1
+		b++
+	}
+	return b
+}
+
+// Name implements Model.
+func (m *HeteroSBT) Name() string { return "Hetero SBT" }
+
+// Loss implements Model: mean log-loss of the current ensemble margins.
+func (m *HeteroSBT) Loss() float64 {
+	var loss float64
+	for i, ex := range m.full.Examples {
+		loss += crossEntropy(datasets.Sigmoid(m.margins[i]), ex.Label)
+	}
+	return loss / float64(m.full.Len())
+}
+
+// gradients computes per-sample (g, h) from the current margins.
+func (m *HeteroSBT) gradients() (g, h []float64) {
+	n := m.full.Len()
+	g = make([]float64, n)
+	h = make([]float64, n)
+	for i, ex := range m.full.Examples {
+		p := datasets.Sigmoid(m.margins[i])
+		g[i] = p - ex.Label
+		h[i] = p * (1 - p)
+		if h[i] < 1e-6 {
+			h[i] = 1e-6
+		}
+	}
+	return g, h
+}
+
+// --- GH quantization -------------------------------------------------------
+
+// ghMax is the per-component quantization ceiling.
+func (m *HeteroSBT) ghMax() uint64 { return 1<<m.ghBits - 1 }
+
+// quantGH maps g ∈ [−1, 1] (and h ∈ [0, 1]) to ghBits-wide integers with the
+// Eq. 6/7 shift.
+func (m *HeteroSBT) quantGH(v float64) uint64 {
+	if v < -1 {
+		v = -1
+	}
+	if v > 1 {
+		v = 1
+	}
+	return uint64((v + 1) / 2 * float64(m.ghMax()))
+}
+
+// dequantGHSum decodes a homomorphic sum of cnt quantized components.
+func (m *HeteroSBT) dequantGHSum(sum uint64, cnt int) float64 {
+	return float64(sum)/float64(m.ghMax())*2 - float64(cnt)
+}
+
+// slotWidth is the packed per-component width (value + guard bits).
+func (m *HeteroSBT) slotWidth() uint { return m.ghBits + m.headBits }
+
+// encryptGH encrypts the per-sample gradient/hessian streams. With batch
+// compression, one ciphertext carries the (g, h) pair; otherwise g and h
+// each get their own ciphertext, concatenated as [g...; h...].
+func (m *HeteroSBT) encryptGH(g, h []float64) ([]paillier.Ciphertext, error) {
+	n := len(g)
+	packed := m.ctx.Packer != nil
+	var pts []mpint.Nat
+	if packed {
+		pts = make([]mpint.Nat, n)
+		for i := range g {
+			v := m.quantGH(g[i])<<m.slotWidth() | m.quantGH(h[i])
+			pts[i] = mpint.FromUint64(v)
+		}
+	} else {
+		pts = make([]mpint.Nat, 2*n)
+		for i := range g {
+			pts[i] = mpint.FromUint64(m.quantGH(g[i]))
+			pts[n+i] = mpint.FromUint64(m.quantGH(h[i]))
+		}
+	}
+	cts, err := m.ctx.EncryptNats(pts, int64(2*n))
+	if err != nil {
+		return nil, err
+	}
+	m.ctx.Costs.AddCompression(int64(2*n), int64(len(cts)))
+	return cts, nil
+}
+
+// ghAt returns the ciphertext(s) holding sample i's pair under the current
+// packing: one ct when packed, (g_ct, h_ct) when not.
+func (m *HeteroSBT) ghRefs(cts []paillier.Ciphertext, n, i int) []paillier.Ciphertext {
+	if m.ctx.Packer != nil {
+		return cts[i : i+1]
+	}
+	return []paillier.Ciphertext{cts[i], cts[n+i]}
+}
+
+// decodeGH splits a decrypted histogram sum into (G, H) for cnt samples.
+func (m *HeteroSBT) decodeGH(raw []uint64, cnt int) (gSum, hSum float64) {
+	if m.ctx.Packer != nil {
+		v := raw[0]
+		mask := uint64(1)<<m.slotWidth() - 1
+		gSum = m.dequantGHSum(v>>m.slotWidth(), cnt)
+		hSum = m.dequantGHSum(v&mask, cnt)
+		return gSum, hSum
+	}
+	return m.dequantGHSum(raw[0], cnt), m.dequantGHSum(raw[1], cnt)
+}
+
+// --- training ---------------------------------------------------------------
+
+// TrainEpoch implements Model: one boosting round grows one tree on the full
+// dataset and updates the margins.
+func (m *HeteroSBT) TrainEpoch() (float64, error) {
+	g, h := m.gradients()
+	all := make([]int, m.full.Len())
+	for i := range all {
+		all[i] = i
+	}
+	var root *sbtNode
+	var err error
+	if m.ctx == nil {
+		root = m.buildPlain(all, g, h, 0)
+	} else {
+		root, err = m.buildEncrypted(all, g, h)
+		if err != nil {
+			return 0, err
+		}
+	}
+	m.Trees = append(m.Trees, root)
+	for i := range m.margins {
+		m.margins[i] += m.Eta * m.predictTree(root, i)
+	}
+	return m.Loss(), nil
+}
+
+// buildEncrypted runs the SecureBoost protocol for one tree.
+func (m *HeteroSBT) buildEncrypted(samples []int, g, h []float64) (*sbtNode, error) {
+	// Round setup: guest encrypts the (g, h) stream and broadcasts it.
+	n := m.full.Len()
+	cts, err := m.encryptGH(g, h)
+	if err != nil {
+		return nil, err
+	}
+	for p := 1; p < len(m.parts); p++ {
+		if err := m.send(hostName(0), hostName(p), "gh", ciphertextBytes(m.ctx, len(cts))); err != nil {
+			return nil, err
+		}
+	}
+	return m.growNode(samples, g, h, cts, n, 0)
+}
+
+func (m *HeteroSBT) growNode(samples []int, g, h []float64, cts []paillier.Ciphertext, n, depth int) (*sbtNode, error) {
+	gTot, hTot := sumGH(samples, g, h)
+	if depth >= m.MaxDepth || len(samples) < 4 {
+		return m.leaf(gTot, hTot), nil
+	}
+	best := splitCandidate{gain: m.Gamma}
+	for p := range m.parts {
+		cand, err := m.partyBestSplit(p, samples, g, h, cts, n, gTot, hTot)
+		if err != nil {
+			return nil, err
+		}
+		if cand.gain > best.gain {
+			best = cand
+		}
+	}
+	if best.gain <= m.Gamma || best.feature < 0 {
+		return m.leaf(gTot, hTot), nil
+	}
+	left, right := m.partition(best, samples)
+	if len(left) == 0 || len(right) == 0 {
+		return m.leaf(gTot, hTot), nil
+	}
+	// The split owner announces the instance partition (standard SecureBoost
+	// information flow).
+	if m.ctx != nil && best.party != 0 {
+		if err := m.send(hostName(best.party), hostName(0), "split", int64(8*len(samples))); err != nil {
+			return nil, err
+		}
+	}
+	l, err := m.growNode(left, g, h, cts, n, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	r, err := m.growNode(right, g, h, cts, n, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	return &sbtNode{Party: best.party, Feature: best.feature, Threshold: best.threshold, Left: l, Right: r}, nil
+}
+
+type splitCandidate struct {
+	party     int
+	feature   int
+	threshold float64
+	gain      float64
+}
+
+// partyBestSplit builds party p's histograms for the node and returns its
+// best candidate. The guest (p=0) works in plaintext on its own features;
+// hosts aggregate homomorphically and round-trip through the guest.
+func (m *HeteroSBT) partyBestSplit(p int, samples []int, g, h []float64, cts []paillier.Ciphertext, n int, gTot, hTot float64) (splitCandidate, error) {
+	part := m.parts[p]
+	best := splitCandidate{party: p, feature: -1, gain: m.Gamma}
+
+	for j := 0; j < part.NumFeatures; j++ {
+		lo, hi, present := m.featureRange(p, j, samples)
+		if len(present) < 2 || lo == hi {
+			continue
+		}
+		width := (hi - lo) / float64(m.Bins)
+		binOf := func(x float64) int {
+			b := int((x - lo) / width)
+			if b >= m.Bins {
+				b = m.Bins - 1
+			}
+			if b < 0 {
+				b = 0
+			}
+			return b
+		}
+		// Per-bin sample lists.
+		bins := make([][]int, m.Bins)
+		for _, s := range present {
+			b := binOf(m.featureValue(p, j, s))
+			bins[b] = append(bins[b], s)
+		}
+
+		gBins := make([]float64, m.Bins)
+		hBins := make([]float64, m.Bins)
+		cnts := make([]int, m.Bins)
+		if p == 0 || m.ctx == nil {
+			// Guest-side plaintext histograms.
+			for b, list := range bins {
+				cnts[b] = len(list)
+				gBins[b], hBins[b] = sumGH(list, g, h)
+			}
+		} else {
+			// Host-side encrypted histograms: one homomorphic subset sum
+			// per non-empty bin, sent to the guest for decryption.
+			var histCts []paillier.Ciphertext
+			var histIdx []int
+			for b, list := range bins {
+				cnts[b] = len(list)
+				if len(list) == 0 {
+					continue
+				}
+				sel := make([]paillier.Ciphertext, 0, len(list)*2)
+				for _, s := range list {
+					sel = append(sel, m.ghRefs(cts, n, s)...)
+				}
+				var sums []paillier.Ciphertext
+				if m.ctx.Packer != nil {
+					sum, err := m.ctx.ReduceSum(sel)
+					if err != nil {
+						return best, err
+					}
+					sums = []paillier.Ciphertext{sum}
+				} else {
+					gh := len(sel) / 2
+					gs := make([]paillier.Ciphertext, 0, gh)
+					hs := make([]paillier.Ciphertext, 0, gh)
+					for k := 0; k < len(sel); k += 2 {
+						gs = append(gs, sel[k])
+						hs = append(hs, sel[k+1])
+					}
+					gSum, err := m.ctx.ReduceSum(gs)
+					if err != nil {
+						return best, err
+					}
+					hSum, err := m.ctx.ReduceSum(hs)
+					if err != nil {
+						return best, err
+					}
+					sums = []paillier.Ciphertext{gSum, hSum}
+				}
+				histCts = append(histCts, sums...)
+				histIdx = append(histIdx, b)
+			}
+			if len(histCts) == 0 {
+				continue
+			}
+			if err := m.send(hostName(p), hostName(0), "hist", ciphertextBytes(m.ctx, len(histCts))); err != nil {
+				return best, err
+			}
+			raws, err := m.ctx.DecryptRaw(histCts)
+			if err != nil {
+				return best, err
+			}
+			per := len(histCts) / len(histIdx)
+			for k, b := range histIdx {
+				gBins[b], hBins[b] = m.decodeGH(raws[k*per:(k+1)*per], cnts[b])
+			}
+		}
+
+		// Scan split points left-to-right (zeros/missing stay left of bin 0
+		// implicitly via the node totals).
+		gPresent, hPresent := 0.0, 0.0
+		for b := 0; b < m.Bins; b++ {
+			gPresent += gBins[b]
+			hPresent += hBins[b]
+		}
+		gMissing, hMissing := gTot-gPresent, hTot-hPresent
+		gl, hl := gMissing, hMissing // missing values go left
+		for b := 0; b < m.Bins-1; b++ {
+			gl += gBins[b]
+			hl += hBins[b]
+			gr, hr := gTot-gl, hTot-hl
+			gain := m.gain(gl, hl, gr, hr, gTot, hTot)
+			if gain > best.gain {
+				best = splitCandidate{
+					party:     p,
+					feature:   j,
+					threshold: lo + width*float64(b+1),
+					gain:      gain,
+				}
+			}
+		}
+	}
+	return best, nil
+}
+
+// gain is the XGBoost split score.
+func (m *HeteroSBT) gain(gl, hl, gr, hr, gTot, hTot float64) float64 {
+	return 0.5 * (gl*gl/(hl+m.Lambda) + gr*gr/(hr+m.Lambda) - gTot*gTot/(hTot+m.Lambda))
+}
+
+func (m *HeteroSBT) leaf(gSum, hSum float64) *sbtNode {
+	return &sbtNode{Leaf: true, Weight: -gSum / (hSum + m.Lambda)}
+}
+
+// featureRange returns the min/max of feature j among node samples where it
+// is present, plus the present-sample list.
+func (m *HeteroSBT) featureRange(p, j int, samples []int) (lo, hi float64, present []int) {
+	first := true
+	for _, s := range samples {
+		v, ok := m.lookup(p, j, s)
+		if !ok {
+			continue
+		}
+		present = append(present, s)
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	return lo, hi, present
+}
+
+// lookup finds feature j of party p in sample s (sparse search).
+func (m *HeteroSBT) lookup(p, j, s int) (float64, bool) {
+	fv := m.parts[p].Examples[s].Features
+	loI, hiI := 0, len(fv.Idx)
+	for loI < hiI {
+		mid := (loI + hiI) / 2
+		switch {
+		case fv.Idx[mid] == int32(j):
+			return fv.Val[mid], true
+		case fv.Idx[mid] < int32(j):
+			loI = mid + 1
+		default:
+			hiI = mid
+		}
+	}
+	return 0, false
+}
+
+func (m *HeteroSBT) featureValue(p, j, s int) float64 {
+	v, _ := m.lookup(p, j, s)
+	return v
+}
+
+// partition splits node samples by the winning candidate (missing → left).
+func (m *HeteroSBT) partition(c splitCandidate, samples []int) (left, right []int) {
+	for _, s := range samples {
+		v, ok := m.lookup(c.party, c.feature, s)
+		if !ok || v <= c.threshold {
+			left = append(left, s)
+		} else {
+			right = append(right, s)
+		}
+	}
+	return left, right
+}
+
+// buildPlain is the plaintext oracle of growNode (identical split logic).
+func (m *HeteroSBT) buildPlain(samples []int, g, h []float64, depth int) *sbtNode {
+	gTot, hTot := sumGH(samples, g, h)
+	if depth >= m.MaxDepth || len(samples) < 4 {
+		return m.leaf(gTot, hTot)
+	}
+	best := splitCandidate{feature: -1, gain: m.Gamma}
+	for p := range m.parts {
+		cand, _ := m.partyBestSplit(p, samples, g, h, nil, 0, gTot, hTot)
+		if cand.gain > best.gain {
+			best = cand
+		}
+	}
+	if best.gain <= m.Gamma || best.feature < 0 {
+		return m.leaf(gTot, hTot)
+	}
+	left, right := m.partition(best, samples)
+	if len(left) == 0 || len(right) == 0 {
+		return m.leaf(gTot, hTot)
+	}
+	return &sbtNode{
+		Party: best.party, Feature: best.feature, Threshold: best.threshold,
+		Left:  m.buildPlain(left, g, h, depth+1),
+		Right: m.buildPlain(right, g, h, depth+1),
+	}
+}
+
+// predictTree traverses one tree for sample i.
+func (m *HeteroSBT) predictTree(node *sbtNode, i int) float64 {
+	for !node.Leaf {
+		v, ok := m.lookup(node.Party, node.Feature, i)
+		if !ok || v <= node.Threshold {
+			node = node.Left
+		} else {
+			node = node.Right
+		}
+	}
+	return node.Weight
+}
+
+func sumGH(samples []int, g, h []float64) (gs, hs float64) {
+	for _, s := range samples {
+		gs += g[s]
+		hs += h[s]
+	}
+	return gs, hs
+}
+
+// send routes a protocol message, charging communication (no-op in oracle
+// mode where m.net is nil — callers guard, but double-check here).
+func (m *HeteroSBT) send(from, to, kind string, payloadBytes int64) error {
+	if m.net == nil {
+		return nil
+	}
+	msg := flnet.Message{From: from, To: to, Kind: kind, Payload: make([]byte, payloadBytes)}
+	if err := m.net.Send(msg); err != nil {
+		return err
+	}
+	if _, err := m.net.Recv(to); err != nil {
+		return err
+	}
+	m.ctx.RecordTransfer(msg.WireSize())
+	return nil
+}
+
+// Close releases the transport.
+func (m *HeteroSBT) Close() error {
+	if m.net == nil {
+		return nil
+	}
+	return m.net.Close()
+}

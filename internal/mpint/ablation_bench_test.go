@@ -1,0 +1,69 @@
+package mpint
+
+import "testing"
+
+// Ablation benchmarks for the arithmetic design choices DESIGN.md §4 calls
+// out: the Karatsuba threshold and the multiplication algorithms behind it.
+
+func benchMulAlgo(b *testing.B, bits int, fn func(x, y Nat) Nat) {
+	r := NewRNG(70)
+	x := r.RandBits(bits)
+	y := r.RandBits(bits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(x, y)
+	}
+}
+
+func BenchmarkMulSchoolbook1024(b *testing.B) { benchMulAlgo(b, 1024, mulSchoolbook) }
+func BenchmarkMulSchoolbook2048(b *testing.B) { benchMulAlgo(b, 2048, mulSchoolbook) }
+func BenchmarkMulSchoolbook4096(b *testing.B) { benchMulAlgo(b, 4096, mulSchoolbook) }
+func BenchmarkMulKaratsuba1024(b *testing.B)  { benchMulAlgo(b, 1024, mulKaratsuba) }
+func BenchmarkMulKaratsuba2048(b *testing.B)  { benchMulAlgo(b, 2048, mulKaratsuba) }
+func BenchmarkMulKaratsuba4096(b *testing.B)  { benchMulAlgo(b, 4096, mulKaratsuba) }
+
+func BenchmarkExpWindow1(b *testing.B) { benchExpWindow(b, 1) }
+func BenchmarkExpWindow3(b *testing.B) { benchExpWindow(b, 3) }
+func BenchmarkExpWindow5(b *testing.B) { benchExpWindow(b, 5) }
+
+func benchExpWindow(b *testing.B, w uint) {
+	r := NewRNG(71)
+	n := r.RandBits(1024)
+	n[0] |= 1
+	m := NewMont(n)
+	base := r.RandBelow(n)
+	e := r.RandBits(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ExpWindow(base, e, w)
+	}
+}
+
+func TestExpWindowMatchesExp(t *testing.T) {
+	r := NewRNG(72)
+	n := r.RandBits(256)
+	n[0] |= 1
+	m := NewMont(n)
+	base := r.RandBelow(n)
+	e := r.RandBits(200)
+	want := m.Exp(base, e)
+	for w := uint(1); w <= 8; w++ {
+		if got := m.ExpWindow(base, e, w); Cmp(got, want) != 0 {
+			t.Fatalf("ExpWindow(w=%d) diverges", w)
+		}
+	}
+}
+
+func TestExpWindowRejectsBadWidth(t *testing.T) {
+	m := NewMont(FromUint64(1000003))
+	for _, w := range []uint{0, 13} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d should panic", w)
+				}
+			}()
+			m.ExpWindow(FromUint64(2), FromUint64(3), w)
+		}()
+	}
+}

@@ -1,0 +1,190 @@
+package mpint
+
+import "math/bits"
+
+// DivMod returns the quotient and remainder of x / y.
+// It panics when y == 0.
+func DivMod(x, y Nat) (q, r Nat) {
+	x, y = trim(x), trim(y)
+	if len(y) == 0 {
+		panic("mpint: division by zero")
+	}
+	if Cmp(x, y) < 0 {
+		return nil, x.Clone()
+	}
+	if len(y) == 1 {
+		q, rw := divModWord(x, y[0])
+		if rw == 0 {
+			return q, nil
+		}
+		return q, Nat{rw}
+	}
+	return divKnuth(x, y)
+}
+
+// Div returns x / y.
+func Div(x, y Nat) Nat { q, _ := DivMod(x, y); return q }
+
+// Mod returns x mod y.
+func Mod(x, y Nat) Nat { _, r := DivMod(x, y); return r }
+
+// divModWord divides x by a single limb.
+func divModWord(x Nat, w Word) (Nat, Word) {
+	q := make(Nat, len(x))
+	var r uint64
+	for i := len(x) - 1; i >= 0; i-- {
+		cur := r<<WordBits | uint64(x[i])
+		q[i] = Word(cur / uint64(w))
+		r = cur % uint64(w)
+	}
+	return trim(q), Word(r)
+}
+
+// divKnuth implements Knuth TAOCP vol. 2, Algorithm 4.3.1 D for len(y) ≥ 2
+// and x ≥ y. The divisor is normalized so its top limb has its high bit set;
+// each quotient limb is estimated from the top two limbs of the running
+// remainder and the top limb of the divisor, then corrected at most twice.
+func divKnuth(x, y Nat) (Nat, Nat) {
+	// D1: normalize.
+	shift := uint(bits.LeadingZeros32(y[len(y)-1]))
+	yn := Lsh(y, shift)
+	xn := Lsh(x, shift)
+	n := len(yn)
+	// Ensure the dividend has an explicit extra high limb.
+	u := make(Nat, len(xn)+1)
+	copy(u, xn)
+	m := len(u) - n - 1 // number of quotient limbs minus one
+
+	q := make(Nat, m+1)
+	vTop := uint64(yn[n-1])
+	vNext := uint64(yn[n-2])
+
+	// D2..D7: loop over quotient digits from most significant down.
+	for j := m; j >= 0; j-- {
+		// D3: estimate qhat from the top two limbs of u[j..j+n].
+		u2 := uint64(u[j+n])<<WordBits | uint64(u[j+n-1])
+		qhat := u2 / vTop
+		rhat := u2 % vTop
+		if qhat > 0xFFFFFFFF {
+			qhat = 0xFFFFFFFF
+			rhat = u2 - qhat*vTop
+		}
+		for rhat <= 0xFFFFFFFF && qhat*vNext > rhat<<WordBits|uint64(u[j+n-2]) {
+			qhat--
+			rhat += vTop
+		}
+		// D4: multiply and subtract u[j..j+n] -= qhat * yn.
+		var borrow, mulCarry uint64
+		for i := 0; i < n; i++ {
+			p := qhat*uint64(yn[i]) + mulCarry
+			mulCarry = p >> WordBits
+			d := uint64(u[j+i]) - (p & 0xFFFFFFFF) - borrow
+			u[j+i] = Word(d)
+			borrow = (d >> 32) & 1
+		}
+		d := uint64(u[j+n]) - mulCarry - borrow
+		u[j+n] = Word(d)
+		borrow = (d >> 32) & 1
+
+		// D5/D6: if we subtracted one time too many, add yn back.
+		if borrow != 0 {
+			qhat--
+			var carry uint64
+			for i := 0; i < n; i++ {
+				s := uint64(u[j+i]) + uint64(yn[i]) + carry
+				u[j+i] = Word(s)
+				carry = s >> WordBits
+			}
+			u[j+n] = Word(uint64(u[j+n]) + carry)
+		}
+		q[j] = Word(qhat)
+	}
+	// D8: denormalize the remainder.
+	r := Rsh(trim(u[:n]), shift)
+	return trim(q), r
+}
+
+// GCD returns the greatest common divisor of x and y (binary GCD).
+func GCD(x, y Nat) Nat {
+	x, y = trim(x).Clone(), trim(y).Clone()
+	if len(x) == 0 {
+		return y
+	}
+	if len(y) == 0 {
+		return x
+	}
+	sx := x.TrailingZeroBits()
+	sy := y.TrailingZeroBits()
+	shift := sx
+	if sy < shift {
+		shift = sy
+	}
+	x = Rsh(x, sx)
+	y = Rsh(y, sy)
+	for {
+		if Cmp(x, y) > 0 {
+			x, y = y, x
+		}
+		y = Sub(y, x)
+		if y.IsZero() {
+			return Lsh(x, shift)
+		}
+		y = Rsh(y, y.TrailingZeroBits())
+	}
+}
+
+// LCM returns the least common multiple of x and y.
+func LCM(x, y Nat) Nat {
+	if x.IsZero() || y.IsZero() {
+		return nil
+	}
+	return Mul(Div(x, GCD(x, y)), y)
+}
+
+// ModInverse returns x⁻¹ mod n and true when gcd(x, n) == 1, or nil and
+// false otherwise. It uses the extended Euclidean algorithm with signed
+// bookkeeping carried in (value, sign) pairs since Nat is unsigned.
+func ModInverse(x, n Nat) (Nat, bool) {
+	x, n = trim(x), trim(n)
+	if len(n) == 0 || n.IsOne() {
+		return nil, false
+	}
+	x = Mod(x, n)
+	if x.IsZero() {
+		return nil, false
+	}
+	// Invariants: r0 = s0*x mod n, r1 = s1*x mod n, with signs g0, g1.
+	r0, r1 := n.Clone(), x.Clone()
+	s0, s1 := Zero(), One()
+	g0, g1 := 1, 1
+	for !r1.IsZero() {
+		q, r := DivMod(r0, r1)
+		r0, r1 = r1, r
+		// ns = s0 - q*s1 with explicit sign tracking (sign 0 means value 0).
+		qs1 := Mul(q, s1)
+		var ns Nat
+		var ng int
+		switch {
+		case s0.IsZero():
+			ns, ng = qs1, -g1
+		case qs1.IsZero():
+			ns, ng = s0, g0
+		case g0 == g1:
+			d, sign := CmpSub(s0, qs1)
+			ns, ng = d, sign*g0
+		default:
+			ns, ng = Add(s0, qs1), g0
+		}
+		if ns.IsZero() {
+			ng = 0
+		}
+		s0, s1, g0, g1 = s1, ns, g1, ng
+	}
+	if !r0.IsOne() {
+		return nil, false
+	}
+	if g0 < 0 {
+		return Sub(n, Mod(s0, n)), true
+	}
+	return Mod(s0, n), true
+}

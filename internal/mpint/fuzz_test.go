@@ -1,0 +1,87 @@
+package mpint
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestMixedOpsDifferential drives long random sequences of mixed operations
+// through both mpint and math/big, comparing after every step — the closest
+// a deterministic suite gets to fuzzing the arithmetic core.
+func TestMixedOpsDifferential(t *testing.T) {
+	r := NewRNG(0xF00D)
+	for seq := 0; seq < 20; seq++ {
+		x := randNat(r, 256)
+		bx := toBig(x)
+		for step := 0; step < 150; step++ {
+			y := randNat(r, 200)
+			by := toBig(y)
+			op := r.Intn(8)
+			switch op {
+			case 0:
+				x = Add(x, y)
+				bx.Add(bx, by)
+			case 1:
+				if Cmp(x, y) >= 0 {
+					x = Sub(x, y)
+					bx.Sub(bx, by)
+				}
+			case 2:
+				x = Mul(x, y)
+				bx.Mul(bx, by)
+			case 3:
+				if !y.IsZero() {
+					x = Div(x, y)
+					bx.Quo(bx, by)
+				}
+			case 4:
+				if !y.IsZero() {
+					x = Mod(x, y)
+					bx.Mod(bx, by)
+				}
+			case 5:
+				s := uint(r.Intn(64))
+				x = Lsh(x, s)
+				bx.Lsh(bx, s)
+			case 6:
+				s := uint(r.Intn(64))
+				x = Rsh(x, s)
+				bx.Rsh(bx, s)
+			case 7:
+				x = GCD(x, y)
+				bx.GCD(nil, nil, bx, by)
+			}
+			if toBig(x).Cmp(bx) != 0 {
+				t.Fatalf("seq %d step %d op %d diverged: mpint=%s big=%s", seq, step, op, x, bx)
+			}
+			// Keep the working value from exploding (mul chains).
+			if x.BitLen() > 4096 {
+				x = Rsh(x, uint(x.BitLen()-512))
+				bx.Rsh(bx, uint(bx.BitLen()-512))
+			}
+		}
+	}
+}
+
+// TestModExpCrossCheckLargeSweep sweeps modulus widths around word
+// boundaries where limb logic is most fragile.
+func TestModExpCrossCheckLargeSweep(t *testing.T) {
+	r := NewRNG(0xBEEF)
+	for _, bits := range []int{33, 63, 64, 65, 95, 96, 97, 127, 128, 129, 255, 257} {
+		n := r.RandBits(bits)
+		n[0] |= 1
+		if n.IsOne() {
+			continue
+		}
+		m := NewMont(n)
+		for i := 0; i < 10; i++ {
+			base := r.RandBelow(n)
+			e := r.RandBits(1 + r.Intn(bits))
+			got := m.Exp(base, e)
+			want := new(big.Int).Exp(toBig(base), toBig(e), toBig(n))
+			if toBig(got).Cmp(want) != 0 {
+				t.Fatalf("bits=%d: Exp mismatch", bits)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package mpint
+
+// Mont is a Montgomery multiplication context for a fixed odd modulus n.
+// It precomputes n' = -n⁻¹ mod 2³² (the per-word inverse used by CIOS,
+// Algorithm 1 in the paper) and R² mod n for conversion into Montgomery
+// form, where R = 2^(32·k) and k = len(n) in limbs.
+type Mont struct {
+	n      Nat    // the modulus, trimmed
+	k      int    // limb count of n; R = 2^(32k)
+	n0inv  Word   // -n[0]⁻¹ mod 2³²
+	rr     Nat    // R² mod n
+	one    Nat    // R mod n (the Montgomery form of 1)
+	nWords []Word // n padded to exactly k limbs
+}
+
+// NewMont builds a context for odd modulus n ≥ 3. It panics on even or
+// too-small moduli, which indicate programmer error upstream.
+func NewMont(n Nat) *Mont {
+	n = trim(n)
+	if len(n) == 0 || n.IsEven() || (len(n) == 1 && n[0] < 3) {
+		panic("mpint: Montgomery modulus must be odd and >= 3")
+	}
+	k := len(n)
+	m := &Mont{n: n.Clone(), k: k, nWords: n.Words(k)}
+	m.n0inv = negInvWord(n[0])
+	// R mod n and R² mod n via plain division (setup cost only).
+	r := Lsh(One(), uint(k*WordBits))
+	m.one = Mod(r, n)
+	m.rr = Mod(Mul(m.one, m.one), n)
+	return m
+}
+
+// negInvWord returns -w⁻¹ mod 2³² for odd w using Newton iteration:
+// each step doubles the number of correct low bits.
+func negInvWord(w Word) Word {
+	inv := w // 2^3 correct bits to start (w·w ≡ 1 mod 8 for odd w)
+	for i := 0; i < 4; i++ {
+		inv *= 2 - w*inv
+	}
+	return -inv
+}
+
+// N returns the modulus.
+func (m *Mont) N() Nat { return m.n }
+
+// Limbs returns the limb count k of the modulus (R = 2^(32k)).
+func (m *Mont) Limbs() int { return m.k }
+
+// N0Inv returns -n⁻¹ mod 2³², the CIOS per-word constant.
+func (m *Mont) N0Inv() Word { return m.n0inv }
+
+// RR returns R² mod n.
+func (m *Mont) RR() Nat { return m.rr }
+
+// ToMont converts x (< n) into Montgomery form: x·R mod n.
+func (m *Mont) ToMont(x Nat) Nat { return m.Mul(x, m.rr) }
+
+// FromMont converts out of Montgomery form: x·R⁻¹ mod n.
+func (m *Mont) FromMont(x Nat) Nat { return m.Mul(x, One()) }
+
+// MontOne returns the Montgomery form of 1 (R mod n).
+func (m *Mont) MontOne() Nat { return m.one.Clone() }
+
+// Mul returns a·b·R⁻¹ mod n using the CIOS (coarsely integrated operand
+// scanning) method — the serial reference for the paper's Algorithm 1/2.
+// Inputs must be < n.
+func (m *Mont) Mul(a, b Nat) Nat {
+	k := m.k
+	aw := a.Words(k)
+	bw := b.Words(k)
+	t := make([]uint64, k+2) // t[k+1] never exceeds 1
+	for i := 0; i < k; i++ {
+		// t += a * b[i]
+		var carry uint64
+		bi := uint64(bw[i])
+		for j := 0; j < k; j++ {
+			s := t[j] + uint64(aw[j])*bi + carry
+			t[j] = s & 0xFFFFFFFF
+			carry = s >> WordBits
+		}
+		s := t[k] + carry
+		t[k] = s & 0xFFFFFFFF
+		t[k+1] += s >> WordBits
+
+		// mi = t[0] * n' mod 2³²; t += mi * n; t >>= 32
+		mi := uint64(Word(t[0]) * m.n0inv)
+		s = t[0] + mi*uint64(m.nWords[0])
+		carry = s >> WordBits
+		for j := 1; j < k; j++ {
+			s = t[j] + mi*uint64(m.nWords[j]) + carry
+			t[j-1] = s & 0xFFFFFFFF
+			carry = s >> WordBits
+		}
+		s = t[k] + carry
+		t[k-1] = s & 0xFFFFFFFF
+		t[k] = t[k+1] + s>>WordBits
+		t[k+1] = 0
+	}
+	// Final conditional subtraction.
+	z := make(Nat, k)
+	for i := 0; i < k; i++ {
+		z[i] = Word(t[i])
+	}
+	if t[k] != 0 || Cmp(z, m.n) >= 0 {
+		// z may exceed n by less than n (t[k] ≤ 1), so one subtraction with
+		// the implicit 2^(32k) bit suffices.
+		var borrow uint64
+		for i := 0; i < k; i++ {
+			d := uint64(z[i]) - uint64(m.nWords[i]) - borrow
+			z[i] = Word(d)
+			borrow = (d >> 32) & 1
+		}
+	}
+	return trim(z)
+}
+
+// expWindowBits chooses the sliding-window width for an exponent of the
+// given bit length, balancing table precomputation against saved multiplies.
+func expWindowBits(expBits int) uint {
+	switch {
+	case expBits <= 8:
+		return 1
+	case expBits <= 64:
+		return 3
+	case expBits <= 512:
+		return 4
+	case expBits <= 2048:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// Exp returns base^e mod n using left-to-right sliding-window exponentiation
+// over Montgomery multiplication — the paper's "extension of the sliding
+// window exponential method", reducing the multiply count from e to
+// roughly log₂(e)·(1 + 1/w) plus 2^(w−1) table entries. The window width is
+// chosen from the exponent size; ExpWindow fixes it explicitly.
+func (m *Mont) Exp(base, e Nat) Nat {
+	return m.ExpWindow(base, e, expWindowBits(e.BitLen()))
+}
+
+// ExpWindow is Exp with a caller-chosen window width w ∈ [1, 12] — exposed
+// for the window-size ablation benchmark.
+func (m *Mont) ExpWindow(base, e Nat, w uint) Nat {
+	if w < 1 || w > 12 {
+		panic("mpint: ExpWindow width out of range")
+	}
+	base = Mod(base, m.n)
+	if e.IsZero() {
+		return One()
+	}
+	bm := m.ToMont(base)
+	// Precompute odd powers base^1, base^3, ..., base^(2^w - 1) in Montgomery
+	// form.
+	tbl := make([]Nat, 1<<(w-1))
+	tbl[0] = bm
+	if w > 1 {
+		b2 := m.Mul(bm, bm)
+		for i := 1; i < len(tbl); i++ {
+			tbl[i] = m.Mul(tbl[i-1], b2)
+		}
+	}
+	acc := m.one.Clone()
+	i := e.BitLen() - 1
+	for i >= 0 {
+		if e.Bit(i) == 0 {
+			acc = m.Mul(acc, acc)
+			i--
+			continue
+		}
+		// Find the longest window [i..j] (≤ w bits) ending in a 1 bit.
+		j := i - int(w) + 1
+		if j < 0 {
+			j = 0
+		}
+		for e.Bit(j) == 0 {
+			j++
+		}
+		var win uint
+		for b := i; b >= j; b-- {
+			acc = m.Mul(acc, acc)
+			win = win<<1 | e.Bit(b)
+		}
+		acc = m.Mul(acc, tbl[win>>1])
+		i = j - 1
+	}
+	return m.FromMont(acc)
+}
+
+// ModExp returns base^e mod n for any modulus n ≥ 1. Odd moduli use
+// Montgomery sliding-window exponentiation; even moduli fall back to
+// square-and-multiply with explicit division (rare in this codebase —
+// Paillier and RSA moduli are odd).
+func ModExp(base, e, n Nat) Nat {
+	n = trim(n)
+	if len(n) == 0 {
+		panic("mpint: ModExp modulus is zero")
+	}
+	if n.IsOne() {
+		return nil
+	}
+	if !n.IsEven() {
+		return NewMont(n).Exp(base, e)
+	}
+	result := One()
+	b := Mod(base, n)
+	for i := 0; i < e.BitLen(); i++ {
+		if e.Bit(i) == 1 {
+			result = Mod(Mul(result, b), n)
+		}
+		b = Mod(Mul(b, b), n)
+	}
+	return result
+}
+
+// ModMul returns a*b mod n.
+func ModMul(a, b, n Nat) Nat { return Mod(Mul(a, b), n) }
+
+// ModAdd returns (a+b) mod n.
+func ModAdd(a, b, n Nat) Nat { return Mod(Add(a, b), n) }
+
+// ModSub returns (a-b) mod n for a, b < n.
+func ModSub(a, b, n Nat) Nat {
+	d, sign := CmpSub(Mod(a, n), Mod(b, n))
+	if sign < 0 {
+		return Sub(n, d)
+	}
+	return d
+}

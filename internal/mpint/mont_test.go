@@ -1,0 +1,187 @@
+package mpint
+
+import (
+	"math/big"
+	"testing"
+)
+
+// randOdd returns a random odd modulus with the given bit width.
+func randOdd(r *RNG, bits int) Nat {
+	n := r.RandBits(bits)
+	n[0] |= 1
+	return n
+}
+
+func TestNegInvWord(t *testing.T) {
+	r := NewRNG(30)
+	for i := 0; i < 1000; i++ {
+		w := r.Word() | 1
+		inv := negInvWord(w)
+		if w*(-inv) != 1 { // w * w^-1 == 1 mod 2^32
+			t.Fatalf("negInvWord(%#x) = %#x invalid", w, inv)
+		}
+	}
+}
+
+func TestMontMulDifferential(t *testing.T) {
+	r := NewRNG(31)
+	for i := 0; i < 300; i++ {
+		n := randOdd(r, 64+r.Intn(512))
+		m := NewMont(n)
+		a, b := r.RandBelow(n), r.RandBelow(n)
+		// mont.Mul computes a*b*R^-1; check via Montgomery round trip.
+		got := m.FromMont(m.Mul(m.ToMont(a), m.ToMont(b)))
+		want := new(big.Int).Mod(new(big.Int).Mul(toBig(a), toBig(b)), toBig(n))
+		if toBig(got).Cmp(want) != 0 {
+			t.Fatalf("mont mul mismatch: %s * %s mod %s = %s, want %s", a, b, n, got, want)
+		}
+	}
+}
+
+func TestMontRoundTrip(t *testing.T) {
+	r := NewRNG(32)
+	for i := 0; i < 200; i++ {
+		n := randOdd(r, 32+r.Intn(256))
+		m := NewMont(n)
+		x := r.RandBelow(n)
+		if got := m.FromMont(m.ToMont(x)); Cmp(got, x) != 0 {
+			t.Fatalf("Montgomery round trip failed: %s -> %s (mod %s)", x, got, n)
+		}
+	}
+}
+
+func TestMontOne(t *testing.T) {
+	m := NewMont(FromUint64(1000003))
+	if got := m.FromMont(m.MontOne()); !got.IsOne() {
+		t.Fatalf("FromMont(MontOne) = %s", got)
+	}
+}
+
+func TestMontRejectsBadModulus(t *testing.T) {
+	for _, n := range []Nat{nil, FromUint64(8), FromUint64(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMont(%s) should panic", n)
+				}
+			}()
+			NewMont(n)
+		}()
+	}
+}
+
+func TestExpDifferential(t *testing.T) {
+	r := NewRNG(33)
+	for i := 0; i < 150; i++ {
+		n := randOdd(r, 64+r.Intn(384))
+		m := NewMont(n)
+		base := r.RandBelow(n)
+		e := randNat(r, 300)
+		got := m.Exp(base, e)
+		want := new(big.Int).Exp(toBig(base), toBig(e), toBig(n))
+		if toBig(got).Cmp(want) != 0 {
+			t.Fatalf("Exp(%s, %s) mod %s = %s, want %s", base, e, n, got, want)
+		}
+	}
+}
+
+func TestExpEdgeCases(t *testing.T) {
+	m := NewMont(FromUint64(1000003))
+	if got := m.Exp(FromUint64(5), Zero()); !got.IsOne() {
+		t.Errorf("x^0 = %s", got)
+	}
+	if got := m.Exp(Zero(), FromUint64(17)); !got.IsZero() {
+		t.Errorf("0^e = %s", got)
+	}
+	if got := m.Exp(Zero(), Zero()); !got.IsOne() {
+		t.Errorf("0^0 = %s (convention: 1)", got)
+	}
+	// base >= n must be reduced first.
+	if got := m.Exp(FromUint64(2000006), FromUint64(3)); !got.IsZero() {
+		t.Errorf("(2n)^3 mod n = %s", got)
+	}
+}
+
+func TestModExpEvenModulus(t *testing.T) {
+	r := NewRNG(34)
+	for i := 0; i < 100; i++ {
+		n := AddWord(Lsh(randNat(r, 128), 1), 2) // even, >= 2
+		base := randNat(r, 128)
+		e := randNat(r, 64)
+		got := ModExp(base, e, n)
+		want := new(big.Int).Exp(toBig(base), toBig(e), toBig(n))
+		if toBig(got).Cmp(want) != 0 {
+			t.Fatalf("even ModExp(%s,%s,%s) = %s, want %s", base, e, n, got, want)
+		}
+	}
+}
+
+func TestModExpModulusOne(t *testing.T) {
+	if got := ModExp(FromUint64(5), FromUint64(3), One()); !got.IsZero() {
+		t.Fatalf("x^e mod 1 = %s", got)
+	}
+}
+
+func TestModArithHelpers(t *testing.T) {
+	r := NewRNG(35)
+	for i := 0; i < 300; i++ {
+		n := AddWord(randNat(r, 128), 2)
+		a, b := r.RandBelow(n), r.RandBelow(n)
+		bn := toBig(n)
+		if toBig(ModMul(a, b, n)).Cmp(new(big.Int).Mod(new(big.Int).Mul(toBig(a), toBig(b)), bn)) != 0 {
+			t.Fatal("ModMul mismatch")
+		}
+		if toBig(ModAdd(a, b, n)).Cmp(new(big.Int).Mod(new(big.Int).Add(toBig(a), toBig(b)), bn)) != 0 {
+			t.Fatal("ModAdd mismatch")
+		}
+		wantSub := new(big.Int).Mod(new(big.Int).Sub(toBig(a), toBig(b)), bn)
+		if toBig(ModSub(a, b, n)).Cmp(wantSub) != 0 {
+			t.Fatalf("ModSub(%s,%s,%s) mismatch", a, b, n)
+		}
+	}
+}
+
+func TestFermatLittleTheorem(t *testing.T) {
+	// a^(p-1) ≡ 1 mod p for prime p and gcd(a,p)=1 — an end-to-end sanity
+	// check tying Exp, Mont and the prime generator together.
+	r := NewRNG(36)
+	p := r.RandPrime(96)
+	m := NewMont(p)
+	for i := 0; i < 20; i++ {
+		a := AddWord(r.RandBelow(SubWord(p, 1)), 1)
+		if got := m.Exp(a, SubWord(p, 1)); !got.IsOne() {
+			t.Fatalf("Fermat failed: %s^(p-1) mod %s = %s", a, p, got)
+		}
+	}
+}
+
+func BenchmarkMontMul1024(b *testing.B) { benchMontMul(b, 1024) }
+func BenchmarkMontMul2048(b *testing.B) { benchMontMul(b, 2048) }
+func BenchmarkMontMul4096(b *testing.B) { benchMontMul(b, 4096) }
+
+func benchMontMul(b *testing.B, bits int) {
+	r := NewRNG(40)
+	n := randOdd(r, bits)
+	m := NewMont(n)
+	x := m.ToMont(r.RandBelow(n))
+	y := m.ToMont(r.RandBelow(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = m.Mul(x, y)
+	}
+}
+
+func BenchmarkModExp1024(b *testing.B) { benchModExp(b, 1024) }
+func BenchmarkModExp2048(b *testing.B) { benchModExp(b, 2048) }
+
+func benchModExp(b *testing.B, bits int) {
+	r := NewRNG(41)
+	n := randOdd(r, bits)
+	m := NewMont(n)
+	base := r.RandBelow(n)
+	e := r.RandBits(bits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Exp(base, e)
+	}
+}

@@ -1,0 +1,84 @@
+package mpint
+
+// karatsubaThreshold is the limb count above which multiplication switches
+// from schoolbook to Karatsuba. 32 limbs = 1024 bits, around where the
+// asymptotics win for 32-bit limbs.
+const karatsubaThreshold = 32
+
+// Mul returns x * y.
+func Mul(x, y Nat) Nat {
+	x, y = trim(x), trim(y)
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	if len(x) == 1 {
+		return mulWord(y, x[0])
+	}
+	if len(y) == 1 {
+		return mulWord(x, y[0])
+	}
+	if len(x) < karatsubaThreshold || len(y) < karatsubaThreshold {
+		return mulSchoolbook(x, y)
+	}
+	return mulKaratsuba(x, y)
+}
+
+// mulWord returns x * w.
+func mulWord(x Nat, w Word) Nat {
+	x = trim(x)
+	if len(x) == 0 || w == 0 {
+		return nil
+	}
+	z := make(Nat, len(x)+1)
+	var carry uint64
+	for i, xi := range x {
+		p := uint64(xi)*uint64(w) + carry
+		z[i] = Word(p)
+		carry = p >> WordBits
+	}
+	z[len(x)] = Word(carry)
+	return trim(z)
+}
+
+// mulSchoolbook is the O(n·m) product.
+func mulSchoolbook(x, y Nat) Nat {
+	z := make(Nat, len(x)+len(y))
+	for i, yi := range y {
+		if yi == 0 {
+			continue
+		}
+		var carry uint64
+		for j, xj := range x {
+			p := uint64(xj)*uint64(yi) + uint64(z[i+j]) + carry
+			z[i+j] = Word(p)
+			carry = p >> WordBits
+		}
+		z[i+len(x)] = Word(carry)
+	}
+	return trim(z)
+}
+
+// mulKaratsuba splits both operands at half the shorter length and recurses:
+// x = x1·B + x0, y = y1·B + y0,
+// xy = x1y1·B² + ((x1+x0)(y1+y0) − x1y1 − x0y0)·B + x0y0.
+func mulKaratsuba(x, y Nat) Nat {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	half := n / 2
+	x0, x1 := trim(x[:half]), trim(x[half:])
+	y0, y1 := trim(y[:half]), trim(y[half:])
+
+	z0 := Mul(x0, y0)
+	z2 := Mul(x1, y1)
+	mid := Mul(Add(x0, x1), Add(y0, y1))
+	mid = Sub(Sub(mid, z0), z2)
+
+	res := Add(z0, Lsh(mid, uint(half*WordBits)))
+	res = Add(res, Lsh(z2, uint(2*half*WordBits)))
+	return res
+}
+
+// Sqr returns x².
+func Sqr(x Nat) Nat { return Mul(x, x) }

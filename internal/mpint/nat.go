@@ -1,0 +1,407 @@
+// Package mpint implements arbitrary-precision unsigned integer arithmetic
+// from scratch on 32-bit limbs.
+//
+// The representation mirrors the paper's FRNS ("radix-based multi-precision
+// number system"): an integer is a little-endian vector of w-bit words with
+// w = 32, so that one simulated GPU thread can own a contiguous run of words
+// (see internal/ghe for the limb-parallel kernels built on top).
+//
+// The package provides the full arithmetic substrate required by Paillier
+// and RSA: addition, subtraction, multiplication (schoolbook and Karatsuba),
+// Knuth Algorithm-D division, Montgomery multiplication (the CIOS method of
+// Algorithm 1 in the paper), sliding-window modular exponentiation, binary
+// extended-GCD modular inverse, and Miller–Rabin prime generation.
+//
+// math/big is deliberately not used anywhere in this package; the test suite
+// uses it only as a differential oracle.
+package mpint
+
+import "fmt"
+
+// Word is a single limb. The paper's FRNS uses the machine word size; we fix
+// w = 32 so that every carry chain fits in a uint64 intermediate.
+type Word = uint32
+
+// WordBits is the number of bits per limb.
+const WordBits = 32
+
+// Nat is an unsigned multi-precision integer stored as little-endian limbs.
+// The canonical form has no trailing zero limbs; the zero value (nil) is 0.
+// Nat values are immutable by convention: arithmetic functions allocate
+// fresh results and never alias their inputs.
+type Nat []Word
+
+// trim removes trailing zero limbs, returning the canonical form.
+func trim(x Nat) Nat {
+	i := len(x)
+	for i > 0 && x[i-1] == 0 {
+		i--
+	}
+	return x[:i]
+}
+
+// Zero returns the canonical zero.
+func Zero() Nat { return nil }
+
+// One returns the canonical one.
+func One() Nat { return Nat{1} }
+
+// FromUint64 converts a uint64 into a Nat.
+func FromUint64(v uint64) Nat {
+	if v == 0 {
+		return nil
+	}
+	if v <= 0xFFFFFFFF {
+		return Nat{Word(v)}
+	}
+	return Nat{Word(v), Word(v >> 32)}
+}
+
+// Uint64 returns the low 64 bits of x and whether x fits in a uint64.
+func (x Nat) Uint64() (v uint64, ok bool) {
+	switch len(x) {
+	case 0:
+		return 0, true
+	case 1:
+		return uint64(x[0]), true
+	case 2:
+		return uint64(x[0]) | uint64(x[1])<<32, true
+	default:
+		return uint64(x[0]) | uint64(x[1])<<32, false
+	}
+}
+
+// IsZero reports whether x == 0.
+func (x Nat) IsZero() bool { return len(trim(x)) == 0 }
+
+// IsOne reports whether x == 1.
+func (x Nat) IsOne() bool {
+	t := trim(x)
+	return len(t) == 1 && t[0] == 1
+}
+
+// IsEven reports whether x is even.
+func (x Nat) IsEven() bool { return len(x) == 0 || x[0]&1 == 0 }
+
+// Clone returns an independent copy of x.
+func (x Nat) Clone() Nat {
+	if len(x) == 0 {
+		return nil
+	}
+	c := make(Nat, len(x))
+	copy(c, x)
+	return c
+}
+
+// BitLen returns the length of x in bits; BitLen(0) == 0.
+func (x Nat) BitLen() int {
+	t := trim(x)
+	if len(t) == 0 {
+		return 0
+	}
+	top := t[len(t)-1]
+	n := (len(t) - 1) * WordBits
+	for top != 0 {
+		n++
+		top >>= 1
+	}
+	return n
+}
+
+// Bit returns bit i of x (0 or 1). Bits beyond BitLen are 0.
+func (x Nat) Bit(i int) uint {
+	if i < 0 {
+		panic("mpint: negative bit index")
+	}
+	w, b := i/WordBits, uint(i%WordBits)
+	if w >= len(x) {
+		return 0
+	}
+	return uint(x[w]>>b) & 1
+}
+
+// Cmp compares x and y, returning -1, 0, or +1.
+func Cmp(x, y Nat) int {
+	x, y = trim(x), trim(y)
+	if len(x) != len(y) {
+		if len(x) < len(y) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(x) - 1; i >= 0; i-- {
+		if x[i] != y[i] {
+			if x[i] < y[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Add returns x + y.
+func Add(x, y Nat) Nat {
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	z := make(Nat, len(x)+1)
+	var carry uint64
+	for i := 0; i < len(y); i++ {
+		s := uint64(x[i]) + uint64(y[i]) + carry
+		z[i] = Word(s)
+		carry = s >> WordBits
+	}
+	for i := len(y); i < len(x); i++ {
+		s := uint64(x[i]) + carry
+		z[i] = Word(s)
+		carry = s >> WordBits
+	}
+	z[len(x)] = Word(carry)
+	return trim(z)
+}
+
+// AddWord returns x + w.
+func AddWord(x Nat, w Word) Nat { return Add(x, Nat{w}) }
+
+// Sub returns x - y. It panics if y > x; unsigned arithmetic has no
+// representation for negative values (use CmpSub when the sign is unknown).
+func Sub(x, y Nat) Nat {
+	d, borrow := subBorrow(x, y)
+	if borrow != 0 {
+		panic("mpint: Sub underflow")
+	}
+	return d
+}
+
+// CmpSub returns |x-y| together with the sign of x-y (-1, 0, +1).
+func CmpSub(x, y Nat) (diff Nat, sign int) {
+	switch Cmp(x, y) {
+	case 0:
+		return nil, 0
+	case 1:
+		return Sub(x, y), 1
+	default:
+		return Sub(y, x), -1
+	}
+}
+
+// subBorrow computes x - y, returning the difference and the final borrow
+// (1 when y > x, in which case diff is the two's-complement wraparound).
+func subBorrow(x, y Nat) (Nat, Word) {
+	x, y = trim(x), trim(y)
+	n := len(x)
+	if len(y) > n {
+		n = len(y)
+	}
+	z := make(Nat, n)
+	var borrow uint64
+	for i := 0; i < n; i++ {
+		var xi, yi uint64
+		if i < len(x) {
+			xi = uint64(x[i])
+		}
+		if i < len(y) {
+			yi = uint64(y[i])
+		}
+		d := xi - yi - borrow
+		z[i] = Word(d)
+		borrow = (d >> 32) & 1 // d went negative iff bit 32.. set after wrap
+	}
+	return trim(z), Word(borrow)
+}
+
+// SubWord returns x - w, panicking on underflow.
+func SubWord(x Nat, w Word) Nat { return Sub(x, Nat{w}) }
+
+// Lsh returns x << s.
+func Lsh(x Nat, s uint) Nat {
+	x = trim(x)
+	if len(x) == 0 || s == 0 {
+		return x.Clone()
+	}
+	words := int(s / WordBits)
+	bits := s % WordBits
+	z := make(Nat, len(x)+words+1)
+	if bits == 0 {
+		copy(z[words:], x)
+		return trim(z)
+	}
+	var carry Word
+	for i, xi := range x {
+		z[words+i] = xi<<bits | carry
+		carry = Word(uint64(xi) >> (WordBits - bits))
+	}
+	z[words+len(x)] = carry
+	return trim(z)
+}
+
+// Rsh returns x >> s.
+func Rsh(x Nat, s uint) Nat {
+	x = trim(x)
+	words := int(s / WordBits)
+	if len(x) == 0 || words >= len(x) {
+		return nil
+	}
+	bits := s % WordBits
+	z := make(Nat, len(x)-words)
+	if bits == 0 {
+		copy(z, x[words:])
+		return trim(z)
+	}
+	for i := 0; i < len(z); i++ {
+		lo := x[words+i] >> bits
+		var hi Word
+		if words+i+1 < len(x) {
+			hi = x[words+i+1] << (WordBits - bits)
+		}
+		z[i] = lo | hi
+	}
+	return trim(z)
+}
+
+// TrailingZeroBits returns the number of consecutive zero bits starting at
+// bit 0. TrailingZeroBits(0) == 0 by convention.
+func (x Nat) TrailingZeroBits() uint {
+	x = trim(x)
+	if len(x) == 0 {
+		return 0
+	}
+	var n uint
+	for i, w := range x {
+		if w == 0 {
+			continue
+		}
+		n = uint(i) * WordBits
+		for w&1 == 0 {
+			n++
+			w >>= 1
+		}
+		return n
+	}
+	return 0
+}
+
+// String formats x in decimal.
+func (x Nat) String() string {
+	x = trim(x)
+	if len(x) == 0 {
+		return "0"
+	}
+	// Repeatedly divide by 1e9 and emit 9-digit chunks.
+	const chunk = 1_000_000_000
+	rem := x.Clone()
+	var groups []uint32
+	for !rem.IsZero() {
+		var r uint64
+		q := make(Nat, len(rem))
+		for i := len(rem) - 1; i >= 0; i-- {
+			cur := r<<WordBits | uint64(rem[i])
+			q[i] = Word(cur / chunk)
+			r = cur % chunk
+		}
+		groups = append(groups, uint32(r))
+		rem = trim(q)
+	}
+	s := fmt.Sprintf("%d", groups[len(groups)-1])
+	for i := len(groups) - 2; i >= 0; i-- {
+		s += fmt.Sprintf("%09d", groups[i])
+	}
+	return s
+}
+
+// ParseDecimal parses a base-10 string into a Nat.
+func ParseDecimal(s string) (Nat, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("mpint: empty decimal string")
+	}
+	var z Nat
+	for i := 0; i < len(s); i += 9 {
+		end := i + 9
+		if end > len(s) {
+			end = len(s)
+		}
+		var chunk uint64
+		var pow uint64 = 1
+		for _, c := range s[i:end] {
+			if c < '0' || c > '9' {
+				return nil, fmt.Errorf("mpint: invalid digit %q", c)
+			}
+			chunk = chunk*10 + uint64(c-'0')
+			pow *= 10
+		}
+		z = Add(mulWord(z, Word(pow)), FromUint64(chunk))
+	}
+	return z, nil
+}
+
+// Bytes returns the big-endian byte encoding of x with no leading zeros;
+// Bytes(0) is an empty slice.
+func (x Nat) Bytes() []byte {
+	x = trim(x)
+	if len(x) == 0 {
+		return nil
+	}
+	buf := make([]byte, len(x)*4)
+	for i, w := range x {
+		off := len(buf) - 4*i
+		buf[off-1] = byte(w)
+		buf[off-2] = byte(w >> 8)
+		buf[off-3] = byte(w >> 16)
+		buf[off-4] = byte(w >> 24)
+	}
+	// strip leading zeros
+	i := 0
+	for i < len(buf)-1 && buf[i] == 0 {
+		i++
+	}
+	if buf[i] == 0 {
+		return nil
+	}
+	return buf[i:]
+}
+
+// FromBytes parses a big-endian byte slice into a Nat.
+func FromBytes(b []byte) Nat {
+	z := make(Nat, (len(b)+3)/4)
+	for i := 0; i < len(b); i++ {
+		// byte i from the big end contributes to bit position 8*(len-1-i)
+		shift := uint(8 * (len(b) - 1 - i))
+		z[shift/32] |= Word(b[i]) << (shift % 32)
+	}
+	return trim(z)
+}
+
+// FillBytes writes x into buf as a fixed-width big-endian value, zero-padded
+// on the left. It panics if x does not fit.
+func (x Nat) FillBytes(buf []byte) []byte {
+	b := x.Bytes()
+	if len(b) > len(buf) {
+		panic("mpint: FillBytes buffer too small")
+	}
+	for i := range buf[:len(buf)-len(b)] {
+		buf[i] = 0
+	}
+	copy(buf[len(buf)-len(b):], b)
+	return buf
+}
+
+// Words returns the little-endian limbs of x padded (or truncated, panicking
+// if information would be lost) to exactly n limbs. This is the layout the
+// GPU kernels operate on.
+func (x Nat) Words(n int) []Word {
+	x = trim(x)
+	if len(x) > n {
+		panic(fmt.Sprintf("mpint: value needs %d limbs, requested %d", len(x), n))
+	}
+	w := make([]Word, n)
+	copy(w, x)
+	return w
+}
+
+// FromWords builds a Nat from a little-endian limb slice.
+func FromWords(w []Word) Nat {
+	z := make(Nat, len(w))
+	copy(z, w)
+	return trim(z)
+}

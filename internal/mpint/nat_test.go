@@ -1,0 +1,355 @@
+package mpint
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts a Nat into the math/big oracle representation.
+func toBig(x Nat) *big.Int {
+	return new(big.Int).SetBytes(x.Bytes())
+}
+
+// fromBig converts a non-negative big.Int into a Nat.
+func fromBig(b *big.Int) Nat {
+	if b.Sign() < 0 {
+		panic("fromBig: negative")
+	}
+	return FromBytes(b.Bytes())
+}
+
+// randNat draws a random Nat with up to maxBits bits (possibly zero).
+func randNat(r *RNG, maxBits int) Nat {
+	bits := r.Intn(maxBits + 1)
+	if bits == 0 {
+		return nil
+	}
+	return r.RandBits(bits)
+}
+
+func TestFromUint64RoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 2, 0xFFFFFFFF, 0x100000000, 0xFFFFFFFFFFFFFFFF, 12345678901234}
+	for _, v := range cases {
+		got, ok := FromUint64(v).Uint64()
+		if !ok || got != v {
+			t.Errorf("FromUint64(%d) round trip = %d, ok=%v", v, got, ok)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 500; i++ {
+		x := randNat(r, 300)
+		got := FromBytes(x.Bytes())
+		if Cmp(got, x) != 0 {
+			t.Fatalf("bytes round trip failed for %s", x)
+		}
+		if !bytes.Equal(x.Bytes(), toBig(x).Bytes()) {
+			t.Fatalf("Bytes disagrees with big.Int for %s", x)
+		}
+	}
+}
+
+func TestFillBytes(t *testing.T) {
+	x := FromUint64(0xDEADBEEF)
+	buf := x.FillBytes(make([]byte, 8))
+	want := []byte{0, 0, 0, 0, 0xDE, 0xAD, 0xBE, 0xEF}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("FillBytes = %x, want %x", buf, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FillBytes should panic when the value does not fit")
+		}
+	}()
+	x.FillBytes(make([]byte, 3))
+}
+
+func TestDecimalRoundTrip(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 200; i++ {
+		x := randNat(r, 256)
+		s := x.String()
+		if s != toBig(x).String() {
+			t.Fatalf("String() = %s, big says %s", s, toBig(x))
+		}
+		back, err := ParseDecimal(s)
+		if err != nil {
+			t.Fatalf("ParseDecimal(%s): %v", s, err)
+		}
+		if Cmp(back, x) != 0 {
+			t.Fatalf("decimal round trip failed for %s", s)
+		}
+	}
+}
+
+func TestParseDecimalErrors(t *testing.T) {
+	for _, s := range []string{"", "12a3", "-5", " 1"} {
+		if _, err := ParseDecimal(s); err == nil {
+			t.Errorf("ParseDecimal(%q) should fail", s)
+		}
+	}
+}
+
+func TestAddSubDifferential(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 2000; i++ {
+		x, y := randNat(r, 400), randNat(r, 400)
+		sum := Add(x, y)
+		want := new(big.Int).Add(toBig(x), toBig(y))
+		if toBig(sum).Cmp(want) != 0 {
+			t.Fatalf("Add(%s,%s) = %s, want %s", x, y, sum, want)
+		}
+		back := Sub(sum, y)
+		if Cmp(back, x) != 0 {
+			t.Fatalf("Sub(Add(x,y),y) != x for x=%s y=%s", x, y)
+		}
+	}
+}
+
+func TestSubUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub should panic on underflow")
+		}
+	}()
+	Sub(FromUint64(1), FromUint64(2))
+}
+
+func TestCmpSub(t *testing.T) {
+	d, sign := CmpSub(FromUint64(5), FromUint64(9))
+	if sign != -1 || Cmp(d, FromUint64(4)) != 0 {
+		t.Fatalf("CmpSub(5,9) = %s, %d", d, sign)
+	}
+	d, sign = CmpSub(FromUint64(9), FromUint64(5))
+	if sign != 1 || Cmp(d, FromUint64(4)) != 0 {
+		t.Fatalf("CmpSub(9,5) = %s, %d", d, sign)
+	}
+	if _, sign = CmpSub(FromUint64(7), FromUint64(7)); sign != 0 {
+		t.Fatalf("CmpSub(7,7) sign = %d", sign)
+	}
+}
+
+func TestMulDifferential(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 800; i++ {
+		x, y := randNat(r, 600), randNat(r, 600)
+		got := Mul(x, y)
+		want := new(big.Int).Mul(toBig(x), toBig(y))
+		if toBig(got).Cmp(want) != 0 {
+			t.Fatalf("Mul mismatch for %s * %s", x, y)
+		}
+	}
+}
+
+func TestMulKaratsubaLarge(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 40; i++ {
+		// Force the Karatsuba path (> 32 limbs = 1024 bits), including
+		// lopsided operand sizes.
+		x := r.RandBits(2048 + r.Intn(2048))
+		y := r.RandBits(1100 + r.Intn(4096))
+		got := Mul(x, y)
+		want := new(big.Int).Mul(toBig(x), toBig(y))
+		if toBig(got).Cmp(want) != 0 {
+			t.Fatalf("Karatsuba mismatch at %d x %d bits", x.BitLen(), y.BitLen())
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	r := NewRNG(6)
+	for i := 0; i < 500; i++ {
+		x := randNat(r, 300)
+		s := uint(r.Intn(200))
+		if toBig(Lsh(x, s)).Cmp(new(big.Int).Lsh(toBig(x), s)) != 0 {
+			t.Fatalf("Lsh(%s, %d) wrong", x, s)
+		}
+		if toBig(Rsh(x, s)).Cmp(new(big.Int).Rsh(toBig(x), s)) != 0 {
+			t.Fatalf("Rsh(%s, %d) wrong", x, s)
+		}
+	}
+}
+
+func TestBitLenAndBit(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 300; i++ {
+		x := randNat(r, 200)
+		if x.BitLen() != toBig(x).BitLen() {
+			t.Fatalf("BitLen(%s) = %d, want %d", x, x.BitLen(), toBig(x).BitLen())
+		}
+		for _, b := range []int{0, 1, 31, 32, 63, 199} {
+			if x.Bit(b) != toBig(x).Bit(b) {
+				t.Fatalf("Bit(%s, %d) mismatch", x, b)
+			}
+		}
+	}
+}
+
+func TestTrailingZeroBits(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want uint
+	}{{0, 0}, {1, 0}, {2, 1}, {8, 3}, {0x100000000, 32}, {3 << 20, 20}}
+	for _, c := range cases {
+		if got := FromUint64(c.v).TrailingZeroBits(); got != c.want {
+			t.Errorf("TrailingZeroBits(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDivModDifferential(t *testing.T) {
+	r := NewRNG(8)
+	for i := 0; i < 1500; i++ {
+		x := randNat(r, 700)
+		y := randNat(r, 350)
+		if y.IsZero() {
+			y = One()
+		}
+		q, rem := DivMod(x, y)
+		bq, br := new(big.Int).QuoRem(toBig(x), toBig(y), new(big.Int))
+		if toBig(q).Cmp(bq) != 0 || toBig(rem).Cmp(br) != 0 {
+			t.Fatalf("DivMod(%s, %s) = (%s, %s), want (%s, %s)", x, y, q, rem, bq, br)
+		}
+	}
+}
+
+func TestDivKnuthCornerCases(t *testing.T) {
+	// The D5/D6 add-back path triggers rarely with random inputs; construct
+	// dividends of the form q*y + r with extreme quotient digits.
+	r := NewRNG(9)
+	maxWord := FromUint64(0xFFFFFFFF)
+	for i := 0; i < 300; i++ {
+		y := r.RandBits(64 + r.Intn(200))
+		q := Lsh(maxWord, uint(32*r.Intn(4)))
+		rem := r.RandBelow(y)
+		x := Add(Mul(q, y), rem)
+		gq, gr := DivMod(x, y)
+		if Cmp(gq, q) != 0 || Cmp(gr, rem) != 0 {
+			t.Fatalf("constructed DivMod failed: y=%s q=%s", y, q)
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DivMod by zero should panic")
+		}
+	}()
+	DivMod(FromUint64(5), nil)
+}
+
+func TestGCDLCMDifferential(t *testing.T) {
+	r := NewRNG(10)
+	for i := 0; i < 400; i++ {
+		x, y := randNat(r, 300), randNat(r, 300)
+		g := GCD(x, y)
+		want := new(big.Int).GCD(nil, nil, toBig(x), toBig(y))
+		if toBig(g).Cmp(want) != 0 {
+			t.Fatalf("GCD(%s, %s) = %s, want %s", x, y, g, want)
+		}
+		if !x.IsZero() && !y.IsZero() {
+			l := LCM(x, y)
+			bl := new(big.Int).Div(new(big.Int).Mul(toBig(x), toBig(y)), want)
+			if toBig(l).Cmp(bl) != 0 {
+				t.Fatalf("LCM(%s, %s) wrong", x, y)
+			}
+		}
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 300; i++ {
+		n := AddWord(randNat(r, 200), 2)
+		x := r.RandBelow(n)
+		inv, ok := ModInverse(x, n)
+		wantOK := new(big.Int).GCD(nil, nil, toBig(x), toBig(n)).Cmp(big.NewInt(1)) == 0
+		if ok != wantOK {
+			t.Fatalf("ModInverse(%s, %s) ok=%v, want %v", x, n, ok, wantOK)
+		}
+		if ok {
+			prod := Mod(Mul(x, inv), n)
+			if !prod.IsOne() {
+				t.Fatalf("x*inv mod n = %s for x=%s n=%s", prod, x, n)
+			}
+		}
+	}
+}
+
+func TestModInverseEdges(t *testing.T) {
+	if _, ok := ModInverse(FromUint64(3), One()); ok {
+		t.Error("inverse mod 1 should fail")
+	}
+	if _, ok := ModInverse(Zero(), FromUint64(7)); ok {
+		t.Error("inverse of 0 should fail")
+	}
+	inv, ok := ModInverse(One(), FromUint64(7))
+	if !ok || !inv.IsOne() {
+		t.Errorf("inverse of 1 mod 7 = %s, ok=%v", inv, ok)
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	x := FromUint64(0x1122334455667788)
+	w := x.Words(4)
+	if len(w) != 4 || w[0] != 0x55667788 || w[1] != 0x11223344 || w[2] != 0 {
+		t.Fatalf("Words = %x", w)
+	}
+	if Cmp(FromWords(w), x) != 0 {
+		t.Fatal("FromWords round trip failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Words should panic when truncating")
+		}
+	}()
+	x.Words(1)
+}
+
+// Property tests on algebraic invariants.
+
+func TestPropertyAddCommutative(t *testing.T) {
+	r := NewRNG(20)
+	f := func(a, b uint64) bool {
+		x, y := Mul(FromUint64(a), FromUint64(b)), Add(FromUint64(a), FromUint64(b))
+		return Cmp(Add(x, y), Add(y, x)) == 0
+	}
+	if err := quick.Check(f, quickConfig(r)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMulDistributes(t *testing.T) {
+	r := NewRNG(21)
+	for i := 0; i < 300; i++ {
+		a, b, c := randNat(r, 256), randNat(r, 256), randNat(r, 256)
+		left := Mul(a, Add(b, c))
+		right := Add(Mul(a, b), Mul(a, c))
+		if Cmp(left, right) != 0 {
+			t.Fatalf("a(b+c) != ab+ac for a=%s b=%s c=%s", a, b, c)
+		}
+	}
+}
+
+func TestPropertyDivModIdentity(t *testing.T) {
+	r := NewRNG(22)
+	for i := 0; i < 500; i++ {
+		x, y := randNat(r, 512), AddWord(randNat(r, 256), 1)
+		q, rem := DivMod(x, y)
+		if Cmp(Add(Mul(q, y), rem), x) != 0 {
+			t.Fatalf("q*y + r != x for x=%s y=%s", x, y)
+		}
+		if Cmp(rem, y) >= 0 {
+			t.Fatalf("remainder %s >= divisor %s", rem, y)
+		}
+	}
+}
+
+func quickConfig(r *RNG) *quick.Config {
+	return &quick.Config{MaxCount: 200}
+}

@@ -1,0 +1,185 @@
+package mpint
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+)
+
+// RNG produces random multi-precision integers. It is the host-side analogue
+// of the per-thread generators the paper assigns to each warp: a small-state
+// xoshiro256** generator seeded via splitmix64, deterministic for
+// reproducible experiments. NewCryptoRNG seeds from crypto/rand for real key
+// generation.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a deterministic generator seeded from the given value.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 stream expands the seed into the 256-bit xoshiro state.
+	for i := range r.s {
+		seed += 0x9E3779B97F4A7C15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// NewCryptoRNG returns a generator seeded from the operating system's
+// entropy source. The stream itself is still xoshiro256**; use it for
+// demo/test key generation, not as a CSPRNG replacement for production HSMs.
+func NewCryptoRNG() *RNG {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic("mpint: crypto/rand unavailable: " + err.Error())
+	}
+	return NewRNG(binary.LittleEndian.Uint64(buf[:]))
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	res := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return res
+}
+
+// Word returns a random limb.
+func (r *RNG) Word() Word { return Word(r.Uint64()) }
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (polar Box–Muller,
+// discarding the second value for simplicity).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * sqrtNewton(-2*lnTaylor(s)/s)
+		}
+	}
+}
+
+// sqrtNewton computes √x by Newton iteration (kept dependency-free so the
+// package avoids even math; accuracy ~1e-15 after the loop converges).
+func sqrtNewton(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 64; i++ {
+		ng := 0.5 * (g + x/g)
+		if ng == g {
+			break
+		}
+		g = ng
+	}
+	return g
+}
+
+// lnTaylor computes ln(x) for x in (0, 1] via atanh series after range
+// reduction by halving toward 1.
+func lnTaylor(x float64) float64 {
+	if x <= 0 {
+		panic("mpint: lnTaylor domain")
+	}
+	var shift float64
+	const ln2 = 0.6931471805599453
+	for x < 0.5 {
+		x *= 2
+		shift -= ln2
+	}
+	for x > 1.5 {
+		x /= 2
+		shift += ln2
+	}
+	// ln(x) = 2·atanh((x−1)/(x+1))
+	t := (x - 1) / (x + 1)
+	t2 := t * t
+	term := t
+	sum := 0.0
+	for k := 1; k < 60; k += 2 {
+		sum += term / float64(k)
+		term *= t2
+		if term < 1e-18 && term > -1e-18 {
+			break
+		}
+	}
+	return 2*sum + shift
+}
+
+// Intn returns a uniform integer in [0, n). Panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mpint: Intn non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// RandBits returns a uniform Nat with exactly `bits` significant bits
+// (the top bit is forced to 1). bits must be positive.
+func (r *RNG) RandBits(bits int) Nat {
+	if bits <= 0 {
+		panic("mpint: RandBits non-positive width")
+	}
+	limbs := (bits + WordBits - 1) / WordBits
+	z := make(Nat, limbs)
+	for i := range z {
+		z[i] = r.Word()
+	}
+	top := uint((bits-1)%WordBits + 1)
+	z[limbs-1] &= Word(1<<top) - 1
+	z[limbs-1] |= 1 << (top - 1)
+	return trim(z)
+}
+
+// RandBelow returns a uniform Nat in [0, n) by rejection sampling.
+func (r *RNG) RandBelow(n Nat) Nat {
+	n = trim(n)
+	if len(n) == 0 {
+		panic("mpint: RandBelow zero bound")
+	}
+	bits := n.BitLen()
+	limbs := (bits + WordBits - 1) / WordBits
+	topMask := Word(1<<uint((bits-1)%WordBits+1)) - 1
+	for {
+		z := make(Nat, limbs)
+		for i := range z {
+			z[i] = r.Word()
+		}
+		z[limbs-1] &= topMask
+		z = trim(z)
+		if Cmp(z, n) < 0 {
+			return z
+		}
+	}
+}
+
+// RandCoprime returns a uniform Nat in [1, n) that is coprime with n —
+// the r parameter of Paillier encryption.
+func (r *RNG) RandCoprime(n Nat) Nat {
+	for {
+		z := r.RandBelow(n)
+		if z.IsZero() {
+			continue
+		}
+		if GCD(z, n).IsOne() {
+			return z
+		}
+	}
+}

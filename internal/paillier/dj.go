@@ -1,0 +1,185 @@
+package paillier
+
+import (
+	"fmt"
+
+	"flbooster/internal/mpint"
+)
+
+// Damgård–Jurik generalization of Paillier (reference [21] of the paper):
+// for a degree s ≥ 1, ciphertexts live in Z*_{n^(s+1)} and the plaintext
+// space grows to Z_{n^s}, so one ciphertext carries s·k bits of payload at
+// (s+1)·k bits of wire — asymptotically doubling batch compression's
+// plaintext space utilization as s grows. s = 1 is exactly Paillier.
+//
+// Encryption: c = (1+n)^m · r^(n^s) mod n^(s+1).
+// Decryption: c^λ ≡ (1+n)^(m·λ) mod n^(s+1); the discrete log of (1+n)^x is
+// extracted by the paper's recursive algorithm (djLog below), then m is
+// recovered with λ⁻¹ mod n^s.
+type DJKey struct {
+	// N is the modulus; S the degree.
+	N mpint.Nat
+	S int
+
+	lambda    mpint.Nat
+	ns        mpint.Nat   // n^s (plaintext modulus)
+	ns1       mpint.Nat   // n^(s+1) (ciphertext modulus)
+	npow      []mpint.Nat // npow[j] = n^j for j ≤ s+1
+	mont      *mpint.Mont // mod n^(s+1)
+	lambdaInv mpint.Nat   // λ⁻¹ mod n^s
+}
+
+// DJCiphertext is a Damgård–Jurik ciphertext in Z*_{n^(s+1)}.
+type DJCiphertext struct {
+	C mpint.Nat
+}
+
+// GenerateDJKey builds a degree-s key with an n of `bits` bits.
+func GenerateDJKey(rng *mpint.RNG, bits, s int) (*DJKey, error) {
+	if s < 1 || s > 8 {
+		return nil, fmt.Errorf("paillier: DJ degree %d out of [1, 8]", s)
+	}
+	if bits < 16 {
+		return nil, fmt.Errorf("paillier: DJ key size %d too small", bits)
+	}
+	for {
+		p, q := rng.RandSafePrimePair(bits / 2)
+		k, err := NewDJKeyFromPrimes(p, q, s)
+		if err != nil {
+			continue
+		}
+		if k.N.BitLen() != bits {
+			continue
+		}
+		return k, nil
+	}
+}
+
+// NewDJKeyFromPrimes assembles a degree-s key from primes.
+func NewDJKeyFromPrimes(p, q mpint.Nat, s int) (*DJKey, error) {
+	if mpint.Cmp(p, q) == 0 {
+		return nil, fmt.Errorf("paillier: p and q must differ")
+	}
+	if s < 1 || s > 8 {
+		return nil, fmt.Errorf("paillier: DJ degree %d out of [1, 8]", s)
+	}
+	n := mpint.Mul(p, q)
+	pm1 := mpint.SubWord(p, 1)
+	qm1 := mpint.SubWord(q, 1)
+	if !mpint.GCD(n, mpint.Mul(pm1, qm1)).IsOne() {
+		return nil, fmt.Errorf("paillier: gcd(n, φ(n)) must be 1")
+	}
+	k := &DJKey{N: n, S: s, lambda: mpint.LCM(pm1, qm1)}
+	k.npow = make([]mpint.Nat, s+2)
+	k.npow[0] = mpint.One()
+	for j := 1; j <= s+1; j++ {
+		k.npow[j] = mpint.Mul(k.npow[j-1], n)
+	}
+	k.ns = k.npow[s]
+	k.ns1 = k.npow[s+1]
+	k.mont = mpint.NewMont(k.ns1)
+	inv, ok := mpint.ModInverse(k.lambda, k.ns)
+	if !ok {
+		return nil, fmt.Errorf("paillier: λ not invertible mod n^s")
+	}
+	k.lambdaInv = inv
+	return k, nil
+}
+
+// PlaintextBits is the payload capacity of one ciphertext (s·k bits).
+func (k *DJKey) PlaintextBits() int { return k.ns.BitLen() - 1 }
+
+// CiphertextBytes is the wire size of one ciphertext ((s+1)·k bits).
+func (k *DJKey) CiphertextBytes() int { return (k.ns1.BitLen() + 7) / 8 }
+
+// onePlusNPow computes (1+n)^m mod n^(s+1) by the binomial expansion —
+// Σ_{j=0..s} C(m, j)·n^j — which needs only s multiplications instead of a
+// full modexp.
+func (k *DJKey) onePlusNPow(m mpint.Nat) mpint.Nat {
+	acc := mpint.One()
+	term := mpint.One() // C(m, j)·n^j mod n^(s+1), j = 0
+	for j := 1; j <= k.S; j++ {
+		// term *= (m − j + 1)/j · n  — the division by j is exact on the
+		// binomial coefficient; carry it as a modular inverse.
+		mj := mpint.ModSub(mpint.Mod(m, k.ns1), mpint.FromUint64(uint64(j-1)), k.ns1)
+		term = mpint.ModMul(term, mj, k.ns1)
+		invJ, ok := mpint.ModInverse(mpint.FromUint64(uint64(j)), k.ns1)
+		if !ok {
+			// j shares a factor with n — impossible for small j and large
+			// primes; fall back to the direct power for safety.
+			return k.mont.Exp(mpint.AddWord(k.N, 1), m)
+		}
+		term = mpint.ModMul(term, invJ, k.ns1)
+		term = mpint.ModMul(term, k.N, k.ns1)
+		acc = mpint.ModAdd(acc, term, k.ns1)
+	}
+	return acc
+}
+
+// Encrypt encrypts m < n^s.
+func (k *DJKey) Encrypt(m mpint.Nat, rng *mpint.RNG) (DJCiphertext, error) {
+	if mpint.Cmp(m, k.ns) >= 0 {
+		return DJCiphertext{}, fmt.Errorf("paillier: DJ plaintext (%d bits) must be < n^s (%d bits)",
+			m.BitLen(), k.ns.BitLen())
+	}
+	r := rng.RandCoprime(k.N)
+	gm := k.onePlusNPow(m)
+	rns := k.mont.Exp(r, k.ns)
+	return DJCiphertext{C: mpint.ModMul(gm, rns, k.ns1)}, nil
+}
+
+// djLog extracts x from a = (1+n)^x mod n^(s+1) with x < n^s — the
+// recursive discrete-log algorithm of the Damgård–Jurik paper.
+func (k *DJKey) djLog(a mpint.Nat) mpint.Nat {
+	x := mpint.Zero()
+	for j := 1; j <= k.S; j++ {
+		nj := k.npow[j]
+		// t1 = L(a mod n^(j+1)) = (a mod n^(j+1) − 1) / n, reduced mod n^j.
+		t1 := mpint.Mod(mpint.Div(mpint.Sub(mpint.Mod(a, k.npow[j+1]), mpint.One()), k.N), nj)
+		t2 := x.Clone()
+		xj := x.Clone()
+		for kk := 2; kk <= j; kk++ {
+			xj = mpint.ModSub(xj, mpint.One(), nj)
+			t2 = mpint.ModMul(t2, xj, nj)
+			// t1 -= t2 · n^(k−1) / k!
+			invFact, ok := mpint.ModInverse(factorial(kk), nj)
+			if !ok {
+				// cannot happen for k! coprime to n
+				panic("paillier: factorial not invertible mod n^j")
+			}
+			sub := mpint.ModMul(mpint.ModMul(t2, k.npow[kk-1], nj), invFact, nj)
+			t1 = mpint.ModSub(t1, sub, nj)
+		}
+		x = t1
+	}
+	return x
+}
+
+// factorial returns k! as a Nat (k ≤ 8 here, so this stays tiny).
+func factorial(k int) mpint.Nat {
+	f := uint64(1)
+	for i := 2; i <= k; i++ {
+		f *= uint64(i)
+	}
+	return mpint.FromUint64(f)
+}
+
+// Decrypt recovers m = djLog(c^λ)·λ⁻¹ mod n^s.
+func (k *DJKey) Decrypt(c DJCiphertext) (mpint.Nat, error) {
+	if c.C.IsZero() || mpint.Cmp(c.C, k.ns1) >= 0 {
+		return nil, fmt.Errorf("paillier: DJ ciphertext out of range")
+	}
+	cl := k.mont.Exp(c.C, k.lambda)
+	ml := k.djLog(cl)
+	return mpint.ModMul(ml, k.lambdaInv, k.ns), nil
+}
+
+// Add is the additive homomorphism mod n^s.
+func (k *DJKey) Add(a, b DJCiphertext) DJCiphertext {
+	return DJCiphertext{C: mpint.ModMul(a.C, b.C, k.ns1)}
+}
+
+// MulPlain computes E(t·m) = E(m)^t.
+func (k *DJKey) MulPlain(c DJCiphertext, t mpint.Nat) DJCiphertext {
+	return DJCiphertext{C: k.mont.Exp(c.C, t)}
+}

@@ -1,0 +1,196 @@
+package paillier
+
+import (
+	"testing"
+
+	"flbooster/internal/mpint"
+)
+
+func djKey(t testing.TB, s int) *DJKey {
+	t.Helper()
+	k, err := GenerateDJKey(mpint.NewRNG(uint64(5000+s)), 128, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestDJRoundTripAllDegrees(t *testing.T) {
+	for s := 1; s <= 4; s++ {
+		s := s
+		t.Run(string(rune('0'+s)), func(t *testing.T) {
+			k := djKey(t, s)
+			rng := mpint.NewRNG(1)
+			for i := 0; i < 10; i++ {
+				m := rng.RandBelow(k.ns)
+				c, err := k.Encrypt(m, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := k.Decrypt(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mpint.Cmp(got, m) != 0 {
+					t.Fatalf("s=%d round trip failed: got %s, want %s", s, got, m)
+				}
+			}
+		})
+	}
+}
+
+func TestDJPlaintextSpaceGrows(t *testing.T) {
+	// The whole point of the generalization: s·k payload bits at (s+1)·k
+	// wire bits, versus Paillier's k at 2k.
+	k1 := djKey(t, 1)
+	k3 := djKey(t, 3)
+	if k3.PlaintextBits() < 3*k1.PlaintextBits()-8 {
+		t.Fatalf("degree 3 payload %d bits, degree 1 %d", k3.PlaintextBits(), k1.PlaintextBits())
+	}
+	// Utilization s/(s+1): degree 3 carries 3k bits in 4k wire = 75% vs 50%.
+	u1 := float64(k1.PlaintextBits()) / float64(8*k1.CiphertextBytes())
+	u3 := float64(k3.PlaintextBits()) / float64(8*k3.CiphertextBytes())
+	if u3 <= u1 {
+		t.Fatalf("degree 3 utilization %v should beat degree 1's %v", u3, u1)
+	}
+}
+
+func TestDJHomomorphicAddition(t *testing.T) {
+	k := djKey(t, 3)
+	rng := mpint.NewRNG(2)
+	for i := 0; i < 10; i++ {
+		a := rng.RandBelow(k.ns)
+		b := rng.RandBelow(k.ns)
+		ca, err := k.Encrypt(a, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := k.Encrypt(b, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.Decrypt(k.Add(ca, cb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mpint.Cmp(got, mpint.ModAdd(a, b, k.ns)) != 0 {
+			t.Fatal("DJ homomorphic addition failed")
+		}
+	}
+}
+
+func TestDJMulPlain(t *testing.T) {
+	k := djKey(t, 2)
+	rng := mpint.NewRNG(3)
+	m := rng.RandBelow(k.ns)
+	tScalar := mpint.FromUint64(123457)
+	c, err := k.Encrypt(m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Decrypt(k.MulPlain(c, tScalar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpint.Cmp(got, mpint.ModMul(m, tScalar, k.ns)) != 0 {
+		t.Fatal("DJ scalar multiplication failed")
+	}
+}
+
+func TestDJDegree1MatchesPaillier(t *testing.T) {
+	// s = 1 is Paillier: a DJ key and a Paillier key built from the same
+	// primes must decrypt each other's ciphertexts.
+	r := mpint.NewRNG(4)
+	p, q := r.RandSafePrimePair(64)
+	dk, err := NewDJKeyFromPrimes(p, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := NewKeyFromPrimes(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mpint.FromUint64(987654321)
+	c, err := dk.Encrypt(m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(Ciphertext{C: c.C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpint.Cmp(got, m) != 0 {
+		t.Fatalf("DJ(s=1) ciphertext decrypted to %s under Paillier, want %s", got, m)
+	}
+}
+
+func TestDJValidation(t *testing.T) {
+	if _, err := GenerateDJKey(mpint.NewRNG(1), 128, 0); err == nil {
+		t.Error("degree 0 should fail")
+	}
+	if _, err := GenerateDJKey(mpint.NewRNG(1), 128, 9); err == nil {
+		t.Error("degree 9 should fail")
+	}
+	if _, err := GenerateDJKey(mpint.NewRNG(1), 8, 2); err == nil {
+		t.Error("tiny key should fail")
+	}
+	k := djKey(t, 2)
+	if _, err := k.Encrypt(k.ns, mpint.NewRNG(1)); err == nil {
+		t.Error("oversized plaintext should fail")
+	}
+	if _, err := k.Decrypt(DJCiphertext{}); err == nil {
+		t.Error("zero ciphertext should fail")
+	}
+	if _, err := k.Decrypt(DJCiphertext{C: k.ns1}); err == nil {
+		t.Error("out-of-range ciphertext should fail")
+	}
+	r := mpint.NewRNG(5)
+	p := r.RandPrime(64)
+	if _, err := NewDJKeyFromPrimes(p, p, 2); err == nil {
+		t.Error("p == q should fail")
+	}
+}
+
+func TestDJLargePayloadPacking(t *testing.T) {
+	// A degree-4 ciphertext at a 128-bit n carries ~512 payload bits — pack
+	// 16 32-bit values into ONE ciphertext and aggregate homomorphically.
+	k := djKey(t, 4)
+	rng := mpint.NewRNG(6)
+	const slots, width = 12, 34 // 34-bit slots: 32 data + 2 guard
+	pack := func(vals []uint64) mpint.Nat {
+		var z mpint.Nat
+		for i := len(vals) - 1; i >= 0; i-- {
+			z = mpint.Add(mpint.Lsh(z, width), mpint.FromUint64(vals[i]))
+		}
+		return z
+	}
+	sums := make([]uint64, slots)
+	var agg DJCiphertext
+	for party := 0; party < 3; party++ {
+		vals := make([]uint64, slots)
+		for i := range vals {
+			vals[i] = rng.Uint64() & (1<<32 - 1)
+			sums[i] += vals[i]
+		}
+		c, err := k.Encrypt(pack(vals), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if party == 0 {
+			agg = c
+		} else {
+			agg = k.Add(agg, c)
+		}
+	}
+	plain, err := k.Decrypt(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < slots; i++ {
+		got, _ := mpint.Rsh(plain, uint(i*width)).Uint64()
+		got &= 1<<width - 1
+		if got != sums[i] {
+			t.Fatalf("slot %d = %d, want %d", i, got, sums[i])
+		}
+	}
+}

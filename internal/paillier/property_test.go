@@ -1,0 +1,124 @@
+package paillier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flbooster/internal/mpint"
+)
+
+// Property tests over the Paillier homomorphism. The key is generated once;
+// properties quantify over plaintexts and scalars.
+
+func TestPropertyAdditiveHomomorphism(t *testing.T) {
+	sk := testKey(t)
+	rng := mpint.NewRNG(100)
+	f := func(a, b uint64) bool {
+		ma, mb := mpint.FromUint64(a), mpint.FromUint64(b)
+		ca, err := sk.Encrypt(ma, rng)
+		if err != nil {
+			return false
+		}
+		cb, err := sk.Encrypt(mb, rng)
+		if err != nil {
+			return false
+		}
+		got, err := sk.Decrypt(sk.Add(ca, cb))
+		if err != nil {
+			return false
+		}
+		return mpint.Cmp(got, mpint.ModAdd(ma, mb, sk.N)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyScalarDistributes(t *testing.T) {
+	// k·(a+b) == k·a + k·b under the homomorphism.
+	sk := testKey(t)
+	rng := mpint.NewRNG(101)
+	f := func(a, b uint32, k uint16) bool {
+		if k == 0 {
+			k = 1
+		}
+		ka := mpint.FromUint64(uint64(k))
+		ca, err := sk.Encrypt(mpint.FromUint64(uint64(a)), rng)
+		if err != nil {
+			return false
+		}
+		cb, err := sk.Encrypt(mpint.FromUint64(uint64(b)), rng)
+		if err != nil {
+			return false
+		}
+		left, err := sk.Decrypt(sk.MulPlain(sk.Add(ca, cb), ka))
+		if err != nil {
+			return false
+		}
+		right, err := sk.Decrypt(sk.Add(sk.MulPlain(ca, ka), sk.MulPlain(cb, ka)))
+		if err != nil {
+			return false
+		}
+		return mpint.Cmp(left, right) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAddCommutesAndAssociates(t *testing.T) {
+	sk := testKey(t)
+	rng := mpint.NewRNG(102)
+	enc := func(v uint64) Ciphertext {
+		c, err := sk.Encrypt(mpint.FromUint64(v), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	dec := func(c Ciphertext) uint64 {
+		m, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := m.Uint64()
+		return v
+	}
+	f := func(a, b, c uint32) bool {
+		ca, cb, cc := enc(uint64(a)), enc(uint64(b)), enc(uint64(c))
+		comm := dec(sk.Add(ca, cb)) == dec(sk.Add(cb, ca))
+		assoc := dec(sk.Add(sk.Add(ca, cb), cc)) == dec(sk.Add(ca, sk.Add(cb, cc)))
+		return comm && assoc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongHomomorphicChain(t *testing.T) {
+	// Summing many ciphertexts must stay exact: the federated aggregation of
+	// a large cohort.
+	sk := testKey(t)
+	rng := mpint.NewRNG(103)
+	var want uint64
+	acc, err := sk.Encrypt(mpint.Zero(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		v := rng.Uint64() & 0xFFFFF
+		want += v
+		c, err := sk.Encrypt(mpint.FromUint64(v), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc = sk.Add(acc, c)
+	}
+	got, err := sk.Decrypt(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Uint64(); v != want {
+		t.Fatalf("chain sum = %d, want %d", v, want)
+	}
+}

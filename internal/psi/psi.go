@@ -1,0 +1,184 @@
+// Package psi implements RSA blind-signature private set intersection —
+// the sample-alignment step every vertical federated learning job runs
+// before training (FATE's "intersect" component). The paper's heterogeneous
+// models assume aligned sample IDs; this package provides that alignment
+// without either side revealing its non-intersecting IDs.
+//
+// Protocol (semi-honest, host-keyed):
+//
+//  1. The host holds an RSA key (n, e, d) and publishes (n, e). For each of
+//     its IDs y it computes the token t_y = H2(H1(y)^d mod n) and sends the
+//     token set to the guest.
+//  2. The guest blinds each of its IDs x with a fresh random r:
+//     b = H1(x)·r^e mod n, and sends the blinded values.
+//  3. The host signs blindly: s = b^d = H1(x)^d·r mod n.
+//  4. The guest unblinds u = s·r⁻¹ = H1(x)^d mod n, hashes t_x = H2(u), and
+//     intersects {t_x} with the host's token set.
+//
+// The guest learns exactly the intersection; the host learns only the
+// guest's set size. Uses the textbook RSA of internal/rsa (blind signatures
+// require the unpadded homomorphism).
+package psi
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"flbooster/internal/mpint"
+	"flbooster/internal/rsa"
+)
+
+// Host is the key-holding party.
+type Host struct {
+	key *rsa.PrivateKey
+}
+
+// NewHost generates a fresh RSA key of the given size.
+func NewHost(rng *mpint.RNG, bits int) (*Host, error) {
+	key, err := rsa.GenerateKey(rng, bits)
+	if err != nil {
+		return nil, fmt.Errorf("psi: %w", err)
+	}
+	return &Host{key: key}, nil
+}
+
+// NewHostWithKey wraps an existing key.
+func NewHostWithKey(key *rsa.PrivateKey) *Host { return &Host{key: key} }
+
+// PublicKey returns the key material the guest needs.
+func (h *Host) PublicKey() *rsa.PublicKey { return &h.key.PublicKey }
+
+// hashToZn maps an ID into Z_n via SHA-256 (rejection-free: the digest is
+// reduced mod n, which is safe for n ≥ 2²⁵⁶·ε since H1 only needs to be a
+// random oracle into the group).
+func hashToZn(id string, n mpint.Nat) mpint.Nat {
+	sum := sha256.Sum256([]byte(id))
+	return mpint.Mod(mpint.FromBytes(sum[:]), n)
+}
+
+// token is H2: the final one-way hash of a signature.
+func token(sig mpint.Nat) [32]byte {
+	return sha256.Sum256(sig.Bytes())
+}
+
+// SignedSet computes the host-side tokens t_y for its IDs.
+func (h *Host) SignedSet(ids []string) ([][32]byte, error) {
+	out := make([][32]byte, len(ids))
+	for i, id := range ids {
+		sig, err := h.key.Sign(hashToZn(id, h.key.N))
+		if err != nil {
+			return nil, fmt.Errorf("psi: signing id %d: %w", i, err)
+		}
+		out[i] = token(sig)
+	}
+	return out, nil
+}
+
+// SignBlinded signs the guest's blinded values (step 3). The host cannot
+// link them to IDs.
+func (h *Host) SignBlinded(blinded []mpint.Nat) ([]mpint.Nat, error) {
+	out := make([]mpint.Nat, len(blinded))
+	for i, b := range blinded {
+		s, err := h.key.Sign(b)
+		if err != nil {
+			return nil, fmt.Errorf("psi: blind-signing element %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Guest is the querying party.
+type Guest struct {
+	pub *rsa.PublicKey
+	rng *mpint.RNG
+
+	ids      []string
+	blindInv []mpint.Nat // r⁻¹ per element, kept until Unblind
+}
+
+// NewGuest prepares a guest against the host's public key.
+func NewGuest(pub *rsa.PublicKey, rng *mpint.RNG) *Guest {
+	return &Guest{pub: pub, rng: rng}
+}
+
+// Blind produces the blinded values for the guest's IDs (step 2). The blind
+// factors are retained for Unblind; calling Blind again discards them.
+func (g *Guest) Blind(ids []string) ([]mpint.Nat, error) {
+	g.ids = ids
+	g.blindInv = make([]mpint.Nat, len(ids))
+	out := make([]mpint.Nat, len(ids))
+	mont := g.pub.Mont()
+	for i, id := range ids {
+		r := g.rng.RandCoprime(g.pub.N)
+		inv, ok := mpint.ModInverse(r, g.pub.N)
+		if !ok {
+			return nil, fmt.Errorf("psi: blind factor not invertible (element %d)", i)
+		}
+		g.blindInv[i] = inv
+		re := mont.Exp(r, g.pub.E)
+		out[i] = mpint.ModMul(hashToZn(id, g.pub.N), re, g.pub.N)
+	}
+	return out, nil
+}
+
+// Unblind strips the blind factors from the host's signatures and returns
+// the guest-side tokens (step 4).
+func (g *Guest) Unblind(signed []mpint.Nat) ([][32]byte, error) {
+	if len(signed) != len(g.blindInv) {
+		return nil, fmt.Errorf("psi: %d signatures for %d blinded values", len(signed), len(g.blindInv))
+	}
+	out := make([][32]byte, len(signed))
+	for i, s := range signed {
+		u := mpint.ModMul(s, g.blindInv[i], g.pub.N)
+		out[i] = token(u)
+	}
+	return out, nil
+}
+
+// Intersect matches the guest's tokens against the host's token set and
+// returns the guest IDs in the intersection, in the guest's order.
+func (g *Guest) Intersect(guestTokens, hostTokens [][32]byte) ([]string, error) {
+	if len(guestTokens) != len(g.ids) {
+		return nil, fmt.Errorf("psi: %d tokens for %d ids", len(guestTokens), len(g.ids))
+	}
+	set := make(map[[32]byte]bool, len(hostTokens))
+	for _, t := range hostTokens {
+		set[t] = true
+	}
+	var out []string
+	for i, t := range guestTokens {
+		if set[t] {
+			out = append(out, g.ids[i])
+		}
+	}
+	return out, nil
+}
+
+// Align runs the whole protocol in-process: the intersection of hostIDs and
+// guestIDs, computed privately. Convenience for tests, examples, and
+// single-machine pipelines.
+func Align(hostIDs, guestIDs []string, rng *mpint.RNG, keyBits int) ([]string, error) {
+	host, err := NewHost(rng, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	hostTokens, err := host.SignedSet(hostIDs)
+	if err != nil {
+		return nil, err
+	}
+	guest := NewGuest(host.PublicKey(), rng)
+	blinded, err := guest.Blind(guestIDs)
+	if err != nil {
+		return nil, err
+	}
+	signed, err := host.SignBlinded(blinded)
+	if err != nil {
+		return nil, err
+	}
+	guestTokens, err := guest.Unblind(signed)
+	if err != nil {
+		return nil, err
+	}
+	return guest.Intersect(guestTokens, hostTokens)
+}

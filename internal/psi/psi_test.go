@@ -1,0 +1,176 @@
+package psi
+
+import (
+	"fmt"
+	"testing"
+
+	"flbooster/internal/mpint"
+)
+
+func TestAlignBasicIntersection(t *testing.T) {
+	rng := mpint.NewRNG(1)
+	host := []string{"alice", "bob", "carol", "dave"}
+	guest := []string{"bob", "dave", "erin"}
+	got, err := Align(host, guest, rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"bob", "dave"}
+	if len(got) != len(want) {
+		t.Fatalf("intersection = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intersection = %v, want %v (guest order)", got, want)
+		}
+	}
+}
+
+func TestAlignDisjointAndEmpty(t *testing.T) {
+	rng := mpint.NewRNG(2)
+	got, err := Align([]string{"a", "b"}, []string{"c", "d"}, rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("disjoint sets intersected: %v", got)
+	}
+	got, err = Align(nil, []string{"x"}, rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty host set intersected: %v", got)
+	}
+	got, err = Align([]string{"x"}, nil, rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty guest set intersected: %v", got)
+	}
+}
+
+func TestAlignLargeSets(t *testing.T) {
+	rng := mpint.NewRNG(3)
+	var host, guest []string
+	for i := 0; i < 120; i++ {
+		host = append(host, fmt.Sprintf("id-%04d", i))
+	}
+	for i := 60; i < 180; i++ {
+		guest = append(guest, fmt.Sprintf("id-%04d", i))
+	}
+	got, err := Align(host, guest, rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("intersection size %d, want 60", len(got))
+	}
+	for i, id := range got {
+		if id != fmt.Sprintf("id-%04d", 60+i) {
+			t.Fatalf("element %d = %s", i, id)
+		}
+	}
+}
+
+func TestBlindedValuesHideIDs(t *testing.T) {
+	// Blinding the same ID twice must give different values (fresh r), and
+	// neither may equal the raw hash — the host must not learn the ID.
+	rng := mpint.NewRNG(4)
+	host, err := NewHost(rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuest(host.PublicKey(), rng)
+	b1, err := g.Blind([]string{"secret-id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := g.Blind([]string{"secret-id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpint.Cmp(b1[0], b2[0]) == 0 {
+		t.Fatal("blinding is deterministic — IDs leak across sessions")
+	}
+	raw := hashToZn("secret-id", host.PublicKey().N)
+	if mpint.Cmp(b1[0], raw) == 0 || mpint.Cmp(b2[0], raw) == 0 {
+		t.Fatal("blinded value equals the raw hash")
+	}
+}
+
+func TestUnblindValidatesLength(t *testing.T) {
+	rng := mpint.NewRNG(5)
+	host, err := NewHost(rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuest(host.PublicKey(), rng)
+	if _, err := g.Blind([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Unblind([]mpint.Nat{mpint.One()}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestIntersectValidatesLength(t *testing.T) {
+	rng := mpint.NewRNG(6)
+	host, err := NewHost(rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuest(host.PublicKey(), rng)
+	if _, err := g.Blind([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Intersect(nil, nil); err == nil {
+		t.Fatal("token/id mismatch should fail")
+	}
+}
+
+func TestTokensMatchAcrossSides(t *testing.T) {
+	// The fundamental identity: unblind(sign(blind(x))) has the same token
+	// as the host's direct signature of x.
+	rng := mpint.NewRNG(7)
+	host, err := NewHost(rng, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostTokens, err := host.SignedSet([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuest(host.PublicKey(), rng)
+	blinded, err := g.Blind([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := host.SignBlinded(blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guestTokens, err := g.Unblind(signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guestTokens[0] != hostTokens[0] {
+		t.Fatal("tokens diverge — the PSI identity is broken")
+	}
+}
+
+func BenchmarkAlign64(b *testing.B) {
+	rng := mpint.NewRNG(8)
+	var host, guest []string
+	for i := 0; i < 64; i++ {
+		host = append(host, fmt.Sprintf("h%d", i))
+		guest = append(guest, fmt.Sprintf("h%d", i+32))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Align(host, guest, rng, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

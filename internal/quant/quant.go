@@ -1,0 +1,155 @@
+// Package quant implements FLBooster's Encoding-Quantization layer (§IV-B).
+//
+// Homomorphic encryption operates on unsigned integers, so signed gradients
+// must be encoded first. Existing FL systems encrypt the significand and
+// ship the exponent in plaintext, leaking the magnitude interval; FLBooster
+// instead linearly translates a bounded gradient m ∈ [−α, α] to
+// e = m + α (Eq. 6), amplifies it to r bits q = e·(2^r − 1) (Eq. 7), and
+// reserves b = ⌈log₂ p⌉ zero "overflow bits" above the value (Eq. 8) so the
+// homomorphic sum of p participants cannot spill into the neighbouring slot.
+//
+// Eq. 7 as printed assumes e ∈ [0, 1], i.e. α = ½; this implementation
+// normalizes by the interval width (q = e/(2α)·(2^r − 1)), which reduces to
+// the paper's formula at α = ½ and keeps every α usable.
+package quant
+
+import "fmt"
+
+// Quantizer converts bounded floats to fixed-width unsigned integers and
+// back. The zero value is not usable; construct with New.
+type Quantizer struct {
+	alpha        float64 // gradient bound: inputs live in [−α, α]
+	rBits        uint    // quantization bits per value
+	participants int     // p, the number of parties whose values are summed
+	bBits        uint    // overflow headroom ⌈log₂ p⌉
+	maxQ         uint64  // 2^r − 1
+}
+
+// New builds a quantizer for gradients bounded by alpha, quantized to rBits,
+// with headroom for summing values from `participants` parties.
+func New(alpha float64, rBits uint, participants int) (*Quantizer, error) {
+	switch {
+	case alpha <= 0:
+		return nil, fmt.Errorf("quant: gradient bound must be positive, got %v", alpha)
+	case rBits < 2 || rBits > 52:
+		// Above 52 bits a float64 cannot address individual steps.
+		return nil, fmt.Errorf("quant: r must be in [2, 52], got %d", rBits)
+	case participants < 1:
+		return nil, fmt.Errorf("quant: need at least one participant, got %d", participants)
+	}
+	b := ceilLog2(participants)
+	if b == 0 {
+		b = 1 // a single party still gets one guard bit, as Eq. 8 draws it
+	}
+	if rBits+b > 63 {
+		return nil, fmt.Errorf("quant: r+b = %d exceeds 63 bits", rBits+b)
+	}
+	return &Quantizer{
+		alpha:        alpha,
+		rBits:        rBits,
+		participants: participants,
+		bBits:        b,
+		maxQ:         1<<rBits - 1,
+	}, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(alpha float64, rBits uint, participants int) *Quantizer {
+	q, err := New(alpha, rBits, participants)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func ceilLog2(n int) uint {
+	var b uint
+	v := 1
+	for v < n {
+		v <<= 1
+		b++
+	}
+	return b
+}
+
+// Alpha returns the gradient bound α.
+func (q *Quantizer) Alpha() float64 { return q.alpha }
+
+// RBits returns r, the data bits per value.
+func (q *Quantizer) RBits() uint { return q.rBits }
+
+// BBits returns b, the overflow-guard bits per value.
+func (q *Quantizer) BBits() uint { return q.bBits }
+
+// SlotBits returns r+b, the total width of one packed slot (Eq. 8).
+func (q *Quantizer) SlotBits() uint { return q.rBits + q.bBits }
+
+// Participants returns p.
+func (q *Quantizer) Participants() int { return q.participants }
+
+// Step returns the quantization step 2α/(2^r − 1); the worst-case error of
+// one value is Step()/2.
+func (q *Quantizer) Step() float64 { return 2 * q.alpha / float64(q.maxQ) }
+
+// MaxError returns the worst-case absolute error introduced by quantizing a
+// single in-range value.
+func (q *Quantizer) MaxError() float64 { return q.Step() / 2 }
+
+// Quantize maps m ∈ [−α, α] to an unsigned integer in [0, 2^r−1]. Values
+// outside the bound are clamped — the behaviour gradient clipping gives FL
+// training — never wrapped.
+func (q *Quantizer) Quantize(m float64) uint64 {
+	if m <= -q.alpha {
+		return 0
+	}
+	if m >= q.alpha {
+		return q.maxQ
+	}
+	e := m + q.alpha                                 // Eq. 6
+	v := uint64(e/(2*q.alpha)*float64(q.maxQ) + 0.5) // Eq. 7, normalized
+	if v > q.maxQ {
+		v = q.maxQ
+	}
+	return v
+}
+
+// Dequantize inverts Quantize for a single value.
+func (q *Quantizer) Dequantize(v uint64) float64 {
+	return float64(v)/float64(q.maxQ)*(2*q.alpha) - q.alpha
+}
+
+// DequantizeSum decodes the homomorphic sum of `count` quantized values:
+// Σqᵢ = Σ(mᵢ+α)/(2α)·(2^r−1), so Σmᵢ = sum/(2^r−1)·2α − count·α.
+// count must not exceed the participant capacity declared at construction.
+func (q *Quantizer) DequantizeSum(sum uint64, count int) (float64, error) {
+	if count < 1 || count > q.participants {
+		return 0, fmt.Errorf("quant: sum of %d values exceeds declared capacity %d",
+			count, q.participants)
+	}
+	if max := uint64(count) * q.maxQ; sum > max {
+		return 0, fmt.Errorf("quant: aggregated value %d exceeds maximum %d — slot corruption", sum, max)
+	}
+	return float64(sum)/float64(q.maxQ)*(2*q.alpha) - float64(count)*q.alpha, nil
+}
+
+// QuantizeVec quantizes a gradient vector.
+func (q *Quantizer) QuantizeVec(ms []float64) []uint64 {
+	out := make([]uint64, len(ms))
+	for i, m := range ms {
+		out[i] = q.Quantize(m)
+	}
+	return out
+}
+
+// DequantizeSumVec decodes a vector of aggregated sums.
+func (q *Quantizer) DequantizeSumVec(sums []uint64, count int) ([]float64, error) {
+	out := make([]float64, len(sums))
+	for i, s := range sums {
+		v, err := q.DequantizeSum(s, count)
+		if err != nil {
+			return nil, fmt.Errorf("quant: element %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
