@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the pre-commit gate: it builds
+# everything, vets, runs the full test suite, and re-runs the concurrency-
+# sensitive packages (transport + round runtime) under the race detector.
+
+GO ?= go
+
+.PHONY: build test vet race check resilience
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The chaos/quorum suites exercise goroutines, deadlines, and shared queues;
+# they must stay clean under -race and finish with time to spare.
+race:
+	$(GO) test -race -timeout 120s ./internal/flnet/... ./internal/fl/...
+
+check: build vet test race
+
+# Demonstrate graceful degradation under a straggler (see DESIGN.md §6).
+resilience:
+	$(GO) run ./cmd/flbench -keys 1024 -epochs 4 resilience

@@ -6,7 +6,8 @@
 //
 //	flbench [flags] <experiment>...
 //
-// Experiments: fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 all
+// Experiments: fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7
+// ablation resilience all
 //
 // Flags:
 //
@@ -81,7 +82,7 @@ func run(args []string) error {
 
 	exps := fs.Args()
 	if len(exps) == 0 {
-		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation all")
+		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience all")
 	}
 	r, err := bench.NewRunner(cfg)
 	if err != nil {
@@ -112,6 +113,8 @@ func run(args []string) error {
 			err = r.Table7(os.Stdout)
 		case "ablation":
 			err = r.Ablation(os.Stdout)
+		case "resilience":
+			err = r.Resilience(os.Stdout)
 		case "all":
 			err = r.All(os.Stdout)
 		default:

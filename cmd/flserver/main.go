@@ -10,16 +10,26 @@
 //	flserver client -addr 127.0.0.1:9009 -id 0 -values 0.1,0.2,0.3
 //	flserver demo   -clients 4 -dim 8        (all roles in one process)
 //
+// Degraded modes (see DESIGN.md, "Fault model & degraded modes"):
+//
+//	-quorum k     server proceeds once k uploads arrive (0 = wait for all)
+//	-timeout d    gather deadline; with -quorum the server drops stragglers
+//	              still missing at expiry instead of stalling
+//	-straggle d   client delays its upload by d (in demo mode: client 0),
+//	              simulating a slow participant
+//
 // All parties derive the same demo key pair from -seed; in production each
 // deployment would provision keys through its own PKI.
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"flbooster/internal/fl"
 	"flbooster/internal/flnet"
@@ -27,6 +37,10 @@ import (
 	"flbooster/internal/mpint"
 	"flbooster/internal/paillier"
 )
+
+// demoRound stamps every message of the single demo round so late traffic
+// from a previous run is discarded rather than aggregated.
+const demoRound = 1
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -48,6 +62,9 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "shared demo seed")
 	values := fs.String("values", "", "comma-separated gradient values")
 	dim := fs.Int("dim", 8, "gradient dimension for demo mode")
+	quorum := fs.Int("quorum", 0, "uploads needed to proceed (0 = all clients)")
+	timeout := fs.Duration("timeout", 0, "gather deadline (0 = wait forever)")
+	straggle := fs.Duration("straggle", 0, "delay this client's upload (demo: client 0)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -62,17 +79,17 @@ func run(args []string) error {
 		select {} // route until killed
 
 	case "server":
-		return runServer(*addr, *clients, *keyBits, *seed)
+		return runServer(*addr, *clients, *keyBits, *seed, *quorum, *timeout)
 
 	case "client":
 		vals, err := parseFloats(*values)
 		if err != nil {
 			return err
 		}
-		return runClient(*addr, *id, *clients, *keyBits, *seed, vals)
+		return runClient(*addr, *id, *clients, *keyBits, *seed, vals, *straggle)
 
 	case "demo":
-		return runDemo(*clients, *dim, *keyBits, *seed)
+		return runDemo(*clients, *dim, *keyBits, *seed, *quorum, *timeout, *straggle)
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -88,23 +105,48 @@ func demoContext(keyBits, clients int, seed uint64) (*fl.Context, error) {
 	return fl.NewContext(p)
 }
 
-func runServer(addr string, clients, keyBits int, seed uint64) error {
+func runServer(addr string, clients, keyBits int, seed uint64, quorum int, timeout time.Duration) error {
 	ctx, err := demoContext(keyBits, clients, seed)
 	if err != nil {
 		return err
+	}
+	if quorum <= 0 || quorum > clients {
+		quorum = clients
 	}
 	conn, err := flnet.DialHub(addr, fl.ServerName)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	fmt.Printf("server up: %d-bit key, waiting for %d clients\n", keyBits, clients)
+	fmt.Printf("server up: %d-bit key, waiting for %d clients (quorum %d)\n", keyBits, clients, quorum)
 
-	batches := make([][]paillier.Ciphertext, 0, clients)
-	for i := 0; i < clients; i++ {
-		msg, err := conn.Recv(fl.ServerName)
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	batches := make(map[string][]paillier.Ciphertext, clients)
+	order := make([]string, 0, clients)
+	for len(batches) < clients {
+		var remaining time.Duration
+		if !deadline.IsZero() {
+			if remaining = time.Until(deadline); remaining <= 0 {
+				break // deadline elapsed with the loop below deciding quorum
+			}
+		}
+		msg, err := conn.RecvTimeout(fl.ServerName, remaining)
 		if err != nil {
+			if flnet.IsTimeout(err) {
+				break
+			}
 			return err
+		}
+		if msg.Kind != "grads" || msg.Round != demoRound {
+			fmt.Printf("discarding stale %q from %s (round %d)\n", msg.Kind, msg.From, msg.Round)
+			continue
+		}
+		if _, dup := batches[msg.From]; dup {
+			fmt.Printf("discarding duplicate upload from %s\n", msg.From)
+			continue
 		}
 		nats, err := flnet.DecodeNats(msg.Payload)
 		if err != nil {
@@ -114,29 +156,49 @@ func runServer(addr string, clients, keyBits int, seed uint64) error {
 		for j, n := range nats {
 			cts[j] = paillier.Ciphertext{C: n}
 		}
-		batches = append(batches, cts)
-		fmt.Printf("received %d ciphertexts from %s\n", len(cts), msg.From)
+		batches[msg.From] = cts
+		order = append(order, msg.From)
+		fmt.Printf("received %d ciphertexts from %s (%d/%d)\n", len(cts), msg.From, len(batches), clients)
 	}
-	agg, err := ctx.AggregateCiphertexts(batches)
+	if len(batches) < quorum {
+		return fmt.Errorf("gather deadline with %d/%d uploads, below quorum %d", len(batches), clients, quorum)
+	}
+	for i := 0; i < clients; i++ {
+		if _, ok := batches[fl.ClientName(i)]; !ok {
+			fmt.Printf("dropping straggler %s (missed the gather deadline)\n", fl.ClientName(i))
+		}
+	}
+
+	ordered := make([][]paillier.Ciphertext, 0, len(order))
+	for _, name := range order {
+		ordered = append(ordered, batches[name])
+	}
+	agg, err := ctx.AggregateCiphertexts(ordered)
 	if err != nil {
 		return err
 	}
+	// The aggregate is prefixed with the contributor count K so clients can
+	// remove the quantization bias for K parties and rescale to N/K.
 	nats := make([]mpint.Nat, len(agg))
 	for i, c := range agg {
 		nats[i] = c.C
 	}
-	payload := flnet.EncodeNats(nats)
+	payload := make([]byte, 4, 4+len(nats)*8)
+	binary.LittleEndian.PutUint32(payload, uint32(len(order)))
+	payload = append(payload, flnet.EncodeNats(nats)...)
+	// Broadcast to every client — stragglers included, so a late participant
+	// still terminates instead of waiting forever for an aggregate.
 	for i := 0; i < clients; i++ {
-		msg := flnet.Message{From: fl.ServerName, To: fl.ClientName(i), Kind: "agg", Payload: payload}
+		msg := flnet.Message{From: fl.ServerName, To: fl.ClientName(i), Kind: "agg", Round: demoRound, Payload: payload}
 		if err := conn.Send(msg); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("aggregated and broadcast %d ciphertexts\n", len(agg))
+	fmt.Printf("aggregated %d/%d uploads and broadcast %d ciphertexts\n", len(order), clients, len(agg))
 	return nil
 }
 
-func runClient(addr string, id, clients, keyBits int, seed uint64, vals []float64) error {
+func runClient(addr string, id, clients, keyBits int, seed uint64, vals []float64, delay time.Duration) error {
 	ctx, err := demoContext(keyBits, clients, seed)
 	if err != nil {
 		return err
@@ -156,7 +218,11 @@ func runClient(addr string, id, clients, keyBits int, seed uint64, vals []float6
 	for i, c := range cts {
 		nats[i] = c.C
 	}
-	if err := conn.Send(flnet.Message{From: name, To: fl.ServerName, Kind: "grads", Payload: flnet.EncodeNats(nats)}); err != nil {
+	if delay > 0 {
+		fmt.Printf("%s straggling for %v before upload\n", name, delay)
+		time.Sleep(delay)
+	}
+	if err := conn.Send(flnet.Message{From: name, To: fl.ServerName, Kind: "grads", Round: demoRound, Payload: flnet.EncodeNats(nats)}); err != nil {
 		return err
 	}
 	fmt.Printf("%s sent %d ciphertexts (%d gradients)\n", name, len(cts), len(vals))
@@ -165,7 +231,14 @@ func runClient(addr string, id, clients, keyBits int, seed uint64, vals []float6
 	if err != nil {
 		return err
 	}
-	aggNats, err := flnet.DecodeNats(msg.Payload)
+	if len(msg.Payload) < 4 {
+		return fmt.Errorf("%s: aggregate payload too short", name)
+	}
+	k := int(binary.LittleEndian.Uint32(msg.Payload[:4]))
+	if k < 1 || k > clients {
+		return fmt.Errorf("%s: implausible contributor count %d", name, k)
+	}
+	aggNats, err := flnet.DecodeNats(msg.Payload[4:])
 	if err != nil {
 		return err
 	}
@@ -173,16 +246,28 @@ func runClient(addr string, id, clients, keyBits int, seed uint64, vals []float6
 	for i, n := range aggNats {
 		aggCts[i] = paillier.Ciphertext{C: n}
 	}
-	sums, err := ctx.DecryptAggregated(aggCts, len(vals), clients)
+	sums, err := ctx.DecryptAggregated(aggCts, len(vals), k)
 	if err != nil {
 		return err
+	}
+	if k < clients {
+		// Quorum aggregate: rescale the K-party sum to a full-federation
+		// estimate, mirroring internal/fl's round runtime.
+		scale := float64(clients) / float64(k)
+		for i := range sums {
+			sums[i] *= scale
+		}
+		fmt.Printf("%s decrypted %d-of-%d aggregate (scaled x%.2f): %v\n", name, k, clients, scale, sums)
+		return nil
 	}
 	fmt.Printf("%s decrypted aggregate: %v\n", name, sums)
 	return nil
 }
 
 // runDemo runs hub, server, and clients in one process over loopback TCP.
-func runDemo(clients, dim, keyBits int, seed uint64) error {
+// With straggle > 0, client 0 delays its upload; combined with -quorum and
+// -timeout this demonstrates the round completing without it.
+func runDemo(clients, dim, keyBits int, seed uint64, quorum int, timeout, straggle time.Duration) error {
 	hub, err := flnet.NewTCPHub("127.0.0.1:0", flnet.GigabitEthernet())
 	if err != nil {
 		return err
@@ -191,7 +276,7 @@ func runDemo(clients, dim, keyBits int, seed uint64) error {
 	fmt.Println("demo hub on", hub.Addr())
 
 	errs := make(chan error, clients+1)
-	go func() { errs <- runServer(hub.Addr(), clients, keyBits, seed) }()
+	go func() { errs <- runServer(hub.Addr(), clients, keyBits, seed, quorum, timeout) }()
 
 	rng := mpint.NewRNG(seed)
 	want := make([]float64, dim)
@@ -201,14 +286,20 @@ func runDemo(clients, dim, keyBits int, seed uint64) error {
 			vals[i] = rng.Float64()*0.5 - 0.25
 			want[i] += vals[i]
 		}
-		go func(id int, vals []float64) { errs <- runClient(hub.Addr(), id, clients, keyBits, seed, vals) }(c, vals)
+		delay := time.Duration(0)
+		if c == 0 {
+			delay = straggle
+		}
+		go func(id int, vals []float64, delay time.Duration) {
+			errs <- runClient(hub.Addr(), id, clients, keyBits, seed, vals, delay)
+		}(c, vals, delay)
 	}
 	for i := 0; i < clients+1; i++ {
 		if err := <-errs; err != nil {
 			return err
 		}
 	}
-	fmt.Printf("expected sums: %v\n", want)
+	fmt.Printf("expected full-federation sums: %v\n", want)
 	bytes, msgs, _ := hub.Meter().Snapshot()
 	fmt.Printf("hub traffic: %d bytes across %d messages\n", bytes, msgs)
 	return nil

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestParseFloats(t *testing.T) {
 	got, err := parseFloats("0.1, -2.5,3")
@@ -23,8 +26,44 @@ func TestParseFloats(t *testing.T) {
 
 func TestDemoEndToEnd(t *testing.T) {
 	// Full hub + server + clients over loopback TCP with a small key.
-	if err := runDemo(3, 4, 128, 9); err != nil {
+	if err := runDemo(3, 4, 128, 9, 0, 0, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDemoQuorumSurvivesStraggler(t *testing.T) {
+	// Client 0 delays its upload past the gather deadline: with quorum 3 of
+	// 4 the round must complete (and the straggler still terminate) instead
+	// of stalling on the missing upload.
+	done := make(chan error, 1)
+	go func() {
+		done <- runDemo(4, 4, 128, 9, 3, 250*time.Millisecond, 900*time.Millisecond)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("degraded demo hung")
+	}
+}
+
+func TestDemoQuorumBelowThresholdFails(t *testing.T) {
+	// Every client misses an immediate deadline: the server must fail with
+	// a quorum error rather than aggregate nothing or hang. The straggler
+	// demo path only delays client 0, so demand a full quorum of 2.
+	done := make(chan error, 1)
+	go func() {
+		done <- runDemo(2, 2, 128, 9, 2, time.Nanosecond, 500*time.Millisecond)
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("below-quorum demo should fail")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("below-quorum demo hung")
 	}
 }
 

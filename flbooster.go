@@ -49,6 +49,30 @@ type Context = fl.Context
 // Federation re-exports the Fig. 2 secure-aggregation runner.
 type Federation = fl.Federation
 
+// RoundPolicy re-exports the fault-tolerance knobs (quorum, phase deadline,
+// retry/backoff) set on Profile.Round; the zero value is strict
+// wait-for-all. See DESIGN.md §6.
+type RoundPolicy = fl.RoundPolicy
+
+// RoundReport re-exports the per-round resilience accounting returned by
+// Federation.SecureAggregateReport.
+type RoundReport = fl.RoundReport
+
+// RoundError re-exports the typed round failure naming phase and party.
+type RoundError = fl.RoundError
+
+// RoundPhase re-exports the protocol phase labels used in reports and
+// errors.
+type RoundPhase = fl.RoundPhase
+
+// The Fig. 2 protocol phases a RoundReport or RoundError can name.
+const (
+	PhaseUpload    = fl.PhaseUpload
+	PhaseGather    = fl.PhaseGather
+	PhaseBroadcast = fl.PhaseBroadcast
+	PhaseDecrypt   = fl.PhaseDecrypt
+)
+
 // Platform re-exports the Table-I API surface.
 type Platform = core.Platform
 

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"flbooster/internal/fl"
+	"flbooster/internal/flnet"
+	"flbooster/internal/mpint"
+)
+
+// resilienceDim is the gradient dimension for the resilience experiment:
+// large enough that a round carries real HE work, small enough for a quick
+// run at the default scale.
+const resilienceDim = 24
+
+// Resilience measures graceful degradation under a straggler. It runs one
+// epoch of secure-aggregation rounds three ways over the same workload:
+//
+//	clean      — all parties healthy, strict policy
+//	straggler  — one client's traffic delayed far past the phase deadline,
+//	             quorum K = N-1, so each round proceeds without it
+//	stalled    — the lower bound a strict (wait-for-all) server would pay,
+//	             rounds × straggler delay, shown for contrast
+//
+// The phase deadline is calibrated from the measured clean round so the
+// degraded epoch lands near the paper's target of ~1.2× fault-free time
+// regardless of host speed.
+func (r *Runner) Resilience(w io.Writer) error {
+	keyBits := r.cfg.KeyBits[0]
+	parties := r.cfg.Parties
+	rounds := r.cfg.Epochs
+	header(w, fmt.Sprintf("Resilience — K-of-N quorum vs a straggler (%d parties, %d-bit keys, %d rounds)",
+		parties, keyBits, rounds))
+
+	rng := mpint.NewRNG(r.cfg.Seed)
+	grads := make([][]float64, parties)
+	for c := range grads {
+		grads[c] = make([]float64, resilienceDim)
+		for i := range grads[c] {
+			grads[c][i] = rng.Float64()*0.5 - 0.25
+		}
+	}
+
+	newCtx := func(policy fl.RoundPolicy) (*fl.Context, error) {
+		p := fl.NewProfile(fl.SystemFLBooster, keyBits, parties)
+		p.Seed = r.cfg.Seed
+		p.Device = r.cfg.Device
+		p.Round = policy
+		return fl.NewContext(p)
+	}
+
+	epoch := func(ctx *fl.Context, chaos *flnet.ChaosConfig) (time.Duration, fl.RoundReport, error) {
+		fed := fl.NewFederation(ctx)
+		defer fed.Close()
+		if chaos != nil {
+			fed.Transport = flnet.NewChaosTransport(fed.Transport, *chaos)
+		}
+		var rep fl.RoundReport
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			var err error
+			if _, rep, err = fed.SecureAggregateReport(grads); err != nil {
+				return 0, rep, err
+			}
+		}
+		return time.Since(start), rep, nil
+	}
+
+	// Pass 1: fault-free epoch under the strict default policy.
+	cleanCtx, err := newCtx(fl.RoundPolicy{})
+	if err != nil {
+		return err
+	}
+	clean, cleanRep, err := epoch(cleanCtx, nil)
+	if err != nil {
+		return fmt.Errorf("bench: clean resilience epoch: %w", err)
+	}
+
+	// Calibrate: budget ~20% of a clean round for waiting out the straggler,
+	// floored against scheduler noise, so degraded ≈ 1.2× clean on any host.
+	phaseTimeout := clean / time.Duration(rounds) / 5
+	if phaseTimeout < 10*time.Millisecond {
+		phaseTimeout = 10 * time.Millisecond
+	}
+	stragglerDelay := 10 * phaseTimeout
+
+	degCtx, err := newCtx(fl.RoundPolicy{
+		Quorum:       parties - 1,
+		PhaseTimeout: phaseTimeout,
+		MaxRetries:   2,
+		Backoff:      time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	degraded, degRep, err := epoch(degCtx, &flnet.ChaosConfig{
+		Seed:           r.cfg.Seed,
+		StragglerParty: fl.ClientName(0),
+		StragglerDelay: stragglerDelay,
+	})
+	if err != nil {
+		return fmt.Errorf("bench: straggler resilience epoch: %w", err)
+	}
+
+	stalled := time.Duration(rounds) * stragglerDelay
+
+	fmt.Fprintf(w, "phase deadline %s, straggler delay %s (calibrated from the clean round)\n\n",
+		fmtDur(phaseTimeout), fmtDur(stragglerDelay))
+	fmt.Fprintf(w, "%-22s %12s %12s %10s %8s %s\n",
+		"Run", "Epoch", "Per-round", "Ratio", "Retries", "Dropped")
+	row := func(name string, d time.Duration, rep fl.RoundReport) {
+		fmt.Fprintf(w, "%-22s %12s %12s %9.2fx %8d %s\n",
+			name, fmtDur(d), fmtDur(d/time.Duration(rounds)),
+			float64(d)/float64(clean), rep.Retries, fmtDropped(rep))
+	}
+	row(fmt.Sprintf("clean (all %d)", parties), clean, cleanRep)
+	row(fmt.Sprintf("straggler (quorum %d)", parties-1), degraded, degRep)
+	fmt.Fprintf(w, "%-22s %12s %12s %9.2fx %8s %s\n",
+		"stalled (wait-for-all)", fmtDur(stalled), fmtDur(stragglerDelay),
+		float64(stalled)/float64(clean), "-", "lower bound, never completes early")
+	return nil
+}
+
+// fmtDropped renders a report's dropped set as party@phase pairs.
+func fmtDropped(rep fl.RoundReport) string {
+	if len(rep.Dropped) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(rep.Dropped))
+	for party, phase := range rep.Dropped {
+		parts = append(parts, fmt.Sprintf("%s@%s", party, phase))
+	}
+	sort.Strings(parts)
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += " " + p
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"flbooster/internal/fl"
+)
+
+// TestResilienceDemonstratesGracefulDegradation runs the straggler
+// experiment at test scale and checks the printed table: the degraded epoch
+// must drop exactly the straggler, and must land far below the stalled
+// (wait-for-all) bound.
+func TestResilienceDemonstratesGracefulDegradation(t *testing.T) {
+	cfg := Quick()
+	cfg.KeyBits = []int{256}
+	cfg.Epochs = 2
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := r.Resilience(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"clean (all 4)",
+		"straggler (quorum 3)",
+		"stalled (wait-for-all)",
+		"client0@gather",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtDropped(t *testing.T) {
+	if got := fmtDropped(fl.RoundReport{}); got != "-" {
+		t.Errorf("empty dropped = %q", got)
+	}
+	rep := fl.RoundReport{Dropped: map[string]fl.RoundPhase{
+		"client2": fl.PhaseGather,
+		"client0": fl.PhaseDecrypt,
+	}}
+	if got := fmtDropped(rep); got != "client0@decrypt client2@gather" {
+		t.Errorf("fmtDropped = %q", got)
+	}
+}

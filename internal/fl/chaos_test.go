@@ -1,0 +1,149 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"flbooster/internal/flnet"
+)
+
+// TestChaosRoundsCompleteOrFailTyped is the chaos acceptance suite: under
+// seeded probabilistic drops, delays, duplication, and reordering, every
+// SecureAggregate call must either complete (via retry or K-of-N quorum,
+// with dropped clients reported) or return a typed phase/party error — and
+// do either within the configured deadlines, never hang.
+func TestChaosRoundsCompleteOrFailTyped(t *testing.T) {
+	grads := [][]float64{{0.1, -0.3}, {0.1, -0.3}, {0.1, -0.3}, {0.1, -0.3}}
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ctx, err := NewContext(quorumProfile(SystemFLBooster))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fed := NewFederation(ctx)
+			defer fed.Close()
+			chaos := flnet.NewChaosTransport(fed.Transport, flnet.ChaosConfig{
+				Seed:        seed,
+				DropProb:    0.15,
+				DupProb:     0.15,
+				ReorderProb: 0.2,
+				Delay:       time.Millisecond,
+			})
+			fed.Transport = chaos
+
+			completed := 0
+			for round := 0; round < 4; round++ {
+				start := time.Now()
+				sum, rep, err := fed.SecureAggregateReport(grads)
+				elapsed := time.Since(start)
+				// Phase deadlines are 200ms; with retries and four phases a
+				// round must resolve within a couple of seconds either way.
+				if elapsed > 10*time.Second {
+					t.Fatalf("round %d took %v: deadline not enforced", round, elapsed)
+				}
+				if err != nil {
+					var rerr *RoundError
+					if !errors.As(err, &rerr) {
+						t.Fatalf("round %d: untyped failure %T: %v", round, err, err)
+					}
+					if rerr.Phase == "" {
+						t.Fatalf("round %d: error missing phase: %v", round, rerr)
+					}
+					continue
+				}
+				completed++
+				// A client lost before aggregation must not appear in
+				// Included; a decrypt-phase drop legitimately can (its
+				// gradient was aggregated, only its result copy was lost).
+				for party, phase := range rep.Dropped {
+					if phase == PhaseDecrypt {
+						continue
+					}
+					for _, inc := range rep.Included {
+						if inc == party {
+							t.Fatalf("round %d: %s dropped in %s yet included: %+v", round, party, phase, rep)
+						}
+					}
+				}
+				if len(rep.Included) < 3 {
+					t.Fatalf("round %d completed below quorum: %+v", round, rep)
+				}
+				// Identical client gradients: the scaled estimate must match
+				// the true full-federation sum whatever subset contributed.
+				bound := 4 * rep.Scale * ctx.Quant.MaxError()
+				for i, want := range []float64{0.4, -1.2} {
+					if d := sum[i] - want; d > bound || d < -bound {
+						t.Fatalf("round %d sum[%d] = %v, want %v ± %v (report %+v)",
+							round, i, sum[i], want, bound, rep)
+					}
+				}
+			}
+			t.Logf("seed %d: %d/4 rounds completed, stats %+v", seed, completed, chaos.Stats())
+		})
+	}
+}
+
+// TestStragglerDegradesGracefully delays every message from one client far
+// past the phase deadline: each round must complete with the other three
+// clients in roughly clean-round time plus the deadline — not stall for the
+// straggler.
+func TestStragglerDegradesGracefully(t *testing.T) {
+	const rounds = 3
+	const phaseTimeout = 150 * time.Millisecond
+	const stragglerDelay = 2 * time.Second
+	grads := [][]float64{{0.1, 0.2}, {0.1, 0.2}, {0.1, 0.2}, {0.1, 0.2}}
+
+	run := func(straggle bool) (time.Duration, RoundReport) {
+		p := quorumProfile(SystemFLBooster)
+		p.Round.PhaseTimeout = phaseTimeout
+		ctx, err := NewContext(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed := NewFederation(ctx)
+		defer fed.Close()
+		if straggle {
+			fed.Transport = flnet.NewChaosTransport(fed.Transport, flnet.ChaosConfig{
+				Seed:           11,
+				StragglerParty: ClientName(0),
+				StragglerDelay: stragglerDelay,
+			})
+		}
+		var rep RoundReport
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			var err error
+			_, rep, err = fed.SecureAggregateReport(grads)
+			if err != nil {
+				t.Fatalf("straggle=%v round %d: %v", straggle, i, err)
+			}
+		}
+		return time.Since(start), rep
+	}
+
+	clean, cleanRep := run(false)
+	if cleanRep.Degraded() {
+		t.Fatalf("clean run dropped clients: %+v", cleanRep)
+	}
+	degraded, degradedRep := run(true)
+	if phase, ok := degradedRep.Dropped[ClientName(0)]; !ok || phase != PhaseGather {
+		t.Fatalf("straggler not reported dropped in gather: %+v", degradedRep)
+	}
+	if len(degradedRep.Included) != 3 {
+		t.Fatalf("degraded round included %v", degradedRep.Included)
+	}
+
+	// The whole point: the epoch pays at most the phase deadline per round,
+	// never the straggler's delay.
+	budget := clean + rounds*phaseTimeout + time.Second
+	if degraded > budget {
+		t.Fatalf("degraded epoch %v exceeds budget %v (clean %v)", degraded, budget, clean)
+	}
+	if degraded > rounds*stragglerDelay {
+		t.Fatalf("degraded epoch %v suggests the round waited for the straggler", degraded)
+	}
+	t.Logf("clean epoch %v, degraded epoch %v (budget %v)", clean, degraded, budget)
+}

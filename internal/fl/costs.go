@@ -27,6 +27,9 @@ type CostSnapshot struct {
 	CommSim   time.Duration
 	CommBytes int64
 	CommMsgs  int64
+	// RetryMsgs counts retransmission attempts; their bytes and wire time
+	// are already folded into the Comm totals above.
+	RetryMsgs int64
 
 	// OtherWall is host time in model computation (gradients, trees,
 	// forward/backward passes) outside HE and communication.
@@ -61,6 +64,18 @@ func (c *Costs) AddComm(sim time.Duration, bytes int64) {
 	c.s.CommSim += sim
 	c.s.CommBytes += bytes
 	c.s.CommMsgs++
+}
+
+// AddRetry accounts one retransmission attempt: the wasted bytes and wire
+// time join the communication totals so degraded rounds report their true
+// cost, and the retry counter records how much of it was rework.
+func (c *Costs) AddRetry(sim time.Duration, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.CommSim += sim
+	c.s.CommBytes += bytes
+	c.s.CommMsgs++
+	c.s.RetryMsgs++
 }
 
 // AddOther accounts model-computation time.

@@ -1,9 +1,12 @@
 package fl
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"flbooster/internal/flnet"
+	"flbooster/internal/mpint"
 )
 
 // TestSecureAggregateSurfacesTransportFailures injects failures at each
@@ -67,5 +70,219 @@ func TestSecureAggregateRecoversAfterTransientFault(t *testing.T) {
 	bound := 4 * ctx.Quant.MaxError()
 	if d := sum[0] - 0.4; d > bound || d < -bound {
 		t.Fatalf("recovered round produced %v, want 0.4", sum[0])
+	}
+}
+
+// quorumProfile returns a test profile tolerating one straggler: quorum 3 of
+// 4, a short phase deadline, and a couple of fast retries.
+func quorumProfile(sys System) Profile {
+	p := testProfile(sys)
+	p.Round = RoundPolicy{
+		Quorum:       3,
+		PhaseTimeout: 200 * time.Millisecond,
+		MaxRetries:   2,
+		Backoff:      time.Millisecond,
+	}
+	return p
+}
+
+// TestQuorumRoundSurvivesDroppedUpload drops one client's upload entirely:
+// the round must complete with K-1 contributions, report the dropped party,
+// and return the scaled full-federation estimate.
+func TestQuorumRoundSurvivesDroppedUpload(t *testing.T) {
+	ctx, err := NewContext(quorumProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	ft := flnet.NewFaultyTransport(fed.Transport)
+	ft.DropFrom = ClientName(2)
+	ft.DropKind = "grads"
+	fed.Transport = ft
+
+	// Identical gradients so the scaled 3-of-4 estimate equals the true sum.
+	grads := [][]float64{{0.1, -0.2}, {0.1, -0.2}, {0.1, -0.2}, {0.1, -0.2}}
+	sum, rep, err := fed.SecureAggregateReport(grads)
+	if err != nil {
+		t.Fatalf("quorum round should survive one dropped upload: %v", err)
+	}
+	if len(rep.Included) != 3 {
+		t.Fatalf("included = %v", rep.Included)
+	}
+	if phase, ok := rep.Dropped[ClientName(2)]; !ok || phase != PhaseGather {
+		t.Fatalf("dropped = %v, want client2 lost in gather", rep.Dropped)
+	}
+	if rep.Scale < 1.32 || rep.Scale > 1.34 {
+		t.Fatalf("scale = %v, want 4/3", rep.Scale)
+	}
+	bound := 4 * rep.Scale * ctx.Quant.MaxError()
+	for i, want := range []float64{0.4, -0.8} {
+		if d := sum[i] - want; d > bound || d < -bound {
+			t.Fatalf("sum[%d] = %v, want %v ± %v", i, sum[i], want, bound)
+		}
+	}
+}
+
+// TestDuplicateBroadcastLeavesAggregateUnchanged duplicates every message:
+// the gather phase must deduplicate uploads (a doubled contribution would
+// double the sum) and the decrypt phase must discard repeat aggregates.
+func TestDuplicateBroadcastLeavesAggregateUnchanged(t *testing.T) {
+	ctx, err := NewContext(quorumProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	fed.Transport = flnet.NewChaosTransport(fed.Transport, flnet.ChaosConfig{Seed: 5, DupProb: 1})
+
+	grads := [][]float64{{0.1}, {0.1}, {0.1}, {0.1}}
+	sum, rep, err := fed.SecureAggregateReport(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicates == 0 {
+		t.Fatal("duplicated uploads were not detected")
+	}
+	bound := 4 * ctx.Quant.MaxError()
+	if d := sum[0] - 0.4; d > bound || d < -bound {
+		t.Fatalf("duplicates corrupted the aggregate: %v, want 0.4", sum[0])
+	}
+	// A second round must also be clean: leftover duplicate aggregates from
+	// round 1 are stale now and must be discarded, not decrypted.
+	sum2, rep2, err := fed.SecureAggregateReport(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Stale == 0 {
+		t.Fatal("stale round-1 duplicates were not discarded in round 2")
+	}
+	if d := sum2[0] - 0.4; d > bound || d < -bound {
+		t.Fatalf("round 2 aggregate corrupted by stale traffic: %v", sum2[0])
+	}
+}
+
+// TestStaleRoundMessageDiscarded injects a reordered leftover from an old
+// round directly into the server queue; the round ID must exclude it.
+func TestStaleRoundMessageDiscarded(t *testing.T) {
+	ctx, err := NewContext(quorumProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+
+	// A forged "grads" message from a past round (Round 0 < current 1), with
+	// a payload that would double client0's contribution if aggregated.
+	cts, err := ctx.EncryptGradients([]float64{0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nats := make([]mpint.Nat, len(cts))
+	for i, c := range cts {
+		nats[i] = c.C
+	}
+	stale := flnet.Message{
+		From: ClientName(0), To: ServerName, Kind: "grads", Round: 0,
+		Payload: flnet.EncodeNats(nats),
+	}
+	if err := fed.Transport.Send(stale); err != nil {
+		t.Fatal(err)
+	}
+
+	grads := [][]float64{{0.1}, {0.1}, {0.1}, {0.1}}
+	sum, rep, err := fed.SecureAggregateReport(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stale == 0 {
+		t.Fatal("stale message was not counted as discarded")
+	}
+	bound := 4 * ctx.Quant.MaxError()
+	if d := sum[0] - 0.4; d > bound || d < -bound {
+		t.Fatalf("stale message leaked into the aggregate: %v, want 0.4", sum[0])
+	}
+}
+
+// TestRoundErrorTyping verifies failures carry phase and party.
+func TestRoundErrorTyping(t *testing.T) {
+	p := testProfile(SystemFLBooster) // strict policy: no quorum slack
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	ft := flnet.NewFaultyTransport(fed.Transport)
+	ft.FailSendAt = 1
+	fed.Transport = ft
+	_, err = fed.SecureAggregate([][]float64{{0.1}, {0.2}, {0.3}, {0.4}})
+	var rerr *RoundError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("want *RoundError, got %T: %v", err, err)
+	}
+	if rerr.Phase != PhaseUpload || rerr.Party != ClientName(0) || rerr.Round != 1 {
+		t.Fatalf("round error = %+v", rerr)
+	}
+	if rerr.Unwrap() == nil {
+		t.Fatal("cause not preserved")
+	}
+}
+
+// TestRetryPolicyAbsorbsTransientSendFailure: with retries configured, a
+// one-shot injected send failure must not abort the round, and the rework
+// must be charged to the communication cost model.
+func TestRetryPolicyAbsorbsTransientSendFailure(t *testing.T) {
+	ctx, err := NewContext(quorumProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	ft := flnet.NewFaultyTransport(fed.Transport)
+	ft.FailSendAt = 1
+	fed.Transport = ft
+
+	grads := [][]float64{{0.1}, {0.1}, {0.1}, {0.1}}
+	sum, rep, err := fed.SecureAggregateReport(grads)
+	if err != nil {
+		t.Fatalf("retry should absorb the transient failure: %v", err)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("report did not count the retry")
+	}
+	if rep.Degraded() {
+		t.Fatalf("no client should be dropped: %+v", rep)
+	}
+	if ctx.Costs.Snapshot().RetryMsgs == 0 {
+		t.Fatal("retry traffic not charged to the cost model")
+	}
+	bound := 4 * ctx.Quant.MaxError()
+	if d := sum[0] - 0.4; d > bound || d < -bound {
+		t.Fatalf("sum = %v, want 0.4", sum[0])
+	}
+}
+
+// TestQuorumBelowThresholdFails drops two uploads when only one loss is
+// budgeted: the round must fail with a typed gather error, within the
+// deadline rather than hanging.
+func TestQuorumBelowThresholdFails(t *testing.T) {
+	p := quorumProfile(SystemFLBooster)
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	fed.Transport = flnet.NewChaosTransport(fed.Transport, flnet.ChaosConfig{Seed: 1, DropProb: 1})
+
+	start := time.Now()
+	_, err = fed.SecureAggregate([][]float64{{0.1}, {0.1}, {0.1}, {0.1}})
+	var rerr *RoundError
+	if !errors.As(err, &rerr) || rerr.Phase != PhaseGather {
+		t.Fatalf("want gather-phase RoundError, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("failure took %v; deadline not honoured", elapsed)
 	}
 }

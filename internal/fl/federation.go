@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"time"
 
 	"flbooster/internal/flnet"
 	"flbooster/internal/mpint"
@@ -9,13 +10,20 @@ import (
 )
 
 // Federation wires a Context to a transport and executes the SGD secure-
-// aggregation round of Fig. 2: clients encrypt local gradients and upload
-// ciphertexts, the server aggregates homomorphically and broadcasts, clients
-// decrypt and update. Party names are "client<i>" and "server".
+// aggregation round of Fig. 2 as a fault-tolerant state machine: clients
+// encrypt local gradients and upload ciphertexts, the server aggregates
+// homomorphically once the context's RoundPolicy quorum is met, and clients
+// decrypt the (possibly scaled) aggregate. Every message carries the round's
+// monotonically increasing ID; stale or duplicate messages from earlier
+// rounds are discarded, never aggregated. Party names are "client<i>" and
+// "server".
 type Federation struct {
 	Ctx       *Context
 	Transport flnet.Transport
 	parties   []string
+
+	round      uint64
+	lastReport RoundReport
 }
 
 // ClientName returns the canonical name of client i.
@@ -39,89 +47,342 @@ func NewFederation(ctx *Context) *Federation {
 	}
 }
 
+// Round returns the ID of the most recently started round.
+func (f *Federation) Round() uint64 { return f.round }
+
+// LastReport returns the report of the most recently completed round.
+func (f *Federation) LastReport() RoundReport { return f.lastReport }
+
 // SecureAggregate executes one full round: grads[i] is client i's local
 // gradient vector (all equal length). It returns the element-wise sum as
-// decrypted by the clients. Every ciphertext crossing the wire is charged
-// to the communication component.
+// decrypted by the clients — scaled to the full-federation estimate when a
+// quorum round dropped stragglers. Every ciphertext crossing the wire is
+// charged to the communication component.
 func (f *Federation) SecureAggregate(grads [][]float64) ([]float64, error) {
+	sum, _, err := f.SecureAggregateReport(grads)
+	return sum, err
+}
+
+// SecureAggregateReport is SecureAggregate plus the round's RoundReport:
+// which clients contributed, which were dropped and where, retry counts, and
+// the applied scale factor. On failure it returns a *RoundError naming the
+// phase (and party, when one is at fault).
+func (f *Federation) SecureAggregateReport(grads [][]float64) ([]float64, RoundReport, error) {
 	p := f.Ctx.Profile.Parties
 	if len(grads) != p {
-		return nil, fmt.Errorf("fl: %d gradient vectors for %d parties", len(grads), p)
+		return nil, RoundReport{}, fmt.Errorf("fl: %d gradient vectors for %d parties", len(grads), p)
 	}
 	count := len(grads[0])
 	for i, g := range grads {
 		if len(g) != count {
-			return nil, fmt.Errorf("fl: client %d has %d gradients, want %d", i, len(g), count)
+			return nil, RoundReport{}, fmt.Errorf("fl: client %d has %d gradients, want %d", i, len(g), count)
 		}
+	}
+	policy := f.Ctx.Profile.Round
+	if err := policy.Validate(p); err != nil {
+		return nil, RoundReport{}, err
 	}
 
-	// Upload phase: every client encrypts and sends to the server.
-	for i := 0; i < p; i++ {
-		cts, err := f.Ctx.EncryptGradients(grads[i])
-		if err != nil {
-			return nil, fmt.Errorf("fl: client %d encrypt: %w", i, err)
-		}
-		payload := encodeCiphertexts(cts)
-		msg := flnet.Message{From: ClientName(i), To: ServerName, Kind: "grads", Payload: payload}
-		if err := f.Transport.Send(msg); err != nil {
-			return nil, err
-		}
-		f.Ctx.RecordTransfer(msg.WireSize())
-	}
-
-	// Server phase: receive p batches, aggregate homomorphically.
-	batches := make([][]paillier.Ciphertext, 0, p)
-	for i := 0; i < p; i++ {
-		msg, err := f.Transport.Recv(ServerName)
-		if err != nil {
-			return nil, err
-		}
-		cts, err := decodeCiphertexts(msg.Payload)
-		if err != nil {
-			return nil, fmt.Errorf("fl: server decode from %s: %w", msg.From, err)
-		}
-		batches = append(batches, cts)
-	}
-	agg, err := f.Ctx.AggregateCiphertexts(batches)
+	f.round++
+	st := newRoundState(f, policy, count)
+	result, err := st.run(grads)
+	f.lastReport = st.report()
 	if err != nil {
-		return nil, err
+		return nil, f.lastReport, err
 	}
-
-	// Broadcast phase: server returns the aggregate to every client.
-	aggPayload := encodeCiphertexts(agg)
-	for i := 0; i < p; i++ {
-		msg := flnet.Message{From: ServerName, To: ClientName(i), Kind: "agg", Payload: aggPayload}
-		if err := f.Transport.Send(msg); err != nil {
-			return nil, err
-		}
-		f.Ctx.RecordTransfer(msg.WireSize())
-	}
-
-	// Client phase: decrypt once (all clients hold the private key in the
-	// Fig. 2 layout; decrypting once keeps host time proportional without
-	// changing the protocol's traffic, which was charged above).
-	var result []float64
-	for i := 0; i < p; i++ {
-		msg, err := f.Transport.Recv(ClientName(i))
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			cts, err := decodeCiphertexts(msg.Payload)
-			if err != nil {
-				return nil, err
-			}
-			result, err = f.Ctx.DecryptAggregated(cts, count, p)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	return result, nil
+	return result, f.lastReport, nil
 }
 
 // Close releases the transport.
 func (f *Federation) Close() error { return f.Transport.Close() }
+
+// ---- round state machine -------------------------------------------------
+
+// roundState carries one SecureAggregate execution through its four phases.
+type roundState struct {
+	f      *Federation
+	id     uint64
+	policy RoundPolicy
+	quorum int
+	count  int // gradient dimension
+
+	send    func(flnet.Message) error
+	retrier *flnet.RetryTransport // nil when MaxRetries is 0
+
+	uploaded    []string                          // clients whose upload send succeeded
+	batches     map[string][]paillier.Ciphertext  // gathered uploads by client
+	included    []string                          // aggregation order
+	reached     []string                          // clients the broadcast reached
+	dropped     map[string]RoundPhase             // dropped client -> losing phase
+	stale, dups int
+}
+
+func newRoundState(f *Federation, policy RoundPolicy, count int) *roundState {
+	st := &roundState{
+		f:       f,
+		id:      f.round,
+		policy:  policy,
+		quorum:  policy.EffectiveQuorum(f.Ctx.Profile.Parties),
+		count:   count,
+		batches: make(map[string][]paillier.Ciphertext),
+		dropped: make(map[string]RoundPhase),
+	}
+	st.send = f.Transport.Send
+	if policy.MaxRetries > 0 {
+		st.retrier = flnet.NewRetryTransport(f.Transport, flnet.RetryPolicy{
+			MaxRetries: policy.MaxRetries,
+			Backoff:    policy.Backoff,
+			Seed:       f.Ctx.Profile.Seed ^ f.round,
+		})
+		// Retransmissions are real wire traffic: charge each re-attempt to
+		// the communication component so the cost model stays honest.
+		st.retrier.OnRetry = func(msg flnet.Message, attempt int, err error) {
+			f.Ctx.Costs.AddRetry(f.Ctx.Link.TransferTime(msg.WireSize()), msg.WireSize())
+		}
+		st.send = st.retrier.Send
+	}
+	return st
+}
+
+func (st *roundState) report() RoundReport {
+	rep := RoundReport{
+		Round:      st.id,
+		Included:   st.included,
+		Dropped:    st.dropped,
+		Stale:      st.stale,
+		Duplicates: st.dups,
+		Scale:      1,
+	}
+	if st.retrier != nil {
+		rep.Retries = st.retrier.Retries()
+	}
+	if n := len(st.included); n > 0 {
+		rep.Scale = float64(st.f.Ctx.Profile.Parties) / float64(n)
+	}
+	return rep
+}
+
+// drop records a lost client and enforces the quorum budget: once more than
+// parties-quorum clients are gone, the round fails with a typed error naming
+// the phase and party that exhausted the budget.
+func (st *roundState) drop(phase RoundPhase, party string, cause error) *RoundError {
+	if _, ok := st.dropped[party]; !ok {
+		st.dropped[party] = phase
+	}
+	if len(st.dropped) > st.f.Ctx.Profile.Parties-st.quorum {
+		return &RoundError{Round: st.id, Phase: phase, Party: party, Err: cause}
+	}
+	return nil
+}
+
+// fail builds the typed error for a phase-level (no single party) failure.
+func (st *roundState) fail(phase RoundPhase, party string, cause error) *RoundError {
+	return &RoundError{Round: st.id, Phase: phase, Party: party, Err: cause}
+}
+
+// recv performs one transport receive honouring the phase deadline.
+func (st *roundState) recv(party string, deadline time.Time) (flnet.Message, error) {
+	if deadline.IsZero() {
+		return st.f.Transport.Recv(party)
+	}
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return flnet.Message{}, fmt.Errorf("%w: party %q (phase deadline elapsed)", flnet.ErrTimeout, party)
+	}
+	return st.f.Transport.RecvTimeout(party, remaining)
+}
+
+// phaseDeadline starts a deadline clock for one phase.
+func (st *roundState) phaseDeadline() time.Time {
+	if st.policy.PhaseTimeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(st.policy.PhaseTimeout)
+}
+
+func (st *roundState) run(grads [][]float64) ([]float64, error) {
+	if err := st.upload(grads); err != nil {
+		return nil, err
+	}
+	if err := st.gather(); err != nil {
+		return nil, err
+	}
+	agg, err := st.aggregate()
+	if err != nil {
+		return nil, err
+	}
+	if err := st.broadcast(agg); err != nil {
+		return nil, err
+	}
+	return st.decrypt()
+}
+
+// upload: every client encrypts and sends to the server. A send that still
+// fails after the retry policy drops the client (within the quorum budget);
+// a local encryption fault is not a network fault and aborts the round.
+func (st *roundState) upload(grads [][]float64) error {
+	for i := 0; i < st.f.Ctx.Profile.Parties; i++ {
+		name := ClientName(i)
+		cts, err := st.f.Ctx.EncryptGradients(grads[i])
+		if err != nil {
+			return fmt.Errorf("fl: client %d encrypt: %w", i, err)
+		}
+		msg := flnet.Message{
+			From: name, To: ServerName, Kind: "grads", Round: st.id,
+			Payload: encodeCiphertexts(cts),
+		}
+		if err := st.send(msg); err != nil {
+			if rerr := st.drop(PhaseUpload, name, err); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		st.uploaded = append(st.uploaded, name)
+		st.f.Ctx.RecordTransfer(msg.WireSize())
+	}
+	return nil
+}
+
+// gather: the server collects uploads for the current round. Messages from
+// earlier rounds are stale artifacts of stragglers and are discarded, as are
+// duplicates. With a deadline, the server proceeds once the quorum holds at
+// expiry; without one it waits for every successful uploader.
+func (st *roundState) gather() error {
+	deadline := st.phaseDeadline()
+	for len(st.batches) < len(st.uploaded) {
+		msg, err := st.recv(ServerName, deadline)
+		if err != nil {
+			if flnet.IsTimeout(err) {
+				if len(st.batches) >= st.quorum {
+					break // quorum reached: proceed without the stragglers
+				}
+				return st.fail(PhaseGather, "", fmt.Errorf(
+					"deadline with %d/%d uploads (quorum %d): %w",
+					len(st.batches), len(st.uploaded), st.quorum, err))
+			}
+			// A hard receive failure at the server is not a straggler.
+			return st.fail(PhaseGather, "", err)
+		}
+		if msg.Round != st.id || msg.Kind != "grads" {
+			st.stale++
+			continue
+		}
+		if _, dup := st.batches[msg.From]; dup {
+			st.dups++
+			continue
+		}
+		cts, err := decodeCiphertexts(msg.Payload)
+		if err != nil {
+			return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode: %w", err))
+		}
+		st.batches[msg.From] = cts
+	}
+	// Anyone who uploaded but never arrived was lost in transit.
+	for _, name := range st.uploaded {
+		if _, ok := st.batches[name]; ok {
+			st.included = append(st.included, name)
+		} else if rerr := st.drop(PhaseGather, name, fmt.Errorf("upload missed the phase deadline")); rerr != nil {
+			return rerr
+		}
+	}
+	if len(st.included) < st.quorum {
+		return st.fail(PhaseGather, "", fmt.Errorf("%d/%d uploads below quorum %d",
+			len(st.included), st.f.Ctx.Profile.Parties, st.quorum))
+	}
+	return nil
+}
+
+// aggregate homomorphically sums the gathered batches in upload order.
+func (st *roundState) aggregate() ([]paillier.Ciphertext, error) {
+	batches := make([][]paillier.Ciphertext, 0, len(st.included))
+	for _, name := range st.included {
+		batches = append(batches, st.batches[name])
+	}
+	agg, err := st.f.Ctx.AggregateCiphertexts(batches)
+	if err != nil {
+		return nil, st.fail(PhaseGather, "", err)
+	}
+	return agg, nil
+}
+
+// broadcast: the server returns the aggregate to every included client.
+func (st *roundState) broadcast(agg []paillier.Ciphertext) error {
+	payload := encodeCiphertexts(agg)
+	for _, name := range st.included {
+		msg := flnet.Message{From: ServerName, To: name, Kind: "agg", Round: st.id, Payload: payload}
+		if err := st.send(msg); err != nil {
+			if rerr := st.drop(PhaseBroadcast, name, err); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		st.reached = append(st.reached, name)
+		st.f.Ctx.RecordTransfer(msg.WireSize())
+	}
+	if len(st.reached) == 0 {
+		return st.fail(PhaseBroadcast, "", fmt.Errorf("aggregate reached no client"))
+	}
+	return nil
+}
+
+// decrypt: each reached client consumes its aggregate copy; the first valid
+// copy is decrypted once (all clients hold the private key in the Fig. 2
+// layout, so one decryption keeps host time proportional without changing
+// the protocol's traffic). A quorum aggregate of K of N clients is scaled by
+// N/K so callers keep seeing a full-federation estimate.
+func (st *roundState) decrypt() ([]float64, error) {
+	// The deadline bounds waiting for traffic only: every copy is drained
+	// before any HE decryption runs, so slow local compute can never expire
+	// the clock on a client whose message already arrived.
+	deadline := st.phaseDeadline()
+	copies := make([]flnet.Message, 0, len(st.reached))
+	for _, name := range st.reached {
+		for {
+			msg, err := st.recv(name, deadline)
+			if err != nil {
+				if rerr := st.drop(PhaseDecrypt, name, err); rerr != nil {
+					return nil, rerr
+				}
+				break
+			}
+			if msg.Round != st.id || msg.Kind != "agg" {
+				st.stale++
+				continue // keep waiting for this round's aggregate
+			}
+			copies = append(copies, msg)
+			break
+		}
+	}
+	var result []float64
+	for _, msg := range copies {
+		if result != nil {
+			break
+		}
+		cts, err := decodeCiphertexts(msg.Payload)
+		if err != nil {
+			if rerr := st.drop(PhaseDecrypt, msg.To, err); rerr != nil {
+				return nil, rerr
+			}
+			continue
+		}
+		k := len(st.included)
+		sums, err := st.f.Ctx.DecryptAggregated(cts, st.count, k)
+		if err != nil {
+			return nil, st.fail(PhaseDecrypt, msg.To, err)
+		}
+		if p := st.f.Ctx.Profile.Parties; k < p {
+			scale := float64(p) / float64(k)
+			for i := range sums {
+				sums[i] *= scale
+			}
+		}
+		result = sums
+	}
+	if result == nil {
+		return nil, st.fail(PhaseDecrypt, "", fmt.Errorf("no client obtained the aggregate"))
+	}
+	return result, nil
+}
 
 // encodeCiphertexts frames a ciphertext batch for the wire.
 func encodeCiphertexts(cts []paillier.Ciphertext) []byte {

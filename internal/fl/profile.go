@@ -58,6 +58,10 @@ type Profile struct {
 	Device gpu.Config
 	// Seed drives every random choice for reproducibility.
 	Seed uint64
+	// Round governs fault tolerance of federation rounds: quorum, phase
+	// deadlines, and send retries. The zero value is the strict protocol
+	// (all parties required, no deadline, no retransmission).
+	Round RoundPolicy
 }
 
 // NewProfile returns the standard configuration for a system at the given
@@ -100,6 +104,9 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("fl: r = %d too small", p.RBits)
 	case p.GradBound <= 0:
 		return fmt.Errorf("fl: gradient bound must be positive")
+	}
+	if err := p.Round.Validate(p.Parties); err != nil {
+		return err
 	}
 	if p.UseGPU {
 		if err := p.Device.Validate(); err != nil {

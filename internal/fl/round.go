@@ -1,0 +1,110 @@
+package fl
+
+import (
+	"fmt"
+	"time"
+)
+
+// RoundPhase names one stage of the secure-aggregation state machine — the
+// label a RoundError carries so operators see where a round died.
+type RoundPhase string
+
+// The four phases of the Fig. 2 round, in execution order.
+const (
+	// PhaseUpload: clients encrypt local gradients and send them.
+	PhaseUpload RoundPhase = "upload"
+	// PhaseGather: the server collects uploads until quorum or deadline.
+	PhaseGather RoundPhase = "gather"
+	// PhaseBroadcast: the server returns the homomorphic aggregate.
+	PhaseBroadcast RoundPhase = "broadcast"
+	// PhaseDecrypt: clients receive and decrypt the aggregate.
+	PhaseDecrypt RoundPhase = "decrypt"
+)
+
+// RoundError is the typed failure of a federation round: which round, which
+// phase, and — when one party is at fault — which party.
+type RoundError struct {
+	Round uint64
+	Phase RoundPhase
+	Party string
+	Err   error
+}
+
+// Error implements error.
+func (e *RoundError) Error() string {
+	if e.Party != "" {
+		return fmt.Sprintf("fl: round %d failed in %s phase (party %s): %v", e.Round, e.Phase, e.Party, e.Err)
+	}
+	return fmt.Sprintf("fl: round %d failed in %s phase: %v", e.Round, e.Phase, e.Err)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *RoundError) Unwrap() error { return e.Err }
+
+// RoundPolicy governs how a federation round degrades under faults. The
+// zero value is the strict protocol: every party must respond, no deadline,
+// no retransmission — exactly the pre-policy behaviour.
+type RoundPolicy struct {
+	// Quorum is the minimum number of client contributions a round needs;
+	// 0 (or Parties) means all clients are required. With Quorum K < N the
+	// server proceeds once K uploads arrive and the deadline expires, and
+	// the aggregate is scaled by N/K to stay an unbiased estimate.
+	Quorum int
+	// PhaseTimeout bounds each phase's blocking receives; 0 disables
+	// deadlines. Tolerating *silent* drops (as opposed to failed sends,
+	// which the sender observes) requires a positive PhaseTimeout.
+	PhaseTimeout time.Duration
+	// MaxRetries re-attempts failed sends before dropping the party.
+	MaxRetries int
+	// Backoff is the initial retry backoff (doubled per attempt, jittered);
+	// 0 retries immediately.
+	Backoff time.Duration
+}
+
+// EffectiveQuorum resolves the policy's quorum for a party count.
+func (rp RoundPolicy) EffectiveQuorum(parties int) int {
+	if rp.Quorum <= 0 || rp.Quorum > parties {
+		return parties
+	}
+	return rp.Quorum
+}
+
+// Validate reports configuration errors for a federation of `parties`.
+func (rp RoundPolicy) Validate(parties int) error {
+	switch {
+	case rp.Quorum < 0:
+		return fmt.Errorf("fl: negative quorum %d", rp.Quorum)
+	case rp.Quorum > parties:
+		return fmt.Errorf("fl: quorum %d exceeds %d parties", rp.Quorum, parties)
+	case rp.PhaseTimeout < 0:
+		return fmt.Errorf("fl: negative phase timeout %v", rp.PhaseTimeout)
+	case rp.MaxRetries < 0:
+		return fmt.Errorf("fl: negative retry count %d", rp.MaxRetries)
+	case rp.Backoff < 0:
+		return fmt.Errorf("fl: negative backoff %v", rp.Backoff)
+	}
+	return nil
+}
+
+// RoundReport describes how a round actually went: who contributed, who was
+// dropped (and in which phase), how much retransmission it took, and the
+// scale factor applied to keep a quorum aggregate unbiased.
+type RoundReport struct {
+	// Round is the state machine's monotonically increasing round ID.
+	Round uint64
+	// Included lists clients whose gradients made it into the aggregate.
+	Included []string
+	// Dropped maps a dropped client to the phase that lost it.
+	Dropped map[string]RoundPhase
+	// Retries counts send re-attempts across all phases.
+	Retries int64
+	// Stale counts discarded messages from earlier rounds.
+	Stale int
+	// Duplicates counts discarded repeat messages within this round.
+	Duplicates int
+	// Scale is parties/len(Included) — 1 for a full round.
+	Scale float64
+}
+
+// Degraded reports whether the round completed without all parties.
+func (r RoundReport) Degraded() bool { return len(r.Dropped) > 0 }

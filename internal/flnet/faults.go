@@ -3,6 +3,9 @@ package flnet
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"flbooster/internal/mpint"
 )
 
 // FaultyTransport wraps a Transport and injects deterministic failures —
@@ -20,6 +23,9 @@ type FaultyTransport struct {
 	FailRecvAt int64
 	// DropKind silently drops (rather than fails) sends of this Kind.
 	DropKind string
+	// DropFrom silently drops sends from this party. When both DropKind and
+	// DropFrom are set, only messages matching both are dropped.
+	DropFrom string
 }
 
 // NewFaultyTransport wraps inner.
@@ -33,7 +39,9 @@ func (f *FaultyTransport) Send(msg Message) error {
 	f.sendCount++
 	n := f.sendCount
 	failAt := f.FailSendAt
-	drop := f.DropKind != "" && msg.Kind == f.DropKind
+	drop := (f.DropKind != "" || f.DropFrom != "") &&
+		(f.DropKind == "" || msg.Kind == f.DropKind) &&
+		(f.DropFrom == "" || msg.From == f.DropFrom)
 	f.mu.Unlock()
 	if failAt != 0 && n == failAt {
 		return fmt.Errorf("flnet: injected send failure at operation %d", n)
@@ -46,15 +54,30 @@ func (f *FaultyTransport) Send(msg Message) error {
 
 // Recv implements Transport with injected failures.
 func (f *FaultyTransport) Recv(party string) (Message, error) {
+	if err := f.recvFault(); err != nil {
+		return Message{}, err
+	}
+	return f.inner.Recv(party)
+}
+
+// RecvTimeout implements Transport with injected failures.
+func (f *FaultyTransport) RecvTimeout(party string, d time.Duration) (Message, error) {
+	if err := f.recvFault(); err != nil {
+		return Message{}, err
+	}
+	return f.inner.RecvTimeout(party, d)
+}
+
+func (f *FaultyTransport) recvFault() error {
 	f.mu.Lock()
 	f.recvCount++
 	n := f.recvCount
 	failAt := f.FailRecvAt
 	f.mu.Unlock()
 	if failAt != 0 && n == failAt {
-		return Message{}, fmt.Errorf("flnet: injected recv failure at operation %d", n)
+		return fmt.Errorf("flnet: injected recv failure at operation %d", n)
 	}
-	return f.inner.Recv(party)
+	return nil
 }
 
 // Close implements Transport.
@@ -65,4 +88,141 @@ func (f *FaultyTransport) Counts() (sends, recvs int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.sendCount, f.recvCount
+}
+
+// ---- Chaos toolkit -------------------------------------------------------
+
+// ChaosConfig parameterizes ChaosTransport. All probabilistic decisions come
+// from one xoshiro stream seeded by Seed and drawn in send order, so a fixed
+// seed and a fixed send sequence reproduce the exact same fault pattern.
+type ChaosConfig struct {
+	// Seed drives every probabilistic decision.
+	Seed uint64
+	// DropProb is the probability a send is silently discarded.
+	DropProb float64
+	// DupProb is the probability a send is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a send is held back and delivered only
+	// after the next message — swapping the arrival order of neighbours.
+	ReorderProb float64
+	// Delay is an added delivery latency applied to every message.
+	Delay time.Duration
+	// StragglerParty, when non-empty, adds StragglerDelay to every message
+	// sent by that party — the slow-client scenario of quorum aggregation.
+	StragglerParty string
+	// StragglerDelay is the extra latency for the straggler's messages.
+	StragglerDelay time.Duration
+}
+
+// ChaosStats counts the faults a ChaosTransport has injected.
+type ChaosStats struct {
+	Sent       int64 // messages offered to Send
+	Dropped    int64 // silently discarded
+	Duplicated int64 // delivered twice
+	Reordered  int64 // held back behind a later message
+	Delayed    int64 // delivered asynchronously after a latency
+}
+
+// ChaosTransport wraps a Transport with seeded probabilistic faults: drops,
+// duplication, neighbour reordering, and per-message delivery delay. Delayed
+// messages are delivered from a timer goroutine; delivery errors after the
+// inner transport closes are discarded, mirroring packets in flight when a
+// link goes down.
+type ChaosTransport struct {
+	inner Transport
+	cfg   ChaosConfig
+
+	mu      sync.Mutex
+	rng     *mpint.RNG
+	held    *Message
+	stats   ChaosStats
+	pending sync.WaitGroup
+}
+
+// NewChaosTransport wraps inner with the given fault configuration.
+func NewChaosTransport(inner Transport, cfg ChaosConfig) *ChaosTransport {
+	return &ChaosTransport{inner: inner, cfg: cfg, rng: mpint.NewRNG(cfg.Seed)}
+}
+
+// Send implements Transport with injected chaos.
+func (c *ChaosTransport) Send(msg Message) error {
+	c.mu.Lock()
+	c.stats.Sent++
+	// Draw all three decisions every send, in a fixed order, so the fault
+	// pattern is a pure function of (seed, send index) regardless of which
+	// faults are enabled.
+	drop := c.rng.Float64() < c.cfg.DropProb
+	dup := c.rng.Float64() < c.cfg.DupProb
+	reorder := c.rng.Float64() < c.cfg.ReorderProb
+
+	var deliver []Message
+	switch {
+	case drop:
+		c.stats.Dropped++
+	case reorder && c.held == nil:
+		held := msg
+		c.held = &held
+		c.stats.Reordered++
+	default:
+		deliver = append(deliver, msg)
+		if dup {
+			deliver = append(deliver, msg)
+			c.stats.Duplicated++
+		}
+	}
+	// A held message is released behind the next delivered one.
+	if c.held != nil && len(deliver) > 0 {
+		deliver = append(deliver, *c.held)
+		c.held = nil
+	}
+	delay := c.cfg.Delay
+	if c.cfg.StragglerParty != "" && msg.From == c.cfg.StragglerParty {
+		delay += c.cfg.StragglerDelay
+	}
+	if delay > 0 && len(deliver) > 0 {
+		c.stats.Delayed++
+	}
+	c.mu.Unlock()
+
+	if len(deliver) == 0 {
+		return nil
+	}
+	if delay > 0 {
+		c.pending.Add(1)
+		time.AfterFunc(delay, func() {
+			defer c.pending.Done()
+			for _, m := range deliver {
+				_ = c.inner.Send(m) // best effort: the round may have moved on
+			}
+		})
+		return nil
+	}
+	for _, m := range deliver {
+		if err := c.inner.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (c *ChaosTransport) Recv(party string) (Message, error) { return c.inner.Recv(party) }
+
+// RecvTimeout implements Transport.
+func (c *ChaosTransport) RecvTimeout(party string, d time.Duration) (Message, error) {
+	return c.inner.RecvTimeout(party, d)
+}
+
+// Close implements Transport. Pending delayed deliveries are abandoned.
+func (c *ChaosTransport) Close() error { return c.inner.Close() }
+
+// Flush blocks until all delayed deliveries have been attempted — call in
+// tests before asserting on received traffic.
+func (c *ChaosTransport) Flush() { c.pending.Wait() }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (c *ChaosTransport) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }

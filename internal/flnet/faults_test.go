@@ -3,6 +3,7 @@ package flnet
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFaultyTransportSendFailure(t *testing.T) {
@@ -67,5 +68,153 @@ func TestFaultyTransportDropKind(t *testing.T) {
 	}
 	if err := ft.Close(); err == nil {
 		t.Fatal("double close should propagate from the inner transport")
+	}
+}
+
+func TestFaultyTransportDropFrom(t *testing.T) {
+	inner := NewSimTransport(GigabitEthernet(), "a", "b", "c")
+	ft := NewFaultyTransport(inner)
+	ft.DropFrom = "a"
+	ft.DropKind = "grads"
+	// Matching both (from a, kind grads): dropped.
+	if err := ft.Send(Message{From: "a", To: "c", Kind: "grads"}); err != nil {
+		t.Fatal(err)
+	}
+	// Matching only one of the two: delivered.
+	if err := ft.Send(Message{From: "a", To: "c", Kind: "agg"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Send(Message{From: "b", To: "c", Kind: "grads"}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := ft.Recv("c")
+	if err != nil || first.From != "a" || first.Kind != "agg" {
+		t.Fatalf("first delivered = %+v, %v", first, err)
+	}
+	second, err := ft.Recv("c")
+	if err != nil || second.From != "b" {
+		t.Fatalf("second delivered = %+v, %v", second, err)
+	}
+}
+
+func chaosRun(t *testing.T, cfg ChaosConfig, n int) ([]uint64, ChaosStats) {
+	t.Helper()
+	inner := NewSimTransport(GigabitEthernet(), "a", "b")
+	ct := NewChaosTransport(inner, cfg)
+	for i := 0; i < n; i++ {
+		if err := ct.Send(Message{From: "a", To: "b", Round: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ct.Flush()
+	var got []uint64
+	for {
+		msg, err := ct.RecvTimeout("b", 20*time.Millisecond)
+		if err != nil {
+			break
+		}
+		got = append(got, msg.Round)
+	}
+	ct.Close()
+	return got, ct.Stats()
+}
+
+func TestChaosTransportDeterministicUnderSeed(t *testing.T) {
+	cfg := ChaosConfig{Seed: 42, DropProb: 0.2, DupProb: 0.2, ReorderProb: 0.2}
+	got1, stats1 := chaosRun(t, cfg, 200)
+	got2, stats2 := chaosRun(t, cfg, 200)
+	if stats1 != stats2 {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", stats1, stats2)
+	}
+	if len(got1) != len(got2) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(got1), len(got2))
+	}
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("delivery order differs at %d: %d vs %d", i, got1[i], got2[i])
+		}
+	}
+	if stats1.Dropped == 0 || stats1.Duplicated == 0 || stats1.Reordered == 0 {
+		t.Fatalf("faults not exercised: %+v", stats1)
+	}
+	// A different seed produces a different pattern.
+	cfg.Seed = 43
+	got3, _ := chaosRun(t, cfg, 200)
+	same := len(got3) == len(got1)
+	if same {
+		for i := range got1 {
+			if got1[i] != got3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+}
+
+func TestChaosTransportDropAll(t *testing.T) {
+	got, stats := chaosRun(t, ChaosConfig{Seed: 1, DropProb: 1}, 10)
+	if len(got) != 0 || stats.Dropped != 10 {
+		t.Fatalf("DropProb=1 delivered %d, stats %+v", len(got), stats)
+	}
+}
+
+func TestChaosTransportDuplicateAll(t *testing.T) {
+	got, stats := chaosRun(t, ChaosConfig{Seed: 1, DupProb: 1}, 5)
+	if len(got) != 10 || stats.Duplicated != 5 {
+		t.Fatalf("DupProb=1 delivered %d, stats %+v", len(got), stats)
+	}
+}
+
+func TestChaosTransportReordersNeighbours(t *testing.T) {
+	// Reorder only the first message: it must arrive after the second.
+	inner := NewSimTransport(GigabitEthernet(), "a", "b")
+	// With ReorderProb=1 every send draws reorder=true, so message 1 is held
+	// and released behind message 2, then message 3 held behind 4, etc.
+	ct := NewChaosTransport(inner, ChaosConfig{Seed: 7, ReorderProb: 1})
+	defer ct.Close()
+	for i := uint64(1); i <= 4; i++ {
+		if err := ct.Send(Message{From: "a", To: "b", Round: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{2, 1, 4, 3}
+	for i, w := range want {
+		msg, err := ct.RecvTimeout("b", 50*time.Millisecond)
+		if err != nil {
+			t.Fatalf("delivery %d: %v", i, err)
+		}
+		if msg.Round != w {
+			t.Fatalf("delivery %d = round %d, want %d", i, msg.Round, w)
+		}
+	}
+}
+
+func TestChaosTransportStragglerDelay(t *testing.T) {
+	inner := NewSimTransport(GigabitEthernet(), "slow", "fast", "dst")
+	ct := NewChaosTransport(inner, ChaosConfig{
+		Seed: 3, StragglerParty: "slow", StragglerDelay: 60 * time.Millisecond,
+	})
+	defer ct.Close()
+	start := time.Now()
+	if err := ct.Send(Message{From: "slow", To: "dst", Kind: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Send(Message{From: "fast", To: "dst", Kind: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	// The fast sender's message arrives first even though it was sent second.
+	first, err := ct.RecvTimeout("dst", time.Second)
+	if err != nil || first.Kind != "f" {
+		t.Fatalf("first = %+v, %v", first, err)
+	}
+	second, err := ct.RecvTimeout("dst", time.Second)
+	if err != nil || second.Kind != "s" {
+		t.Fatalf("second = %+v, %v", second, err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("straggler arrived too early: %v", elapsed)
 	}
 }

@@ -8,6 +8,7 @@ package flnet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -15,6 +16,14 @@ import (
 
 	"flbooster/internal/mpint"
 )
+
+// ErrTimeout is returned (wrapped) by RecvTimeout when the deadline expires
+// before a message arrives. Callers distinguish a quiet link from a broken
+// one with IsTimeout.
+var ErrTimeout = errors.New("flnet: receive timed out")
+
+// IsTimeout reports whether err is a receive-deadline expiry.
+func IsTimeout(err error) bool { return errors.Is(err, ErrTimeout) }
 
 // Link models one network link.
 type Link struct {
@@ -97,12 +106,14 @@ type Message struct {
 	From    string
 	To      string
 	Kind    string // protocol step label, e.g. "grads", "agg"
+	Round   uint64 // federation round the message belongs to (0 = unversioned)
 	Payload []byte
 }
 
-// WireSize is the framed size of the message on the wire.
+// WireSize is the framed size of the message on the wire: three length
+// prefixes, the 8-byte round stamp, strings, and payload.
 func (msg Message) WireSize() int64 {
-	return int64(12 + len(msg.From) + len(msg.To) + len(msg.Kind) + len(msg.Payload))
+	return int64(20 + len(msg.From) + len(msg.To) + len(msg.Kind) + len(msg.Payload))
 }
 
 // Transport moves messages between named parties.
@@ -111,23 +122,33 @@ type Transport interface {
 	Send(msg Message) error
 	// Recv blocks until a message for the named party arrives.
 	Recv(party string) (Message, error)
+	// RecvTimeout blocks like Recv but gives up after d, returning an error
+	// satisfying IsTimeout. d <= 0 means no deadline.
+	RecvTimeout(party string, d time.Duration) (Message, error)
 	// Close releases transport resources; subsequent calls fail.
 	Close() error
 }
 
 // SimTransport is the in-process transport: per-party unbounded queues with
-// every byte metered through the link model.
+// every byte metered through the link model. Closing never closes the queue
+// channels — a broadcast `done` channel unblocks senders and receivers — so
+// Send racing Close cannot panic.
 type SimTransport struct {
 	meter *Meter
 
 	mu     sync.Mutex
 	queues map[string]chan Message
+	done   chan struct{}
 	closed bool
 }
 
 // NewSimTransport creates a transport for the named parties.
 func NewSimTransport(link Link, parties ...string) *SimTransport {
-	t := &SimTransport{meter: NewMeter(link), queues: make(map[string]chan Message, len(parties))}
+	t := &SimTransport{
+		meter:  NewMeter(link),
+		queues: make(map[string]chan Message, len(parties)),
+		done:   make(chan struct{}),
+	}
 	for _, p := range parties {
 		t.queues[p] = make(chan Message, 1024)
 	}
@@ -149,24 +170,56 @@ func (t *SimTransport) Send(msg Message) error {
 	if !ok {
 		return fmt.Errorf("flnet: unknown party %q", msg.To)
 	}
-	t.meter.Record(msg.WireSize())
-	q <- msg
-	return nil
+	select {
+	case q <- msg:
+		t.meter.Record(msg.WireSize())
+		return nil
+	case <-t.done:
+		return fmt.Errorf("flnet: send on closed transport")
+	}
 }
 
 // Recv implements Transport.
 func (t *SimTransport) Recv(party string) (Message, error) {
+	return t.recv(party, nil)
+}
+
+// RecvTimeout implements Transport.
+func (t *SimTransport) RecvTimeout(party string, d time.Duration) (Message, error) {
+	if d <= 0 {
+		return t.recv(party, nil)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	return t.recv(party, timer.C)
+}
+
+func (t *SimTransport) recv(party string, timeout <-chan time.Time) (Message, error) {
 	t.mu.Lock()
 	q, ok := t.queues[party]
 	t.mu.Unlock()
 	if !ok {
 		return Message{}, fmt.Errorf("flnet: unknown party %q", party)
 	}
-	msg, open := <-q
-	if !open {
-		return Message{}, fmt.Errorf("flnet: transport closed")
+	// Drain already-delivered messages even after Close.
+	select {
+	case msg := <-q:
+		return msg, nil
+	default:
 	}
-	return msg, nil
+	select {
+	case msg := <-q:
+		return msg, nil
+	case <-t.done:
+		select { // a send may have landed before the close won the race
+		case msg := <-q:
+			return msg, nil
+		default:
+		}
+		return Message{}, fmt.Errorf("flnet: transport closed")
+	case <-timeout:
+		return Message{}, fmt.Errorf("%w: party %q", ErrTimeout, party)
+	}
 }
 
 // Close implements Transport.
@@ -177,9 +230,7 @@ func (t *SimTransport) Close() error {
 		return fmt.Errorf("flnet: already closed")
 	}
 	t.closed = true
-	for _, q := range t.queues {
-		close(q)
-	}
+	close(t.done)
 	return nil
 }
 
@@ -214,6 +265,12 @@ func DecodeNats(b []byte) ([]mpint.Nat, error) {
 	}
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
+	// The count header is untrusted: every element needs at least a 4-byte
+	// length prefix, so a count beyond len(b)/4 is corrupt. Checking before
+	// the allocation stops a truncated frame from demanding gigabytes.
+	if uint64(n) > uint64(len(b))/4 {
+		return nil, fmt.Errorf("flnet: nat batch count %d exceeds %d-byte body", n, len(b))
+	}
 	out := make([]mpint.Nat, 0, n)
 	for i := uint32(0); i < n; i++ {
 		if len(b) < 4 {
@@ -250,8 +307,10 @@ func DecodeFloats(b []byte) ([]float64, error) {
 	}
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
-	if uint32(len(b)) != 8*n {
-		return nil, fmt.Errorf("flnet: float batch length %d, want %d", len(b), 8*n)
+	// Compare in uint64 so a count near 2^32 cannot wrap 8*n past the body
+	// length and trigger a multi-GB allocation below.
+	if uint64(len(b)) != 8*uint64(n) {
+		return nil, fmt.Errorf("flnet: float batch length %d, want %d", len(b), 8*uint64(n))
 	}
 	out := make([]float64, n)
 	for i := range out {

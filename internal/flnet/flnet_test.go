@@ -1,6 +1,7 @@
 package flnet
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -209,8 +210,8 @@ func TestTCPClientClose(t *testing.T) {
 }
 
 func TestMessageWireSize(t *testing.T) {
-	m := Message{From: "ab", To: "cde", Kind: "f", Payload: []byte{1, 2, 3, 4}}
-	if got := m.WireSize(); got != 12+2+3+1+4 {
+	m := Message{From: "ab", To: "cde", Kind: "f", Round: 7, Payload: []byte{1, 2, 3, 4}}
+	if got := m.WireSize(); got != 20+2+3+1+4 {
 		t.Fatalf("WireSize = %d", got)
 	}
 	// encode/decode agreement
@@ -218,7 +219,7 @@ func TestMessageWireSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dec.From != m.From || dec.To != m.To || dec.Kind != m.Kind || len(dec.Payload) != 4 {
+	if dec.From != m.From || dec.To != m.To || dec.Kind != m.Kind || dec.Round != 7 || len(dec.Payload) != 4 {
 		t.Fatalf("codec mismatch: %+v", dec)
 	}
 }
@@ -253,5 +254,105 @@ func TestTCPHubBuffersEarlyMessages(t *testing.T) {
 	}
 	if string(msg.Payload) != "queued" {
 		t.Fatalf("early message corrupted: %q", msg.Payload)
+	}
+}
+
+func TestSimTransportCloseSendRace(t *testing.T) {
+	// Regression: Send used to deliver on the queue channel after dropping
+	// the lock, so a concurrent Close could panic with "send on closed
+	// channel". Hammer the pair under -race; any panic fails the test.
+	for iter := 0; iter < 25; iter++ {
+		tr := NewSimTransport(GigabitEthernet(), "a", "b")
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					if err := tr.Send(Message{From: "a", To: "b"}); err != nil {
+						return // transport closed underneath us: expected
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_ = tr.Close()
+		}()
+		close(start)
+		wg.Wait()
+	}
+}
+
+func TestSimTransportRecvTimeout(t *testing.T) {
+	tr := NewSimTransport(GigabitEthernet(), "a", "b")
+	defer tr.Close()
+	start := time.Now()
+	_, err := tr.RecvTimeout("b", 30*time.Millisecond)
+	if !IsTimeout(err) {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+	// A queued message beats the deadline.
+	if err := tr.Send(Message{From: "a", To: "b", Kind: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := tr.RecvTimeout("b", time.Minute)
+	if err != nil || msg.Kind != "x" {
+		t.Fatalf("RecvTimeout = %+v, %v", msg, err)
+	}
+	// d <= 0 behaves like Recv for a ready message.
+	if err := tr.Send(Message{From: "a", To: "b", Kind: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := tr.RecvTimeout("b", 0); err != nil || msg.Kind != "y" {
+		t.Fatalf("RecvTimeout(0) = %+v, %v", msg, err)
+	}
+}
+
+func TestSimTransportDrainsAfterClose(t *testing.T) {
+	// Messages delivered before Close stay receivable afterwards.
+	tr := NewSimTransport(GigabitEthernet(), "a", "b")
+	if err := tr.Send(Message{From: "a", To: "b", Kind: "pre"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := tr.Recv("b")
+	if err != nil || msg.Kind != "pre" {
+		t.Fatalf("drain after close = %+v, %v", msg, err)
+	}
+	if _, err := tr.Recv("b"); err == nil {
+		t.Fatal("empty queue after close should error")
+	}
+}
+
+func TestDecodeNatsBoundsCountHeader(t *testing.T) {
+	// A corrupt frame claiming 2^32-1 elements must fail the header check,
+	// not attempt a multi-GB slice allocation.
+	b := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DecodeNats(b); err == nil {
+		t.Fatal("absurd count header should fail fast")
+	}
+	// Count that exceeds what the body could possibly hold.
+	b = append([]byte{100, 0, 0, 0}, make([]byte, 16)...)
+	if _, err := DecodeNats(b); err == nil {
+		t.Fatal("count beyond body capacity should fail")
+	}
+}
+
+func TestDecodeFloatsBoundsCountHeader(t *testing.T) {
+	// n = 2^29 makes 8*n wrap to 0 in uint32 arithmetic; the old check
+	// passed and then allocated 4 GiB. Must now fail.
+	b := []byte{0, 0, 0, 0x20}
+	if _, err := DecodeFloats(b); err == nil {
+		t.Fatal("wrapping count header should fail")
 	}
 }

@@ -1,0 +1,109 @@
+package flnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flbooster/internal/mpint"
+)
+
+// RetryPolicy configures RetryTransport: how many times a failed Send is
+// re-attempted and how long to back off between attempts.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure; zero
+	// means Send fails immediately (a plain transport).
+	MaxRetries int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it (capped exponential backoff).
+	Backoff time.Duration
+	// MaxBackoff caps the doubled delay; zero means 32×Backoff.
+	MaxBackoff time.Duration
+	// Seed drives the jitter stream so retry schedules are reproducible.
+	Seed uint64
+}
+
+// delay returns the backoff before retry `attempt` (0-based), scaled by a
+// jitter factor in [0.5, 1.5) that decorrelates simultaneous retriers.
+func (p RetryPolicy) delay(attempt int, jitter float64) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	if attempt > 30 {
+		attempt = 30 // keep the shift in range; the cap applies anyway
+	}
+	d := p.Backoff << uint(attempt)
+	limit := p.MaxBackoff
+	if limit <= 0 {
+		limit = 32 * p.Backoff
+	}
+	if d > limit || d <= 0 {
+		d = limit
+	}
+	return time.Duration(float64(d) * (0.5 + jitter))
+}
+
+// RetryTransport wraps a Transport and re-attempts failed sends with capped
+// exponential backoff plus seeded jitter. Receives and Close pass through.
+type RetryTransport struct {
+	inner  Transport
+	policy RetryPolicy
+
+	// OnRetry, when set, observes every re-attempt before its backoff sleep
+	// — the hook the cost model uses to account retransmitted bytes.
+	OnRetry func(msg Message, attempt int, err error)
+
+	mu      sync.Mutex
+	rng     *mpint.RNG
+	retries int64
+}
+
+// NewRetryTransport wraps inner with the given policy.
+func NewRetryTransport(inner Transport, policy RetryPolicy) *RetryTransport {
+	return &RetryTransport{inner: inner, policy: policy, rng: mpint.NewRNG(policy.Seed)}
+}
+
+// Send implements Transport: on failure it retries up to MaxRetries times,
+// sleeping the policy's jittered backoff between attempts.
+func (r *RetryTransport) Send(msg Message) error {
+	for attempt := 0; ; attempt++ {
+		err := r.inner.Send(msg)
+		if err == nil {
+			return nil
+		}
+		if attempt >= r.policy.MaxRetries {
+			if r.policy.MaxRetries == 0 {
+				return err
+			}
+			return fmt.Errorf("flnet: send to %q gave up after %d attempts: %w", msg.To, attempt+1, err)
+		}
+		r.mu.Lock()
+		r.retries++
+		jitter := r.rng.Float64()
+		r.mu.Unlock()
+		if r.OnRetry != nil {
+			r.OnRetry(msg, attempt+1, err)
+		}
+		if d := r.policy.delay(attempt, jitter); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// Recv implements Transport.
+func (r *RetryTransport) Recv(party string) (Message, error) { return r.inner.Recv(party) }
+
+// RecvTimeout implements Transport.
+func (r *RetryTransport) RecvTimeout(party string, d time.Duration) (Message, error) {
+	return r.inner.RecvTimeout(party, d)
+}
+
+// Close implements Transport.
+func (r *RetryTransport) Close() error { return r.inner.Close() }
+
+// Retries reports how many re-attempts have been made.
+func (r *RetryTransport) Retries() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}

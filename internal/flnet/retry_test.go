@@ -1,0 +1,102 @@
+package flnet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakySender fails the first n sends, then delegates to an inner transport.
+type flakySender struct {
+	Transport
+	mu       sync.Mutex
+	failures int
+	attempts int
+}
+
+func (f *flakySender) Send(msg Message) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.attempts++
+	if f.attempts <= f.failures {
+		return fmt.Errorf("flaky: transient failure %d", f.attempts)
+	}
+	return f.Transport.Send(msg)
+}
+
+func TestRetryTransportRecoversTransientFailures(t *testing.T) {
+	inner := NewSimTransport(GigabitEthernet(), "a", "b")
+	defer inner.Close()
+	flaky := &flakySender{Transport: inner, failures: 2}
+	var observed []int
+	rt := NewRetryTransport(flaky, RetryPolicy{MaxRetries: 3, Backoff: time.Microsecond, Seed: 1})
+	rt.OnRetry = func(msg Message, attempt int, err error) { observed = append(observed, attempt) }
+	if err := rt.Send(Message{From: "a", To: "b", Kind: "x"}); err != nil {
+		t.Fatalf("retries should absorb two transient failures: %v", err)
+	}
+	if rt.Retries() != 2 || len(observed) != 2 || observed[0] != 1 || observed[1] != 2 {
+		t.Fatalf("retries = %d, observed = %v", rt.Retries(), observed)
+	}
+	msg, err := inner.Recv("b")
+	if err != nil || msg.Kind != "x" {
+		t.Fatalf("message not delivered after retries: %+v, %v", msg, err)
+	}
+}
+
+func TestRetryTransportGivesUp(t *testing.T) {
+	inner := NewSimTransport(GigabitEthernet(), "a", "b")
+	defer inner.Close()
+	flaky := &flakySender{Transport: inner, failures: 100}
+	rt := NewRetryTransport(flaky, RetryPolicy{MaxRetries: 2, Backoff: time.Microsecond, Seed: 1})
+	err := rt.Send(Message{From: "a", To: "b"})
+	if err == nil || !strings.Contains(err.Error(), "gave up after 3 attempts") {
+		t.Fatalf("want give-up error after 1+2 attempts, got %v", err)
+	}
+	if flaky.attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", flaky.attempts)
+	}
+}
+
+func TestRetryPolicyBackoffCappedAndJittered(t *testing.T) {
+	p := RetryPolicy{Backoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}
+	for attempt := 0; attempt < 40; attempt++ {
+		for _, jitter := range []float64{0, 0.5, 0.999} {
+			d := p.delay(attempt, jitter)
+			// jitter factor is in [0.5, 1.5); the cap bounds the base.
+			if d < 0 || d >= time.Duration(1.5*float64(40*time.Millisecond)) {
+				t.Fatalf("delay(%d, %v) = %v out of range", attempt, jitter, d)
+			}
+		}
+	}
+	if (RetryPolicy{}).delay(3, 0.5) != 0 {
+		t.Fatal("zero backoff must not sleep")
+	}
+	// Exponential growth before the cap: attempt 1 doubles attempt 0.
+	d0 := p.delay(0, 0.5)
+	d1 := p.delay(1, 0.5)
+	if d1 != 2*d0 {
+		t.Fatalf("backoff not exponential: %v then %v", d0, d1)
+	}
+}
+
+func TestRetryTransportPassesThroughRecv(t *testing.T) {
+	inner := NewSimTransport(GigabitEthernet(), "a", "b")
+	rt := NewRetryTransport(inner, RetryPolicy{MaxRetries: 1, Seed: 9})
+	if err := rt.Send(Message{From: "a", To: "b", Kind: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := rt.Recv("b"); err != nil || msg.Kind != "k" {
+		t.Fatalf("Recv = %+v, %v", msg, err)
+	}
+	if _, err := rt.RecvTimeout("b", 10*time.Millisecond); !IsTimeout(err) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err == nil {
+		t.Fatal("double close should propagate")
+	}
+}

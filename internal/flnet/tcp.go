@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPHub is a star-topology transport over real TCP connections: every
@@ -163,11 +164,27 @@ func (c *TCPClient) Send(msg Message) error {
 
 // Recv implements Transport. party must equal the client's own name.
 func (c *TCPClient) Recv(party string) (Message, error) {
+	return c.RecvTimeout(party, 0)
+}
+
+// RecvTimeout implements Transport via a read deadline on the connection.
+// A deadline expiry mid-frame leaves the stream desynchronized, so treat a
+// timeout as fatal for this connection's round (dial a fresh one to rejoin).
+func (c *TCPClient) RecvTimeout(party string, d time.Duration) (Message, error) {
 	if party != c.name {
 		return Message{}, fmt.Errorf("flnet: client %q cannot receive for %q", c.name, party)
 	}
+	if d > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return Message{}, fmt.Errorf("flnet: set deadline: %w", err)
+		}
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
 	frame, err := readFrame(c.conn)
 	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return Message{}, fmt.Errorf("%w: party %q (%v)", ErrTimeout, party, err)
+		}
 		return Message{}, fmt.Errorf("flnet: recv: %w", err)
 	}
 	return decodeMessage(frame)
@@ -215,6 +232,7 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 func encodeMessage(m Message) []byte {
 	buf := make([]byte, 0, m.WireSize())
+	buf = binary.LittleEndian.AppendUint64(buf, m.Round)
 	for _, s := range []string{m.From, m.To, m.Kind} {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
 		buf = append(buf, s...)
@@ -224,6 +242,11 @@ func encodeMessage(m Message) []byte {
 }
 
 func decodeMessage(b []byte) (Message, error) {
+	if len(b) < 8 {
+		return Message{}, fmt.Errorf("flnet: message truncated")
+	}
+	round := binary.LittleEndian.Uint64(b)
+	b = b[8:]
 	var fields [3]string
 	for i := range fields {
 		if len(b) < 4 {
@@ -237,5 +260,5 @@ func decodeMessage(b []byte) (Message, error) {
 		fields[i] = string(b[:l])
 		b = b[l:]
 	}
-	return Message{From: fields[0], To: fields[1], Kind: fields[2], Payload: b}, nil
+	return Message{From: fields[0], To: fields[1], Kind: fields[2], Round: round, Payload: b}, nil
 }

@@ -1,0 +1,169 @@
+package flnet
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDialHubFailure(t *testing.T) {
+	// Grab a port and close it so the dial target is guaranteed dead.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := DialHub(addr, "x"); err == nil {
+		t.Fatal("dialing a closed port should fail")
+	}
+}
+
+func TestTCPClientRecvTimeout(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0", GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	c, err := DialHub(hub.Addr(), "quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.RecvTimeout("quiet", 50*time.Millisecond)
+	if !IsTimeout(err) {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline ignored")
+	}
+}
+
+func TestTCPClientPeerDisconnectMidFrame(t *testing.T) {
+	// A raw listener that sends a frame header promising 100 bytes, delivers
+	// 10, and slams the connection: Recv must error, not hang.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		readFrame(conn) // consume the hello
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], 100)
+		conn.Write(hdr[:])
+		conn.Write(make([]byte, 10))
+		conn.Close()
+	}()
+	c, err := DialHub(ln.Addr().String(), "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv("victim")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("truncated frame should surface an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv hung on a truncated frame")
+	}
+}
+
+func TestTCPClientCloseUnblocksRecv(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0", GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	c, err := DialHub(hub.Addr(), "blocked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv("blocked")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the receiver block
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv on a closed client should error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock Recv")
+	}
+}
+
+func TestTCPHubCloseUnblocksClientRecv(t *testing.T) {
+	// The hub going down mid-round must error out blocked receivers.
+	hub, err := NewTCPHub("127.0.0.1:0", GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialHub(hub.Addr(), "orphan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv("orphan")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("hub shutdown should surface as a recv error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hub close did not unblock client Recv")
+	}
+}
+
+func TestTCPRoundStampSurvivesTheWire(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0", GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	a, err := DialHub(hub.Addr(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := DialHub(hub.Addr(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Send(Message{From: "a", To: "b", Kind: "grads", Round: 1<<40 + 3}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.RecvTimeout("b", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Round != 1<<40+3 {
+		t.Fatalf("round stamp corrupted: %d", msg.Round)
+	}
+}
