@@ -1,10 +1,11 @@
 # Developer entry points. `make check` is the pre-commit gate: it builds
-# everything, vets, runs the full test suite, and re-runs the concurrency-
-# sensitive packages (transport + round runtime) under the race detector.
+# everything, vets, runs the full test suite, re-runs the concurrency-
+# sensitive packages (transport + round runtime + device fault layer) under
+# the race detector, and smoke-runs the fuzz targets.
 
 GO ?= go
 
-.PHONY: build test vet race check resilience
+.PHONY: build test vet race fuzz check resilience devfault
 
 build:
 	$(GO) build ./...
@@ -15,13 +16,24 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The chaos/quorum suites exercise goroutines, deadlines, and shared queues;
-# they must stay clean under -race and finish with time to spare.
+# The chaos/quorum suites and the device fault/watchdog/failover paths
+# exercise goroutines, deadlines, and shared counters; they must stay clean
+# under -race and finish with time to spare.
 race:
-	$(GO) test -race -timeout 120s ./internal/flnet/... ./internal/fl/...
+	$(GO) test -race -timeout 300s ./internal/flnet/... ./internal/fl/... ./internal/gpu/... ./internal/ghe/...
 
-check: build vet test race
+# Short fuzz pass over device-config validation and the launch path; the
+# corpus grows under internal/gpu/testdata/fuzz.
+fuzz:
+	$(GO) test ./internal/gpu -run '^$$' -fuzz FuzzConfigValidate -fuzztime 10s
+
+check: build vet test race fuzz
 
 # Demonstrate graceful degradation under a straggler (see DESIGN.md §6).
 resilience:
 	$(GO) run ./cmd/flbench -keys 1024 -epochs 4 resilience
+
+# Demonstrate resilient GPU-HE execution: transient faults retried and
+# verified, a mid-round device kill failing over bit-exact (DESIGN.md §7).
+devfault:
+	$(GO) run ./cmd/flbench -keys 1024 -epochs 4 devfault

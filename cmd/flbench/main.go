@@ -7,7 +7,7 @@
 //	flbench [flags] <experiment>...
 //
 // Experiments: fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7
-// ablation resilience all
+// ablation resilience devfault all
 //
 // Flags:
 //
@@ -16,7 +16,7 @@
 //	-parties n    number of federated participants      (default 4)
 //	-epochs n     epochs for convergence experiments    (default 4)
 //	-batch n      SGD minibatch size                    (default 64)
-//	-seed n       PRNG seed                             (default 1)
+//	-seed n       PRNG seed for workloads, chaos, and fault injection (default 1)
 //	-paper        use the paper's full-scale parameters (slow)
 package main
 
@@ -44,7 +44,7 @@ func run(args []string) error {
 	parties := fs.Int("parties", 0, "number of federated participants")
 	epochs := fs.Int("epochs", 0, "epochs for convergence experiments")
 	batch := fs.Int("batch", 0, "SGD minibatch size")
-	seed := fs.Uint64("seed", 0, "PRNG seed")
+	seed := fs.Uint64("seed", 1, "PRNG seed for workloads, chaos, and fault injection")
 	paper := fs.Bool("paper", false, "use the paper's full-scale parameters")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,13 +76,14 @@ func run(args []string) error {
 	if *batch > 0 {
 		cfg.BatchSize = *batch
 	}
-	if *seed > 0 {
-		cfg.Seed = *seed
-	}
+	// The seed threads through every workload generator, the network chaos
+	// layer, and the device fault injector, so a -seed value reproduces a
+	// resilience run exactly (same faults, same retries, same fallbacks).
+	cfg.Seed = *seed
 
 	exps := fs.Args()
 	if len(exps) == 0 {
-		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience all")
+		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience devfault all")
 	}
 	r, err := bench.NewRunner(cfg)
 	if err != nil {
@@ -115,6 +116,8 @@ func run(args []string) error {
 			err = r.Ablation(os.Stdout)
 		case "resilience":
 			err = r.Resilience(os.Stdout)
+		case "devfault":
+			err = r.DeviceFaults(os.Stdout)
 		case "all":
 			err = r.All(os.Stdout)
 		default:

@@ -25,6 +25,7 @@ package flbooster
 import (
 	"flbooster/internal/core"
 	"flbooster/internal/fl"
+	"flbooster/internal/ghe"
 	"flbooster/internal/gpu"
 )
 
@@ -72,6 +73,24 @@ const (
 	PhaseBroadcast = fl.PhaseBroadcast
 	PhaseDecrypt   = fl.PhaseDecrypt
 )
+
+// FaultPolicy re-exports the GPU-HE resilience knobs set on Profile.Faults:
+// device fault injection plus the checked-execution policy (retries,
+// verification, CPU fallback). The zero value injects nothing. See
+// DESIGN.md §7.
+type FaultPolicy = fl.FaultPolicy
+
+// FaultConfig re-exports the seeded device fault injector's configuration
+// (FaultPolicy.Inject).
+type FaultConfig = gpu.FaultConfig
+
+// CheckedConfig re-exports the checked-execution policy
+// (FaultPolicy.Check): retry budget, backoff, verification sampling.
+type CheckedConfig = ghe.CheckedConfig
+
+// FaultReport re-exports the fault/retry/fallback counters returned by
+// Context.FaultReport.
+type FaultReport = fl.FaultReport
 
 // Platform re-exports the Table-I API surface.
 type Platform = core.Platform

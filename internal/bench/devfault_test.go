@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeviceFaultsExperiment runs the device-fault experiment at test scale.
+// The experiment asserts bit-exactness internally, so a nil error already
+// means the killed and transient runs reproduced the clean aggregates; here
+// we additionally check the printed counters tell the failover story.
+func TestDeviceFaultsExperiment(t *testing.T) {
+	cfg := Quick()
+	cfg.KeyBits = []int{256}
+	cfg.Epochs = 2
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := r.DeviceFaults(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"clean",
+		"transient (verify all)",
+		"killed (launch",
+		"failed",      // the killed run's health column
+		"bit-exact",   // every run's output column
+		"kill point:", // calibration line
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDeviceFaultsDeterministic: the same config must print the identical
+// fault/retry/fallback counters twice (wall timings differ, so compare the
+// calibration line and counter columns via a full second run succeeding with
+// the same kill point).
+func TestDeviceFaultsDeterministic(t *testing.T) {
+	run := func() string {
+		cfg := Quick()
+		cfg.KeyBits = []int{256}
+		cfg.Epochs = 2
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := r.DeviceFaults(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	killLine := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "kill point:") {
+				return line
+			}
+		}
+		t.Fatalf("no kill-point line in:\n%s", out)
+		return ""
+	}
+	a, b := run(), run()
+	if killLine(a) != killLine(b) {
+		t.Fatalf("kill calibration diverged:\n%s\n%s", killLine(a), killLine(b))
+	}
+}

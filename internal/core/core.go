@@ -20,6 +20,7 @@ import (
 type Platform struct {
 	dev *gpu.Device
 	eng *ghe.Engine
+	pb  *paillier.GPUBackend
 	rng *mpint.RNG
 }
 
@@ -31,7 +32,15 @@ func New(cfg gpu.Config, seed uint64) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Platform{dev: dev, eng: ghe.NewEngine(dev), rng: mpint.NewRNG(seed)}, nil
+	eng, err := ghe.NewEngine(dev)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	pb, err := paillier.NewGPUBackend(eng)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Platform{dev: dev, eng: eng, pb: pb, rng: mpint.NewRNG(seed)}, nil
 }
 
 // Default creates a platform modelling the paper's RTX 3090 testbed.
@@ -123,17 +132,17 @@ func (p *Platform) PaillierKeyGen(bits int) (*paillier.PrivateKey, error) {
 
 // PaillierEncrypt encrypts a batch of plaintexts on the device.
 func (p *Platform) PaillierEncrypt(pub *paillier.PublicKey, plaintexts []mpint.Nat) ([]paillier.Ciphertext, error) {
-	return paillier.NewGPUBackend(p.eng).EncryptVec(pub, plaintexts, p.rng.Uint64())
+	return p.pb.EncryptVec(pub, plaintexts, p.rng.Uint64())
 }
 
 // PaillierDecrypt decrypts a batch of ciphertexts on the device.
 func (p *Platform) PaillierDecrypt(priv *paillier.PrivateKey, cts []paillier.Ciphertext) ([]mpint.Nat, error) {
-	return paillier.NewGPUBackend(p.eng).DecryptVec(priv, cts)
+	return p.pb.DecryptVec(priv, cts)
 }
 
 // PaillierAdd computes the homomorphic addition of two ciphertext batches.
 func (p *Platform) PaillierAdd(pub *paillier.PublicKey, a, b []paillier.Ciphertext) ([]paillier.Ciphertext, error) {
-	return paillier.NewGPUBackend(p.eng).AddVec(pub, a, b)
+	return p.pb.AddVec(pub, a, b)
 }
 
 // --- Table I: RSA family ------------------------------------------------------

@@ -23,8 +23,9 @@ type Context struct {
 	Key     *paillier.PrivateKey
 	Backend paillier.Backend
 	Quant   *quant.Quantizer
-	Packer  *batch.Packer // nil when batch compression is off
-	Device  *gpu.Device   // nil on CPU profiles
+	Packer  *batch.Packer      // nil when batch compression is off
+	Device  *gpu.Device        // nil on CPU profiles
+	Checked *ghe.CheckedEngine // nil on CPU profiles; the resilient GPU-HE path
 	Link    flnet.Link
 	Costs   *Costs
 	seed    uint64
@@ -59,8 +60,27 @@ func NewContext(p Profile) (*Context, error) {
 		if err != nil {
 			return nil, err
 		}
+		if p.Faults.Inject.Enabled() {
+			dev.SetFaultInjector(gpu.NewFaultInjector(p.Faults.Inject))
+		}
+		eng, err := ghe.NewEngine(dev)
+		if err != nil {
+			return nil, err
+		}
+		// All GPU profiles run through the checked engine: launch failures
+		// retry with backoff, sampled results are verified, and a Failed
+		// device transparently fails over to bit-exact host execution.
+		checked, err := ghe.NewCheckedEngine(eng, p.Faults.Check)
+		if err != nil {
+			return nil, err
+		}
+		backend, err := paillier.NewGPUBackend(checked)
+		if err != nil {
+			return nil, err
+		}
 		ctx.Device = dev
-		ctx.Backend = paillier.NewGPUBackend(ghe.NewEngine(dev))
+		ctx.Checked = checked
+		ctx.Backend = backend
 	} else {
 		ctx.Backend = paillier.CPUBackend{}
 	}
@@ -226,4 +246,43 @@ func (c *Context) Utilization() float64 {
 		return 0
 	}
 	return c.Device.Stats().AvgUtilization()
+}
+
+// FaultReport aggregates the context's device fault, retry, and fallback
+// counters — the resilience anatomy benchmarks print alongside sim/wall
+// timings. CPU profiles report a healthy zero-valued record.
+type FaultReport struct {
+	// Health is the device health state ("healthy" when no device exists).
+	Health gpu.HealthState
+	// Injected counts the faults the injector decided, by kind.
+	Injected gpu.FaultStats
+	// LaunchFailures and WatchdogTrips are the device-observed failures.
+	LaunchFailures int64
+	WatchdogTrips  int64
+	// SimFaultTime is the modelled time lost to faults (watchdog windows,
+	// retry backoff, degraded host execution).
+	SimFaultTime time.Duration
+	// Checked is the checked-execution layer's retry/verify/fallback view.
+	Checked ghe.CheckedStats
+}
+
+// FaultReport returns the current fault/resilience counters.
+func (c *Context) FaultReport() FaultReport {
+	if c.Device == nil {
+		return FaultReport{Health: gpu.DeviceHealthy}
+	}
+	ds := c.Device.Stats()
+	rep := FaultReport{
+		Health:         ds.Health,
+		LaunchFailures: ds.LaunchFailures,
+		WatchdogTrips:  ds.WatchdogTrips,
+		SimFaultTime:   ds.SimFaultTime,
+	}
+	if fi := c.Device.Injector(); fi != nil {
+		rep.Injected = fi.Stats()
+	}
+	if c.Checked != nil {
+		rep.Checked = c.Checked.Stats()
+	}
+	return rep
 }

@@ -1,0 +1,84 @@
+package fl
+
+import (
+	"testing"
+
+	"flbooster/internal/ghe"
+	"flbooster/internal/gpu"
+)
+
+// TestSecureAggregateSurvivesDeviceDeath kills the GPU after its first
+// kernel launch: the round must still complete through the CPU fallback with
+// an aggregate identical to a healthy run, and the fault report must show
+// the failover.
+func TestSecureAggregateSurvivesDeviceDeath(t *testing.T) {
+	grads := [][]float64{
+		{0.1, -0.2, 0.3}, {0.05, 0.1, -0.1}, {-0.2, 0.2, 0.0}, {0.4, -0.1, 0.05},
+	}
+	runOnce := func(pol FaultPolicy) ([]float64, *Context) {
+		t.Helper()
+		p := testProfile(SystemFLBooster)
+		p.Faults = pol
+		ctx, err := NewContext(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed := NewFederation(ctx)
+		defer fed.Close()
+		var agg []float64
+		for round := 0; round < 2; round++ {
+			if agg, err = fed.SecureAggregate(grads); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		return agg, ctx
+	}
+
+	clean, _ := runOnce(FaultPolicy{})
+	killed, ctx := runOnce(FaultPolicy{
+		Inject: gpu.FaultConfig{Seed: 1, KillAtLaunch: 2},
+	})
+
+	if len(killed) != len(clean) {
+		t.Fatalf("aggregate length %d, want %d", len(killed), len(clean))
+	}
+	for i := range clean {
+		if killed[i] != clean[i] {
+			t.Fatalf("aggregate[%d] = %v after failover, want %v (bit-exact)", i, killed[i], clean[i])
+		}
+	}
+	rep := ctx.FaultReport()
+	if rep.Health != gpu.DeviceFailed {
+		t.Fatalf("device health %s, want failed", rep.Health)
+	}
+	if !rep.Checked.FellBack || rep.Checked.FallbackOps == 0 {
+		t.Fatalf("failover not recorded: %+v", rep.Checked)
+	}
+	if rep.Injected.Kills == 0 || rep.LaunchFailures == 0 {
+		t.Fatalf("fault counters empty: %+v", rep)
+	}
+	if rep.SimFaultTime <= 0 {
+		t.Fatal("degraded-mode time not charged to the modelled clock")
+	}
+}
+
+// TestFaultReportCPUProfile: CPU profiles report a healthy zero record.
+func TestFaultReportCPUProfile(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFATE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ctx.FaultReport()
+	if rep.Health != gpu.DeviceHealthy || rep.Checked != (ghe.CheckedStats{}) {
+		t.Fatalf("CPU profile fault report not zero: %+v", rep)
+	}
+}
+
+// TestProfileRejectsUnknownSystem: the former constructor panic is now a
+// validation error surfaced through NewContext.
+func TestProfileRejectsUnknownSystem(t *testing.T) {
+	p := NewProfile(System("no-such-system"), 128, 4)
+	if _, err := NewContext(p); err == nil {
+		t.Fatal("unknown system must be rejected, not panic")
+	}
+}

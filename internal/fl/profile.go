@@ -9,6 +9,7 @@ package fl
 import (
 	"fmt"
 
+	"flbooster/internal/ghe"
 	"flbooster/internal/gpu"
 )
 
@@ -62,6 +63,22 @@ type Profile struct {
 	// deadlines, and send retries. The zero value is the strict protocol
 	// (all parties required, no deadline, no retransmission).
 	Round RoundPolicy
+	// Faults governs fault tolerance of the GPU-HE substrate: device fault
+	// injection and the checked-execution policy (retries, verification,
+	// CPU fallback). The zero value injects nothing and checks with
+	// defaults. Ignored on CPU profiles.
+	Faults FaultPolicy
+}
+
+// FaultPolicy is the device-side counterpart of RoundPolicy: what faults to
+// inject into the simulated GPU and how the checked execution layer reacts.
+type FaultPolicy struct {
+	// Inject configures the seeded device fault injector; the zero value
+	// injects no faults.
+	Inject gpu.FaultConfig
+	// Check configures retry/verification/fallback; zero fields take the
+	// CheckedConfig defaults.
+	Check ghe.CheckedConfig
 }
 
 // NewProfile returns the standard configuration for a system at the given
@@ -88,14 +105,28 @@ func NewProfile(sys System, keyBits, parties int) Profile {
 	case SystemNoBC:
 		p.UseGPU, p.FineRM = true, true
 	default:
-		panic(fmt.Sprintf("fl: unknown system %q", sys))
+		// Unknown systems keep every toggle off and are rejected by
+		// Validate, so the error surfaces from NewContext instead of a
+		// constructor panic.
 	}
 	return p
+}
+
+// knownSystem reports whether sys is one of the evaluated configurations.
+func knownSystem(sys System) bool {
+	for _, s := range AllSystems() {
+		if s == sys {
+			return true
+		}
+	}
+	return false
 }
 
 // Validate reports profile configuration errors.
 func (p Profile) Validate() error {
 	switch {
+	case !knownSystem(p.System):
+		return fmt.Errorf("fl: unknown system %q", p.System)
 	case p.KeyBits < 32:
 		return fmt.Errorf("fl: key size %d too small", p.KeyBits)
 	case p.Parties < 1:

@@ -1,0 +1,297 @@
+package ghe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+)
+
+// verifyPrime is the host-side verification modulus: device results are
+// spot-checked by recomputing a sampled element on the host and comparing
+// both values reduced mod this small prime. An injected single-item
+// perturbation changes the residue with overwhelming probability, while the
+// check itself stays a two-word reduction. Largest 32-bit prime.
+const verifyPrime = 4294967291
+
+// CheckedConfig parameterizes a CheckedEngine. The zero value gets sane
+// defaults: 3 retries, 1ms base backoff capped at 64ms, verification off.
+type CheckedConfig struct {
+	// MaxRetries bounds re-executions of one vector op after device faults
+	// or verification misses. Zero means the default of 3.
+	MaxRetries int
+	// Backoff is the base retry delay; attempt k waits Backoff<<k, capped at
+	// BackoffCap. The wait is charged to the device's modelled clock
+	// (Stats.SimFaultTime, an Eq. 10 degradation term), not slept on the
+	// host, so degraded experiments report honest timings without running
+	// slower than the faults they simulate.
+	Backoff time.Duration
+	// BackoffCap caps the exponential backoff.
+	BackoffCap time.Duration
+	// VerifyFraction is the fraction of result elements spot-verified per
+	// op by host residue recomputation, in [0, 1]. Zero disables
+	// verification — corrupted kernels then go undetected.
+	VerifyFraction float64
+	// VerifySeed drives the sampling of verified indices.
+	VerifySeed uint64
+}
+
+// withDefaults fills unset fields.
+func (c CheckedConfig) withDefaults() CheckedConfig {
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 64 * time.Millisecond
+	}
+	return c
+}
+
+// CheckedStats counts the checked layer's activity — the fault, retry, and
+// fallback counters the benchmarks surface next to sim/wall timings.
+type CheckedStats struct {
+	// Ops is the number of vector operations issued.
+	Ops int64
+	// LaunchFaults counts failed device launch attempts observed.
+	LaunchFaults int64
+	// Retries counts re-executions after a fault or a verification miss.
+	Retries int64
+	// VerifySamples and VerifyFailures count residue spot-checks and the
+	// corruptions they caught.
+	VerifySamples  int64
+	VerifyFailures int64
+	// FallbackOps counts operations served by the host engine; FallbackWall
+	// is the host time they took (degraded-mode cost, recorded separately).
+	FallbackOps  int64
+	FallbackWall time.Duration
+	// BackoffSim is the simulated retry backoff charged to the device clock.
+	BackoffSim time.Duration
+	// FellBack reports the permanent failover latch: the device reached
+	// Failed and every subsequent op runs on the host.
+	FellBack bool
+}
+
+// CheckedEngine wraps a device Engine with the execution discipline a
+// production GPU-HE deployment needs (DESIGN.md §7): typed launch failures
+// are retried with capped exponential backoff, successful kernels are
+// spot-verified by host residue checks, a device the health machine
+// declares Failed is transparently replaced by the bit-exact CPUEngine, and
+// every fault, retry, and fallback is counted.
+type CheckedEngine struct {
+	dev  *gpu.Device
+	eng  *Engine
+	host *CPUEngine
+	cfg  CheckedConfig
+
+	mu    sync.Mutex
+	rng   *mpint.RNG
+	stats CheckedStats
+}
+
+// NewCheckedEngine wraps e with the given policy.
+func NewCheckedEngine(e *Engine, cfg CheckedConfig) (*CheckedEngine, error) {
+	if e == nil {
+		return nil, fmt.Errorf("ghe: NewCheckedEngine needs an engine")
+	}
+	cfg = cfg.withDefaults()
+	return &CheckedEngine{
+		dev:  e.Device(),
+		eng:  e,
+		host: NewCPUEngine(),
+		cfg:  cfg,
+		rng:  mpint.NewRNG(cfg.VerifySeed),
+	}, nil
+}
+
+// MustCheckedEngine is NewCheckedEngine for known-good arguments; it panics
+// on error. Intended for tests.
+func MustCheckedEngine(e *Engine, cfg CheckedConfig) *CheckedEngine {
+	c, err := NewCheckedEngine(e, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Device exposes the wrapped device.
+func (c *CheckedEngine) Device() *gpu.Device { return c.dev }
+
+// Stats returns a snapshot of the checked-layer counters.
+func (c *CheckedEngine) Stats() CheckedStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// execute runs one vector op of n result elements under the checked
+// discipline. gpuOp and hostOp run the op on the respective substrate;
+// expect recomputes element i on the host for verification; got reads
+// element i of the current attempt's result.
+func (c *CheckedEngine) execute(op string, n int, gpuOp, hostOp func() error, expect, got func(i int) mpint.Nat) error {
+	c.mu.Lock()
+	c.stats.Ops++
+	fellBack := c.stats.FellBack
+	c.mu.Unlock()
+	if fellBack {
+		return c.runHost(hostOp)
+	}
+	for attempt := 0; ; attempt++ {
+		err := gpuOp()
+		if err != nil {
+			// Only typed device failures are retryable; anything else is a
+			// caller error (length mismatch, bad modulus) and surfaces as-is.
+			var kerr *gpu.KernelError
+			if !errors.As(err, &kerr) {
+				return err
+			}
+			c.mu.Lock()
+			c.stats.LaunchFaults++
+			c.mu.Unlock()
+		} else if c.spotCheck(n, expect, got) {
+			return nil
+		} else {
+			// The kernel reported success with corrupted contents: feed the
+			// detection back into the device health machine and retry.
+			c.dev.ReportFailure(op, gpu.FaultCorrupt)
+		}
+		if c.dev.Health() == gpu.DeviceFailed {
+			c.mu.Lock()
+			c.stats.FellBack = true
+			c.mu.Unlock()
+			return c.runHost(hostOp)
+		}
+		if attempt >= c.cfg.MaxRetries {
+			// Retry budget spent without the device being declared dead:
+			// serve this op from the host but keep the device in rotation.
+			return c.runHost(hostOp)
+		}
+		backoff := c.cfg.Backoff << uint(attempt)
+		if backoff > c.cfg.BackoffCap {
+			backoff = c.cfg.BackoffCap
+		}
+		c.dev.ChargeFaultTime(backoff)
+		c.mu.Lock()
+		c.stats.Retries++
+		c.stats.BackoffSim += backoff
+		c.mu.Unlock()
+	}
+}
+
+// runHost executes the op on the host engine, charging the wall time to the
+// device's modelled clock so degraded rounds report their true cost.
+func (c *CheckedEngine) runHost(hostOp func() error) error {
+	start := time.Now()
+	err := hostOp()
+	wall := time.Since(start)
+	c.dev.ChargeFaultTime(wall)
+	c.mu.Lock()
+	c.stats.FallbackOps++
+	c.stats.FallbackWall += wall
+	c.mu.Unlock()
+	return err
+}
+
+// spotCheck verifies ceil(VerifyFraction·n) sampled elements by residue
+// comparison against a host recomputation. It reports whether the result
+// passed (vacuously true with verification off).
+func (c *CheckedEngine) spotCheck(n int, expect, got func(i int) mpint.Nat) bool {
+	if c.cfg.VerifyFraction <= 0 || n == 0 || expect == nil {
+		return true
+	}
+	samples := int(float64(n)*c.cfg.VerifyFraction + 0.999999)
+	if samples < 1 {
+		samples = 1
+	}
+	if samples > n {
+		samples = n
+	}
+	p := mpint.FromUint64(verifyPrime)
+	for s := 0; s < samples; s++ {
+		c.mu.Lock()
+		i := c.rng.Intn(n)
+		c.stats.VerifySamples++
+		c.mu.Unlock()
+		if mpint.Cmp(mpint.Mod(got(i), p), mpint.Mod(expect(i), p)) != 0 {
+			c.mu.Lock()
+			c.stats.VerifyFailures++
+			c.mu.Unlock()
+			return false
+		}
+	}
+	return true
+}
+
+// ModExpVec implements VectorEngine.
+func (c *CheckedEngine) ModExpVec(bases []mpint.Nat, exp mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
+	var out []mpint.Nat
+	err := c.execute("mod_exp_vec", len(bases),
+		func() (err error) { out, err = c.eng.ModExpVec(bases, exp, m); return },
+		func() (err error) { out, err = c.host.ModExpVec(bases, exp, m); return },
+		func(i int) mpint.Nat { return m.Exp(bases[i], exp) },
+		func(i int) mpint.Nat { return out[i] })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ModExpVarVec implements VectorEngine.
+func (c *CheckedEngine) ModExpVarVec(bases, exps []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
+	var out []mpint.Nat
+	err := c.execute("mod_exp_var_vec", len(bases),
+		func() (err error) { out, err = c.eng.ModExpVarVec(bases, exps, m); return },
+		func() (err error) { out, err = c.host.ModExpVarVec(bases, exps, m); return },
+		func(i int) mpint.Nat { return m.Exp(bases[i], exps[i]) },
+		func(i int) mpint.Nat { return out[i] })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FixedBaseExpVec implements VectorEngine.
+func (c *CheckedEngine) FixedBaseExpVec(base mpint.Nat, exps []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
+	bases := make([]mpint.Nat, len(exps))
+	for i := range bases {
+		bases[i] = base
+	}
+	return c.ModExpVarVec(bases, exps, m)
+}
+
+// ModMulVec implements VectorEngine. Verification recomputes sampled
+// elements through the plain (non-Montgomery) path, so a systematic kernel
+// error cannot also corrupt the check.
+func (c *CheckedEngine) ModMulVec(a, b []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
+	var out []mpint.Nat
+	err := c.execute("mod_mul_vec", len(a),
+		func() (err error) { out, err = c.eng.ModMulVec(a, b, m); return },
+		func() (err error) { out, err = c.host.ModMulVec(a, b, m); return },
+		func(i int) mpint.Nat { return mpint.ModMul(a[i], b[i], m.N()) },
+		func(i int) mpint.Nat { return out[i] })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RandCoprimeVec implements VectorEngine. The per-item streams are
+// deterministic in (seed, index), so verification and fallback reproduce
+// the device's exact values.
+func (c *CheckedEngine) RandCoprimeVec(n int, m mpint.Nat, seed uint64) ([]mpint.Nat, error) {
+	var out []mpint.Nat
+	err := c.execute("rand_coprime_vec", n,
+		func() (err error) { out, err = c.eng.RandCoprimeVec(n, m, seed); return },
+		func() (err error) { out, err = c.host.RandCoprimeVec(n, m, seed); return },
+		func(i int) mpint.Nat { return randCoprimeAt(seed, i, m) },
+		func(i int) mpint.Nat { return out[i] })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package ghe
+
+import (
+	"testing"
+
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+)
+
+// checkedEngine builds a CheckedEngine over a fresh small device with the
+// given fault injection and checking policy.
+func checkedEngine(t testing.TB, inject gpu.FaultConfig, cfg CheckedConfig) *CheckedEngine {
+	t.Helper()
+	dev := gpu.MustNew(gpu.SmallTestDevice(), true)
+	if inject.Enabled() {
+		dev.SetFaultInjector(gpu.NewFaultInjector(inject))
+	}
+	return MustCheckedEngine(MustEngine(dev), cfg)
+}
+
+func TestCPUEngineParityWithDevice(t *testing.T) {
+	eng := testEngine(t)
+	host := NewCPUEngine()
+	r := mpint.NewRNG(7)
+	n := r.RandPrime(96)
+	m := mpint.NewMont(n)
+	bases := randVec(r, 20, n)
+	exps := randVec(r, 20, n)
+	exp := r.RandBits(80)
+
+	type pair struct {
+		name     string
+		dev, cpu func() ([]mpint.Nat, error)
+	}
+	for _, p := range []pair{
+		{"ModExpVec",
+			func() ([]mpint.Nat, error) { return eng.ModExpVec(bases, exp, m) },
+			func() ([]mpint.Nat, error) { return host.ModExpVec(bases, exp, m) }},
+		{"ModExpVarVec",
+			func() ([]mpint.Nat, error) { return eng.ModExpVarVec(bases, exps, m) },
+			func() ([]mpint.Nat, error) { return host.ModExpVarVec(bases, exps, m) }},
+		{"FixedBaseExpVec",
+			func() ([]mpint.Nat, error) { return eng.FixedBaseExpVec(bases[0], exps, m) },
+			func() ([]mpint.Nat, error) { return host.FixedBaseExpVec(bases[0], exps, m) }},
+		{"ModMulVec",
+			func() ([]mpint.Nat, error) { return eng.ModMulVec(bases, exps, m) },
+			func() ([]mpint.Nat, error) { return host.ModMulVec(bases, exps, m) }},
+		{"RandCoprimeVec",
+			func() ([]mpint.Nat, error) { return eng.RandCoprimeVec(20, n, 99) },
+			func() ([]mpint.Nat, error) { return host.RandCoprimeVec(20, n, 99) }},
+	} {
+		dv, err := p.dev()
+		if err != nil {
+			t.Fatalf("%s device: %v", p.name, err)
+		}
+		cv, err := p.cpu()
+		if err != nil {
+			t.Fatalf("%s host: %v", p.name, err)
+		}
+		for i := range dv {
+			if mpint.Cmp(dv[i], cv[i]) != 0 {
+				t.Fatalf("%s[%d]: host fallback not bit-exact with device", p.name, i)
+			}
+		}
+	}
+}
+
+// TestCheckedRetriesTransientAborts: launch aborts are retried with simulated
+// backoff until a clean attempt lands, and the result matches the host.
+func TestCheckedRetriesTransientAborts(t *testing.T) {
+	c := checkedEngine(t,
+		gpu.FaultConfig{Seed: 5, AbortProb: 0.4},
+		CheckedConfig{MaxRetries: 8})
+	// Keep the device from latching Failed so the retry path is exercised.
+	c.Device().SetHealthPolicy(gpu.HealthPolicy{DegradeAfter: 1, FailAfter: 1 << 30})
+	r := mpint.NewRNG(8)
+	n := r.RandPrime(96)
+	m := mpint.NewMont(n)
+	bases := randVec(r, 16, n)
+	exp := r.RandBits(64)
+	want, _ := NewCPUEngine().ModExpVec(bases, exp, m)
+	for op := 0; op < 10; op++ {
+		got, err := c.ModExpVec(bases, exp, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if mpint.Cmp(got[i], want[i]) != 0 {
+				t.Fatalf("op %d element %d wrong after retries", op, i)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.LaunchFaults == 0 || st.Retries == 0 || st.BackoffSim == 0 {
+		t.Fatalf("expected observed faults and retries: %+v", st)
+	}
+	if c.Device().Stats().SimFaultTime < st.BackoffSim {
+		t.Fatal("retry backoff not charged to the device clock")
+	}
+}
+
+// TestCheckedCatchesCorruption: with every launch silently corrupted and full
+// verification, the residue check catches each attempt, the health machine
+// fails the device, and the op completes correctly on the host.
+func TestCheckedCatchesCorruption(t *testing.T) {
+	c := checkedEngine(t,
+		gpu.FaultConfig{Seed: 3, CorruptProb: 1},
+		CheckedConfig{VerifyFraction: 1, VerifySeed: 3})
+	r := mpint.NewRNG(9)
+	n := r.RandPrime(96)
+	m := mpint.NewMont(n)
+	bases := randVec(r, 12, n)
+	exp := r.RandBits(64)
+	want, _ := NewCPUEngine().ModExpVec(bases, exp, m)
+	got, err := c.ModExpVec(bases, exp, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if mpint.Cmp(got[i], want[i]) != 0 {
+			t.Fatalf("element %d still corrupted after fallback", i)
+		}
+	}
+	st := c.Stats()
+	if st.VerifyFailures == 0 {
+		t.Fatalf("verification did not catch the corruption: %+v", st)
+	}
+	if st.FallbackOps == 0 {
+		t.Fatalf("corrupted op was not served from the host: %+v", st)
+	}
+	// Silent corruption never latches Failed: each poisoned launch reports
+	// success (resetting the streak) before verification reports the miss, so
+	// the device oscillates Healthy↔Degraded and stays in rotation — the
+	// retry budget, not the health machine, bounds the damage.
+	if st.FellBack {
+		t.Fatalf("corruption alone must not latch permanent failover: %+v", st)
+	}
+	if h := c.Device().Health(); h == gpu.DeviceFailed {
+		t.Fatal("silent corruption should not latch the device Failed")
+	}
+	if c.Device().Stats().FaultCorruptions == 0 {
+		t.Fatal("detected corruptions were not fed back into the device counters")
+	}
+}
+
+// TestCheckedFailoverBitExact is the kill-one-device criterion at the engine
+// level: after the device dies, every op transparently runs on the host and
+// the results are bit-exact with a healthy device.
+func TestCheckedFailoverBitExact(t *testing.T) {
+	clean := testEngine(t)
+	c := checkedEngine(t, gpu.FaultConfig{Seed: 1, KillAtLaunch: 1}, CheckedConfig{})
+	r := mpint.NewRNG(10)
+	n := r.RandPrime(96)
+	m := mpint.NewMont(n)
+	bases := randVec(r, 16, n)
+	exp := r.RandBits(72)
+
+	wantExp, err := clean.ModExpVec(bases, exp, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotExp, err := c.ModExpVec(bases, exp, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRnd, err := clean.RandCoprimeVec(16, n, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRnd, err := c.RandCoprimeVec(16, n, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantExp {
+		if mpint.Cmp(gotExp[i], wantExp[i]) != 0 {
+			t.Fatalf("ModExpVec[%d] fallback not bit-exact", i)
+		}
+		if mpint.Cmp(gotRnd[i], wantRnd[i]) != 0 {
+			t.Fatalf("RandCoprimeVec[%d] fallback not bit-exact", i)
+		}
+	}
+	st := c.Stats()
+	if !st.FellBack || st.FallbackOps == 0 || st.FallbackWall <= 0 {
+		t.Fatalf("failover latch not recorded: %+v", st)
+	}
+	if h := c.Device().Health(); h != gpu.DeviceFailed {
+		t.Fatalf("killed device health %s, want failed", h)
+	}
+}
+
+// TestCheckedStatsDeterministic: identical seeds produce the identical
+// fault/retry/fallback history.
+func TestCheckedStatsDeterministic(t *testing.T) {
+	run := func(seed uint64) CheckedStats {
+		c := checkedEngine(t,
+			gpu.FaultConfig{Seed: seed, AbortProb: 0.3, CorruptProb: 0.3},
+			CheckedConfig{VerifyFraction: 1, VerifySeed: seed, MaxRetries: 4})
+		r := mpint.NewRNG(11)
+		n := r.RandPrime(96)
+		m := mpint.NewMont(n)
+		bases := randVec(r, 10, n)
+		exp := r.RandBits(48)
+		for op := 0; op < 6; op++ {
+			if _, err := c.ModExpVec(bases, exp, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats()
+	}
+	a, b := run(21), run(21)
+	if a != b {
+		t.Fatalf("checked stats diverged for one seed:\n%+v\n%+v", a, b)
+	}
+	if a.LaunchFaults == 0 && a.VerifyFailures == 0 {
+		t.Fatalf("expected some fault activity: %+v", a)
+	}
+}
+
+// TestCheckedPassesThroughCallerErrors: non-device errors (length mismatch)
+// surface immediately without burning retries.
+func TestCheckedPassesThroughCallerErrors(t *testing.T) {
+	c := checkedEngine(t, gpu.FaultConfig{}, CheckedConfig{})
+	r := mpint.NewRNG(12)
+	n := r.RandPrime(64)
+	m := mpint.NewMont(n)
+	bases := randVec(r, 4, n)
+	if _, err := c.ModExpVarVec(bases, bases[:2], m); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	st := c.Stats()
+	if st.Retries != 0 || st.LaunchFaults != 0 || st.FallbackOps != 0 {
+		t.Fatalf("caller error consumed fault machinery: %+v", st)
+	}
+}
+
+func TestCheckedConstructor(t *testing.T) {
+	if _, err := NewCheckedEngine(nil, CheckedConfig{}); err == nil {
+		t.Fatal("nil engine must be rejected")
+	}
+	if _, err := NewEngine(nil); err == nil {
+		t.Fatal("nil device must be rejected")
+	}
+}

@@ -16,11 +16,21 @@ type Engine struct {
 }
 
 // NewEngine wraps a device.
-func NewEngine(dev *gpu.Device) *Engine {
+func NewEngine(dev *gpu.Device) (*Engine, error) {
 	if dev == nil {
-		panic("ghe: nil device")
+		return nil, fmt.Errorf("ghe: NewEngine needs a device")
 	}
-	return &Engine{dev: dev}
+	return &Engine{dev: dev}, nil
+}
+
+// MustEngine is NewEngine for known-good devices; it panics on error.
+// Intended for tests.
+func MustEngine(dev *gpu.Device) *Engine {
+	e, err := NewEngine(dev)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 // Device exposes the underlying device (for stats and utilization readings).
@@ -28,6 +38,13 @@ func (e *Engine) Device() *gpu.Device { return e.dev }
 
 // natBytes is the device-transfer size of a vector of k-limb values.
 func natBytes(n, k int) int64 { return int64(n) * int64(k) * 4 }
+
+// poisonOut is the per-launch poison callback handed to the device: an
+// injected corruption perturbs one item of the result vector, which only
+// the CheckedEngine's residue verification can catch.
+func poisonOut(out []mpint.Nat) func(int) {
+	return func(i int) { out[i] = mpint.Add(out[i], mpint.One()) }
+}
 
 // ModExpVec computes bases[i]^exp mod m.N() for every i.
 func (e *Engine) ModExpVec(bases []mpint.Nat, exp mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
@@ -39,6 +56,7 @@ func (e *Engine) ModExpVec(bases []mpint.Nat, exp mpint.Nat, m *mpint.Mont) ([]m
 		Items:         len(bases),
 		RegsPerThread: regsForLimbs(k),
 		WordOps:       modExpWordOps(k, exp.BitLen()),
+		Poison:        poisonOut(out),
 	}
 	if _, err := e.dev.Launch(kern, func(i int) {
 		out[i] = m.Exp(bases[i], exp)
@@ -71,6 +89,7 @@ func (e *Engine) ModExpVarVec(bases, exps []mpint.Nat, m *mpint.Mont) ([]mpint.N
 		WordOps:       modExpWordOps(k, maxExpBits),
 		// Variable exponents make warp lanes take different window paths.
 		DivergentLanes: e.dev.Config().WarpSize / 2,
+		Poison:         poisonOut(out),
 	}
 	if _, err := e.dev.Launch(kern, func(i int) {
 		out[i] = m.Exp(bases[i], exps[i])
@@ -104,6 +123,7 @@ func (e *Engine) ModMulVec(a, b []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error)
 		Items:         len(a),
 		RegsPerThread: regsForLimbs(k),
 		WordOps:       3 * montMulWordOps(k), // to-Mont ×2 conversions + multiply
+		Poison:        poisonOut(out),
 	}
 	if _, err := e.dev.Launch(kern, func(i int) {
 		out[i] = m.FromMont(m.Mul(m.ToMont(a[i]), m.ToMont(b[i])))
@@ -116,13 +136,14 @@ func (e *Engine) ModMulVec(a, b []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error)
 
 // elementwise launches a light arithmetic kernel shared by the Table-I
 // vector APIs (add/sub/mul/div/mod).
-func (e *Engine) elementwise(name string, n, limbs int, inputs int, fn func(i int)) error {
+func (e *Engine) elementwise(name string, n, limbs int, inputs int, out []mpint.Nat, fn func(i int)) error {
 	e.dev.CopyToDevice(int64(inputs) * natBytes(n, limbs))
 	kern := gpu.Kernel{
 		Name:          name,
 		Items:         n,
 		RegsPerThread: regsForLimbs(limbs),
 		WordOps:       int64(limbs + 1),
+		Poison:        poisonOut(out),
 	}
 	if _, err := e.dev.Launch(kern, fn); err != nil {
 		return fmt.Errorf("ghe: %s: %w", name, err)
@@ -150,7 +171,7 @@ func (e *Engine) AddVec(a, b []mpint.Nat) ([]mpint.Nat, error) {
 		return nil, fmt.Errorf("ghe: AddVec length mismatch %d vs %d", len(a), len(b))
 	}
 	out := make([]mpint.Nat, len(a))
-	err := e.elementwise("add_vec", len(a), maxLimbs(a, b), 2, func(i int) {
+	err := e.elementwise("add_vec", len(a), maxLimbs(a, b), 2, out, func(i int) {
 		out[i] = mpint.Add(a[i], b[i])
 	})
 	return out, err
@@ -167,7 +188,7 @@ func (e *Engine) SubVec(a, b []mpint.Nat) ([]mpint.Nat, error) {
 		}
 	}
 	out := make([]mpint.Nat, len(a))
-	err := e.elementwise("sub_vec", len(a), maxLimbs(a, b), 2, func(i int) {
+	err := e.elementwise("sub_vec", len(a), maxLimbs(a, b), 2, out, func(i int) {
 		out[i] = mpint.Sub(a[i], b[i])
 	})
 	return out, err
@@ -179,7 +200,7 @@ func (e *Engine) MulVec(a, b []mpint.Nat) ([]mpint.Nat, error) {
 		return nil, fmt.Errorf("ghe: MulVec length mismatch %d vs %d", len(a), len(b))
 	}
 	out := make([]mpint.Nat, len(a))
-	err := e.elementwise("mul_vec", len(a), maxLimbs(a, b), 2, func(i int) {
+	err := e.elementwise("mul_vec", len(a), maxLimbs(a, b), 2, out, func(i int) {
 		out[i] = mpint.Mul(a[i], b[i])
 	})
 	return out, err
@@ -196,7 +217,7 @@ func (e *Engine) DivVec(a, b []mpint.Nat) ([]mpint.Nat, error) {
 		}
 	}
 	out := make([]mpint.Nat, len(a))
-	err := e.elementwise("div_vec", len(a), maxLimbs(a, b), 2, func(i int) {
+	err := e.elementwise("div_vec", len(a), maxLimbs(a, b), 2, out, func(i int) {
 		out[i] = mpint.Div(a[i], b[i])
 	})
 	return out, err
@@ -208,7 +229,7 @@ func (e *Engine) ModVec(a []mpint.Nat, n mpint.Nat) ([]mpint.Nat, error) {
 		return nil, fmt.Errorf("ghe: ModVec zero modulus")
 	}
 	out := make([]mpint.Nat, len(a))
-	err := e.elementwise("mod_vec", len(a), maxLimbs(a), 1, func(i int) {
+	err := e.elementwise("mod_vec", len(a), maxLimbs(a), 1, out, func(i int) {
 		out[i] = mpint.Mod(a[i], n)
 	})
 	return out, err

@@ -9,7 +9,7 @@ import (
 
 func testEngine(t testing.TB) *Engine {
 	t.Helper()
-	return NewEngine(gpu.MustNew(gpu.SmallTestDevice(), true))
+	return MustEngine(gpu.MustNew(gpu.SmallTestDevice(), true))
 }
 
 func randVec(r *mpint.RNG, n int, below mpint.Nat) []mpint.Nat {
@@ -357,7 +357,7 @@ func TestCostModelMonotonicity(t *testing.T) {
 }
 
 func BenchmarkModExpVec512(b *testing.B) {
-	e := NewEngine(gpu.MustNew(gpu.RTX3090(), true))
+	e := MustEngine(gpu.MustNew(gpu.RTX3090(), true))
 	r := mpint.NewRNG(20)
 	n := r.RandBits(512)
 	n[0] |= 1

@@ -8,11 +8,25 @@ import (
 	"flbooster/internal/mpint"
 )
 
+// Per-item stream derivation, shared by the device kernels, the host
+// fallback engine, and the CheckedEngine's verifier: each item owns an RNG
+// seeded from (seed, item index), so results are reproducible,
+// order-independent across the worker pool, and bit-exact between the
+// device and host paths.
+
+// randBitsAt is item i of a RandVec(bits, seed) stream.
+func randBitsAt(seed uint64, i, bits int) mpint.Nat {
+	return mpint.NewRNG(seed ^ (uint64(i)+1)*0x9E3779B97F4A7C15).RandBits(bits)
+}
+
+// randCoprimeAt is item i of a RandCoprimeVec(m, seed) stream.
+func randCoprimeAt(seed uint64, i int, m mpint.Nat) mpint.Nat {
+	return mpint.NewRNG(seed ^ (uint64(i)+1)*0xD1B54A32D192ED03).RandCoprime(m)
+}
+
 // RandVec generates n random values with exactly `bits` significant bits on
 // the device, one per-thread generator per item as the paper assigns a
-// generator to each thread in a warp. Streams are derived deterministically
-// from seed and the item index, so results are reproducible and
-// order-independent across the worker pool.
+// generator to each thread in a warp.
 func (e *Engine) RandVec(n, bits int, seed uint64) ([]mpint.Nat, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("ghe: RandVec needs positive bit width, got %d", bits)
@@ -23,9 +37,10 @@ func (e *Engine) RandVec(n, bits int, seed uint64) ([]mpint.Nat, error) {
 		Items:         n,
 		RegsPerThread: 16,
 		WordOps:       int64((bits + 31) / 32),
+		Poison:        poisonOut(out),
 	}
 	if _, err := e.dev.Launch(kern, func(i int) {
-		out[i] = mpint.NewRNG(seed ^ (uint64(i)+1)*0x9E3779B97F4A7C15).RandBits(bits)
+		out[i] = randBitsAt(seed, i, bits)
 	}); err != nil {
 		return nil, fmt.Errorf("ghe: RandVec: %w", err)
 	}
@@ -45,9 +60,10 @@ func (e *Engine) RandCoprimeVec(n int, m mpint.Nat, seed uint64) ([]mpint.Nat, e
 		Items:         n,
 		RegsPerThread: 24,
 		WordOps:       int64(4 * ((m.BitLen() + 31) / 32)),
+		Poison:        poisonOut(out),
 	}
 	if _, err := e.dev.Launch(kern, func(i int) {
-		out[i] = mpint.NewRNG(seed ^ (uint64(i)+1)*0xD1B54A32D192ED03).RandCoprime(m)
+		out[i] = randCoprimeAt(seed, i, m)
 	}); err != nil {
 		return nil, fmt.Errorf("ghe: RandCoprimeVec: %w", err)
 	}

@@ -12,7 +12,10 @@
 // their shape. See DESIGN.md §1 for the substitution argument.
 package gpu
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Config describes the modelled device.
 type Config struct {
@@ -44,6 +47,11 @@ type Config struct {
 	// HostWorkers caps the real goroutines used to execute kernels. Zero
 	// means one per host core.
 	HostWorkers int
+	// KernelDeadline arms a per-launch watchdog: a kernel still running after
+	// this long is cancelled and reported as a stall (*KernelError). Zero
+	// disables the watchdog. The deadline bounds real host time, so size it
+	// for the host, not the modelled device.
+	KernelDeadline time.Duration
 }
 
 // Validate reports configuration errors; a zero-valued field that has no
@@ -56,6 +64,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gpu: config needs WarpSize > 0, got %d", c.WarpSize)
 	case c.MaxThreadsPerSM <= 0:
 		return fmt.Errorf("gpu: config needs MaxThreadsPerSM > 0")
+	case c.WarpSize > c.MaxThreadsPerSM:
+		// A warp cannot exceed the SM's resident-thread capacity; allowing it
+		// would push the one-warp occupancy floor past 1.
+		return fmt.Errorf("gpu: config needs WarpSize <= MaxThreadsPerSM, got %d > %d",
+			c.WarpSize, c.MaxThreadsPerSM)
 	case c.MaxWarpsPerSM <= 0:
 		return fmt.Errorf("gpu: config needs MaxWarpsPerSM > 0")
 	case c.RegistersPerSM <= 0:
@@ -68,6 +81,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gpu: config needs TransferBytesPerSec > 0")
 	case c.WordOpsPerSec <= 0:
 		return fmt.Errorf("gpu: config needs WordOpsPerSec > 0")
+	case c.KernelDeadline < 0:
+		return fmt.Errorf("gpu: config needs KernelDeadline >= 0, got %v", c.KernelDeadline)
+	case c.HostWorkers < 0:
+		return fmt.Errorf("gpu: config needs HostWorkers >= 0, got %d", c.HostWorkers)
 	}
 	return nil
 }

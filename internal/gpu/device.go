@@ -18,8 +18,11 @@ type Device struct {
 	workers int
 	sem     chan struct{} // bounds concurrently running blocks
 
-	mu    sync.Mutex
-	stats Stats
+	mu        sync.Mutex
+	stats     Stats
+	injector  *FaultInjector
+	healthPol HealthPolicy
+	launchSeq int64 // 1-based launch ordinal, attempted launches included
 }
 
 // Stats aggregates device activity.
@@ -31,14 +34,30 @@ type Stats struct {
 	BytesDevToHost   int64
 	SimTransferTime  time.Duration // modelled PCIe time (Eq. 10 transfer term)
 	SimComputeTime   time.Duration // modelled kernel time (Eq. 10 compute term)
+	SimFaultTime     time.Duration // modelled time lost to faults: watchdog windows, retry backoff, degraded host execution
 	WallKernelTime   time.Duration // real host time spent in kernel bodies
 	UtilizationSum   float64       // Σ occupancy per launch, for averaging
 	UtilizationCount int64
+
+	// Fault/health observability (DESIGN.md §7). Per-kind counters record
+	// *observed* failures: silent corruptions appear only once detected and
+	// reported back via ReportFailure.
+	LaunchFailures      int64
+	WatchdogTrips       int64
+	FaultAborts         int64
+	FaultCorruptions    int64
+	FaultStalls         int64
+	FaultOOMs           int64
+	Health              HealthState
+	ConsecutiveFailures int
 }
 
 // SimTime is the total modelled device time with sequential stages:
-// transfer in, compute, transfer out (the three stages of §V-B).
-func (s Stats) SimTime() time.Duration { return s.SimTransferTime + s.SimComputeTime }
+// transfer in, compute, transfer out (the three stages of §V-B), plus any
+// time lost to faults — degraded runs report their true cost.
+func (s Stats) SimTime() time.Duration {
+	return s.SimTransferTime + s.SimComputeTime + s.SimFaultTime
+}
 
 // SimTimePipelined models the paper's pipelined processing (Fig. 4): PCIe
 // transfers of one batch overlap the kernel of the previous one, so the
@@ -75,12 +94,15 @@ func New(cfg Config, fineRM bool) (*Device, error) {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	return &Device{
-		cfg:     cfg,
-		rm:      NewResourceManager(cfg, fineRM),
-		workers: w,
-		sem:     make(chan struct{}, w),
-	}, nil
+	d := &Device{
+		cfg:       cfg,
+		rm:        NewResourceManager(cfg, fineRM),
+		workers:   w,
+		sem:       make(chan struct{}, w),
+		healthPol: DefaultHealthPolicy(),
+	}
+	d.stats.Health = DeviceHealthy
+	return d, nil
 }
 
 // MustNew is New for known-good configs; it panics on error.
@@ -105,11 +127,97 @@ func (d *Device) Stats() Stats {
 	return d.stats
 }
 
-// ResetStats zeroes the device counters (between experiment phases).
+// ResetStats zeroes the device counters (between experiment phases). Health
+// state survives the reset — a failed device does not heal by bookkeeping.
 func (d *Device) ResetStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.stats = Stats{}
+	health, consec := d.stats.Health, d.stats.ConsecutiveFailures
+	d.stats = Stats{Health: health, ConsecutiveFailures: consec}
+}
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector.
+func (d *Device) SetFaultInjector(fi *FaultInjector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.injector = fi
+}
+
+// Injector returns the attached fault injector, nil when none.
+func (d *Device) Injector() *FaultInjector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.injector
+}
+
+// SetHealthPolicy replaces the consecutive-failure thresholds.
+func (d *Device) SetHealthPolicy(p HealthPolicy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.healthPol = p.withDefaults()
+}
+
+// Health returns the device health state.
+func (d *Device) Health() HealthState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats.Health
+}
+
+// ReportFailure feeds an externally detected launch failure — typically a
+// result-verification miss on a kernel that reported success — into the
+// health machine and the per-kind counters.
+func (d *Device) ReportFailure(kernel string, kind FaultKind) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.recordFailureLocked(kind)
+}
+
+// ChargeFaultTime adds externally incurred fault cost — retry backoff and
+// degraded-mode host execution — to the modelled clock (Eq. 10 terms stay
+// untouched; the loss is reported separately as SimFaultTime).
+func (d *Device) ChargeFaultTime(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.SimFaultTime += dur
+}
+
+// recordFailureLocked counts one failed launch and advances the health
+// machine. Callers hold d.mu.
+func (d *Device) recordFailureLocked(kind FaultKind) {
+	d.stats.LaunchFailures++
+	switch kind {
+	case FaultAbort:
+		d.stats.FaultAborts++
+	case FaultCorrupt:
+		d.stats.FaultCorruptions++
+	case FaultStall:
+		d.stats.FaultStalls++
+	case FaultOOM:
+		d.stats.FaultOOMs++
+	}
+	if d.stats.Health == DeviceFailed {
+		return
+	}
+	d.stats.ConsecutiveFailures++
+	switch {
+	case d.stats.ConsecutiveFailures >= d.healthPol.FailAfter:
+		d.stats.Health = DeviceFailed
+	case d.stats.ConsecutiveFailures >= d.healthPol.DegradeAfter:
+		d.stats.Health = DeviceDegraded
+	}
+}
+
+// recordSuccessLocked resets the failure streak; a Degraded device
+// recovers, a Failed one never does. Callers hold d.mu.
+func (d *Device) recordSuccessLocked() {
+	d.stats.ConsecutiveFailures = 0
+	if d.stats.Health == DeviceDegraded {
+		d.stats.Health = DeviceHealthy
+	}
 }
 
 // CopyToDevice accounts a host→device transfer of n bytes.
@@ -150,12 +258,22 @@ type Kernel struct {
 	// DivergentLanes reports how many lanes of a warp take a divergent
 	// branch; the resource manager converts this into a cost factor.
 	DivergentLanes int
+	// Poison, when set, is how an attached FaultInjector corrupts one item's
+	// result after the kernel body runs (the transient bit-flip model). The
+	// launch still reports success — only downstream verification can catch
+	// it. A corrupt fault on a kernel without Poison fails visibly instead.
+	Poison func(item int)
 }
 
 // Launch executes fn(i) for every item i of the kernel, distributing items
 // across the host worker pool, and charges the simulated clock with the
 // Eq. 10 compute term. It is the data-parallel path used for "one thread
 // block per ciphertext" kernels. It returns the launch's modelled occupancy.
+//
+// Failure surface: a Failed device refuses the launch outright; an attached
+// FaultInjector may abort, stall, corrupt, or OOM the launch; and when
+// Config.KernelDeadline is set, a watchdog cancels stragglers. All of these
+// return a typed *KernelError and drive the health machine.
 func (d *Device) Launch(k Kernel, fn func(item int)) (float64, error) {
 	if k.Items < 0 {
 		return 0, fmt.Errorf("gpu: kernel %q has negative item count", k.Name)
@@ -167,6 +285,46 @@ func (d *Device) Launch(k Kernel, fn func(item int)) (float64, error) {
 	if k.Items == 0 {
 		return 0, nil
 	}
+
+	d.mu.Lock()
+	if d.stats.Health == DeviceFailed {
+		attempt := d.launchSeq + 1
+		d.mu.Unlock()
+		return 0, &KernelError{Kind: FaultDeviceFailed, Kernel: k.Name, Attempt: attempt}
+	}
+	d.launchSeq++
+	attempt := d.launchSeq
+	injector := d.injector
+	d.mu.Unlock()
+
+	fault, poisonItem := FaultKind(""), -1
+	if injector != nil {
+		fault, poisonItem = injector.decide(k.Items)
+	}
+
+	switch fault {
+	case FaultAbort:
+		d.failLaunch(FaultAbort)
+		return 0, &KernelError{Kind: FaultAbort, Kernel: k.Name, Attempt: attempt}
+	case FaultOOM:
+		// The failure surfaces from the real memory table: the fault inflates
+		// the launch's scratch demand past the free bytes, and the allocator
+		// rejects it without touching the table's accounting.
+		want := d.rm.FreeBytes() + 1 + int64(k.Items)*4
+		if buf, err := d.rm.Alloc(want); err != nil {
+			d.failLaunch(FaultOOM)
+			return 0, &KernelError{Kind: FaultOOM, Kernel: k.Name, Attempt: attempt}
+		} else {
+			_ = buf.Free()
+		}
+	case FaultCorrupt:
+		if k.Poison == nil {
+			// Nothing to poison — the corruption is visible as a hard fault.
+			d.failLaunch(FaultCorrupt)
+			return 0, &KernelError{Kind: FaultCorrupt, Kernel: k.Name, Attempt: attempt}
+		}
+	}
+
 	blockSize := d.rm.PickBlockSize(k.Items, k.RegsPerThread, k.SharedPerBlock)
 	occ := d.rm.Occupancy(blockSize, k.RegsPerThread, k.SharedPerBlock)
 	execFactor, regFactor := d.rm.BranchCost(k.DivergentLanes)
@@ -174,12 +332,52 @@ func (d *Device) Launch(k Kernel, fn func(item int)) (float64, error) {
 		// Splitting the warp doubles register pressure, reducing occupancy.
 		occ = d.rm.Occupancy(blockSize, int(float64(k.RegsPerThread)*regFactor), k.SharedPerBlock)
 	}
+
 	start := time.Now()
-	d.runParallel(k.Items, fn)
+	deadline := d.cfg.KernelDeadline
+	if fault == FaultStall || deadline > 0 {
+		done := make(chan struct{})
+		cancel := make(chan struct{})
+		go func() {
+			if fault == FaultStall {
+				injector.stall(cancel)
+			}
+			d.runParallel(k.Items, fn)
+			close(done)
+		}()
+		if deadline <= 0 {
+			// Stall injected but no watchdog armed: the launch is merely slow.
+			<-done
+		} else {
+			timer := time.NewTimer(deadline)
+			select {
+			case <-done:
+				timer.Stop()
+			case <-timer.C:
+				close(cancel)
+				d.mu.Lock()
+				d.stats.WatchdogTrips++
+				// The watchdog window is real device time lost to the hang.
+				d.stats.SimFaultTime += deadline
+				d.recordFailureLocked(FaultStall)
+				d.mu.Unlock()
+				return 0, &KernelError{Kind: FaultStall, Kernel: k.Name, Attempt: attempt}
+			}
+		}
+	} else {
+		d.runParallel(k.Items, fn)
+	}
 	wall := time.Since(start)
+
+	if fault == FaultCorrupt {
+		// Silent from the device's point of view: the launch succeeds and the
+		// health machine sees no failure until verification reports one.
+		k.Poison(poisonItem)
+	}
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.recordSuccessLocked()
 	d.stats.KernelLaunches++
 	d.stats.ThreadsExecuted += int64(k.Items)
 	d.stats.WarpsExecuted += int64((k.Items + d.cfg.WarpSize - 1) / d.cfg.WarpSize)
@@ -194,6 +392,13 @@ func (d *Device) Launch(k Kernel, fn func(item int)) (float64, error) {
 		d.stats.SimComputeTime += time.Duration(sec * float64(time.Second))
 	}
 	return occ, nil
+}
+
+// failLaunch records one failed launch under the device mutex.
+func (d *Device) failLaunch(kind FaultKind) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.recordFailureLocked(kind)
 }
 
 // runParallel spreads items across the worker pool in contiguous chunks.
@@ -258,6 +463,14 @@ func (d *Device) LaunchCooperative(name string, blocks, threads, sharedWords int
 		return fmt.Errorf("gpu: cooperative kernel %q block of %d exceeds SM capacity %d",
 			name, threads, d.cfg.MaxThreadsPerSM)
 	}
+	d.mu.Lock()
+	if d.stats.Health == DeviceFailed {
+		attempt := d.launchSeq + 1
+		d.mu.Unlock()
+		return &KernelError{Kind: FaultDeviceFailed, Kernel: name, Attempt: attempt}
+	}
+	d.launchSeq++
+	d.mu.Unlock()
 	var wg sync.WaitGroup
 	for b := 0; b < blocks; b++ {
 		d.sem <- struct{}{}

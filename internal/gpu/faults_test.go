@@ -1,0 +1,257 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// noopKernel is a small poisonable launch for fault tests.
+func noopKernel(items int) (Kernel, func(int)) {
+	out := make([]int, items)
+	k := Kernel{
+		Name:          "test_kernel",
+		Items:         items,
+		RegsPerThread: 16,
+		WordOps:       4,
+		Poison:        func(item int) { out[item]++ },
+	}
+	return k, func(i int) { out[i] = i }
+}
+
+// faultRun drives `launches` launches against a fresh device with injection
+// enabled and returns the injector and device counters.
+func faultRun(t *testing.T, seed uint64) (FaultStats, Stats) {
+	t.Helper()
+	d := MustNew(SmallTestDevice(), true)
+	// Keep the device alive for the whole run so every launch consults the
+	// injector; health transitions are exercised separately below.
+	d.SetHealthPolicy(HealthPolicy{DegradeAfter: 1, FailAfter: 1 << 30})
+	d.SetFaultInjector(NewFaultInjector(FaultConfig{
+		Seed:        seed,
+		AbortProb:   0.15,
+		CorruptProb: 0.15,
+		OOMProb:     0.15,
+	}))
+	for i := 0; i < 200; i++ {
+		k, fn := noopKernel(8)
+		_, _ = d.Launch(k, fn)
+	}
+	return d.Injector().Stats(), d.Stats()
+}
+
+// TestFaultInjectionDeterministic is the acceptance criterion: the same seed
+// must produce the identical fault pattern across two runs.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	fi1, ds1 := faultRun(t, 42)
+	fi2, ds2 := faultRun(t, 42)
+	if fi1 != fi2 {
+		t.Fatalf("injector stats diverged for one seed:\n%+v\n%+v", fi1, fi2)
+	}
+	if fi1.Total() == 0 {
+		t.Fatalf("expected injected faults, got none: %+v", fi1)
+	}
+	if ds1.LaunchFailures != ds2.LaunchFailures ||
+		ds1.FaultAborts != ds2.FaultAborts ||
+		ds1.FaultOOMs != ds2.FaultOOMs ||
+		ds1.KernelLaunches != ds2.KernelLaunches {
+		t.Fatalf("device fault counters diverged for one seed:\n%+v\n%+v", ds1, ds2)
+	}
+	fi3, _ := faultRun(t, 43)
+	if fi1 == fi3 {
+		t.Fatal("different seeds produced the identical fault pattern")
+	}
+}
+
+func TestAbortFault(t *testing.T) {
+	d := MustNew(SmallTestDevice(), true)
+	d.SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 1, AbortProb: 1}))
+	k, fn := noopKernel(4)
+	_, err := d.Launch(k, fn)
+	var kerr *KernelError
+	if !errors.As(err, &kerr) || kerr.Kind != FaultAbort {
+		t.Fatalf("want abort KernelError, got %v", err)
+	}
+	if kerr.Kernel != "test_kernel" || kerr.Attempt != 1 {
+		t.Fatalf("bad error metadata: %+v", kerr)
+	}
+	st := d.Stats()
+	if st.LaunchFailures != 1 || st.FaultAborts != 1 || st.KernelLaunches != 0 {
+		t.Fatalf("abort accounting wrong: %+v", st)
+	}
+}
+
+// TestWatchdogCancelsInjectedStall arms the watchdog and injects a stall: the
+// launch must come back as a stall KernelError within the deadline, charging
+// the watchdog window to the fault clock.
+func TestWatchdogCancelsInjectedStall(t *testing.T) {
+	cfg := SmallTestDevice()
+	cfg.KernelDeadline = 10 * time.Millisecond
+	d := MustNew(cfg, true)
+	d.SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 1, StallProb: 1, StallFor: time.Minute}))
+	k, fn := noopKernel(4)
+	_, err := d.Launch(k, fn)
+	var kerr *KernelError
+	if !errors.As(err, &kerr) || kerr.Kind != FaultStall {
+		t.Fatalf("want stall KernelError, got %v", err)
+	}
+	st := d.Stats()
+	if st.WatchdogTrips != 1 || st.FaultStalls != 1 {
+		t.Fatalf("watchdog accounting wrong: %+v", st)
+	}
+	if st.SimFaultTime < cfg.KernelDeadline {
+		t.Fatalf("watchdog window not charged: %v < %v", st.SimFaultTime, cfg.KernelDeadline)
+	}
+}
+
+// TestWatchdogCancelsHungKernel catches a genuinely hung kernel body (no
+// injector involved).
+func TestWatchdogCancelsHungKernel(t *testing.T) {
+	cfg := SmallTestDevice()
+	cfg.KernelDeadline = 10 * time.Millisecond
+	d := MustNew(cfg, true)
+	release := make(chan struct{})
+	defer close(release)
+	k := Kernel{Name: "hung", Items: 1, RegsPerThread: 16}
+	_, err := d.Launch(k, func(int) { <-release })
+	var kerr *KernelError
+	if !errors.As(err, &kerr) || kerr.Kind != FaultStall {
+		t.Fatalf("want stall KernelError for hung kernel, got %v", err)
+	}
+	if d.Stats().WatchdogTrips != 1 {
+		t.Fatalf("watchdog trip not recorded: %+v", d.Stats())
+	}
+}
+
+// TestStallWithoutWatchdog: a stall with no deadline armed is merely slow —
+// the launch completes and the stalled goroutine is reclaimed via StallFor.
+func TestStallWithoutWatchdog(t *testing.T) {
+	d := MustNew(SmallTestDevice(), true)
+	d.SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 1, StallProb: 1, StallFor: 5 * time.Millisecond}))
+	k, fn := noopKernel(4)
+	if _, err := d.Launch(k, fn); err != nil {
+		t.Fatalf("stall without watchdog should complete, got %v", err)
+	}
+	if st := d.Stats(); st.KernelLaunches != 1 || st.WatchdogTrips != 0 {
+		t.Fatalf("stall-without-watchdog accounting wrong: %+v", st)
+	}
+}
+
+// TestOOMFaultLeavesMemoryTable: the injected OOM must surface from the real
+// allocator without corrupting the memory accounting.
+func TestOOMFaultLeavesMemoryTable(t *testing.T) {
+	d := MustNew(SmallTestDevice(), true)
+	rm := d.RM()
+	held, err := rm.Alloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeBefore, usedBefore := rm.FreeBytes(), rm.MemoryInUse()
+	d.SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 1, OOMProb: 1}))
+	k, fn := noopKernel(4)
+	_, err = d.Launch(k, fn)
+	var kerr *KernelError
+	if !errors.As(err, &kerr) || kerr.Kind != FaultOOM {
+		t.Fatalf("want oom KernelError, got %v", err)
+	}
+	if rm.FreeBytes() != freeBefore || rm.MemoryInUse() != usedBefore {
+		t.Fatalf("OOM fault disturbed the memory table: free %d→%d, used %d→%d",
+			freeBefore, rm.FreeBytes(), usedBefore, rm.MemoryInUse())
+	}
+	if err := held.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptFaultPoisonsSilently: with a Poison callback the launch succeeds
+// and one item is perturbed; without one the corruption is a visible fault.
+func TestCorruptFaultPoisonsSilently(t *testing.T) {
+	d := MustNew(SmallTestDevice(), true)
+	d.SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 1, CorruptProb: 1}))
+	out := make([]int, 8)
+	k := Kernel{Name: "poisonable", Items: len(out), RegsPerThread: 16,
+		Poison: func(item int) { out[item] = -1 }}
+	if _, err := d.Launch(k, func(i int) { out[i] = i }); err != nil {
+		t.Fatalf("corrupt fault must report success, got %v", err)
+	}
+	poisoned := 0
+	for i, v := range out {
+		if v == -1 {
+			poisoned++
+		} else if v != i {
+			t.Fatalf("item %d not executed: %d", i, v)
+		}
+	}
+	if poisoned != 1 {
+		t.Fatalf("want exactly one poisoned item, got %d", poisoned)
+	}
+	st := d.Stats()
+	if st.KernelLaunches != 1 || st.LaunchFailures != 0 || st.Health != DeviceHealthy {
+		t.Fatalf("silent corruption must not be observed by the device: %+v", st)
+	}
+
+	// No Poison hook → the corruption cannot be modelled silently and the
+	// launch fails visibly instead.
+	k2 := Kernel{Name: "unpoisonable", Items: 4, RegsPerThread: 16}
+	_, err := d.Launch(k2, func(int) {})
+	var kerr *KernelError
+	if !errors.As(err, &kerr) || kerr.Kind != FaultCorrupt {
+		t.Fatalf("want visible corrupt KernelError, got %v", err)
+	}
+}
+
+func TestHealthMachine(t *testing.T) {
+	d := MustNew(SmallTestDevice(), true)
+	if d.Health() != DeviceHealthy {
+		t.Fatalf("new device not healthy: %s", d.Health())
+	}
+	// One reported failure degrades (DefaultHealthPolicy.DegradeAfter = 1).
+	d.ReportFailure("k", FaultCorrupt)
+	if d.Health() != DeviceDegraded {
+		t.Fatalf("after one failure: %s, want degraded", d.Health())
+	}
+	// A successful launch recovers a Degraded device.
+	k, fn := noopKernel(4)
+	if _, err := d.Launch(k, fn); err != nil {
+		t.Fatal(err)
+	}
+	if d.Health() != DeviceHealthy {
+		t.Fatalf("success did not recover device: %s", d.Health())
+	}
+	// Three consecutive failures latch Failed.
+	for i := 0; i < 3; i++ {
+		d.ReportFailure("k", FaultAbort)
+	}
+	if d.Health() != DeviceFailed {
+		t.Fatalf("after three failures: %s, want failed", d.Health())
+	}
+	// A Failed device refuses launches with a typed error…
+	_, err := d.Launch(k, fn)
+	var kerr *KernelError
+	if !errors.As(err, &kerr) || kerr.Kind != FaultDeviceFailed {
+		t.Fatalf("failed device must refuse launches, got %v", err)
+	}
+	// …never recovers…
+	d.ReportFailure("k", FaultAbort) // still counted, state unchanged
+	if d.Health() != DeviceFailed {
+		t.Fatalf("failed device changed state: %s", d.Health())
+	}
+	// …and survives a stats reset.
+	d.ResetStats()
+	if d.Health() != DeviceFailed {
+		t.Fatalf("ResetStats healed a failed device: %s", d.Health())
+	}
+}
+
+func TestConfigValidateFaultFields(t *testing.T) {
+	cfg := SmallTestDevice()
+	cfg.KernelDeadline = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative KernelDeadline must not validate")
+	}
+	cfg = SmallTestDevice()
+	cfg.HostWorkers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative HostWorkers must not validate")
+	}
+}

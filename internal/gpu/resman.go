@@ -193,6 +193,21 @@ func (b Buffer) Free() error {
 	return fmt.Errorf("gpu: Free of unknown addr %d", b.Addr)
 }
 
+// FreeBytes returns the device memory an allocation could still claim:
+// untouched space above the high-water mark plus every free region in the
+// table.
+func (rm *ResourceManager) FreeBytes() int64 {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	free := rm.cfg.GlobalMemBytes - rm.nextAddr
+	for _, r := range rm.regions {
+		if !r.occupied {
+			free += r.size
+		}
+	}
+	return free
+}
+
 // MemoryInUse returns the number of occupied bytes in the memory table.
 func (rm *ResourceManager) MemoryInUse() int64 {
 	rm.mu.Lock()

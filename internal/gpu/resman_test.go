@@ -1,0 +1,140 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+)
+
+// Boundary cases of the resource manager and the launch validation path
+// (DESIGN.md §7 panic audit: misconfiguration is an error, never a crash or
+// silent mis-accounting).
+
+func TestLaunchZeroItemsNotCounted(t *testing.T) {
+	d := MustNew(SmallTestDevice(), true)
+	occ, err := d.Launch(Kernel{Name: "empty", Items: 0, RegsPerThread: 16}, func(int) {
+		t.Fatal("kernel body must not run for zero items")
+	})
+	if err != nil || occ != 0 {
+		t.Fatalf("zero-item launch: occ %v, err %v", occ, err)
+	}
+	if st := d.Stats(); st.KernelLaunches != 0 {
+		t.Fatalf("zero-item launch must not count: %+v", st)
+	}
+}
+
+func TestLaunchNegativeItems(t *testing.T) {
+	d := MustNew(SmallTestDevice(), true)
+	if _, err := d.Launch(Kernel{Name: "neg", Items: -1}, func(int) {}); err == nil {
+		t.Fatal("negative item count must fail")
+	}
+}
+
+func TestLaunchRegsExceedHardwareCap(t *testing.T) {
+	cfg := SmallTestDevice()
+	d := MustNew(cfg, true)
+	k := Kernel{Name: "greedy", Items: 4, RegsPerThread: cfg.MaxRegistersPerThread + 1}
+	_, err := d.Launch(k, func(int) {})
+	if err == nil || !strings.Contains(err.Error(), "regs/thread") {
+		t.Fatalf("over-cap register demand must fail with the cap error, got %v", err)
+	}
+	if st := d.Stats(); st.KernelLaunches != 0 || st.LaunchFailures != 0 {
+		// A rejected misconfiguration is a caller error, not a device fault.
+		t.Fatalf("rejected launch must not touch fault accounting: %+v", st)
+	}
+}
+
+// TestOccupancyRegisterFloor: a kernel whose register demand exceeds what the
+// register file can hold for even one block still reports the one-warp floor
+// utilization rather than zero or a panic.
+func TestOccupancyRegisterFloor(t *testing.T) {
+	cfg := SmallTestDevice() // 4096 regs/SM, 64 threads/SM, warp 8
+	rm := NewResourceManager(cfg, true)
+	// 128 regs × block of 64 threads = 8192 > 4096: no whole block fits.
+	floor := float64(cfg.WarpSize) / float64(cfg.MaxThreadsPerSM)
+	if occ := rm.Occupancy(64, cfg.MaxRegistersPerThread, 0); occ != floor {
+		t.Fatalf("occupancy %v, want one-warp floor %v", occ, floor)
+	}
+	if occ := rm.Occupancy(0, 1, 0); occ != 0 {
+		t.Fatalf("zero block size must report zero occupancy, got %v", occ)
+	}
+	// Occupancy never exceeds 1 even for tiny register demands.
+	if occ := rm.Occupancy(32, 0, 0); occ <= 0 || occ > 1 {
+		t.Fatalf("occupancy out of range: %v", occ)
+	}
+}
+
+func TestPickBlockSizeBounds(t *testing.T) {
+	cfg := SmallTestDevice()
+	fine := NewResourceManager(cfg, true)
+	if bs := fine.PickBlockSize(0, 8, 0); bs < 32 {
+		t.Fatalf("zero tasks must still yield a valid block size, got %d", bs)
+	}
+	coarse := NewResourceManager(cfg, false)
+	if bs := coarse.PickBlockSize(1000, 8, 0); bs != cfg.MaxThreadsPerSM {
+		// FixedBlockSize 1024 clamps to the SM capacity of the test device.
+		t.Fatalf("coarse block size %d, want SM clamp %d", bs, cfg.MaxThreadsPerSM)
+	}
+}
+
+// TestAllocExhaustion: exhausting the memory table is an error that leaves
+// the accounting untouched; freeing restores allocatability via reuse.
+func TestAllocExhaustion(t *testing.T) {
+	cfg := SmallTestDevice() // 1 MiB of device memory
+	rm := NewResourceManager(cfg, true)
+	total := cfg.GlobalMemBytes
+	buf, err := rm.Alloc(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.FreeBytes() != 0 || rm.MemoryInUse() != total {
+		t.Fatalf("accounting after full alloc: free %d, used %d", rm.FreeBytes(), rm.MemoryInUse())
+	}
+	statsBefore := rm.Stats()
+	if _, err := rm.Alloc(1); err == nil {
+		t.Fatal("alloc from an exhausted table must fail")
+	}
+	if rm.FreeBytes() != 0 || rm.MemoryInUse() != total || rm.Stats() != statsBefore {
+		t.Fatalf("failed alloc disturbed accounting: free %d, used %d", rm.FreeBytes(), rm.MemoryInUse())
+	}
+	if err := buf.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if rm.FreeBytes() != total || rm.MemoryInUse() != 0 {
+		t.Fatalf("accounting after free: free %d, used %d", rm.FreeBytes(), rm.MemoryInUse())
+	}
+	// The freed region is reused, not re-allocated.
+	if _, err := rm.Alloc(total / 2); err != nil {
+		t.Fatal(err)
+	}
+	if st := rm.Stats(); st.Reuses != 1 {
+		t.Fatalf("want one reuse, got %+v", st)
+	}
+	// Invalid sizes are rejected outright.
+	if _, err := rm.Alloc(0); err == nil {
+		t.Fatal("zero-size alloc must fail")
+	}
+	if _, err := rm.Alloc(-5); err == nil {
+		t.Fatal("negative alloc must fail")
+	}
+}
+
+func TestAcquireRegistersBounds(t *testing.T) {
+	cfg := SmallTestDevice()
+	rm := NewResourceManager(cfg, true)
+	total := cfg.RegistersPerSM * cfg.SMs
+	if !rm.AcquireRegisters(total) {
+		t.Fatal("acquiring the whole register file must succeed")
+	}
+	if rm.AcquireRegisters(1) {
+		t.Fatal("over-acquiring registers must fail")
+	}
+	rm.ReleaseRegisters(total)
+	if !rm.AcquireRegisters(1) {
+		t.Fatal("registers not returned after release")
+	}
+	// Releasing more than acquired clamps at zero rather than going negative.
+	rm.ReleaseRegisters(1 << 30)
+	if !rm.AcquireRegisters(total) {
+		t.Fatal("clamped release corrupted the register pool")
+	}
+}

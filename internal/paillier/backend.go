@@ -83,17 +83,29 @@ func (CPUBackend) MulPlainVec(pk *PublicKey, cs []Ciphertext, ks []mpint.Nat) ([
 
 // GPUBackend lowers batched operations onto the GPU-HE engine, following the
 // pipeline of Fig. 4: convert, copy to device, compute in parallel, copy
-// back.
+// back. The engine is any ghe.VectorEngine — the raw device engine, the
+// checked wrapper with retry/verify/fallback, or the pure-host fallback —
+// so the backend degrades between substrates without code changes.
 type GPUBackend struct {
-	Engine *ghe.Engine
+	Engine ghe.VectorEngine
 }
 
-// NewGPUBackend wraps a GPU-HE engine.
-func NewGPUBackend(e *ghe.Engine) *GPUBackend {
+// NewGPUBackend wraps a GPU-HE vector engine.
+func NewGPUBackend(e ghe.VectorEngine) (*GPUBackend, error) {
 	if e == nil {
-		panic("paillier: nil engine")
+		return nil, fmt.Errorf("paillier: NewGPUBackend needs an engine")
 	}
-	return &GPUBackend{Engine: e}
+	return &GPUBackend{Engine: e}, nil
+}
+
+// MustGPUBackend is NewGPUBackend for known-good engines; it panics on
+// error. Intended for tests.
+func MustGPUBackend(e ghe.VectorEngine) *GPUBackend {
+	g, err := NewGPUBackend(e)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 // Name implements Backend.

@@ -195,8 +195,8 @@ func TestNewKeyFromPrimesValidation(t *testing.T) {
 }
 
 func backends(t testing.TB) []Backend {
-	eng := ghe.NewEngine(gpu.MustNew(gpu.SmallTestDevice(), true))
-	return []Backend{CPUBackend{}, NewGPUBackend(eng)}
+	eng := ghe.MustEngine(gpu.MustNew(gpu.SmallTestDevice(), true))
+	return []Backend{CPUBackend{}, MustGPUBackend(eng)}
 }
 
 func TestBackendsAgree(t *testing.T) {
@@ -274,7 +274,7 @@ func TestBackendErrorPaths(t *testing.T) {
 }
 
 func TestGPUKeyFromDevicePrimes(t *testing.T) {
-	eng := ghe.NewEngine(gpu.MustNew(gpu.SmallTestDevice(), true))
+	eng := ghe.MustEngine(gpu.MustNew(gpu.SmallTestDevice(), true))
 	p, q, err := eng.GeneratePrimePair(64, 123)
 	if err != nil {
 		t.Fatal(err)
