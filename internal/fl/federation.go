@@ -109,11 +109,11 @@ type roundState struct {
 	send    func(flnet.Message) error
 	retrier *flnet.RetryTransport // nil when MaxRetries is 0
 
-	uploaded    []string                          // clients whose upload send succeeded
-	batches     map[string][]paillier.Ciphertext  // gathered uploads by client
-	included    []string                          // aggregation order
-	reached     []string                          // clients the broadcast reached
-	dropped     map[string]RoundPhase             // dropped client -> losing phase
+	uploaded    []string                         // clients whose upload send succeeded
+	batches     map[string][]paillier.Ciphertext // gathered uploads by client
+	included    []string                         // aggregation order
+	reached     []string                         // clients the broadcast reached
+	dropped     map[string]RoundPhase            // dropped client -> losing phase
 	stale, dups int
 }
 

@@ -198,8 +198,10 @@ func (c *CheckedEngine) runHost(hostOp func() error) error {
 }
 
 // spotCheck verifies ceil(VerifyFraction·n) sampled elements by residue
-// comparison against a host recomputation. It reports whether the result
-// passed (vacuously true with verification off).
+// comparison against a host recomputation. Indices are sampled without
+// replacement, so the checked count matches the documented fraction and
+// VerifyFraction=1 deterministically checks every element. It reports
+// whether the result passed (vacuously true with verification off).
 func (c *CheckedEngine) spotCheck(n int, expect, got func(i int) mpint.Nat) bool {
 	if c.cfg.VerifyFraction <= 0 || n == 0 || expect == nil {
 		return true
@@ -212,9 +214,8 @@ func (c *CheckedEngine) spotCheck(n int, expect, got func(i int) mpint.Nat) bool
 		samples = n
 	}
 	p := mpint.FromUint64(verifyPrime)
-	for s := 0; s < samples; s++ {
+	for _, i := range c.sampleIndices(n, samples) {
 		c.mu.Lock()
-		i := c.rng.Intn(n)
 		c.stats.VerifySamples++
 		c.mu.Unlock()
 		if mpint.Cmp(mpint.Mod(got(i), p), mpint.Mod(expect(i), p)) != 0 {
@@ -225,6 +226,26 @@ func (c *CheckedEngine) spotCheck(n int, expect, got func(i int) mpint.Nat) bool
 		}
 	}
 	return true
+}
+
+// sampleIndices picks `samples` distinct indices in [0, n). A full scan
+// consumes no random draws; a partial one is a partial Fisher–Yates
+// shuffle, so no index is checked twice within one attempt.
+func (c *CheckedEngine) sampleIndices(n, samples int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if samples >= n {
+		return idx
+	}
+	c.mu.Lock()
+	for s := 0; s < samples; s++ {
+		j := s + c.rng.Intn(n-s)
+		idx[s], idx[j] = idx[j], idx[s]
+	}
+	c.mu.Unlock()
+	return idx[:samples]
 }
 
 // ModExpVec implements VectorEngine.

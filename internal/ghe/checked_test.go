@@ -143,6 +143,68 @@ func TestCheckedCatchesCorruption(t *testing.T) {
 	}
 }
 
+// TestCheckedFullVerificationNeverMissesCorruption is the corruption-escape
+// regression: with VerifyFraction=1 every element of every launch is
+// checked, so across many corrupted launches no poisoned result may ever
+// reach the caller. (With-replacement sampling used to miss a single
+// corrupted item with probability ~(1-1/n)^n ≈ 37% per launch.)
+func TestCheckedFullVerificationNeverMissesCorruption(t *testing.T) {
+	c := checkedEngine(t,
+		gpu.FaultConfig{Seed: 17, CorruptProb: 0.5},
+		CheckedConfig{VerifyFraction: 1, VerifySeed: 17, MaxRetries: 8})
+	// Keep the device in rotation so every op keeps exercising the GPU path.
+	c.Device().SetHealthPolicy(gpu.HealthPolicy{DegradeAfter: 1, FailAfter: 1 << 30})
+	r := mpint.NewRNG(18)
+	n := r.RandPrime(96)
+	m := mpint.NewMont(n)
+	bases := randVec(r, 8, n)
+	exp := r.RandBits(48)
+	want, _ := NewCPUEngine().ModExpVec(bases, exp, m)
+	for op := 0; op < 40; op++ {
+		got, err := c.ModExpVec(bases, exp, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if mpint.Cmp(got[i], want[i]) != 0 {
+				t.Fatalf("op %d element %d: corruption escaped full verification", op, i)
+			}
+		}
+	}
+	if st := c.Stats(); st.VerifyFailures == 0 {
+		t.Fatalf("expected corrupted launches to be caught: %+v", st)
+	}
+}
+
+// TestSampleIndicesWithoutReplacement: a partial fraction checks distinct
+// indices, and a full fraction covers every index exactly once.
+func TestSampleIndicesWithoutReplacement(t *testing.T) {
+	c := checkedEngine(t, gpu.FaultConfig{}, CheckedConfig{VerifyFraction: 0.5, VerifySeed: 2})
+	for _, tc := range []struct{ n, samples int }{
+		{1, 1}, {8, 3}, {16, 8}, {16, 15}, {9, 9}, {5, 7},
+	} {
+		idx := c.sampleIndices(tc.n, tc.samples)
+		wantLen := tc.samples
+		if wantLen > tc.n {
+			wantLen = tc.n
+		}
+		if len(idx) != wantLen {
+			t.Fatalf("sampleIndices(%d, %d) returned %d indices, want %d",
+				tc.n, tc.samples, len(idx), wantLen)
+		}
+		seen := make(map[int]bool, len(idx))
+		for _, i := range idx {
+			if i < 0 || i >= tc.n {
+				t.Fatalf("sampleIndices(%d, %d) returned out-of-range index %d", tc.n, tc.samples, i)
+			}
+			if seen[i] {
+				t.Fatalf("sampleIndices(%d, %d) repeated index %d", tc.n, tc.samples, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
 // TestCheckedFailoverBitExact is the kill-one-device criterion at the engine
 // level: after the device dies, every op transparently runs on the host and
 // the results are bit-exact with a healthy device.

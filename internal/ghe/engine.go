@@ -40,10 +40,18 @@ func (e *Engine) Device() *gpu.Device { return e.dev }
 func natBytes(n, k int) int64 { return int64(n) * int64(k) * 4 }
 
 // poisonOut is the per-launch poison callback handed to the device: an
-// injected corruption perturbs one item of the result vector, which only
-// the CheckedEngine's residue verification can catch.
+// injected corruption flips the low bit of one item of the result vector,
+// which only the CheckedEngine's residue verification can catch. The flip
+// never widens the value's limb layout, so an undetected corruption stays a
+// silent wrong value instead of crashing downstream consumers.
 func poisonOut(out []mpint.Nat) func(int) {
-	return func(i int) { out[i] = mpint.Add(out[i], mpint.One()) }
+	return func(i int) {
+		if out[i].Bit(0) == 0 {
+			out[i] = mpint.Add(out[i], mpint.One())
+		} else {
+			out[i] = mpint.Sub(out[i], mpint.One())
+		}
+	}
 }
 
 // ModExpVec computes bases[i]^exp mod m.N() for every i.

@@ -342,7 +342,7 @@ func (d *Device) Launch(k Kernel, fn func(item int)) (float64, error) {
 			if fault == FaultStall {
 				injector.stall(cancel)
 			}
-			d.runParallel(k.Items, fn)
+			d.runParallel(k.Items, fn, cancel)
 			close(done)
 		}()
 		if deadline <= 0 {
@@ -365,7 +365,7 @@ func (d *Device) Launch(k Kernel, fn func(item int)) (float64, error) {
 			}
 		}
 	} else {
-		d.runParallel(k.Items, fn)
+		d.runParallel(k.Items, fn, nil)
 	}
 	wall := time.Since(start)
 
@@ -402,15 +402,28 @@ func (d *Device) failLaunch(kind FaultKind) {
 }
 
 // runParallel spreads items across the worker pool in contiguous chunks.
-func (d *Device) runParallel(items int, fn func(int)) {
+// A closed cancel channel (the launch watchdog tripping) stops every worker
+// at its next item boundary, so a cancelled launch does not keep burning
+// host CPU behind the caller's retry.
+func (d *Device) runParallel(items int, fn func(int), cancel <-chan struct{}) {
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if cancel != nil {
+				select {
+				case <-cancel:
+					return
+				default:
+				}
+			}
+			fn(i)
+		}
+	}
 	workers := d.workers
 	if workers > items {
 		workers = items
 	}
 	if workers <= 1 {
-		for i := 0; i < items; i++ {
-			fn(i)
-		}
+		run(0, items)
 		return
 	}
 	var wg sync.WaitGroup
@@ -427,9 +440,7 @@ func (d *Device) runParallel(items int, fn func(int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
+			run(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

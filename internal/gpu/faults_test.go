@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -120,6 +121,39 @@ func TestWatchdogCancelsHungKernel(t *testing.T) {
 	}
 	if d.Stats().WatchdogTrips != 1 {
 		t.Fatalf("watchdog trip not recorded: %+v", d.Stats())
+	}
+}
+
+// TestWatchdogCancelStopsKernelBody: a genuinely slow kernel tripped by the
+// watchdog must stop executing items at the next item boundary, not run to
+// completion in a leaked goroutine behind the caller's retry.
+func TestWatchdogCancelStopsKernelBody(t *testing.T) {
+	cfg := SmallTestDevice()
+	cfg.KernelDeadline = 5 * time.Millisecond
+	d := MustNew(cfg, true)
+	const items = 512
+	var executed atomic.Int64
+	k := Kernel{Name: "slow", Items: items, RegsPerThread: 16}
+	_, err := d.Launch(k, func(int) {
+		executed.Add(1)
+		time.Sleep(time.Millisecond)
+	})
+	var kerr *KernelError
+	if !errors.As(err, &kerr) || kerr.Kind != FaultStall {
+		t.Fatalf("want stall KernelError for slow kernel, got %v", err)
+	}
+	// Wait for the cancelled body to settle, then confirm it stopped short.
+	prev := executed.Load()
+	for {
+		time.Sleep(20 * time.Millisecond)
+		cur := executed.Load()
+		if cur == prev {
+			break
+		}
+		prev = cur
+	}
+	if prev >= items {
+		t.Fatalf("cancelled launch still executed all %d items", items)
 	}
 }
 

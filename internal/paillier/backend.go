@@ -2,6 +2,7 @@ package paillier
 
 import (
 	"fmt"
+	"reflect"
 
 	"flbooster/internal/ghe"
 	"flbooster/internal/mpint"
@@ -90,12 +91,24 @@ type GPUBackend struct {
 	Engine ghe.VectorEngine
 }
 
-// NewGPUBackend wraps a GPU-HE vector engine.
+// NewGPUBackend wraps a GPU-HE vector engine. Typed nils (e.g. a nil
+// *ghe.Engine boxed in the interface) are rejected like bare nil, so the
+// backend cannot be built around an engine that panics on first use.
 func NewGPUBackend(e ghe.VectorEngine) (*GPUBackend, error) {
-	if e == nil {
+	if e == nil || isNilEngine(e) {
 		return nil, fmt.Errorf("paillier: NewGPUBackend needs an engine")
 	}
 	return &GPUBackend{Engine: e}, nil
+}
+
+// isNilEngine reports whether the interface boxes a nil pointer value.
+func isNilEngine(e ghe.VectorEngine) bool {
+	v := reflect.ValueOf(e)
+	switch v.Kind() {
+	case reflect.Ptr, reflect.Map, reflect.Slice, reflect.Chan, reflect.Func:
+		return v.IsNil()
+	}
+	return false
 }
 
 // MustGPUBackend is NewGPUBackend for known-good engines; it panics on
