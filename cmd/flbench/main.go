@@ -7,7 +7,7 @@
 //	flbench [flags] <experiment>...
 //
 // Experiments: fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7
-// ablation resilience devfault all
+// ablation resilience devfault pipeline all
 //
 // Flags:
 //
@@ -17,6 +17,7 @@
 //	-epochs n     epochs for convergence experiments    (default 4)
 //	-batch n      SGD minibatch size                    (default 64)
 //	-seed n       PRNG seed for workloads, chaos, and fault injection (default 1)
+//	-chunk n      streamed-pipeline chunk size in plaintexts (default 0 = sequential)
 //	-paper        use the paper's full-scale parameters (slow)
 package main
 
@@ -45,6 +46,7 @@ func run(args []string) error {
 	epochs := fs.Int("epochs", 0, "epochs for convergence experiments")
 	batch := fs.Int("batch", 0, "SGD minibatch size")
 	seed := fs.Uint64("seed", 1, "PRNG seed for workloads, chaos, and fault injection")
+	chunk := fs.Int("chunk", 0, "streamed-pipeline chunk size in plaintexts (0 = sequential)")
 	paper := fs.Bool("paper", false, "use the paper's full-scale parameters")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,10 +82,13 @@ func run(args []string) error {
 	// layer, and the device fault injector, so a -seed value reproduces a
 	// resilience run exactly (same faults, same retries, same fallbacks).
 	cfg.Seed = *seed
+	// A positive -chunk streams every upload through the chunked
+	// encrypt→send pipeline; the aggregates stay bit-exact either way.
+	cfg.Chunk = *chunk
 
 	exps := fs.Args()
 	if len(exps) == 0 {
-		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience devfault all")
+		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience devfault pipeline all")
 	}
 	r, err := bench.NewRunner(cfg)
 	if err != nil {
@@ -118,6 +123,8 @@ func run(args []string) error {
 			err = r.Resilience(os.Stdout)
 		case "devfault":
 			err = r.DeviceFaults(os.Stdout)
+		case "pipeline":
+			err = r.Pipeline(os.Stdout)
 		case "all":
 			err = r.All(os.Stdout)
 		default:

@@ -17,6 +17,8 @@
 //	              still missing at expiry instead of stalling
 //	-straggle d   client delays its upload by d (in demo mode: client 0),
 //	              simulating a slow participant
+//	-chunk n      streamed-pipeline chunk size in plaintexts: clients encrypt
+//	              through the chunked double-buffered pipeline (0 = sequential)
 //
 // All parties derive the same demo key pair from -seed; in production each
 // deployment would provision keys through its own PKI.
@@ -65,6 +67,7 @@ func run(args []string) error {
 	quorum := fs.Int("quorum", 0, "uploads needed to proceed (0 = all clients)")
 	timeout := fs.Duration("timeout", 0, "gather deadline (0 = wait forever)")
 	straggle := fs.Duration("straggle", 0, "delay this client's upload (demo: client 0)")
+	chunk := fs.Int("chunk", 0, "streamed-pipeline chunk size in plaintexts (0 = sequential)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -86,10 +89,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runClient(*addr, *id, *clients, *keyBits, *seed, vals, *straggle)
+		return runClient(*addr, *id, *clients, *keyBits, *chunk, *seed, vals, *straggle)
 
 	case "demo":
-		return runDemo(*clients, *dim, *keyBits, *seed, *quorum, *timeout, *straggle)
+		return runDemo(*clients, *dim, *keyBits, *chunk, *seed, *quorum, *timeout, *straggle)
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -97,16 +100,20 @@ func run(args []string) error {
 }
 
 // demoContext builds the shared HE context all demo parties derive from the
-// seed.
-func demoContext(keyBits, clients int, seed uint64) (*fl.Context, error) {
+// seed. A positive chunk streams encryption through the chunked
+// double-buffered pipeline; the ciphertexts are bit-exact either way.
+func demoContext(keyBits, clients, chunk int, seed uint64) (*fl.Context, error) {
 	p := fl.NewProfile(fl.SystemFLBooster, keyBits, clients)
 	p.Seed = seed
 	p.Device = gpu.RTX3090()
+	p.Chunk = chunk
 	return fl.NewContext(p)
 }
 
 func runServer(addr string, clients, keyBits int, seed uint64, quorum int, timeout time.Duration) error {
-	ctx, err := demoContext(keyBits, clients, seed)
+	// The server only aggregates and decrypts whole batches, so it never
+	// needs the streamed path — chunk 0 regardless of the client flag.
+	ctx, err := demoContext(keyBits, clients, 0, seed)
 	if err != nil {
 		return err
 	}
@@ -198,8 +205,8 @@ func runServer(addr string, clients, keyBits int, seed uint64, quorum int, timeo
 	return nil
 }
 
-func runClient(addr string, id, clients, keyBits int, seed uint64, vals []float64, delay time.Duration) error {
-	ctx, err := demoContext(keyBits, clients, seed)
+func runClient(addr string, id, clients, keyBits, chunk int, seed uint64, vals []float64, delay time.Duration) error {
+	ctx, err := demoContext(keyBits, clients, chunk, seed)
 	if err != nil {
 		return err
 	}
@@ -267,7 +274,7 @@ func runClient(addr string, id, clients, keyBits int, seed uint64, vals []float6
 // runDemo runs hub, server, and clients in one process over loopback TCP.
 // With straggle > 0, client 0 delays its upload; combined with -quorum and
 // -timeout this demonstrates the round completing without it.
-func runDemo(clients, dim, keyBits int, seed uint64, quorum int, timeout, straggle time.Duration) error {
+func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout, straggle time.Duration) error {
 	hub, err := flnet.NewTCPHub("127.0.0.1:0", flnet.GigabitEthernet())
 	if err != nil {
 		return err
@@ -291,7 +298,7 @@ func runDemo(clients, dim, keyBits int, seed uint64, quorum int, timeout, stragg
 			delay = straggle
 		}
 		go func(id int, vals []float64, delay time.Duration) {
-			errs <- runClient(hub.Addr(), id, clients, keyBits, seed, vals, delay)
+			errs <- runClient(hub.Addr(), id, clients, keyBits, chunk, seed, vals, delay)
 		}(c, vals, delay)
 	}
 	for i := 0; i < clients+1; i++ {

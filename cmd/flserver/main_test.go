@@ -25,8 +25,9 @@ func TestParseFloats(t *testing.T) {
 }
 
 func TestDemoEndToEnd(t *testing.T) {
-	// Full hub + server + clients over loopback TCP with a small key.
-	if err := runDemo(3, 4, 128, 9, 0, 0, 0); err != nil {
+	// Full hub + server + clients over loopback TCP with a small key, with
+	// clients encrypting through the streamed pipeline (chunk 2).
+	if err := runDemo(3, 4, 128, 2, 9, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -37,7 +38,7 @@ func TestDemoQuorumSurvivesStraggler(t *testing.T) {
 	// of stalling on the missing upload.
 	done := make(chan error, 1)
 	go func() {
-		done <- runDemo(4, 4, 128, 9, 3, 250*time.Millisecond, 900*time.Millisecond)
+		done <- runDemo(4, 4, 128, 0, 9, 3, 250*time.Millisecond, 900*time.Millisecond)
 	}()
 	select {
 	case err := <-done:
@@ -55,7 +56,7 @@ func TestDemoQuorumBelowThresholdFails(t *testing.T) {
 	// demo path only delays client 0, so demand a full quorum of 2.
 	done := make(chan error, 1)
 	go func() {
-		done <- runDemo(2, 2, 128, 9, 2, time.Nanosecond, 500*time.Millisecond)
+		done <- runDemo(2, 2, 128, 0, 9, 2, time.Nanosecond, 500*time.Millisecond)
 	}()
 	select {
 	case err := <-done:

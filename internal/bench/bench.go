@@ -40,6 +40,9 @@ type Config struct {
 	Device gpu.Config
 	// NNHidden is the Hetero NN interactive-layer width.
 	NNHidden int
+	// Chunk is the streamed-pipeline chunk size in plaintexts per upload
+	// chunk for every HE context (0 keeps the whole-batch sequential path).
+	Chunk int
 }
 
 // Quick returns a configuration sized for laptop runs: heavily scaled
@@ -83,6 +86,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("bench: batch size must be positive")
 	case c.NNHidden < 1:
 		return fmt.Errorf("bench: NN hidden width must be positive")
+	case c.Chunk < 0:
+		return fmt.Errorf("bench: pipeline chunk size must be non-negative, got %d", c.Chunk)
 	}
 	return nil
 }
@@ -144,6 +149,7 @@ func (r *Runner) context(sys fl.System, keyBits int) (*fl.Context, error) {
 	p := fl.NewProfile(sys, keyBits, r.cfg.Parties)
 	p.Device = r.cfg.Device
 	p.Seed = r.cfg.Seed
+	p.Chunk = r.cfg.Chunk
 	ctx, err := fl.NewContext(p)
 	if err != nil {
 		return nil, fmt.Errorf("bench: context %s/%d: %w", sys, keyBits, err)

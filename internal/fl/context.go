@@ -149,10 +149,110 @@ func (c *Context) DecodeAggregates(pts []mpint.Nat, count, parties int) ([]float
 	return c.Quant.DequantizeSumVec(sums, parties)
 }
 
+// PlaintextCount returns how many HE plaintexts carry n gradient values
+// under the context's encoding (packed or one-per-value).
+func (c *Context) PlaintextCount(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if c.Packer != nil {
+		return c.Packer.NumPlaintexts(n)
+	}
+	return n
+}
+
+// EncryptGradientsStream runs the client-side encryption phase chunked:
+// the gradient vector is quantized once, then packed and encrypted
+// Profile.Chunk plaintexts at a time through the backend's streaming
+// session. Chunk boundaries align to plaintext groups, and the nonce stream
+// is indexed by global position, so the concatenated ciphertexts are
+// bit-exact with the whole-batch EncryptGradients path. emit receives each
+// chunk in order with its sequential HE sim cost; an emit error stops the
+// stream and is returned. An empty gradient vector emits one empty chunk so
+// protocol consumers still see the upload.
+func (c *Context) EncryptGradientsStream(grads []float64, emit func(index int, cts []paillier.Ciphertext, heSim time.Duration) error) error {
+	sb, ok := c.Backend.(paillier.StreamBackend)
+	if !ok {
+		return fmt.Errorf("fl: backend %s does not support streamed encryption", c.Backend.Name())
+	}
+	totalPts := c.PlaintextCount(len(grads))
+	chunk := c.Profile.Chunk
+	if chunk <= 0 || chunk > totalPts {
+		chunk = totalPts
+	}
+	if totalPts == 0 {
+		return emit(0, nil, 0)
+	}
+	vals := c.Quant.QuantizeVec(grads)
+	slots := 1
+	if c.Packer != nil {
+		slots = c.Packer.Slots()
+	}
+	sess, err := sb.BeginEncrypt(&c.Key.PublicKey, c.nextSeed())
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	var totalCts int64
+	for index, base := 0, 0; base < totalPts; index, base = index+1, base+chunk {
+		endPt := base + chunk
+		if endPt > totalPts {
+			endPt = totalPts
+		}
+		lo, hi := base*slots, endPt*slots
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		var pts []mpint.Nat
+		if c.Packer != nil {
+			// Pack works in independent groups of `slots` values, so packing
+			// an aligned sub-slice reproduces the whole-batch plaintexts.
+			pts, err = c.Packer.Pack(vals[lo:hi])
+			if err != nil {
+				return err
+			}
+		} else {
+			pts = make([]mpint.Nat, hi-lo)
+			for i, v := range vals[lo:hi] {
+				pts[i] = mpint.FromUint64(v)
+			}
+		}
+		start := time.Now()
+		cts, seqSim, err := sess.Next(pts)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		heSim := seqSim
+		if c.Device == nil {
+			heSim = wall
+		}
+		c.Costs.AddHE(wall, heSim, int64(len(cts)), int64(hi-lo))
+		totalCts += int64(len(cts))
+		if err := emit(index, cts, heSim); err != nil {
+			return err
+		}
+	}
+	c.Costs.AddCompression(int64(len(grads)), totalCts)
+	return nil
+}
+
 // EncryptGradients runs the full client-side encryption phase (steps ①–④ of
 // Fig. 4): encode, quantize, pack, encrypt. Costs are charged to the HE
 // component; the plainval/ciphertext counts feed the compression ratio.
+// With a positive Profile.Chunk the phase runs through the streamed,
+// device-pipelined path and returns the concatenated (bit-exact) result.
 func (c *Context) EncryptGradients(grads []float64) ([]paillier.Ciphertext, error) {
+	if c.Profile.Chunk > 0 {
+		var out []paillier.Ciphertext
+		if err := c.EncryptGradientsStream(grads, func(_ int, cts []paillier.Ciphertext, _ time.Duration) error {
+			out = append(out, cts...)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	pts, err := c.EncodePlaintexts(grads)
 	if err != nil {
 		return nil, err

@@ -35,6 +35,15 @@ type CostSnapshot struct {
 	// forward/backward passes) outside HE and communication.
 	OtherWall time.Duration
 
+	// PipeSeqSim and PipeSim are the streamed-pipeline view of the phases
+	// that ran chunked: the sequential sum of their HE and wire time (already
+	// included in HESim/CommSim above) and the measured critical path of the
+	// same chunks overlapped across the encrypt and send streams. PipeChunks
+	// counts the chunks scheduled.
+	PipeSeqSim time.Duration
+	PipeSim    time.Duration
+	PipeChunks int64
+
 	// Ciphertexts counts ciphertexts produced (the compression denominator).
 	Ciphertexts int64
 	// Plainvals counts plaintext values before packing (the numerator).
@@ -78,6 +87,16 @@ func (c *Costs) AddRetry(sim time.Duration, bytes int64) {
 	c.s.RetryMsgs++
 }
 
+// AddPipeline accounts one streamed upload: seq is the sequential sum of
+// the chunks' HE + wire time, overlapped their measured critical path.
+func (c *Costs) AddPipeline(seq, overlapped time.Duration, chunks int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.PipeSeqSim += seq
+	c.s.PipeSim += overlapped
+	c.s.PipeChunks += chunks
+}
+
 // AddOther accounts model-computation time.
 func (c *Costs) AddOther(wall time.Duration) {
 	c.mu.Lock()
@@ -113,6 +132,17 @@ func (c *Costs) TotalSim() time.Duration { return c.Snapshot().TotalSim() }
 
 // TotalSim is the modelled end-to-end time of the snapshot.
 func (s CostSnapshot) TotalSim() time.Duration { return s.HESim + s.CommSim + s.OtherWall }
+
+// TotalSimOverlapped is the modelled end-to-end time with the streamed
+// phases at their measured critical path instead of their sequential sum:
+// the sequential pipeline portion is swapped for the overlapped one. With
+// no streamed phases it equals TotalSim.
+func (c *Costs) TotalSimOverlapped() time.Duration { return c.Snapshot().TotalSimOverlapped() }
+
+// TotalSimOverlapped is the overlapped end-to-end time of the snapshot.
+func (s CostSnapshot) TotalSimOverlapped() time.Duration {
+	return s.TotalSim() - s.PipeSeqSim + s.PipeSim
+}
 
 // TotalWall is the measured end-to-end host time plus modelled wire time.
 func (c *Costs) TotalWall() time.Duration { return c.Snapshot().TotalWall() }

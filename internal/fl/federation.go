@@ -1,10 +1,12 @@
 package fl
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"flbooster/internal/flnet"
+	"flbooster/internal/gpu"
 	"flbooster/internal/mpint"
 	"flbooster/internal/paillier"
 )
@@ -111,10 +113,17 @@ type roundState struct {
 
 	uploaded    []string                         // clients whose upload send succeeded
 	batches     map[string][]paillier.Ciphertext // gathered uploads by client
+	pending     map[string]*partialUpload        // chunked uploads being reassembled
 	included    []string                         // aggregation order
 	reached     []string                         // clients the broadcast reached
 	dropped     map[string]RoundPhase            // dropped client -> losing phase
 	stale, dups int
+}
+
+// partialUpload reassembles one client's chunked upload.
+type partialUpload struct {
+	total  int
+	chunks map[int][]paillier.Ciphertext
 }
 
 func newRoundState(f *Federation, policy RoundPolicy, count int) *roundState {
@@ -125,6 +134,7 @@ func newRoundState(f *Federation, policy RoundPolicy, count int) *roundState {
 		quorum:  policy.EffectiveQuorum(f.Ctx.Profile.Parties),
 		count:   count,
 		batches: make(map[string][]paillier.Ciphertext),
+		pending: make(map[string]*partialUpload),
 		dropped: make(map[string]RoundPhase),
 	}
 	st.send = f.Transport.Send
@@ -220,8 +230,16 @@ func (st *roundState) run(grads [][]float64) ([]float64, error) {
 // upload: every client encrypts and sends to the server. A send that still
 // fails after the retry policy drops the client (within the quorum budget);
 // a local encryption fault is not a network fault and aborts the round.
+// With a positive Profile.Chunk each client uploads through the streamed
+// pipeline: chunk i is on the wire while chunk i+1 is still encrypting.
 func (st *roundState) upload(grads [][]float64) error {
 	for i := 0; i < st.f.Ctx.Profile.Parties; i++ {
+		if st.f.Ctx.Profile.Chunk > 0 {
+			if err := st.uploadClientChunked(i, grads[i]); err != nil {
+				return err
+			}
+			continue
+		}
 		name := ClientName(i)
 		cts, err := st.f.Ctx.EncryptGradients(grads[i])
 		if err != nil {
@@ -240,6 +258,94 @@ func (st *roundState) upload(grads [][]float64) error {
 		st.uploaded = append(st.uploaded, name)
 		st.f.Ctx.RecordTransfer(msg.WireSize())
 	}
+	return nil
+}
+
+// gradChunk is one encrypted chunk handed from the encrypting producer to
+// the sending consumer.
+type gradChunk struct {
+	index int
+	cts   []paillier.Ciphertext
+	heSim time.Duration
+}
+
+// errUploadAborted signals the producer that the consumer stopped taking
+// chunks (the client was dropped); it is not a round failure.
+var errUploadAborted = errors.New("fl: chunked upload aborted")
+
+// uploadClientChunked runs one client's upload as a bounded producer/
+// consumer pipeline: a goroutine encrypts chunks through the streamed HE
+// session and a two-chunk channel feeds the wire, so the send of chunk i
+// overlaps the encryption of chunk i+1. The overlap is also accounted: the
+// chunks' HE and wire costs are scheduled onto an encrypt stream and a send
+// stream, and the measured critical path lands in Costs.AddPipeline next to
+// the sequential totals.
+func (st *roundState) uploadClientChunked(i int, grads []float64) error {
+	ctx := st.f.Ctx
+	name := ClientName(i)
+	chunkPts := ctx.Profile.Chunk
+	total := (ctx.PlaintextCount(len(grads)) + chunkPts - 1) / chunkPts
+	if total == 0 {
+		total = 1 // an empty vector still uploads one empty chunk
+	}
+
+	ch := make(chan gradChunk, 2) // the bounded double buffer between compute and wire
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		defer close(ch)
+		errc <- ctx.EncryptGradientsStream(grads, func(index int, cts []paillier.Ciphertext, heSim time.Duration) error {
+			select {
+			case ch <- gradChunk{index: index, cts: cts, heSim: heSim}:
+				return nil
+			case <-stop:
+				return errUploadAborted
+			}
+		})
+	}()
+
+	enc := gpu.NewStream("encrypt")
+	wire := gpu.NewStream("send")
+	var seqSim time.Duration
+	var chunks int64
+	var sendErr error
+	for chk := range ch {
+		if sendErr != nil {
+			continue // drain the producer after a failed send
+		}
+		ev := enc.Schedule(chk.heSim)
+		msg := flnet.Message{
+			From: name, To: ServerName, Kind: "gradc", Round: st.id,
+			Payload: flnet.EncodeChunk(uint32(chk.index), uint32(total), encodeCiphertexts(chk.cts)),
+		}
+		if err := st.send(msg); err != nil {
+			sendErr = err
+			close(stop)
+			continue
+		}
+		comm := ctx.Link.TransferTime(msg.WireSize())
+		wire.Schedule(comm, ev) // the chunk hits the wire once it is encrypted
+		seqSim += chk.heSim + comm
+		chunks++
+		ctx.RecordTransfer(msg.WireSize())
+	}
+	if err := <-errc; err != nil && !errors.Is(err, errUploadAborted) {
+		return fmt.Errorf("fl: client %d encrypt: %w", i, err)
+	}
+	if sendErr != nil {
+		// The dropped client's chunks stay at their sequential cost — the
+		// overlapped accounting only credits completed uploads.
+		if rerr := st.drop(PhaseUpload, name, sendErr); rerr != nil {
+			return rerr
+		}
+		return nil
+	}
+	span := enc.Clock()
+	if w := wire.Clock(); w > span {
+		span = w
+	}
+	ctx.Costs.AddPipeline(seqSim, span, chunks)
+	st.uploaded = append(st.uploaded, name)
 	return nil
 }
 
@@ -263,19 +369,26 @@ func (st *roundState) gather() error {
 			// A hard receive failure at the server is not a straggler.
 			return st.fail(PhaseGather, "", err)
 		}
-		if msg.Round != st.id || msg.Kind != "grads" {
+		if msg.Round != st.id || (msg.Kind != "grads" && msg.Kind != "gradc") {
 			st.stale++
 			continue
 		}
-		if _, dup := st.batches[msg.From]; dup {
+		if _, done := st.batches[msg.From]; done {
 			st.dups++
 			continue
 		}
-		cts, err := decodeCiphertexts(msg.Payload)
-		if err != nil {
-			return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode: %w", err))
+		switch msg.Kind {
+		case "grads":
+			cts, err := decodeCiphertexts(msg.Payload)
+			if err != nil {
+				return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode: %w", err))
+			}
+			st.batches[msg.From] = cts
+		case "gradc":
+			if err := st.acceptChunk(msg); err != nil {
+				return err
+			}
 		}
-		st.batches[msg.From] = cts
 	}
 	// Anyone who uploaded but never arrived was lost in transit.
 	for _, name := range st.uploaded {
@@ -288,6 +401,44 @@ func (st *roundState) gather() error {
 	if len(st.included) < st.quorum {
 		return st.fail(PhaseGather, "", fmt.Errorf("%d/%d uploads below quorum %d",
 			len(st.included), st.f.Ctx.Profile.Parties, st.quorum))
+	}
+	return nil
+}
+
+// acceptChunk folds one "gradc" message into the sender's partial upload;
+// when the last chunk lands, the batch is reassembled in chunk order and
+// promoted to st.batches. Duplicated chunks (retransmissions, transport
+// duplication) are counted and ignored; chunk-order arrival is not assumed.
+func (st *roundState) acceptChunk(msg flnet.Message) error {
+	index, total, body, err := flnet.DecodeChunk(msg.Payload)
+	if err != nil {
+		return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode: %w", err))
+	}
+	p := st.pending[msg.From]
+	if p == nil {
+		p = &partialUpload{total: int(total), chunks: make(map[int][]paillier.Ciphertext)}
+		st.pending[msg.From] = p
+	}
+	if p.total != int(total) {
+		return st.fail(PhaseGather, msg.From, fmt.Errorf(
+			"server decode: chunk total changed mid-upload (%d vs %d)", total, p.total))
+	}
+	if _, dup := p.chunks[int(index)]; dup {
+		st.dups++
+		return nil
+	}
+	cts, err := decodeCiphertexts(body)
+	if err != nil {
+		return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode chunk %d: %w", index, err))
+	}
+	p.chunks[int(index)] = cts
+	if len(p.chunks) == p.total {
+		var all []paillier.Ciphertext
+		for k := 0; k < p.total; k++ {
+			all = append(all, p.chunks[k]...)
+		}
+		st.batches[msg.From] = all
+		delete(st.pending, msg.From)
 	}
 	return nil
 }

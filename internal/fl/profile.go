@@ -59,6 +59,11 @@ type Profile struct {
 	Device gpu.Config
 	// Seed drives every random choice for reproducibility.
 	Seed uint64
+	// Chunk is the streamed-pipeline chunk size in plaintexts per chunk:
+	// when positive, encryption runs chunked through the device streams and
+	// uploads overlap the next chunk's compute (§V-B / Fig. 4, actually
+	// executed). Zero keeps the whole-batch sequential path.
+	Chunk int
 	// Round governs fault tolerance of federation rounds: quorum, phase
 	// deadlines, and send retries. The zero value is the strict protocol
 	// (all parties required, no deadline, no retransmission).
@@ -135,6 +140,8 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("fl: r = %d too small", p.RBits)
 	case p.GradBound <= 0:
 		return fmt.Errorf("fl: gradient bound must be positive")
+	case p.Chunk < 0:
+		return fmt.Errorf("fl: negative pipeline chunk size %d", p.Chunk)
 	}
 	if err := p.Round.Validate(p.Parties); err != nil {
 		return err

@@ -1,0 +1,36 @@
+package flnet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Chunk framing for streamed uploads: a message that carries piece `index`
+// of `total` for one logical payload, so a sender can put chunk i on the
+// wire while chunk i+1 is still being computed and the receiver can
+// reassemble in order regardless of arrival interleaving.
+
+// EncodeChunk frames one chunk body with its (index, total) header.
+func EncodeChunk(index, total uint32, body []byte) []byte {
+	buf := make([]byte, 0, 8+len(body))
+	buf = binary.LittleEndian.AppendUint32(buf, index)
+	buf = binary.LittleEndian.AppendUint32(buf, total)
+	return append(buf, body...)
+}
+
+// DecodeChunk parses a frame built by EncodeChunk. The header is untrusted:
+// an index at or beyond total, or a zero total, is corrupt.
+func DecodeChunk(b []byte) (index, total uint32, body []byte, err error) {
+	if len(b) < 8 {
+		return 0, 0, nil, fmt.Errorf("flnet: chunk truncated header (%d bytes)", len(b))
+	}
+	index = binary.LittleEndian.Uint32(b)
+	total = binary.LittleEndian.Uint32(b[4:])
+	if total == 0 {
+		return 0, 0, nil, fmt.Errorf("flnet: chunk with zero total")
+	}
+	if index >= total {
+		return 0, 0, nil, fmt.Errorf("flnet: chunk index %d out of range (total %d)", index, total)
+	}
+	return index, total, b[8:], nil
+}

@@ -1,0 +1,35 @@
+package flnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChunkRoundTrip(t *testing.T) {
+	body := []byte{1, 2, 3, 4, 5}
+	idx, total, got, err := DecodeChunk(EncodeChunk(3, 7, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 3 || total != 7 || !bytes.Equal(got, body) {
+		t.Fatalf("round trip gave (%d, %d, %v)", idx, total, got)
+	}
+	// Empty body is legal (an empty upload still announces itself).
+	if _, _, got, err := DecodeChunk(EncodeChunk(0, 1, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty chunk: %v, body %v", err, got)
+	}
+}
+
+func TestChunkRejectsCorruptHeaders(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated":        {1, 2, 3},
+		"zero total":       EncodeChunk(0, 0, nil),
+		"index at total":   EncodeChunk(2, 2, nil),
+		"index past total": EncodeChunk(9, 2, []byte{1}),
+	}
+	for name, b := range cases {
+		if _, _, _, err := DecodeChunk(b); err == nil {
+			t.Errorf("%s: corrupt chunk accepted", name)
+		}
+	}
+}

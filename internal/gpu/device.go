@@ -39,6 +39,16 @@ type Stats struct {
 	UtilizationSum   float64       // Σ occupancy per launch, for averaging
 	UtilizationCount int64
 
+	// Stream-pipeline observability: ops executed as chunked streams
+	// (Pipeline) report their measured critical path in SimStreamTime and
+	// the sequential cost of the same chunks in SimStreamSeqTime, so the
+	// overlap gain is (SimStreamSeqTime - SimStreamTime) of real schedule,
+	// not a closed-form estimate.
+	SimStreamTime    time.Duration
+	SimStreamSeqTime time.Duration
+	StreamChunks     int64
+	StreamOps        int64
+
 	// Fault/health observability (DESIGN.md §7). Per-kind counters record
 	// *observed* failures: silent corruptions appear only once detected and
 	// reported back via ReportFailure.
@@ -59,20 +69,13 @@ func (s Stats) SimTime() time.Duration {
 	return s.SimTransferTime + s.SimComputeTime + s.SimFaultTime
 }
 
-// SimTimePipelined models the paper's pipelined processing (Fig. 4): PCIe
-// transfers of one batch overlap the kernel of the previous one, so the
-// steady-state cost is the maximum of the two streams plus one pipeline
-// fill of the smaller.
-func (s Stats) SimTimePipelined() time.Duration {
-	long, short := s.SimTransferTime, s.SimComputeTime
-	if short > long {
-		long, short = short, long
-	}
-	launches := s.KernelLaunches
-	if launches < 1 {
-		launches = 1
-	}
-	return long + short/time.Duration(launches)
+// SimTimeOverlapped is the modelled device time with stream overlap: ops
+// executed as chunked pipelines contribute their measured critical path
+// (SimStreamTime) in place of their sequential stage sum, while everything
+// that ran whole-batch keeps its sequential cost. It never exceeds
+// SimTime(), and equals it when nothing was streamed.
+func (s Stats) SimTimeOverlapped() time.Duration {
+	return s.SimTime() - s.SimStreamSeqTime + s.SimStreamTime
 }
 
 // AvgUtilization is the mean SM utilization across launches, in [0,1].

@@ -5,50 +5,178 @@ import (
 	"time"
 )
 
-func TestSimTimePipelinedBounds(t *testing.T) {
-	s := Stats{
-		SimTransferTime: 100 * time.Millisecond,
-		SimComputeTime:  300 * time.Millisecond,
-		KernelLaunches:  10,
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestStreamInOrderAndDeps(t *testing.T) {
+	a := NewStream("a")
+	b := NewStream("b")
+	e1 := a.Schedule(ms(10))
+	if e1.At != ms(10) {
+		t.Fatalf("first event at %v, want 10ms", e1.At)
 	}
-	seq := s.SimTime()
-	pipe := s.SimTimePipelined()
-	if pipe >= seq {
-		t.Fatalf("pipelining should help: %v vs %v", pipe, seq)
+	// Same stream serializes even with no dependency.
+	if e2 := a.Schedule(ms(5)); e2.At != ms(15) {
+		t.Fatalf("in-order event at %v, want 15ms", e2.At)
 	}
-	// Lower bound: never below the longer stream.
-	if pipe < 300*time.Millisecond {
-		t.Fatalf("pipelined time %v below the compute stream", pipe)
+	// A dependent event on another stream waits for the dependency.
+	if e3 := b.Schedule(ms(1), e1); e3.At != ms(11) {
+		t.Fatalf("dependent event at %v, want 11ms", e3.At)
 	}
-	// With many launches the overlap approaches max(transfer, compute).
-	s.KernelLaunches = 1 << 20
-	if d := s.SimTimePipelined() - 300*time.Millisecond; d > time.Millisecond {
-		t.Fatalf("steady-state pipeline should approach the longer stream, off by %v", d)
+	// An independent stream starts at its own clock.
+	c := NewStream("c")
+	if e4 := c.Schedule(ms(3)); e4.At != ms(3) {
+		t.Fatalf("independent event at %v, want 3ms", e4.At)
+	}
+	// Negative durations clamp to zero instead of rewinding the clock.
+	if e5 := c.Schedule(-ms(5)); e5.At != ms(3) {
+		t.Fatalf("negative-duration event at %v, want 3ms", e5.At)
 	}
 }
 
-func TestSimTimePipelinedDegenerate(t *testing.T) {
-	// No launches: fill term must not divide by zero.
-	s := Stats{SimTransferTime: 10, SimComputeTime: 5}
-	if s.SimTimePipelined() != 15 {
-		t.Fatalf("zero-launch pipeline = %v", s.SimTimePipelined())
+// TestPipelineSteadyState checks the Fig. 4 shape on the measured pipeline:
+// with many uniform chunks the critical path approaches
+// max(transfer, compute) per chunk, plus one fill of the other stages.
+func TestPipelineSteadyState(t *testing.T) {
+	dev := MustNew(SmallTestDevice(), true)
+	p := dev.NewPipeline(2)
+	const chunks = 64
+	for i := 0; i < chunks; i++ {
+		p.Chunk(ms(1), ms(3), ms(1)) // compute-bound chunk
 	}
-	// Transfer-dominated workloads overlap the compute stream instead.
-	s = Stats{SimTransferTime: 400, SimComputeTime: 100, KernelLaunches: 100}
-	if got := s.SimTimePipelined(); got < 400 || got > 500 {
-		t.Fatalf("transfer-dominated pipeline = %v", got)
+	span, seq := p.Span(), p.SeqTime()
+	if seq != ms(5*chunks) {
+		t.Fatalf("sequential sum %v, want %v", seq, ms(5*chunks))
+	}
+	// Steady state: one H2D fill + chunks × compute + one D2H drain.
+	want := ms(1) + ms(3*chunks) + ms(1)
+	if span != want {
+		t.Fatalf("compute-bound span %v, want %v", span, want)
+	}
+	if span >= seq {
+		t.Fatalf("pipelining should beat the sequential sum: %v vs %v", span, seq)
 	}
 }
 
-func TestPipelinedNeverExceedsSequential(t *testing.T) {
-	for launches := int64(1); launches < 100; launches *= 3 {
-		for _, tr := range []time.Duration{0, 1, 50, 1000} {
-			for _, cp := range []time.Duration{0, 1, 50, 1000} {
-				s := Stats{SimTransferTime: tr, SimComputeTime: cp, KernelLaunches: launches}
-				if s.SimTimePipelined() > s.SimTime() {
-					t.Fatalf("pipeline slower than sequential at tr=%v cp=%v l=%d", tr, cp, launches)
+// TestPipelineTransferBound checks the other steady state: when transfers
+// dominate, the span approaches the H2D stream total plus fills, and the
+// double-buffer dependency never lets uploads run unboundedly ahead.
+func TestPipelineTransferBound(t *testing.T) {
+	dev := MustNew(SmallTestDevice(), true)
+	p := dev.NewPipeline(2)
+	const chunks = 32
+	for i := 0; i < chunks; i++ {
+		p.Chunk(ms(4), ms(1), ms(2))
+	}
+	// H2D dominates: span = chunks×4 (uploads back-to-back) + kernel + D2H
+	// of the last chunk.
+	want := ms(4*chunks) + ms(1) + ms(2)
+	if got := p.Span(); got != want {
+		t.Fatalf("transfer-bound span %v, want %v", got, want)
+	}
+}
+
+// TestPipelineDoubleBuffering: with depth 2 and a slow kernel, chunk c's
+// upload must wait for kernel c-2, so the H2D stream is gated by compute
+// instead of racing ahead through unlimited buffers.
+func TestPipelineDoubleBuffering(t *testing.T) {
+	dev := MustNew(SmallTestDevice(), true)
+	p := dev.NewPipeline(2)
+	const chunks = 10
+	for i := 0; i < chunks; i++ {
+		p.Chunk(ms(1), ms(10), ms(1))
+	}
+	// Kernel stream: fill (1ms) + 10 kernels back-to-back.
+	wantSpan := ms(1) + ms(10*chunks) + ms(1)
+	if got := p.Span(); got != wantSpan {
+		t.Fatalf("double-buffered span %v, want %v", got, wantSpan)
+	}
+	// The upload of the last chunk cannot have finished before kernel
+	// chunks-2 completed: h2d clock ≥ fill + (chunks-2) kernels + upload.
+	minH2D := ms(1) + ms(10*(chunks-2)) + ms(1)
+	if got := p.h2d.Clock(); got < minH2D {
+		t.Fatalf("H2D stream ran ahead of the buffer budget: %v < %v", got, minH2D)
+	}
+}
+
+func TestPipelineNeverExceedsSequential(t *testing.T) {
+	dev := MustNew(SmallTestDevice(), true)
+	durs := []time.Duration{0, ms(1), ms(7), ms(50)}
+	for _, h := range durs {
+		for _, k := range durs {
+			for _, d := range durs {
+				p := dev.NewPipeline(2)
+				for i := 0; i < 9; i++ {
+					p.Chunk(h, k, d)
+				}
+				if p.Span() > p.SeqTime() {
+					t.Fatalf("pipeline slower than sequential at h=%v k=%v d=%v: %v > %v",
+						h, k, d, p.Span(), p.SeqTime())
+				}
+				// Lower bound: the busiest stream.
+				low := maxDur(9*h, maxDur(9*k, 9*d))
+				if p.Span() < low {
+					t.Fatalf("span %v below busiest stream %v", p.Span(), low)
 				}
 			}
 		}
+	}
+}
+
+// TestPipelineEndMeasuresDevice brackets real device work with Begin/End and
+// checks the measured chunk matches the device's sequential counters, and
+// that Close accrues the stream stats.
+func TestPipelineEndMeasuresDevice(t *testing.T) {
+	dev := MustNew(SmallTestDevice(), true)
+	p := dev.NewPipeline(2)
+	var seqSum time.Duration
+	for i := 0; i < 4; i++ {
+		before := dev.Stats()
+		p.Begin()
+		dev.CopyToDevice(1 << 16)
+		if _, err := dev.Launch(Kernel{Name: "busy", Items: 64, WordOps: 1 << 16}, func(int) {}); err != nil {
+			t.Fatal(err)
+		}
+		dev.CopyFromDevice(1 << 15)
+		seq, overlapped := p.End()
+		after := dev.Stats()
+		wantSeq := after.SimTime() - before.SimTime()
+		if seq != wantSeq {
+			t.Fatalf("chunk %d: measured seq %v, want device delta %v", i, seq, wantSeq)
+		}
+		if overlapped < 0 || overlapped > seq {
+			t.Fatalf("chunk %d: overlapped %v outside [0, %v]", i, overlapped, seq)
+		}
+		seqSum += seq
+	}
+	if p.SeqTime() != seqSum {
+		t.Fatalf("pipeline seq %v, want %v", p.SeqTime(), seqSum)
+	}
+	span := p.Span()
+	p.Close()
+	p.Close() // idempotent
+	st := dev.Stats()
+	if st.SimStreamTime != span || st.SimStreamSeqTime != seqSum {
+		t.Fatalf("stream stats (%v, %v), want (%v, %v)",
+			st.SimStreamTime, st.SimStreamSeqTime, span, seqSum)
+	}
+	if st.StreamChunks != 4 || st.StreamOps != 1 {
+		t.Fatalf("stream counters chunks=%d ops=%d, want 4 and 1", st.StreamChunks, st.StreamOps)
+	}
+	if ov := st.SimTimeOverlapped(); ov > st.SimTime() || ov != st.SimTime()-seqSum+span {
+		t.Fatalf("overlapped total %v inconsistent with seq %v stream (%v, %v)",
+			ov, st.SimTime(), seqSum, span)
+	}
+}
+
+// TestPipelineEndWithoutBegin is a no-op rather than a bogus chunk.
+func TestPipelineEndWithoutBegin(t *testing.T) {
+	dev := MustNew(SmallTestDevice(), true)
+	p := dev.NewPipeline(2)
+	if seq, ov := p.End(); seq != 0 || ov != 0 || p.Chunks() != 0 {
+		t.Fatalf("unmatched End scheduled a chunk: seq=%v ov=%v chunks=%d", seq, ov, p.Chunks())
+	}
+	p.Close() // empty close must not touch device stats
+	if st := dev.Stats(); st.StreamOps != 0 {
+		t.Fatalf("empty pipeline counted as a stream op")
 	}
 }

@@ -1,0 +1,197 @@
+package gpu
+
+import "time"
+
+// Simulated CUDA streams (§V-B / Fig. 4): the device executes H2D copies,
+// kernels, and D2H copies on independent in-order queues, so the PCIe
+// transfer of one chunk overlaps the kernel of the previous one. The paper's
+// pipelined-processing gain used to be a closed-form estimate over aggregate
+// counters; with streams it is *measured*: every chunk of a streamed vector
+// op is scheduled onto the three queues with its real modelled durations and
+// buffer-recycling dependencies, and the op's overlapped cost is the critical
+// path across the queues instead of the sum of the stages.
+
+// Event is the completion of one scheduled stream operation, usable as a
+// dependency for operations on other streams (cudaStreamWaitEvent).
+type Event struct {
+	// At is the simulated completion time, relative to the pipeline origin.
+	At time.Duration
+}
+
+// Stream is one in-order simulated execution queue with its own clock.
+// Operations on the same stream serialize; operations on different streams
+// overlap unless ordered through Events.
+type Stream struct {
+	name  string
+	clock time.Duration
+}
+
+// NewStream creates an idle stream.
+func NewStream(name string) *Stream { return &Stream{name: name} }
+
+// Name returns the stream label.
+func (s *Stream) Name() string { return s.name }
+
+// Clock returns the completion time of the stream's last scheduled event.
+func (s *Stream) Clock() time.Duration { return s.clock }
+
+// Schedule appends an operation of duration d to the stream: it starts once
+// the stream is free AND every dependency event has completed, and its
+// completion is returned for downstream ordering.
+func (s *Stream) Schedule(d time.Duration, after ...Event) Event {
+	start := s.clock
+	for _, ev := range after {
+		if ev.At > start {
+			start = ev.At
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.clock = start + d
+	return Event{At: s.clock}
+}
+
+// Pipeline schedules the chunks of one streamed vector op across three
+// device streams — H2D copy, compute, D2H copy (the RTX 3090 exposes two
+// async copy engines, so input and output transfers overlap each other as
+// well as the kernel) — with a bounded number of staging buffers: chunk c's
+// upload cannot start until the kernel of chunk c-depth has released its
+// buffer (depth 2 = classic double buffering).
+//
+// A Pipeline is not safe for concurrent use; one streamed op drives it from
+// a single goroutine and calls Close when done.
+type Pipeline struct {
+	dev   *Device
+	depth int
+
+	h2d, kern, d2h *Stream
+	kernDone       []Event // kernel completions, indexed by chunk, for buffer recycling
+
+	seq    time.Duration // what the scheduled chunks would cost run back-to-back
+	chunks int64
+	mark   Stats // Begin() snapshot of the device counters
+	marked bool
+	closed bool
+}
+
+// NewPipeline opens a pipeline of `depth` staging buffers on the device.
+// Depths below 2 are raised to 2: one buffer would serialize every stage.
+func (d *Device) NewPipeline(depth int) *Pipeline {
+	if depth < 2 {
+		depth = 2
+	}
+	return &Pipeline{
+		dev:   d,
+		depth: depth,
+		h2d:   NewStream("h2d"),
+		kern:  NewStream("compute"),
+		d2h:   NewStream("d2h"),
+	}
+}
+
+// Depth returns the staging-buffer count.
+func (p *Pipeline) Depth() int { return p.depth }
+
+// Chunks returns how many chunks have been scheduled.
+func (p *Pipeline) Chunks() int64 { return p.chunks }
+
+// Span is the pipeline's critical path: the simulated time at which every
+// scheduled chunk has fully drained through all three streams.
+func (p *Pipeline) Span() time.Duration {
+	span := p.h2d.Clock()
+	if c := p.kern.Clock(); c > span {
+		span = c
+	}
+	if c := p.d2h.Clock(); c > span {
+		span = c
+	}
+	return span
+}
+
+// SeqTime is the sequential cost of the scheduled chunks: the sum of every
+// stage duration, i.e. what the same work costs without overlap.
+func (p *Pipeline) SeqTime() time.Duration { return p.seq }
+
+// Chunk schedules one H2D → kernel → D2H stage triple and returns the
+// chunk's incremental contribution to the pipeline's critical path (the
+// overlapped cost of this chunk given everything already in flight).
+func (p *Pipeline) Chunk(h2d, kernel, d2h time.Duration) time.Duration {
+	before := p.Span()
+	var deps []Event
+	if n := len(p.kernDone); n >= p.depth {
+		// The staging buffer this chunk uploads into is busy until the kernel
+		// `depth` chunks back has consumed it.
+		deps = append(deps, p.kernDone[n-p.depth])
+	}
+	up := p.h2d.Schedule(h2d, deps...)
+	k := p.kern.Schedule(kernel, up)
+	p.kernDone = append(p.kernDone, k)
+	p.d2h.Schedule(d2h, k)
+	p.seq += maxDur(h2d, 0) + maxDur(kernel, 0) + maxDur(d2h, 0)
+	p.chunks++
+	return p.Span() - before
+}
+
+// Begin snapshots the device counters ahead of one chunk's real execution
+// (copies + launches, including any retries or fallback the checked layer
+// performs). Pair with End.
+func (p *Pipeline) Begin() {
+	p.mark = p.dev.Stats()
+	p.marked = true
+}
+
+// End measures the device work since Begin, splits it into the three stream
+// stages, and schedules it as one pipeline chunk. It returns the chunk's
+// sequential cost (exactly what the device's Eq. 10 counters accrued) and
+// its overlapped incremental cost on the pipeline's critical path. Fault
+// time — watchdog windows, retry backoff, degraded host execution — occupies
+// the compute stream: a retried chunk keeps its kernel slot busy longer.
+func (p *Pipeline) End() (seq, overlapped time.Duration) {
+	if !p.marked {
+		return 0, 0
+	}
+	p.marked = false
+	now := p.dev.Stats()
+	transfer := now.SimTransferTime - p.mark.SimTransferTime
+	compute := (now.SimComputeTime - p.mark.SimComputeTime) + (now.SimFaultTime - p.mark.SimFaultTime)
+	bH := now.BytesHostToDev - p.mark.BytesHostToDev
+	bD := now.BytesDevToHost - p.mark.BytesDevToHost
+	// Split the measured transfer between the two copy engines by byte
+	// share; the remainder assignment keeps h2d+d2h exactly equal to the
+	// accrued transfer time, so overlapped totals stay consistent with the
+	// sequential counters.
+	var h2d time.Duration
+	if total := bH + bD; total > 0 {
+		h2d = time.Duration(int64(transfer) * bH / total)
+	}
+	d2h := transfer - h2d
+	seq = transfer + compute
+	overlapped = p.Chunk(h2d, compute, d2h)
+	return seq, overlapped
+}
+
+// Close charges the pipeline's measured overlap to the device counters:
+// SimStreamTime accrues the critical path, SimStreamSeqTime what the same
+// chunks cost sequentially. Closing an empty or already-closed pipeline is a
+// no-op.
+func (p *Pipeline) Close() {
+	if p.closed || p.chunks == 0 {
+		p.closed = true
+		return
+	}
+	p.closed = true
+	p.dev.mu.Lock()
+	defer p.dev.mu.Unlock()
+	p.dev.stats.SimStreamTime += p.Span()
+	p.dev.stats.SimStreamSeqTime += p.seq
+	p.dev.stats.StreamChunks += p.chunks
+	p.dev.stats.StreamOps++
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
