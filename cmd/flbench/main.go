@@ -18,7 +18,14 @@
 //	-batch n      SGD minibatch size                    (default 64)
 //	-seed n       PRNG seed for workloads, chaos, and fault injection (default 1)
 //	-chunk n      streamed-pipeline chunk size in plaintexts (default 0 = sequential)
+//	-trace file   write a Chrome trace-event JSON of the run's sim-time spans
+//	              (load in Perfetto / chrome://tracing)
+//	-metrics file write the metrics registry as text ("-" = stdout)
 //	-paper        use the paper's full-scale parameters (slow)
+//
+// Either observability flag turns tracing/metrics on; after every experiment
+// the harness reconciles the mirrored metric counters against the run's
+// CostSnapshot and fails on drift.
 package main
 
 import (
@@ -47,6 +54,8 @@ func run(args []string) error {
 	batch := fs.Int("batch", 0, "SGD minibatch size")
 	seed := fs.Uint64("seed", 1, "PRNG seed for workloads, chaos, and fault injection")
 	chunk := fs.Int("chunk", 0, "streamed-pipeline chunk size in plaintexts (0 = sequential)")
+	trace := fs.String("trace", "", "write Chrome trace-event JSON of sim-time spans to this file")
+	metrics := fs.String("metrics", "", "write the metrics registry as text to this file (\"-\" = stdout)")
 	paper := fs.Bool("paper", false, "use the paper's full-scale parameters")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +94,7 @@ func run(args []string) error {
 	// A positive -chunk streams every upload through the chunked
 	// encrypt→send pipeline; the aggregates stay bit-exact either way.
 	cfg.Chunk = *chunk
+	cfg.Observe = *trace != "" || *metrics != ""
 
 	exps := fs.Args()
 	if len(exps) == 0 {
@@ -131,6 +141,39 @@ func run(args []string) error {
 			err = fmt.Errorf("unknown experiment %q", e)
 		}
 		if err != nil {
+			return err
+		}
+		// Every experiment must leave the metrics mirror and the cost
+		// snapshot in exact agreement; drift is a bug, not noise.
+		if err := r.ReconcileObs(); err != nil {
+			return fmt.Errorf("after %s: %w", e, err)
+		}
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		if err := r.Obs().Recorder().WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d sim-time spans to %s\n", r.Obs().Recorder().Len(), *trace)
+	}
+	if *metrics != "" {
+		out := os.Stdout
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := r.Obs().Metrics().WriteText(out); err != nil {
 			return err
 		}
 	}

@@ -19,6 +19,9 @@
 //	              simulating a slow participant
 //	-chunk n      streamed-pipeline chunk size in plaintexts: clients encrypt
 //	              through the chunked double-buffered pipeline (0 = sequential)
+//	-trace file   write a Chrome trace-event JSON of the party's sim-time
+//	              spans on exit, plus a metrics text dump to stdout (demo
+//	              mode shares one trace across the in-process parties)
 //
 // All parties derive the same demo key pair from -seed; in production each
 // deployment would provision keys through its own PKI.
@@ -37,6 +40,7 @@ import (
 	"flbooster/internal/flnet"
 	"flbooster/internal/gpu"
 	"flbooster/internal/mpint"
+	"flbooster/internal/obs"
 	"flbooster/internal/paillier"
 )
 
@@ -68,55 +72,97 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "gather deadline (0 = wait forever)")
 	straggle := fs.Duration("straggle", 0, "delay this client's upload (demo: client 0)")
 	chunk := fs.Int("chunk", 0, "streamed-pipeline chunk size in plaintexts (0 = sequential)")
+	trace := fs.String("trace", "", "write Chrome trace-event JSON of sim-time spans to this file on exit")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 
+	var o *obs.Obs
+	if *trace != "" {
+		o = obs.New(*seed)
+	}
+
+	var err error
 	switch cmd {
 	case "hub":
-		hub, err := flnet.NewTCPHub(*addr, flnet.GigabitEthernet())
-		if err != nil {
-			return err
+		hub, herr := flnet.NewTCPHub(*addr, flnet.GigabitEthernet())
+		if herr != nil {
+			return herr
 		}
 		fmt.Println("hub listening on", hub.Addr())
 		select {} // route until killed
 
 	case "server":
-		return runServer(*addr, *clients, *keyBits, *seed, *quorum, *timeout)
+		err = runServer(*addr, *clients, *keyBits, *seed, *quorum, *timeout, o)
 
 	case "client":
-		vals, err := parseFloats(*values)
-		if err != nil {
+		var vals []float64
+		if vals, err = parseFloats(*values); err != nil {
 			return err
 		}
-		return runClient(*addr, *id, *clients, *keyBits, *chunk, *seed, vals, *straggle)
+		err = runClient(*addr, *id, *clients, *keyBits, *chunk, *seed, vals, *straggle, o)
 
 	case "demo":
-		return runDemo(*clients, *dim, *keyBits, *chunk, *seed, *quorum, *timeout, *straggle)
+		err = runDemo(*clients, *dim, *keyBits, *chunk, *seed, *quorum, *timeout, *straggle, o)
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+	if err != nil {
+		return err
+	}
+	return writeObs(o, *trace)
+}
+
+// writeObs dumps the bundle on exit: the span trace to path and the metrics
+// registry to stdout. No-op when tracing is off.
+func writeObs(o *obs.Obs, path string) error {
+	if o == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Recorder().WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d sim-time spans to %s\nmetrics:\n", o.Recorder().Len(), path)
+	return o.Metrics().WriteText(os.Stdout)
 }
 
 // demoContext builds the shared HE context all demo parties derive from the
 // seed. A positive chunk streams encryption through the chunked
-// double-buffered pipeline; the ciphertexts are bit-exact either way.
-func demoContext(keyBits, clients, chunk int, seed uint64) (*fl.Context, error) {
+// double-buffered pipeline; the ciphertexts are bit-exact either way. With
+// an observability bundle the context traces and meters under the party's
+// label (demo mode passes one bundle to every in-process party).
+func demoContext(keyBits, clients, chunk int, seed uint64, o *obs.Obs, label string) (*fl.Context, error) {
 	p := fl.NewProfile(fl.SystemFLBooster, keyBits, clients)
 	p.Seed = seed
 	p.Device = gpu.RTX3090()
 	p.Chunk = chunk
-	return fl.NewContext(p)
+	ctx, err := fl.NewContext(p)
+	if err != nil {
+		return nil, err
+	}
+	if o != nil {
+		ctx.AttachObs(o, label)
+	}
+	return ctx, nil
 }
 
-func runServer(addr string, clients, keyBits int, seed uint64, quorum int, timeout time.Duration) error {
+func runServer(addr string, clients, keyBits int, seed uint64, quorum int, timeout time.Duration, o *obs.Obs) error {
 	// The server only aggregates and decrypts whole batches, so it never
 	// needs the streamed path — chunk 0 regardless of the client flag.
-	ctx, err := demoContext(keyBits, clients, 0, seed)
+	ctx, err := demoContext(keyBits, clients, 0, seed, o, fl.ServerName)
 	if err != nil {
 		return err
 	}
+	defer ctx.PublishMetrics()
 	if quorum <= 0 || quorum > clients {
 		quorum = clients
 	}
@@ -205,12 +251,13 @@ func runServer(addr string, clients, keyBits int, seed uint64, quorum int, timeo
 	return nil
 }
 
-func runClient(addr string, id, clients, keyBits, chunk int, seed uint64, vals []float64, delay time.Duration) error {
-	ctx, err := demoContext(keyBits, clients, chunk, seed)
+func runClient(addr string, id, clients, keyBits, chunk int, seed uint64, vals []float64, delay time.Duration, o *obs.Obs) error {
+	name := fl.ClientName(id)
+	ctx, err := demoContext(keyBits, clients, chunk, seed, o, name)
 	if err != nil {
 		return err
 	}
-	name := fl.ClientName(id)
+	defer ctx.PublishMetrics()
 	conn, err := flnet.DialHub(addr, name)
 	if err != nil {
 		return err
@@ -274,7 +321,7 @@ func runClient(addr string, id, clients, keyBits, chunk int, seed uint64, vals [
 // runDemo runs hub, server, and clients in one process over loopback TCP.
 // With straggle > 0, client 0 delays its upload; combined with -quorum and
 // -timeout this demonstrates the round completing without it.
-func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout, straggle time.Duration) error {
+func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout, straggle time.Duration, o *obs.Obs) error {
 	hub, err := flnet.NewTCPHub("127.0.0.1:0", flnet.GigabitEthernet())
 	if err != nil {
 		return err
@@ -283,7 +330,7 @@ func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout,
 	fmt.Println("demo hub on", hub.Addr())
 
 	errs := make(chan error, clients+1)
-	go func() { errs <- runServer(hub.Addr(), clients, keyBits, seed, quorum, timeout) }()
+	go func() { errs <- runServer(hub.Addr(), clients, keyBits, seed, quorum, timeout, o) }()
 
 	rng := mpint.NewRNG(seed)
 	want := make([]float64, dim)
@@ -298,7 +345,7 @@ func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout,
 			delay = straggle
 		}
 		go func(id int, vals []float64, delay time.Duration) {
-			errs <- runClient(hub.Addr(), id, clients, keyBits, chunk, seed, vals, delay)
+			errs <- runClient(hub.Addr(), id, clients, keyBits, chunk, seed, vals, delay, o)
 		}(c, vals, delay)
 	}
 	for i := 0; i < clients+1; i++ {
@@ -309,6 +356,9 @@ func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout,
 	fmt.Printf("expected full-federation sums: %v\n", want)
 	bytes, msgs, _ := hub.Meter().Snapshot()
 	fmt.Printf("hub traffic: %d bytes across %d messages\n", bytes, msgs)
+	if o != nil {
+		hub.Meter().Publish(o.Metrics(), "net.hub")
+	}
 	return nil
 }
 

@@ -3,6 +3,8 @@ package main
 import (
 	"testing"
 	"time"
+
+	"flbooster/internal/obs"
 )
 
 func TestParseFloats(t *testing.T) {
@@ -26,9 +28,17 @@ func TestParseFloats(t *testing.T) {
 
 func TestDemoEndToEnd(t *testing.T) {
 	// Full hub + server + clients over loopback TCP with a small key, with
-	// clients encrypting through the streamed pipeline (chunk 2).
-	if err := runDemo(3, 4, 128, 2, 9, 0, 0, 0); err != nil {
+	// clients encrypting through the streamed pipeline (chunk 2), sharing
+	// one observability bundle across the in-process parties.
+	o := obs.New(9)
+	if err := runDemo(3, 4, 128, 2, 9, 0, 0, 0, o); err != nil {
 		t.Fatal(err)
+	}
+	if o.Recorder().Len() == 0 {
+		t.Fatal("demo with tracing recorded no spans")
+	}
+	if o.Metrics().Counter("net.hub.msgs") == 0 {
+		t.Fatal("demo published no hub traffic metrics")
 	}
 }
 
@@ -38,7 +48,7 @@ func TestDemoQuorumSurvivesStraggler(t *testing.T) {
 	// of stalling on the missing upload.
 	done := make(chan error, 1)
 	go func() {
-		done <- runDemo(4, 4, 128, 0, 9, 3, 250*time.Millisecond, 900*time.Millisecond)
+		done <- runDemo(4, 4, 128, 0, 9, 3, 250*time.Millisecond, 900*time.Millisecond, nil)
 	}()
 	select {
 	case err := <-done:
@@ -56,7 +66,7 @@ func TestDemoQuorumBelowThresholdFails(t *testing.T) {
 	// demo path only delays client 0, so demand a full quorum of 2.
 	done := make(chan error, 1)
 	go func() {
-		done <- runDemo(2, 2, 128, 0, 9, 2, time.Nanosecond, 500*time.Millisecond)
+		done <- runDemo(2, 2, 128, 0, 9, 2, time.Nanosecond, 500*time.Millisecond, nil)
 	}()
 	select {
 	case err := <-done:

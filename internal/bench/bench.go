@@ -20,6 +20,7 @@ import (
 	"flbooster/internal/fl"
 	"flbooster/internal/gpu"
 	"flbooster/internal/models"
+	"flbooster/internal/obs"
 )
 
 // Config controls experiment scale.
@@ -43,6 +44,11 @@ type Config struct {
 	// Chunk is the streamed-pipeline chunk size in plaintexts per upload
 	// chunk for every HE context (0 keeps the whole-batch sequential path).
 	Chunk int
+	// Observe attaches one observability bundle (sim-time span recorder +
+	// metrics registry, seeded from Seed) to every context the runner builds,
+	// so experiments emit traces and metrics reconcilable against their
+	// CostSnapshots.
+	Observe bool
 }
 
 // Quick returns a configuration sized for laptop runs: heavily scaled
@@ -103,6 +109,9 @@ type Runner struct {
 	cfg  Config
 	data map[string]*datasets.Dataset
 	ctxs map[ctxKey]*fl.Context
+
+	obs     *obs.Obs     // shared observability bundle (nil unless cfg.Observe)
+	obsCtxs []*fl.Context // every context attached to obs, for reconciliation
 }
 
 type ctxKey struct {
@@ -115,11 +124,42 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{
+	r := &Runner{
 		cfg:  cfg,
 		data: make(map[string]*datasets.Dataset),
 		ctxs: make(map[ctxKey]*fl.Context),
-	}, nil
+	}
+	if cfg.Observe {
+		r.obs = obs.New(cfg.Seed)
+	}
+	return r, nil
+}
+
+// Obs returns the runner's shared observability bundle (nil unless the
+// config enabled Observe).
+func (r *Runner) Obs() *obs.Obs { return r.obs }
+
+// attachObs wires a context into the shared bundle under a unique label and
+// registers it for reconciliation. No-op when observation is off.
+func (r *Runner) attachObs(ctx *fl.Context, label string) {
+	if r.obs == nil {
+		return
+	}
+	ctx.AttachObs(r.obs, label)
+	r.obsCtxs = append(r.obsCtxs, ctx)
+}
+
+// ReconcileObs publishes every attached context's layer metrics and asserts
+// the mirrored cost counters equal each context's CostSnapshot — the
+// invariant checked after every experiment. Nil when observation is off.
+func (r *Runner) ReconcileObs() error {
+	for _, ctx := range r.obsCtxs {
+		ctx.PublishMetrics()
+		if err := ctx.ReconcileObs(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // dataset returns the (cached) scaled dataset by spec name.
@@ -154,6 +194,7 @@ func (r *Runner) context(sys fl.System, keyBits int) (*fl.Context, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: context %s/%d: %w", sys, keyBits, err)
 	}
+	r.attachObs(ctx, fmt.Sprintf("%s-%d", sys, keyBits))
 	r.ctxs[k] = ctx
 	return ctx, nil
 }

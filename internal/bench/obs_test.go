@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"testing"
+)
+
+// TestPipelineTraceDeterministicAndReconciled: the pipeline experiment with
+// observation on must (a) leave the metrics mirror in exact agreement with
+// every context's CostSnapshot and (b) emit a byte-identical trace on a
+// same-seed rerun — spans carry only sim-time quantities, so two runs of
+// the same workload may not differ.
+func TestPipelineTraceDeterministicAndReconciled(t *testing.T) {
+	// Pipeline writes BENCH_pipeline.json into the cwd; run in a temp dir.
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	run := func() []byte {
+		cfg := microConfig()
+		cfg.Observe = true
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Pipeline(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ReconcileObs(); err != nil {
+			t.Fatalf("metrics/cost reconciliation: %v", err)
+		}
+		if r.Obs().Recorder().Len() == 0 {
+			t.Fatal("pipeline experiment recorded no spans")
+		}
+		var buf bytes.Buffer
+		if err := r.Obs().Recorder().WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed reruns produced different traces: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestRunnerWithoutObserveHasNoBundle: observation stays strictly opt-in.
+func TestRunnerWithoutObserveHasNoBundle(t *testing.T) {
+	r, err := NewRunner(microConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Obs() != nil {
+		t.Fatal("bundle attached without Observe")
+	}
+	if err := r.ReconcileObs(); err != nil {
+		t.Fatalf("unobserved reconcile: %v", err)
+	}
+}

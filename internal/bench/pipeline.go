@@ -92,6 +92,7 @@ func (r *Runner) Pipeline(w io.Writer) error {
 
 	// Whole-batch sequential baseline: one launch, no streaming.
 	seqDev := gpu.MustNew(devCfg, true)
+	seqDev.SetRecorder(r.obs.Recorder(), "sweep.whole.gpu")
 	seqEng, err := ghe.NewEngine(seqDev)
 	if err != nil {
 		return err
@@ -112,6 +113,7 @@ func (r *Runner) Pipeline(w io.Writer) error {
 	}
 	for _, chunk := range []int{64, 128, 256, 512, 1024} {
 		dev := gpu.MustNew(devCfg, true)
+		dev.SetRecorder(r.obs.Recorder(), fmt.Sprintf("sweep.chunk%d.gpu", chunk))
 		eng, err := ghe.NewEngine(dev)
 		if err != nil {
 			return err
@@ -179,6 +181,7 @@ func (r *Runner) pipelineRound(w io.Writer, keyBits int, devCfg gpu.Config) (pip
 	if err != nil {
 		return pipelineRound{}, err
 	}
+	r.attachObs(ctx, fmt.Sprintf("pipeline-round-%d", keyBits))
 	fed := fl.NewFederation(ctx)
 	defer fed.Close()
 

@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"flbooster/internal/batch"
@@ -9,6 +10,7 @@ import (
 	"flbooster/internal/ghe"
 	"flbooster/internal/gpu"
 	"flbooster/internal/mpint"
+	"flbooster/internal/obs"
 	"flbooster/internal/paillier"
 	"flbooster/internal/quant"
 )
@@ -28,7 +30,12 @@ type Context struct {
 	Checked *ghe.CheckedEngine // nil on CPU profiles; the resilient GPU-HE path
 	Link    flnet.Link
 	Costs   *Costs
-	seed    uint64
+	// Obs is the observability bundle (span recorder + metrics registry)
+	// attached via AttachObs or Profile.Observe; nil means tracing/metrics
+	// are off and every instrumentation call is a no-op.
+	Obs       *obs.Obs
+	obsPrefix string
+	seed      uint64
 }
 
 // NewContext builds a context from a profile, generating a fresh key pair
@@ -89,7 +96,107 @@ func NewContext(p Profile) (*Context, error) {
 		return nil, fmt.Errorf("fl: key generation: %w", err)
 	}
 	ctx.Key = key
+	if p.Observe {
+		ctx.AttachObs(obs.New(p.Seed), string(p.System))
+	}
 	return ctx, nil
+}
+
+// sanitizeLabel makes a label safe as a metric-name and trace-party segment.
+func sanitizeLabel(label string) string {
+	return strings.ReplaceAll(strings.TrimSpace(label), " ", "_")
+}
+
+// AttachObs wires the observability bundle into the context and its layers:
+// the cost accumulator mirrors counters into o's registry under
+// "fl.<label>", and the device (if any) records sim-time spans under the
+// party "<label>.gpu". A nil bundle detaches. Labels distinguish contexts
+// sharing one bundle; an empty label falls back to the profile's system.
+func (c *Context) AttachObs(o *obs.Obs, label string) {
+	if label == "" {
+		label = string(c.Profile.System)
+	}
+	label = sanitizeLabel(label)
+	c.Obs = o
+	c.obsPrefix = label
+	c.Costs.Observe(o.Metrics(), "fl."+label)
+	if c.Device != nil {
+		c.Device.SetRecorder(o.Recorder(), label+".gpu")
+	}
+}
+
+// ObsLabel returns the sanitized label AttachObs installed ("" when
+// unattached).
+func (c *Context) ObsLabel() string { return c.obsPrefix }
+
+// PublishMetrics pulls the current layer statistics — device, checked
+// engine — into the attached registry as absolute counters/gauges under
+// "gpu.<label>" and "ghe.<label>". No-op without an attached bundle.
+func (c *Context) PublishMetrics() {
+	if c.Obs == nil {
+		return
+	}
+	reg := c.Obs.Metrics()
+	if c.Device != nil {
+		c.Device.PublishMetrics(reg, "gpu."+c.obsPrefix)
+	}
+	if c.Checked != nil {
+		c.Checked.PublishMetrics(reg, "ghe."+c.obsPrefix)
+	}
+}
+
+// ReconcileObs asserts the metrics registry's mirrored cost counters equal
+// the CostSnapshot — the invariant that event-time metric publication and
+// the accumulator never drift. Call at a quiescent point (no round in
+// flight). Returns nil when unattached.
+func (c *Context) ReconcileObs() error {
+	if c.Obs == nil {
+		return nil
+	}
+	reg := c.Obs.Metrics()
+	s := c.Costs.Snapshot()
+	pre := "fl." + c.obsPrefix + "."
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"he_ops", s.HEOps},
+		{"instances", s.Instances},
+		{"he_sim_ns", int64(s.HESim)},
+		{"comm_msgs", s.CommMsgs},
+		{"comm_bytes", s.CommBytes},
+		{"comm_sim_ns", int64(s.CommSim)},
+		{"retry_msgs", s.RetryMsgs},
+		{"pipe_chunks", s.PipeChunks},
+		{"pipe_seq_ns", int64(s.PipeSeqSim)},
+		{"pipe_ns", int64(s.PipeSim)},
+		{"plainvals", s.Plainvals},
+		{"ciphertexts", s.Ciphertexts},
+	}
+	for _, ck := range checks {
+		if got := reg.Counter(pre + ck.name); got != ck.want {
+			return fmt.Errorf("fl: metrics/cost drift: %s%s = %d, snapshot says %d", pre, ck.name, got, ck.want)
+		}
+	}
+	return nil
+}
+
+// SimCost returns the context's sim cost clock: modelled HE plus wire time
+// accrued so far. Round phases are stamped on this clock, so spans from the
+// cost-model path line up with the device and pipeline spans.
+func (c *Context) SimCost() time.Duration {
+	s := c.Costs.Snapshot()
+	return s.HESim + s.CommSim
+}
+
+// metricAdd bumps one protocol counter under the context's "fl.<label>."
+// prefix; a no-op without an attached bundle. These counters sit outside
+// the cost-mirror set, so they survive Costs.Reset and are not reconciled.
+func (c *Context) metricAdd(name string, delta int64) {
+	if c.Obs == nil || delta == 0 {
+		return
+	}
+	c.Obs.Metrics().Add("fl."+c.obsPrefix+"."+name, delta)
 }
 
 // nextSeed derives a fresh nonce-stream seed per HE batch.

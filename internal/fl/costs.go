@@ -3,6 +3,8 @@ package fl
 import (
 	"sync"
 	"time"
+
+	"flbooster/internal/obs"
 )
 
 // CostSnapshot is the per-run cost anatomy the paper reports: HE-operation
@@ -50,10 +52,41 @@ type CostSnapshot struct {
 	Plainvals int64
 }
 
-// Costs is the concurrency-safe accumulator behind CostSnapshot.
+// Costs is the concurrency-safe accumulator behind CostSnapshot. When
+// Observe attaches a metrics registry, every Add also mirrors its counter
+// deltas into the registry at event time, so the registry view and the
+// snapshot can be reconciled after a run (Context.ReconcileObs).
 type Costs struct {
-	mu sync.Mutex
-	s  CostSnapshot
+	mu     sync.Mutex
+	s      CostSnapshot
+	reg    *obs.Registry
+	prefix string
+}
+
+// costMirrorNames are the registry counter names (relative to the prefix)
+// that mirror CostSnapshot; Reset zeroes exactly this set.
+var costMirrorNames = []string{
+	"he_ops", "instances", "he_sim_ns",
+	"comm_msgs", "comm_bytes", "comm_sim_ns", "retry_msgs",
+	"pipe_chunks", "pipe_seq_ns", "pipe_ns",
+	"plainvals", "ciphertexts",
+}
+
+// Observe mirrors future cost deltas into reg as counters named
+// <prefix>.<name>. A nil registry detaches.
+func (c *Costs) Observe(reg *obs.Registry, prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = reg
+	c.prefix = prefix
+}
+
+// mirror adds one counter delta under the attached prefix; callers hold c.mu.
+func (c *Costs) mirror(name string, delta int64) {
+	if c.reg == nil || delta == 0 {
+		return
+	}
+	c.reg.Add(c.prefix+"."+name, delta)
 }
 
 // AddHE accounts one HE batch.
@@ -64,6 +97,9 @@ func (c *Costs) AddHE(wall, sim time.Duration, ops, instances int64) {
 	c.s.HESim += sim
 	c.s.HEOps += ops
 	c.s.Instances += instances
+	c.mirror("he_sim_ns", int64(sim))
+	c.mirror("he_ops", ops)
+	c.mirror("instances", instances)
 }
 
 // AddComm accounts one transfer.
@@ -73,6 +109,9 @@ func (c *Costs) AddComm(sim time.Duration, bytes int64) {
 	c.s.CommSim += sim
 	c.s.CommBytes += bytes
 	c.s.CommMsgs++
+	c.mirror("comm_sim_ns", int64(sim))
+	c.mirror("comm_bytes", bytes)
+	c.mirror("comm_msgs", 1)
 }
 
 // AddRetry accounts one retransmission attempt: the wasted bytes and wire
@@ -85,6 +124,10 @@ func (c *Costs) AddRetry(sim time.Duration, bytes int64) {
 	c.s.CommBytes += bytes
 	c.s.CommMsgs++
 	c.s.RetryMsgs++
+	c.mirror("comm_sim_ns", int64(sim))
+	c.mirror("comm_bytes", bytes)
+	c.mirror("comm_msgs", 1)
+	c.mirror("retry_msgs", 1)
 }
 
 // AddPipeline accounts one streamed upload: seq is the sequential sum of
@@ -95,6 +138,9 @@ func (c *Costs) AddPipeline(seq, overlapped time.Duration, chunks int64) {
 	c.s.PipeSeqSim += seq
 	c.s.PipeSim += overlapped
 	c.s.PipeChunks += chunks
+	c.mirror("pipe_seq_ns", int64(seq))
+	c.mirror("pipe_ns", int64(overlapped))
+	c.mirror("pipe_chunks", chunks)
 }
 
 // AddOther accounts model-computation time.
@@ -110,6 +156,8 @@ func (c *Costs) AddCompression(plainvals, ciphertexts int64) {
 	defer c.mu.Unlock()
 	c.s.Plainvals += plainvals
 	c.s.Ciphertexts += ciphertexts
+	c.mirror("plainvals", plainvals)
+	c.mirror("ciphertexts", ciphertexts)
 }
 
 // Snapshot returns a copy safe to read.
@@ -119,11 +167,17 @@ func (c *Costs) Snapshot() CostSnapshot {
 	return c.s
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter, including the mirrored registry counters so
+// the reconciliation invariant survives a reset.
 func (c *Costs) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.s = CostSnapshot{}
+	if c.reg != nil {
+		for _, name := range costMirrorNames {
+			c.reg.Set(c.prefix+"."+name, 0)
+		}
+	}
 }
 
 // TotalSim is the modelled end-to-end time: device-scale HE + wire time +

@@ -8,6 +8,7 @@ import (
 	"flbooster/internal/flnet"
 	"flbooster/internal/gpu"
 	"flbooster/internal/mpint"
+	"flbooster/internal/obs"
 	"flbooster/internal/paillier"
 )
 
@@ -89,10 +90,32 @@ func (f *Federation) SecureAggregateReport(grads [][]float64) ([]float64, RoundR
 	st := newRoundState(f, policy, count)
 	result, err := st.run(grads)
 	f.lastReport = st.report()
+	f.observeRound(f.lastReport, err)
 	if err != nil {
 		return nil, f.lastReport, err
 	}
 	return result, f.lastReport, nil
+}
+
+// observeRound publishes one completed round's protocol counters into the
+// context's metrics registry and refreshes the transport meter. No-op
+// without an attached observability bundle.
+func (f *Federation) observeRound(rep RoundReport, err error) {
+	c := f.Ctx
+	if c.Obs == nil {
+		return
+	}
+	c.metricAdd("rounds", 1)
+	if err != nil {
+		c.metricAdd("round_failures", 1)
+	}
+	c.metricAdd("round_drops", int64(len(rep.Dropped)))
+	c.metricAdd("round_stale", int64(rep.Stale))
+	c.metricAdd("round_dups", int64(rep.Duplicates))
+	c.Obs.Metrics().SetGauge("fl."+c.obsPrefix+".round_scale", rep.Scale)
+	if mt, ok := f.Transport.(interface{ Meter() *flnet.Meter }); ok {
+		mt.Meter().Publish(c.Obs.Metrics(), "net."+c.obsPrefix)
+	}
 }
 
 // Close releases the transport.
@@ -211,20 +234,53 @@ func (st *roundState) phaseDeadline() time.Time {
 }
 
 func (st *roundState) run(grads [][]float64) ([]float64, error) {
-	if err := st.upload(grads); err != nil {
+	if err := st.phaseSpan("upload", func() error { return st.upload(grads) }); err != nil {
 		return nil, err
 	}
-	if err := st.gather(); err != nil {
+	if err := st.phaseSpan("gather", st.gather); err != nil {
 		return nil, err
 	}
-	agg, err := st.aggregate()
-	if err != nil {
+	var agg []paillier.Ciphertext
+	if err := st.phaseSpan("aggregate", func() error {
+		var err error
+		agg, err = st.aggregate()
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	if err := st.broadcast(agg); err != nil {
+	if err := st.phaseSpan("broadcast", func() error { return st.broadcast(agg) }); err != nil {
 		return nil, err
 	}
-	return st.decrypt()
+	var result []float64
+	if err := st.phaseSpan("decrypt", func() error {
+		var err error
+		result, err = st.decrypt()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// phaseSpan runs one protocol phase and records it as a span on the
+// context's sim cost clock, so every round leaves a phase-by-phase trace.
+// Without a recorder the phase runs bare.
+func (st *roundState) phaseSpan(phase string, fn func() error) error {
+	ctx := st.f.Ctx
+	rec := ctx.Obs.Recorder()
+	if rec == nil {
+		return fn()
+	}
+	start := ctx.SimCost()
+	err := fn()
+	rec.Record(obs.Span{
+		Phase: fmt.Sprintf("round%d.%s", st.id, phase),
+		Party: ctx.obsPrefix + ".fl",
+		Lane:  "fl.round",
+		Start: start,
+		Dur:   ctx.SimCost() - start,
+	})
+	return err
 }
 
 // upload: every client encrypts and sends to the server. A send that still
@@ -306,6 +362,8 @@ func (st *roundState) uploadClientChunked(i int, grads []float64) error {
 
 	enc := gpu.NewStream("encrypt")
 	wire := gpu.NewStream("send")
+	rec := ctx.Obs.Recorder()
+	origin := ctx.SimCost() // anchor stream-relative chunk spans on the cost clock
 	var seqSim time.Duration
 	var chunks int64
 	var sendErr error
@@ -324,7 +382,15 @@ func (st *roundState) uploadClientChunked(i int, grads []float64) error {
 			continue
 		}
 		comm := ctx.Link.TransferTime(msg.WireSize())
-		wire.Schedule(comm, ev) // the chunk hits the wire once it is encrypted
+		sent := wire.Schedule(comm, ev) // the chunk hits the wire once it is encrypted
+		if rec != nil {
+			phase := fmt.Sprintf("round%d.chunk%d", st.id, chk.index)
+			party := ctx.obsPrefix + "." + name
+			rec.Record(obs.Span{Phase: phase, Party: party, Lane: "fl.encrypt",
+				Start: origin + ev.At - chk.heSim, Dur: chk.heSim})
+			rec.Record(obs.Span{Phase: phase, Party: party, Lane: "fl.send",
+				Start: origin + sent.At - comm, Dur: comm})
+		}
 		seqSim += chk.heSim + comm
 		chunks++
 		ctx.RecordTransfer(msg.WireSize())
@@ -439,6 +505,7 @@ func (st *roundState) acceptChunk(msg flnet.Message) error {
 		}
 		st.batches[msg.From] = all
 		delete(st.pending, msg.From)
+		st.f.Ctx.metricAdd("chunks_reassembled", int64(p.total))
 	}
 	return nil
 }

@@ -73,6 +73,11 @@ type Profile struct {
 	// CPU fallback). The zero value injects nothing and checks with
 	// defaults. Ignored on CPU profiles.
 	Faults FaultPolicy
+	// Observe attaches a sim-time span recorder and metrics registry to the
+	// context at construction (seeded from Seed), so rounds emit traces and
+	// the cost counters mirror into metrics. Off by default: the nil
+	// recorder/registry path is zero-cost.
+	Observe bool
 }
 
 // FaultPolicy is the device-side counterpart of RoundPolicy: what faults to

@@ -19,7 +19,10 @@ func EncodeChunk(index, total uint32, body []byte) []byte {
 }
 
 // DecodeChunk parses a frame built by EncodeChunk. The header is untrusted:
-// an index at or beyond total, or a zero total, is corrupt.
+// an index at or beyond total, or a zero total, is corrupt. The returned
+// body is a copy: chunks await reassembly long after the call returns, and
+// a transport that recycles its receive buffers must not be able to corrupt
+// them in place.
 func DecodeChunk(b []byte) (index, total uint32, body []byte, err error) {
 	if len(b) < 8 {
 		return 0, 0, nil, fmt.Errorf("flnet: chunk truncated header (%d bytes)", len(b))
@@ -32,5 +35,5 @@ func DecodeChunk(b []byte) (index, total uint32, body []byte, err error) {
 	if index >= total {
 		return 0, 0, nil, fmt.Errorf("flnet: chunk index %d out of range (total %d)", index, total)
 	}
-	return index, total, b[8:], nil
+	return index, total, append([]byte(nil), b[8:]...), nil
 }

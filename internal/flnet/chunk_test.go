@@ -33,3 +33,21 @@ func TestChunkRejectsCorruptHeaders(t *testing.T) {
 		}
 	}
 }
+
+// TestDecodeChunkCopiesBody: a transport that recycles its receive buffer
+// must not be able to corrupt an already-decoded chunk body awaiting
+// reassembly. Fails on the aliasing DecodeChunk that returned b[8:].
+func TestDecodeChunkCopiesBody(t *testing.T) {
+	frame := EncodeChunk(1, 3, []byte{10, 20, 30, 40})
+	_, _, body, err := DecodeChunk(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), body...)
+	for i := range frame {
+		frame[i] = 0xAA // the transport reuses its buffer for the next frame
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("decoded body aliases the inbound frame: %v, want %v", body, want)
+	}
+}

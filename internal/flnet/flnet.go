@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"flbooster/internal/mpint"
+	"flbooster/internal/obs"
 )
 
 // ErrTimeout is returned (wrapped) by RecvTimeout when the deadline expires
@@ -99,6 +100,15 @@ func (m *Meter) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.txBytes, m.messages, m.simTime = 0, 0, 0
+}
+
+// Publish sets the meter's totals as absolute counters in reg under prefix
+// (e.g. "net.tcp" → net.tcp.bytes / net.tcp.msgs / net.tcp.sim_ns).
+func (m *Meter) Publish(reg *obs.Registry, prefix string) {
+	bytes, msgs, sim := m.Snapshot()
+	reg.Set(prefix+".bytes", bytes)
+	reg.Set(prefix+".msgs", msgs)
+	reg.Set(prefix+".sim_ns", int64(sim))
 }
 
 // Message is one party-to-party transfer.

@@ -2,6 +2,7 @@ package flnet
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -25,6 +26,9 @@ type RetryPolicy struct {
 
 // delay returns the backoff before retry `attempt` (0-based), scaled by a
 // jitter factor in [0.5, 1.5) that decorrelates simultaneous retriers.
+// Every arithmetic step saturates instead of wrapping: a large Backoff with
+// MaxBackoff unset must clamp to a huge positive delay, never overflow into
+// a negative one.
 func (p RetryPolicy) delay(attempt int, jitter float64) time.Duration {
 	if p.Backoff <= 0 {
 		return 0
@@ -36,11 +40,18 @@ func (p RetryPolicy) delay(attempt int, jitter float64) time.Duration {
 	limit := p.MaxBackoff
 	if limit <= 0 {
 		limit = 32 * p.Backoff
+		if limit/32 != p.Backoff { // 32×Backoff wrapped: saturate the default cap
+			limit = math.MaxInt64
+		}
 	}
 	if d > limit || d <= 0 {
 		d = limit
 	}
-	return time.Duration(float64(d) * (0.5 + jitter))
+	scaled := float64(d) * (0.5 + jitter)
+	if scaled >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	return time.Duration(scaled)
 }
 
 // RetryTransport wraps a Transport and re-attempts failed sends with capped

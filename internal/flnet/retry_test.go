@@ -2,6 +2,7 @@ package flnet
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -98,5 +99,33 @@ func TestRetryTransportPassesThroughRecv(t *testing.T) {
 	}
 	if err := rt.Close(); err == nil {
 		t.Fatal("double close should propagate")
+	}
+}
+
+// TestRetryPolicyDelayNeverNegative: a huge Backoff with MaxBackoff unset
+// used to wrap 32×Backoff negative and hand time.Sleep a negative delay
+// (an instant retry storm). Every (attempt, jitter) combination must now
+// saturate to a non-negative delay.
+func TestRetryPolicyDelayNeverNegative(t *testing.T) {
+	huge := []time.Duration{
+		math.MaxInt64 / 4,
+		math.MaxInt64/32 + 1, // the exact wrap point of the default cap
+		math.MaxInt64,
+	}
+	for _, backoff := range huge {
+		p := RetryPolicy{MaxRetries: 5, Backoff: backoff}
+		for attempt := 0; attempt <= 35; attempt++ {
+			for _, jitter := range []float64{0, 0.25, 0.5, 0.999999} {
+				if d := p.delay(attempt, jitter); d < 0 {
+					t.Fatalf("backoff=%d attempt=%d jitter=%v: negative delay %v",
+						backoff, attempt, jitter, d)
+				}
+			}
+		}
+	}
+	// An explicit MaxBackoff keeps its capping role.
+	p := RetryPolicy{MaxRetries: 5, Backoff: math.MaxInt64 / 4, MaxBackoff: time.Second}
+	if d := p.delay(10, 0.999999); d < 0 || d > 2*time.Second {
+		t.Fatalf("capped delay %v outside [0, 2s]", d)
 	}
 }

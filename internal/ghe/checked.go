@@ -8,6 +8,7 @@ import (
 
 	"flbooster/internal/gpu"
 	"flbooster/internal/mpint"
+	"flbooster/internal/obs"
 )
 
 // verifyPrime is the host-side verification modulus: device results are
@@ -127,6 +128,25 @@ func (c *CheckedEngine) Stats() CheckedStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// PublishMetrics snapshots the checked-layer counters into a metrics
+// registry under the given prefix (DESIGN.md §9).
+func (c *CheckedEngine) PublishMetrics(reg *obs.Registry, prefix string) {
+	s := c.Stats()
+	reg.Set(prefix+".ops", s.Ops)
+	reg.Set(prefix+".launch_faults", s.LaunchFaults)
+	reg.Set(prefix+".retries", s.Retries)
+	reg.Set(prefix+".verify_samples", s.VerifySamples)
+	reg.Set(prefix+".verify_failures", s.VerifyFailures)
+	reg.Set(prefix+".fallback_ops", s.FallbackOps)
+	reg.Set(prefix+".fallback_wall_ns", int64(s.FallbackWall))
+	reg.Set(prefix+".backoff_sim_ns", int64(s.BackoffSim))
+	fell := 0.0
+	if s.FellBack {
+		fell = 1
+	}
+	reg.SetGauge(prefix+".fell_back", fell)
 }
 
 // execute runs one vector op of n result elements under the checked

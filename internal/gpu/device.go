@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"flbooster/internal/obs"
 )
 
 // Device is a simulated GPU. Kernel bodies run for real on a host goroutine
@@ -23,6 +25,9 @@ type Device struct {
 	injector  *FaultInjector
 	healthPol HealthPolicy
 	launchSeq int64 // 1-based launch ordinal, attempted launches included
+
+	rec      *obs.Recorder // nil when tracing is off: every record is one nil check
+	recParty string        // trace process the device's spans belong to
 }
 
 // Stats aggregates device activity.
@@ -139,6 +144,72 @@ func (d *Device) ResetStats() {
 	d.stats = Stats{Health: health, ConsecutiveFailures: consec}
 }
 
+// SetRecorder attaches (or, with nil, detaches) a span recorder. Every
+// kernel launch, PCIe copy, and fault-time charge then lands as a sim-time
+// span under the given trace party.
+func (d *Device) SetRecorder(rec *obs.Recorder, party string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rec = rec
+	d.recParty = party
+}
+
+// obsRecorder returns the attached recorder and party label.
+func (d *Device) obsRecorder() (*obs.Recorder, string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rec, d.recParty
+}
+
+// recordLocked emits one span on the device's sim timeline. Callers hold
+// d.mu; zero-duration spans are skipped to keep traces readable.
+func (d *Device) recordLocked(phase, lane string, start, dur time.Duration) {
+	if d.rec == nil || dur <= 0 {
+		return
+	}
+	d.rec.Record(obs.Span{Phase: phase, Party: d.recParty, Lane: lane, Start: start, Dur: dur})
+}
+
+// PublishMetrics snapshots the device counters into a metrics registry
+// under the given prefix — launches, bytes, fault/watchdog events, stream
+// clocks, the DESIGN.md §9 pull-publishing contract.
+func (d *Device) PublishMetrics(reg *obs.Registry, prefix string) {
+	s := d.Stats()
+	reg.Set(prefix+".launches", s.KernelLaunches)
+	reg.Set(prefix+".threads", s.ThreadsExecuted)
+	reg.Set(prefix+".warps", s.WarpsExecuted)
+	reg.Set(prefix+".bytes_h2d", s.BytesHostToDev)
+	reg.Set(prefix+".bytes_d2h", s.BytesDevToHost)
+	reg.Set(prefix+".sim_transfer_ns", int64(s.SimTransferTime))
+	reg.Set(prefix+".sim_compute_ns", int64(s.SimComputeTime))
+	reg.Set(prefix+".sim_fault_ns", int64(s.SimFaultTime))
+	reg.Set(prefix+".stream_chunks", s.StreamChunks)
+	reg.Set(prefix+".stream_ops", s.StreamOps)
+	reg.Set(prefix+".sim_stream_ns", int64(s.SimStreamTime))
+	reg.Set(prefix+".sim_stream_seq_ns", int64(s.SimStreamSeqTime))
+	reg.Set(prefix+".launch_failures", s.LaunchFailures)
+	reg.Set(prefix+".watchdog_trips", s.WatchdogTrips)
+	reg.Set(prefix+".fault_aborts", s.FaultAborts)
+	reg.Set(prefix+".fault_corruptions", s.FaultCorruptions)
+	reg.Set(prefix+".fault_stalls", s.FaultStalls)
+	reg.Set(prefix+".fault_ooms", s.FaultOOMs)
+	reg.SetGauge(prefix+".avg_utilization", s.AvgUtilization())
+	reg.SetGauge(prefix+".health", healthRank(s.Health))
+}
+
+// healthRank maps the health machine to a numeric gauge: 0 healthy,
+// 1 degraded, 2 failed.
+func healthRank(h HealthState) float64 {
+	switch h {
+	case DeviceDegraded:
+		return 1
+	case DeviceFailed:
+		return 2
+	default:
+		return 0
+	}
+}
+
 // SetFaultInjector attaches (or, with nil, detaches) a fault injector.
 func (d *Device) SetFaultInjector(fi *FaultInjector) {
 	d.mu.Lock()
@@ -185,6 +256,7 @@ func (d *Device) ChargeFaultTime(dur time.Duration) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.recordLocked("fault", "gpu.fault", d.stats.SimTime(), dur)
 	d.stats.SimFaultTime += dur
 }
 
@@ -227,16 +299,20 @@ func (d *Device) recordSuccessLocked() {
 func (d *Device) CopyToDevice(n int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	dur := d.transferTime(n)
+	d.recordLocked("h2d_copy", "gpu.h2d", d.stats.SimTime(), dur)
 	d.stats.BytesHostToDev += n
-	d.stats.SimTransferTime += d.transferTime(n)
+	d.stats.SimTransferTime += dur
 }
 
 // CopyFromDevice accounts a device→host transfer of n bytes.
 func (d *Device) CopyFromDevice(n int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	dur := d.transferTime(n)
+	d.recordLocked("d2h_copy", "gpu.d2h", d.stats.SimTime(), dur)
 	d.stats.BytesDevToHost += n
-	d.stats.SimTransferTime += d.transferTime(n)
+	d.stats.SimTransferTime += dur
 }
 
 func (d *Device) transferTime(n int64) time.Duration {
@@ -361,6 +437,7 @@ func (d *Device) Launch(k Kernel, fn func(item int)) (float64, error) {
 				d.mu.Lock()
 				d.stats.WatchdogTrips++
 				// The watchdog window is real device time lost to the hang.
+				d.recordLocked(k.Name+".watchdog", "gpu.fault", d.stats.SimTime(), deadline)
 				d.stats.SimFaultTime += deadline
 				d.recordFailureLocked(FaultStall)
 				d.mu.Unlock()
@@ -392,7 +469,9 @@ func (d *Device) Launch(k Kernel, fn func(item int)) (float64, error) {
 	if k.WordOps > 0 && occ > 0 {
 		throughput := d.cfg.WordOpsPerSec * float64(d.cfg.SMs) * occ
 		sec := float64(k.WordOps) * float64(k.Items) / throughput * execFactor
-		d.stats.SimComputeTime += time.Duration(sec * float64(time.Second))
+		dur := time.Duration(sec * float64(time.Second))
+		d.recordLocked(k.Name, "gpu.kernel", d.stats.SimTime(), dur)
+		d.stats.SimComputeTime += dur
 	}
 	return occ, nil
 }

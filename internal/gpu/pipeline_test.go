@@ -180,3 +180,67 @@ func TestPipelineEndWithoutBegin(t *testing.T) {
 		t.Fatalf("empty pipeline counted as a stream op")
 	}
 }
+
+// TestPipelineEndSplitsLatencyOnlyTransfer: copies that move zero bytes
+// still cost the fixed transfer latency. End used to split transfer time by
+// byte share and silently dump the whole thing on D2H when no bytes moved;
+// it must charge the two copy engines evenly instead.
+func TestPipelineEndSplitsLatencyOnlyTransfer(t *testing.T) {
+	dev := MustNew(SmallTestDevice(), true)
+	p := dev.NewPipeline(2)
+	before := dev.Stats()
+	p.Begin()
+	dev.CopyToDevice(0) // latency-only staging copies
+	dev.CopyFromDevice(0)
+	seq, _ := p.End()
+	transfer := dev.Stats().SimTransferTime - before.SimTransferTime
+	if transfer <= 0 {
+		t.Fatal("latency-only copies accrued no transfer time")
+	}
+	if seq != transfer {
+		t.Fatalf("seq %v, want the accrued transfer %v", seq, transfer)
+	}
+	h2d, _, d2h := p.StreamClocks()
+	// The kernel stage is empty, so the D2H stage starts when H2D finishes:
+	// h2d clock = the H2D half, d2h clock = the full transfer. Under the
+	// old split h2d was 0 and the whole transfer landed on D2H.
+	if h2d != transfer/2 {
+		t.Fatalf("h2d engine charged %v, want half the transfer (%v)", h2d, transfer/2)
+	}
+	if d2h != transfer {
+		t.Fatalf("d2h clock %v, want %v (H2D half + D2H half)", d2h, transfer)
+	}
+	p.Close()
+}
+
+// TestPipelineRefusesSchedulingAfterClose: Close charges the pipeline's
+// span to the device, so later Begin/Chunk/End calls must not mutate the
+// already-charged stream clocks — they are refused and counted as misuses.
+func TestPipelineRefusesSchedulingAfterClose(t *testing.T) {
+	dev := MustNew(SmallTestDevice(), true)
+	p := dev.NewPipeline(2)
+	p.Chunk(time.Millisecond, 2*time.Millisecond, time.Millisecond)
+	p.Close()
+	span, seq, chunks := p.Span(), p.SeqTime(), p.Chunks()
+	devStream, devChunks := dev.Stats().SimStreamTime, dev.Stats().StreamChunks
+
+	if ov := p.Chunk(time.Second, time.Second, time.Second); ov != 0 {
+		t.Fatalf("post-Close Chunk returned %v, want 0", ov)
+	}
+	p.Begin()
+	dev.CopyToDevice(1 << 10)
+	if s, ov := p.End(); s != 0 || ov != 0 {
+		t.Fatalf("post-Close Begin/End measured (%v, %v), want zeros", s, ov)
+	}
+	if p.Span() != span || p.SeqTime() != seq || p.Chunks() != chunks {
+		t.Fatalf("post-Close scheduling mutated charged clocks: span %v→%v seq %v→%v chunks %d→%d",
+			span, p.Span(), seq, p.SeqTime(), chunks, p.Chunks())
+	}
+	if st := dev.Stats(); st.SimStreamTime != devStream || st.StreamChunks != devChunks {
+		t.Fatalf("device stream accounting changed after Close: %v/%d → %v/%d",
+			devStream, devChunks, st.SimStreamTime, st.StreamChunks)
+	}
+	if p.Misuses() != 3 {
+		t.Fatalf("Misuses = %d, want 3 (Chunk, Begin, End)", p.Misuses())
+	}
+}

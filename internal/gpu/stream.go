@@ -1,6 +1,11 @@
 package gpu
 
-import "time"
+import (
+	"fmt"
+	"time"
+
+	"flbooster/internal/obs"
+)
 
 // Simulated CUDA streams (§V-B / Fig. 4): the device executes H2D copies,
 // kernels, and D2H copies on independent in-order queues, so the PCIe
@@ -68,11 +73,16 @@ type Pipeline struct {
 	h2d, kern, d2h *Stream
 	kernDone       []Event // kernel completions, indexed by chunk, for buffer recycling
 
-	seq    time.Duration // what the scheduled chunks would cost run back-to-back
-	chunks int64
-	mark   Stats // Begin() snapshot of the device counters
-	marked bool
-	closed bool
+	seq     time.Duration // what the scheduled chunks would cost run back-to-back
+	chunks  int64
+	mark    Stats // Begin() snapshot of the device counters
+	marked  bool
+	closed  bool
+	misuses int64 // Begin/Chunk/End calls after Close, all refused
+
+	rec      *obs.Recorder // device recorder at open time (nil = tracing off)
+	recParty string
+	origin   time.Duration // device sim clock when the pipeline opened
 }
 
 // NewPipeline opens a pipeline of `depth` staging buffers on the device.
@@ -81,12 +91,16 @@ func (d *Device) NewPipeline(depth int) *Pipeline {
 	if depth < 2 {
 		depth = 2
 	}
+	rec, party := d.obsRecorder()
 	return &Pipeline{
-		dev:   d,
-		depth: depth,
-		h2d:   NewStream("h2d"),
-		kern:  NewStream("compute"),
-		d2h:   NewStream("d2h"),
+		dev:      d,
+		depth:    depth,
+		h2d:      NewStream("h2d"),
+		kern:     NewStream("compute"),
+		d2h:      NewStream("d2h"),
+		rec:      rec,
+		recParty: party,
+		origin:   d.Stats().SimTime(),
 	}
 }
 
@@ -113,10 +127,27 @@ func (p *Pipeline) Span() time.Duration {
 // stage duration, i.e. what the same work costs without overlap.
 func (p *Pipeline) SeqTime() time.Duration { return p.seq }
 
+// Misuses counts scheduling calls (Begin/Chunk/End) made after Close.
+// Post-Close scheduling is refused: the pipeline's span was already charged
+// to the device, so mutating the stream clocks afterwards would corrupt the
+// accounting. Each refusal is counted here instead.
+func (p *Pipeline) Misuses() int64 { return p.misuses }
+
+// StreamClocks returns the three per-stream completion clocks — the
+// observability view the trace and metrics layers read.
+func (p *Pipeline) StreamClocks() (h2d, compute, d2h time.Duration) {
+	return p.h2d.Clock(), p.kern.Clock(), p.d2h.Clock()
+}
+
 // Chunk schedules one H2D → kernel → D2H stage triple and returns the
 // chunk's incremental contribution to the pipeline's critical path (the
 // overlapped cost of this chunk given everything already in flight).
+// Scheduling on a closed pipeline is refused (see Misuses).
 func (p *Pipeline) Chunk(h2d, kernel, d2h time.Duration) time.Duration {
+	if p.closed {
+		p.misuses++
+		return 0
+	}
 	before := p.Span()
 	var deps []Event
 	if n := len(p.kernDone); n >= p.depth {
@@ -127,16 +158,40 @@ func (p *Pipeline) Chunk(h2d, kernel, d2h time.Duration) time.Duration {
 	up := p.h2d.Schedule(h2d, deps...)
 	k := p.kern.Schedule(kernel, up)
 	p.kernDone = append(p.kernDone, k)
-	p.d2h.Schedule(d2h, k)
-	p.seq += maxDur(h2d, 0) + maxDur(kernel, 0) + maxDur(d2h, 0)
+	dn := p.d2h.Schedule(d2h, k)
+	h2d, kernel, d2h = maxDur(h2d, 0), maxDur(kernel, 0), maxDur(d2h, 0)
+	if p.rec != nil {
+		chunk := fmt.Sprintf("chunk%d", p.chunks)
+		p.recordStage(chunk, "pipe.h2d", up.At, h2d)
+		p.recordStage(chunk, "pipe.compute", k.At, kernel)
+		p.recordStage(chunk, "pipe.d2h", dn.At, d2h)
+	}
+	p.seq += h2d + kernel + d2h
 	p.chunks++
 	return p.Span() - before
 }
 
+// recordStage emits one scheduled stage as a span on the device timeline:
+// `end` is the stage's stream completion, `dur` its clamped duration.
+func (p *Pipeline) recordStage(chunk, lane string, end, dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	p.rec.Record(obs.Span{
+		Phase: chunk, Party: p.recParty, Lane: lane,
+		Start: p.origin + end - dur, Dur: dur,
+	})
+}
+
 // Begin snapshots the device counters ahead of one chunk's real execution
 // (copies + launches, including any retries or fallback the checked layer
-// performs). Pair with End.
+// performs). Pair with End. Begin on a closed pipeline is refused (see
+// Misuses).
 func (p *Pipeline) Begin() {
+	if p.closed {
+		p.misuses++
+		return
+	}
 	p.mark = p.dev.Stats()
 	p.marked = true
 }
@@ -148,6 +203,10 @@ func (p *Pipeline) Begin() {
 // time — watchdog windows, retry backoff, degraded host execution — occupies
 // the compute stream: a retried chunk keeps its kernel slot busy longer.
 func (p *Pipeline) End() (seq, overlapped time.Duration) {
+	if p.closed {
+		p.misuses++
+		return 0, 0
+	}
 	if !p.marked {
 		return 0, 0
 	}
@@ -160,10 +219,14 @@ func (p *Pipeline) End() (seq, overlapped time.Duration) {
 	// Split the measured transfer between the two copy engines by byte
 	// share; the remainder assignment keeps h2d+d2h exactly equal to the
 	// accrued transfer time, so overlapped totals stay consistent with the
-	// sequential counters.
+	// sequential counters. With no bytes moved (pure-latency copies, e.g.
+	// zero-length staging), there is no byte share to split by: charge the
+	// engines evenly instead of silently serializing it all onto D2H.
 	var h2d time.Duration
 	if total := bH + bD; total > 0 {
 		h2d = time.Duration(int64(transfer) * bH / total)
+	} else if transfer > 0 {
+		h2d = transfer / 2
 	}
 	d2h := transfer - h2d
 	seq = transfer + compute

@@ -1,0 +1,50 @@
+// Package obs is the observability layer: a seeded, sim-time span recorder
+// whose export loads in Perfetto/chrome://tracing, and a metrics registry
+// (counters and gauges) that the gpu, ghe, flnet, and fl layers publish
+// into. Everything is nil-safe — a nil *Obs, *Recorder, or *Registry makes
+// every method a no-op — so instrumented hot paths cost one pointer check
+// when observability is disabled.
+//
+// Spans carry *simulated* time only (the device cost model, the link model,
+// the stream schedules), never host wall time, so two same-seed runs of a
+// GPU-profile experiment produce byte-identical trace exports. The metrics
+// registry doubles as the reconciliation substrate: the fl cost accumulator
+// mirrors every counter it aggregates, and fl.Context.ReconcileObs asserts
+// the mirror equals the CostSnapshot after a run (DESIGN.md §9).
+package obs
+
+// Obs bundles one run's span recorder and metrics registry.
+type Obs struct {
+	rec *Recorder
+	reg *Registry
+}
+
+// New creates an observability bundle seeded for trace metadata.
+func New(seed uint64) *Obs {
+	return &Obs{rec: NewRecorder(seed), reg: NewRegistry()}
+}
+
+// Recorder returns the span recorder; nil when o is nil.
+func (o *Obs) Recorder() *Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.rec
+}
+
+// Metrics returns the metrics registry; nil when o is nil.
+func (o *Obs) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Reset clears both the recorded spans and the registry.
+func (o *Obs) Reset() {
+	if o == nil {
+		return
+	}
+	o.rec.Reset()
+	o.reg.Reset()
+}

@@ -162,3 +162,29 @@ func TestNoExponentLeakage(t *testing.T) {
 		t.Fatal("quantized values must fit in r bits with zero guard bits")
 	}
 }
+
+// TestDequantizeSumDeclaredCapacityBoundary pins the extreme legal
+// aggregate: count equal to the declared participant capacity with every
+// party clipped at +α (sum = count·maxQ). That decodes to exactly count·α;
+// one past it in either dimension is rejected.
+func TestDequantizeSumDeclaredCapacityBoundary(t *testing.T) {
+	q := MustNew(1, 8, 4)
+	maxQ := uint64(1<<8 - 1)
+	got, err := q.DequantizeSum(4*maxQ, 4)
+	if err != nil {
+		t.Fatalf("boundary aggregate rejected: %v", err)
+	}
+	if got != 4 { // 4·α with α = 1
+		t.Fatalf("boundary decode = %v, want 4", got)
+	}
+	if _, err := q.DequantizeSum(4*maxQ+1, 4); err == nil {
+		t.Error("sum one past count*maxQ should be flagged as corruption")
+	}
+	if _, err := q.DequantizeSum(4*maxQ, 5); err == nil {
+		t.Error("count above declared capacity should fail")
+	}
+	// The boundary also holds at count 1: a single clipped party.
+	if got, err := q.DequantizeSum(maxQ, 1); err != nil || got != 1 {
+		t.Fatalf("single-party boundary = (%v, %v), want (1, nil)", got, err)
+	}
+}
