@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the pre-commit gate: it builds
 # everything, vets, runs the full test suite, re-runs the concurrency-
 # sensitive packages (transport + round runtime + device fault layer) under
-# the race detector, and smoke-runs the fuzz targets.
+# the race detector, smoke-runs the fuzz targets, and compiles-and-runs
+# every HE-stack benchmark once so benchmark code cannot bit-rot.
 
 GO ?= go
 
-.PHONY: build test vet race fuzz check resilience devfault
+.PHONY: build test vet race fuzz bench-smoke check resilience devfault
 
 build:
 	$(GO) build ./...
@@ -27,7 +28,13 @@ race:
 fuzz:
 	$(GO) test ./internal/gpu -run '^$$' -fuzz FuzzConfigValidate -fuzztime 10s
 
-check: build vet test race fuzz
+# One iteration of every benchmark in the HE hot-path packages: catches
+# benchmarks that no longer compile or crash without paying for real timing
+# runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/mpint ./internal/ghe ./internal/paillier
+
+check: build vet test race fuzz bench-smoke
 
 # Demonstrate graceful degradation under a straggler (see DESIGN.md §6).
 resilience:

@@ -1,0 +1,331 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flbooster/internal/ghe"
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+)
+
+// heoptJSON is where HEOpt writes its machine-readable report.
+const heoptJSON = "BENCH_heopt.json"
+
+// heoptFixedBaseItems is the vector length for the comb-height sweep;
+// heoptPoolItems the encryption batch for the pool-depth sweep.
+const (
+	heoptFixedBaseItems = 48
+	heoptPoolItems      = 32
+	heoptDecryptIters   = 6
+)
+
+// heoptFixedBaseRow is one comb height measurement.
+type heoptFixedBaseRow struct {
+	// Height is the Lim–Lee comb height h (0 = engine auto-select).
+	Height int `json:"height"`
+	// HostNs is wall time for the whole vector on the host; SimNs the
+	// simulated device time (table build + H2D + kernel).
+	HostNs int64 `json:"host_ns"`
+	SimNs  int64 `json:"sim_ns"`
+	// Speedups are against the replicated-base ModExpVarVec path.
+	HostSpeedup float64 `json:"host_speedup"`
+	SimSpeedup  float64 `json:"sim_speedup"`
+	// TableEntries is the shared table size uploaded once per vector.
+	TableEntries int64 `json:"table_entries"`
+}
+
+// heoptFixedBase is the fixed-base section of the report.
+type heoptFixedBase struct {
+	KeyBits        int                 `json:"key_bits"`
+	Items          int                 `json:"items"`
+	BaselineHostNs int64               `json:"baseline_host_ns"`
+	BaselineSimNs  int64               `json:"baseline_sim_ns"`
+	Sweep          []heoptFixedBaseRow `json:"sweep"`
+	Best           heoptFixedBaseRow   `json:"best"`
+}
+
+// heoptDecryptRow compares classic full-λ decryption against the
+// reduced-exponent CRT path at one key size.
+type heoptDecryptRow struct {
+	KeyBits int `json:"key_bits"`
+	// Host ns per decrypt, averaged over heoptDecryptIters ciphertexts.
+	ClassicHostNs int64   `json:"classic_host_ns"`
+	ReducedHostNs int64   `json:"reduced_host_ns"`
+	HostSpeedup   float64 `json:"host_speedup"`
+	// Sim ns for one DecryptVec batch: classic = one full-λ kernel over n²,
+	// reduced = two half-exponent kernels over p² and q².
+	ClassicSimNs int64   `json:"classic_sim_ns"`
+	ReducedSimNs int64   `json:"reduced_sim_ns"`
+	SimSpeedup   float64 `json:"sim_speedup"`
+}
+
+// heoptPoolRow is one nonce-pool depth measurement.
+type heoptPoolRow struct {
+	Depth int `json:"depth"`
+	// OnlineSimNs is the device time EncryptVec left on the online clock;
+	// PrecomputeSimNs the refill work reclassified off it.
+	OnlineSimNs     int64 `json:"online_sim_ns"`
+	PrecomputeSimNs int64 `json:"precompute_sim_ns"`
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	// OnlineSpeedup is depth-0 online time over this depth's online time.
+	OnlineSpeedup float64 `json:"online_speedup"`
+}
+
+// heoptPool is the nonce-pool section of the report.
+type heoptPool struct {
+	KeyBits int            `json:"key_bits"`
+	Items   int            `json:"items"`
+	Sweep   []heoptPoolRow `json:"sweep"`
+}
+
+// heoptReport is the BENCH_heopt.json schema.
+type heoptReport struct {
+	KeyBits   []int             `json:"key_bits"`
+	FixedBase heoptFixedBase    `json:"fixed_base"`
+	Decrypt   []heoptDecryptRow `json:"decrypt"`
+	Pool      heoptPool         `json:"pool"`
+}
+
+// HEOpt measures the three precomputation paths of the HE stack: the
+// Lim–Lee fixed-base comb against the replicated-base kernel (height
+// sweep), reduced-exponent CRT decryption against the full-λ classic path
+// (per key size), and the offline nonce pool against inline nonce
+// generation (depth sweep). Host wall time and simulated device time are
+// reported side by side; results go to w and BENCH_heopt.json.
+func (r *Runner) HEOpt(w io.Writer) error {
+	report := heoptReport{KeyBits: r.cfg.KeyBits}
+	if err := r.heoptFixedBase(w, &report); err != nil {
+		return err
+	}
+	if err := r.heoptDecrypt(w, &report); err != nil {
+		return err
+	}
+	if err := r.heoptPool(w, &report); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(heoptJSON, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nbest comb height %d: %.2fx host, %.2fx sim; wrote %s\n",
+		report.FixedBase.Best.Height, report.FixedBase.Best.HostSpeedup,
+		report.FixedBase.Best.SimSpeedup, heoptJSON)
+	return nil
+}
+
+// heoptFixedBase sweeps the comb height on a g^{m_i} workload at the
+// largest configured key: fixed base, varying exponents of key-size bits,
+// arithmetic mod n² — the shape of non-shortcut gᵐ encryption.
+func (r *Runner) heoptFixedBase(w io.Writer, report *heoptReport) error {
+	keyBits := r.cfg.KeyBits[len(r.cfg.KeyBits)-1]
+	header(w, fmt.Sprintf("HEOpt — fixed-base comb sweep: %d items, %d-bit exponents mod n²", heoptFixedBaseItems, keyBits))
+
+	rng := mpint.NewRNG(r.cfg.Seed + 90)
+	n := rng.RandBits(2 * keyBits)
+	n[0] |= 1
+	m := mpint.NewMont(n)
+	base := rng.RandBelow(n)
+	exps := make([]mpint.Nat, heoptFixedBaseItems)
+	bases := make([]mpint.Nat, heoptFixedBaseItems)
+	for i := range exps {
+		exps[i] = rng.RandBits(keyBits)
+		bases[i] = base
+	}
+
+	baseEng, err := ghe.NewEngine(gpu.MustNew(r.cfg.Device, true))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if _, err := baseEng.ModExpVarVec(bases, exps, m); err != nil {
+		return err
+	}
+	baseHost := time.Since(start)
+	baseSim := baseEng.Device().Stats().SimTime()
+	fb := heoptFixedBase{
+		KeyBits:        keyBits,
+		Items:          heoptFixedBaseItems,
+		BaselineHostNs: int64(baseHost),
+		BaselineSimNs:  int64(baseSim),
+	}
+	fmt.Fprintf(w, "%8s %14s %14s %9s %9s %8s\n", "Height", "Host", "Sim", "HostSpd", "SimSpd", "Entries")
+	fmt.Fprintf(w, "%8s %14s %14s %9s %9s %8s\n", "repl", fmtDur(baseHost), fmtDur(baseSim), "1.00x", "1.00x", "-")
+	for h := 1; h <= 8; h++ {
+		eng, err := ghe.NewEngine(gpu.MustNew(r.cfg.Device, true))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := eng.FixedBaseExpVecH(base, exps, m, h); err != nil {
+			return err
+		}
+		host := time.Since(start)
+		sim := eng.Device().Stats().SimTime()
+		row := heoptFixedBaseRow{
+			Height:       h,
+			HostNs:       int64(host),
+			SimNs:        int64(sim),
+			HostSpeedup:  float64(baseHost) / float64(host),
+			SimSpeedup:   float64(baseSim) / float64(sim),
+			TableEntries: eng.TableStats().Entries,
+		}
+		fb.Sweep = append(fb.Sweep, row)
+		if row.HostSpeedup > fb.Best.HostSpeedup {
+			fb.Best = row
+		}
+		fmt.Fprintf(w, "%8d %14s %14s %8.2fx %8.2fx %8d\n",
+			h, fmtDur(host), fmtDur(sim), row.HostSpeedup, row.SimSpeedup, row.TableEntries)
+	}
+	report.FixedBase = fb
+	return nil
+}
+
+// heoptDecrypt compares the classic and reduced decryption paths at every
+// configured key size, on the host and under the simulated device clock.
+func (r *Runner) heoptDecrypt(w io.Writer, report *heoptReport) error {
+	header(w, "HEOpt — decryption: full-λ classic vs reduced-exponent CRT")
+	fmt.Fprintf(w, "%8s %14s %14s %9s %14s %14s %9s\n",
+		"KeyBits", "ClassicHost", "ReducedHost", "HostSpd", "ClassicSim", "ReducedSim", "SimSpd")
+	for _, keyBits := range r.cfg.KeyBits {
+		sk, err := paillier.GenerateKey(mpint.NewRNG(r.cfg.Seed+uint64(keyBits)), keyBits)
+		if err != nil {
+			return err
+		}
+		rng := mpint.NewRNG(r.cfg.Seed + 91)
+		cs := make([]paillier.Ciphertext, heoptDecryptIters)
+		for i := range cs {
+			c, err := sk.Encrypt(rng.RandBelow(sk.N), rng)
+			if err != nil {
+				return err
+			}
+			cs[i] = c
+		}
+		start := time.Now()
+		for _, c := range cs {
+			if _, err := sk.DecryptClassic(c); err != nil {
+				return err
+			}
+		}
+		classicHost := time.Since(start) / heoptDecryptIters
+		start = time.Now()
+		for _, c := range cs {
+			if _, err := sk.Decrypt(c); err != nil {
+				return err
+			}
+		}
+		reducedHost := time.Since(start) / heoptDecryptIters
+
+		// Sim: the reduced backend path (two half-modulus kernels) against
+		// the full-λ kernel over n² it replaced.
+		reducedEng, err := ghe.NewEngine(gpu.MustNew(r.cfg.Device, true))
+		if err != nil {
+			return err
+		}
+		if _, err := paillier.MustGPUBackend(reducedEng).DecryptVec(sk, cs); err != nil {
+			return err
+		}
+		reducedSim := reducedEng.Device().Stats().SimTime()
+		classicEng, err := ghe.NewEngine(gpu.MustNew(r.cfg.Device, true))
+		if err != nil {
+			return err
+		}
+		bases := make([]mpint.Nat, len(cs))
+		for i := range cs {
+			bases[i] = cs[i].C
+		}
+		if _, err := classicEng.ModExpVec(bases, sk.Lambda, sk.MontN2()); err != nil {
+			return err
+		}
+		classicSim := classicEng.Device().Stats().SimTime()
+
+		row := heoptDecryptRow{
+			KeyBits:       keyBits,
+			ClassicHostNs: int64(classicHost),
+			ReducedHostNs: int64(reducedHost),
+			HostSpeedup:   float64(classicHost) / float64(reducedHost),
+			ClassicSimNs:  int64(classicSim),
+			ReducedSimNs:  int64(reducedSim),
+			SimSpeedup:    float64(classicSim) / float64(reducedSim),
+		}
+		report.Decrypt = append(report.Decrypt, row)
+		fmt.Fprintf(w, "%8d %14s %14s %8.2fx %14s %14s %8.2fx\n",
+			keyBits, fmtDur(classicHost), fmtDur(reducedHost), row.HostSpeedup,
+			fmtDur(classicSim), fmtDur(reducedSim), row.SimSpeedup)
+	}
+	return nil
+}
+
+// heoptPool sweeps the nonce-pool depth on one EncryptVec batch at the
+// largest configured key, reporting how much device time each prefill depth
+// moves from the online clock to the precompute clock.
+func (r *Runner) heoptPool(w io.Writer, report *heoptReport) error {
+	keyBits := r.cfg.KeyBits[len(r.cfg.KeyBits)-1]
+	header(w, fmt.Sprintf("HEOpt — nonce pool depth sweep: %d-item EncryptVec, %d-bit key", heoptPoolItems, keyBits))
+	sk, err := paillier.GenerateKey(mpint.NewRNG(r.cfg.Seed+uint64(keyBits)), keyBits)
+	if err != nil {
+		return err
+	}
+	rng := mpint.NewRNG(r.cfg.Seed + 92)
+	ms := make([]mpint.Nat, heoptPoolItems)
+	for i := range ms {
+		ms[i] = rng.RandBelow(sk.N)
+	}
+	const seed = 9090
+	ps := heoptPool{KeyBits: keyBits, Items: heoptPoolItems}
+	fmt.Fprintf(w, "%8s %14s %14s %6s %6s %9s\n", "Depth", "OnlineSim", "PrecompSim", "Hits", "Miss", "Speedup")
+	var coldOnline time.Duration
+	for _, depth := range []int{0, heoptPoolItems / 2, heoptPoolItems, 2 * heoptPoolItems} {
+		eng, err := ghe.NewEngine(gpu.MustNew(r.cfg.Device, true))
+		if err != nil {
+			return err
+		}
+		b := paillier.MustGPUBackend(eng)
+		var hits, misses int64
+		if depth > 0 {
+			pool, err := paillier.NewNoncePool(&sk.PublicKey, eng, seed)
+			if err != nil {
+				return err
+			}
+			if _, err := pool.Prefill(depth); err != nil {
+				return err
+			}
+			b.Pool = pool
+		}
+		if _, err := b.EncryptVec(&sk.PublicKey, ms, seed); err != nil {
+			return err
+		}
+		if b.Pool != nil {
+			hits, misses = b.Pool.Stats().Hits, b.Pool.Stats().Misses
+		} else {
+			misses = int64(len(ms))
+		}
+		st := eng.Device().Stats()
+		row := heoptPoolRow{
+			Depth:           depth,
+			OnlineSimNs:     int64(st.SimTime()),
+			PrecomputeSimNs: int64(st.SimPrecomputeTime),
+			Hits:            hits,
+			Misses:          misses,
+		}
+		if depth == 0 {
+			coldOnline = st.SimTime()
+			row.OnlineSpeedup = 1
+		} else if st.SimTime() > 0 {
+			row.OnlineSpeedup = float64(coldOnline) / float64(st.SimTime())
+		}
+		ps.Sweep = append(ps.Sweep, row)
+		fmt.Fprintf(w, "%8d %14s %14s %6d %6d %8.2fx\n",
+			depth, fmtDur(st.SimTime()), fmtDur(st.SimPrecomputeTime), hits, misses, row.OnlineSpeedup)
+	}
+	report.Pool = ps
+	return nil
+}

@@ -28,6 +28,7 @@ type Context struct {
 	Packer  *batch.Packer      // nil when batch compression is off
 	Device  *gpu.Device        // nil on CPU profiles
 	Checked *ghe.CheckedEngine // nil on CPU profiles; the resilient GPU-HE path
+	Pool    *paillier.NoncePool // nil unless Profile.NoncePool > 0 on a GPU profile
 	Link    flnet.Link
 	Costs   *Costs
 	// Obs is the observability bundle (span recorder + metrics registry)
@@ -99,7 +100,36 @@ func NewContext(p Profile) (*Context, error) {
 	if p.Observe {
 		ctx.AttachObs(obs.New(p.Seed), string(p.System))
 	}
+	if p.UseGPU && p.NoncePool > 0 {
+		pool, err := paillier.NewNoncePool(&key.PublicKey, ctx.Checked, 0)
+		if err != nil {
+			return nil, err
+		}
+		if p.Chunk > 0 {
+			pool.Chunk = p.Chunk
+		}
+		ctx.Pool = pool
+		ctx.Backend.(*paillier.GPUBackend).Pool = pool
+		if _, err := ctx.PrefillNonces(p.NoncePool); err != nil {
+			return nil, fmt.Errorf("fl: nonce prefill: %w", err)
+		}
+	}
 	return ctx, nil
+}
+
+// PrefillNonces retargets the nonce pool at the seed the next HE batch will
+// draw and precomputes count rⁿ noise terms offline through the device
+// pipeline, charged as SimPrecomputeTime rather than online sim-time — the
+// "idle between rounds" work of the precompute layer. NewContext calls it
+// once so the first encryption batch starts warm; callers may re-arm it
+// between rounds. Returns the reclassified precompute time; a no-op without
+// a pool.
+func (c *Context) PrefillNonces(count int) (time.Duration, error) {
+	if c.Pool == nil || count <= 0 {
+		return 0, nil
+	}
+	c.Pool.Reseed(c.peekSeed())
+	return c.Pool.Prefill(count)
 }
 
 // sanitizeLabel makes a label safe as a metric-name and trace-party segment.
@@ -142,6 +172,18 @@ func (c *Context) PublishMetrics() {
 	}
 	if c.Checked != nil {
 		c.Checked.PublishMetrics(reg, "ghe."+c.obsPrefix)
+	}
+	if c.Pool != nil {
+		// "pool." sits outside the reconciled "fl.<label>" cost-mirror set:
+		// pool traffic is substrate bookkeeping, not a protocol cost.
+		st := c.Pool.Stats()
+		pre := "pool." + c.obsPrefix + "."
+		reg.Set(pre+"hits", st.Hits)
+		reg.Set(pre+"misses", st.Misses)
+		reg.Set(pre+"refills", st.Refills)
+		reg.Set(pre+"precomputed", st.Precomputed)
+		reg.Set(pre+"refill_sim_ns", int64(st.RefillSim))
+		reg.SetGauge(pre+"ready", float64(c.Pool.Ready()))
 	}
 }
 
@@ -201,8 +243,14 @@ func (c *Context) metricAdd(name string, delta int64) {
 
 // nextSeed derives a fresh nonce-stream seed per HE batch.
 func (c *Context) nextSeed() uint64 {
-	c.seed = c.seed*6364136223846793005 + 1442695040888963407
+	c.seed = c.peekSeed()
 	return c.seed
+}
+
+// peekSeed returns the seed nextSeed will hand the next HE batch without
+// consuming it, so the pool can warm exactly that batch's nonce stream.
+func (c *Context) peekSeed() uint64 {
+	return c.seed*6364136223846793005 + 1442695040888963407
 }
 
 // simDelta reads the device's modelled time before/after a batch. For CPU

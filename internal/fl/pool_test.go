@@ -1,0 +1,205 @@
+package fl
+
+import (
+	"testing"
+
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+)
+
+// poolGrads is a small gradient vector for pool tests.
+func poolGrads(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i%7)/10 - 0.3
+	}
+	return out
+}
+
+// TestNoncePoolBitExactWithUnpooled: the NoncePool knob must not change a
+// single ciphertext — same profile, same seed chain, with and without the
+// pool.
+func TestNoncePoolBitExactWithUnpooled(t *testing.T) {
+	grads := poolGrads(40)
+	plain := testProfile(SystemHAFLO)
+	ctx, err := NewContext(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ctx.EncryptGradients(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pooled := testProfile(SystemHAFLO)
+	pooled.NoncePool = 64
+	pctx, err := NewContext(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pctx.EncryptGradients(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pooled batch has %d ciphertexts, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if mpint.Cmp(got[i].C, want[i].C) != 0 {
+			t.Fatalf("ciphertext %d differs under the pool", i)
+		}
+	}
+	if st := pctx.Pool.Stats(); st.Hits == 0 {
+		t.Error("prefilled pool served nothing")
+	}
+}
+
+// TestNoncePoolChunkedBitExact: pool + chunked streaming still concatenates
+// to the whole-batch result.
+func TestNoncePoolChunkedBitExact(t *testing.T) {
+	grads := poolGrads(30)
+	whole := testProfile(SystemFLBooster)
+	wctx, err := NewContext(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := wctx.EncryptGradients(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chunked := testProfile(SystemFLBooster)
+	chunked.Chunk = 3
+	chunked.NoncePool = 16
+	cctx, err := NewContext(chunked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cctx.EncryptGradients(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("chunked pooled batch has %d ciphertexts, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if mpint.Cmp(got[i].C, want[i].C) != 0 {
+			t.Fatalf("ciphertext %d differs under chunked pool", i)
+		}
+	}
+}
+
+// TestNoncePoolMovesWorkOffline: prefill charges SimPrecomputeTime, and the
+// online HE sim cost of the warmed batch undercuts the unpooled run.
+func TestNoncePoolMovesWorkOffline(t *testing.T) {
+	grads := poolGrads(40)
+	run := func(depth int) (*Context, error) {
+		p := testProfile(SystemHAFLO)
+		p.NoncePool = depth
+		ctx, err := NewContext(p)
+		if err != nil {
+			return nil, err
+		}
+		_, err = ctx.EncryptGradients(grads)
+		return ctx, err
+	}
+	cold, err := run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := run(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, cs := warm.Device.Stats(), cold.Device.Stats()
+	if ws.SimPrecomputeTime == 0 {
+		t.Error("prefill charged no precompute time")
+	}
+	if cs.SimPrecomputeTime != 0 {
+		t.Errorf("unpooled run charged %v precompute", cs.SimPrecomputeTime)
+	}
+	if warm.Costs.Snapshot().HESim >= cold.Costs.Snapshot().HESim {
+		t.Errorf("warm online HE sim %v should undercut cold %v",
+			warm.Costs.Snapshot().HESim, cold.Costs.Snapshot().HESim)
+	}
+}
+
+// TestNoncePoolRearmBetweenBatches: PrefillNonces retargets the pool at the
+// next batch's seed, so a second batch also hits.
+func TestNoncePoolRearmBetweenBatches(t *testing.T) {
+	grads := poolGrads(20)
+	p := testProfile(SystemHAFLO)
+	p.NoncePool = 32
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.EncryptGradients(grads); err != nil {
+		t.Fatal(err)
+	}
+	hits1 := ctx.Pool.Stats().Hits
+	if hits1 == 0 {
+		t.Fatal("first batch missed the pool")
+	}
+	if _, err := ctx.PrefillNonces(32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.EncryptGradients(grads); err != nil {
+		t.Fatal(err)
+	}
+	if hits2 := ctx.Pool.Stats().Hits; hits2 <= hits1 {
+		t.Errorf("re-armed pool hits %d did not grow past %d", hits2, hits1)
+	}
+}
+
+// TestNoncePoolObs: pool metrics publish under "pool.<label>" and the
+// reconciled cost mirror stays intact.
+func TestNoncePoolObs(t *testing.T) {
+	p := testProfile(SystemHAFLO)
+	p.NoncePool = 16
+	p.Observe = true
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.EncryptGradients(poolGrads(20)); err != nil {
+		t.Fatal(err)
+	}
+	ctx.PublishMetrics()
+	if err := ctx.ReconcileObs(); err != nil {
+		t.Fatal(err)
+	}
+	reg := ctx.Obs.Metrics()
+	pre := "pool." + ctx.ObsLabel() + "."
+	if reg.Counter(pre+"precomputed") == 0 {
+		t.Errorf("%sprecomputed not published", pre)
+	}
+	if reg.Counter(pre+"hits") == 0 {
+		t.Errorf("%shits not published", pre)
+	}
+	if reg.Counter(pre+"refill_sim_ns") == 0 {
+		t.Errorf("%srefill_sim_ns not published", pre)
+	}
+}
+
+// TestNoncePoolValidationAndCPU: negative depth is rejected; CPU profiles
+// ignore the knob.
+func TestNoncePoolValidationAndCPU(t *testing.T) {
+	bad := testProfile(SystemHAFLO)
+	bad.NoncePool = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative pool depth accepted")
+	}
+	cpu := testProfile(SystemFATE)
+	cpu.NoncePool = 16
+	ctx, err := NewContext(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Pool != nil {
+		t.Error("CPU profile built a nonce pool")
+	}
+	if _, ok := ctx.Backend.(paillier.CPUBackend); !ok {
+		t.Errorf("CPU profile backend is %T", ctx.Backend)
+	}
+}

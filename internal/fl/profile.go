@@ -64,6 +64,12 @@ type Profile struct {
 	// uploads overlap the next chunk's compute (§V-B / Fig. 4, actually
 	// executed). Zero keeps the whole-batch sequential path.
 	Chunk int
+	// NoncePool, when positive on a GPU profile, precomputes that many
+	// Paillier rⁿ noise terms offline (charged as device precompute time,
+	// not online sim-time) so the next encryption batch pops ready noise.
+	// Results are bit-exact with the unpooled path; zero disables the pool.
+	// Ignored on CPU profiles.
+	NoncePool int
 	// Round governs fault tolerance of federation rounds: quorum, phase
 	// deadlines, and send retries. The zero value is the strict protocol
 	// (all parties required, no deadline, no retransmission).
@@ -147,6 +153,8 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("fl: gradient bound must be positive")
 	case p.Chunk < 0:
 		return fmt.Errorf("fl: negative pipeline chunk size %d", p.Chunk)
+	case p.NoncePool < 0:
+		return fmt.Errorf("fl: negative nonce pool depth %d", p.NoncePool)
 	}
 	if err := p.Round.Validate(p.Parties); err != nil {
 		return err

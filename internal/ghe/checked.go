@@ -142,6 +142,10 @@ func (c *CheckedEngine) PublishMetrics(reg *obs.Registry, prefix string) {
 	reg.Set(prefix+".fallback_ops", s.FallbackOps)
 	reg.Set(prefix+".fallback_wall_ns", int64(s.FallbackWall))
 	reg.Set(prefix+".backoff_sim_ns", int64(s.BackoffSim))
+	ts := c.eng.TableStats()
+	reg.Set(prefix+".table_builds", ts.Builds)
+	reg.Set(prefix+".table_entries", ts.Entries)
+	reg.Set(prefix+".table_ops", ts.Ops)
 	fell := 0.0
 	if s.FellBack {
 		fell = 1
@@ -296,13 +300,21 @@ func (c *CheckedEngine) ModExpVarVec(bases, exps []mpint.Nat, m *mpint.Mont) ([]
 	return out, nil
 }
 
-// FixedBaseExpVec implements VectorEngine.
+// FixedBaseExpVec implements VectorEngine. Verification recomputes sampled
+// elements through the generic sliding window — a path independent of the
+// comb table, so a corrupted table entry (which would skew every element it
+// feeds) cannot also corrupt the check.
 func (c *CheckedEngine) FixedBaseExpVec(base mpint.Nat, exps []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
-	bases := make([]mpint.Nat, len(exps))
-	for i := range bases {
-		bases[i] = base
+	var out []mpint.Nat
+	err := c.execute("fixed_base_exp_vec", len(exps),
+		func() (err error) { out, err = c.eng.FixedBaseExpVec(base, exps, m); return },
+		func() (err error) { out, err = c.host.FixedBaseExpVec(base, exps, m); return },
+		func(i int) mpint.Nat { return m.Exp(base, exps[i]) },
+		func(i int) mpint.Nat { return out[i] })
+	if err != nil {
+		return nil, err
 	}
-	return c.ModExpVarVec(bases, exps, m)
+	return out, nil
 }
 
 // ModMulVec implements VectorEngine. Verification recomputes sampled

@@ -42,11 +42,13 @@ type CPUEngine struct{}
 // NewCPUEngine returns the host engine.
 func NewCPUEngine() *CPUEngine { return &CPUEngine{} }
 
-// ModExpVec implements VectorEngine.
+// ModExpVec implements VectorEngine. The shared exponent's window schedule
+// is recoded once, exactly like the device kernel.
 func (*CPUEngine) ModExpVec(bases []mpint.Nat, exp mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
 	out := make([]mpint.Nat, len(bases))
+	sched := mpint.CompileExpAuto(exp)
 	for i := range bases {
-		out[i] = m.Exp(bases[i], exp)
+		out[i] = m.ExpSched(bases[i], sched)
 	}
 	return out, nil
 }
@@ -63,13 +65,27 @@ func (*CPUEngine) ModExpVarVec(bases, exps []mpint.Nat, m *mpint.Mont) ([]mpint.
 	return out, nil
 }
 
-// FixedBaseExpVec implements VectorEngine.
+// FixedBaseExpVec implements VectorEngine through the same Lim–Lee comb the
+// device kernel uses (same auto-height heuristic, same table), without
+// replicating the base across the vector. Results stay bit-exact with the
+// device path and with plain per-element Exp.
 func (c *CPUEngine) FixedBaseExpVec(base mpint.Nat, exps []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
-	bases := make([]mpint.Nat, len(exps))
-	for i := range bases {
-		bases[i] = base
+	if len(exps) == 0 {
+		return nil, nil
 	}
-	return c.ModExpVarVec(bases, exps, m)
+	maxExpBits := 1
+	for _, x := range exps {
+		if b := x.BitLen(); b > maxExpBits {
+			maxExpBits = b
+		}
+	}
+	h := mpint.ChooseFixedBaseHeight(maxExpBits, len(exps))
+	tbl := mpint.NewFixedBaseTable(m, base, maxExpBits, h)
+	out := make([]mpint.Nat, len(exps))
+	for i := range exps {
+		out[i] = tbl.Exp(exps[i])
+	}
+	return out, nil
 }
 
 // ModMulVec implements VectorEngine.

@@ -2,6 +2,7 @@ package ghe
 
 import (
 	"fmt"
+	"sync"
 
 	"flbooster/internal/gpu"
 	"flbooster/internal/mpint"
@@ -13,6 +14,21 @@ import (
 // account the device→host copy, and return host-side results.
 type Engine struct {
 	dev *gpu.Device
+
+	mu    sync.Mutex
+	table TableStats
+}
+
+// TableStats counts the engine's fixed-base precomputation activity — the
+// comb tables built for FixedBaseExpVec launches and the elements they
+// served (DESIGN.md §10).
+type TableStats struct {
+	// Builds is the number of comb tables constructed (one per vector op).
+	Builds int64
+	// Entries is the total 2^h table entries built and shipped to the device.
+	Entries int64
+	// Ops is the number of elements evaluated through a comb table.
+	Ops int64
 }
 
 // NewEngine wraps a device.
@@ -35,6 +51,13 @@ func MustEngine(dev *gpu.Device) *Engine {
 
 // Device exposes the underlying device (for stats and utilization readings).
 func (e *Engine) Device() *gpu.Device { return e.dev }
+
+// TableStats returns a snapshot of the fixed-base table counters.
+func (e *Engine) TableStats() TableStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.table
+}
 
 // natBytes is the device-transfer size of a vector of k-limb values.
 func natBytes(n, k int) int64 { return int64(n) * int64(k) * 4 }
@@ -66,8 +89,12 @@ func (e *Engine) ModExpVec(bases []mpint.Nat, exp mpint.Nat, m *mpint.Mont) ([]m
 		WordOps:       modExpWordOps(k, exp.BitLen()),
 		Poison:        poisonOut(out),
 	}
+	// The exponent is shared by every element: recode its window schedule
+	// once on the host and replay it per lane, instead of rescanning the
+	// exponent bits in every thread.
+	sched := mpint.CompileExpAuto(exp)
 	if _, err := e.dev.Launch(kern, func(i int) {
-		out[i] = m.Exp(bases[i], exp)
+		out[i] = m.ExpSched(bases[i], sched)
 	}); err != nil {
 		return nil, fmt.Errorf("ghe: ModExpVec: %w", err)
 	}
@@ -108,14 +135,78 @@ func (e *Engine) ModExpVarVec(bases, exps []mpint.Nat, m *mpint.Mont) ([]mpint.N
 	return out, nil
 }
 
-// FixedBaseExpVec computes base^exps[i] mod m.N() for every i. Paillier
-// encryption uses this shape for the g^m term.
+// FixedBaseExpVec computes base^exps[i] mod m.N() for every i — Paillier's
+// r^n noise terms and fixed-generator commitments. Unlike the variable-base
+// kernel, the base is shared: a Lim–Lee comb table is precomputed once at
+// the height that minimizes total multiplies for the batch, uploaded to the
+// device, and every element then costs ~⌈bits/h⌉ multiplies instead of
+// ~1.2·bits (see internal/mpint/fixedbase.go and DESIGN.md §10).
 func (e *Engine) FixedBaseExpVec(base mpint.Nat, exps []mpint.Nat, m *mpint.Mont) ([]mpint.Nat, error) {
-	bases := make([]mpint.Nat, len(exps))
-	for i := range bases {
-		bases[i] = base
+	return e.FixedBaseExpVecH(base, exps, m, 0)
+}
+
+// FixedBaseExpVecH is FixedBaseExpVec with a caller-chosen comb height
+// (h ≤ 0 auto-picks) — exposed for the heopt height-sweep benchmark.
+func (e *Engine) FixedBaseExpVecH(base mpint.Nat, exps []mpint.Nat, m *mpint.Mont, h int) ([]mpint.Nat, error) {
+	if len(exps) == 0 {
+		return nil, nil
 	}
-	return e.ModExpVarVec(bases, exps, m)
+	k := m.Limbs()
+	maxExpBits := 1
+	for _, x := range exps {
+		if b := x.BitLen(); b > maxExpBits {
+			maxExpBits = b
+		}
+	}
+	if h <= 0 {
+		h = mpint.ChooseFixedBaseHeight(maxExpBits, len(exps))
+	}
+	h = mpint.ClampFixedBaseHeight(h, maxExpBits)
+
+	// Upload the exponent vector and the (single) base.
+	e.dev.CopyToDevice(natBytes(len(exps), k) + natBytes(1, k))
+
+	// The table build runs as a one-item launch so its reduced-but-real cost
+	// lands on the simulated clock (and in the trace as a fixed_base_table
+	// span), amortized across the whole vector.
+	var tbl *mpint.FixedBaseTable
+	build := gpu.Kernel{
+		Name:          "fixed_base_table",
+		Items:         1,
+		RegsPerThread: regsForLimbs(k),
+		WordOps:       fixedBaseTableWordOps(k, maxExpBits, h),
+	}
+	if _, err := e.dev.Launch(build, func(int) {
+		tbl = mpint.NewFixedBaseTable(m, base, maxExpBits, h)
+	}); err != nil {
+		return nil, fmt.Errorf("ghe: FixedBaseExpVec table build: %w", err)
+	}
+	// The finished table ships to the device once: 2^h entries of k limbs.
+	e.dev.CopyToDevice(natBytes(tbl.Entries(), k))
+
+	out := make([]mpint.Nat, len(exps))
+	kern := gpu.Kernel{
+		Name:          "fixed_base_exp_vec",
+		Items:         len(exps),
+		RegsPerThread: regsForLimbs(k),
+		WordOps:       fixedBaseExpWordOps(k, maxExpBits, h),
+		// Different exponents select different comb columns per lane.
+		DivergentLanes: e.dev.Config().WarpSize / 2,
+		Poison:         poisonOut(out),
+	}
+	if _, err := e.dev.Launch(kern, func(i int) {
+		out[i] = tbl.Exp(exps[i])
+	}); err != nil {
+		return nil, fmt.Errorf("ghe: FixedBaseExpVec: %w", err)
+	}
+	e.dev.CopyFromDevice(natBytes(len(exps), k))
+
+	e.mu.Lock()
+	e.table.Builds++
+	e.table.Entries += int64(tbl.Entries())
+	e.table.Ops += int64(len(exps))
+	e.mu.Unlock()
+	return out, nil
 }
 
 // ModMulVec computes a[i]*b[i] mod m.N() for every i.

@@ -1,0 +1,90 @@
+package gpu
+
+import (
+	"testing"
+
+	"flbooster/internal/obs"
+)
+
+// chargeWork runs one costed launch plus transfers so the bracketed interval
+// has every online counter populated.
+func chargeWork(t *testing.T, d *Device) {
+	t.Helper()
+	d.CopyToDevice(1 << 20)
+	_, err := d.Launch(Kernel{Name: "precomp_test", Items: 64, RegsPerThread: 32, WordOps: 5000}, func(int) {})
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	d.CopyFromDevice(1 << 20)
+}
+
+func TestReclassifyPrecomputeMovesClock(t *testing.T) {
+	d := MustNew(SmallTestDevice(), true)
+	chargeWork(t, d) // online work that must stay online
+	before := d.Stats()
+
+	mark := d.Stats()
+	chargeWork(t, d)
+	after := d.Stats()
+	if after.SimTime() <= before.SimTime() {
+		t.Fatalf("bracketed work charged nothing")
+	}
+	moved := d.ReclassifyPrecompute(mark)
+	got := d.Stats()
+
+	if got.SimTime() != before.SimTime() {
+		t.Errorf("online clock: got %v, want the pre-bracket %v", got.SimTime(), before.SimTime())
+	}
+	if moved != after.SimTime()-before.SimTime() {
+		t.Errorf("moved %v, want the bracketed accrual %v", moved, after.SimTime()-before.SimTime())
+	}
+	if got.SimPrecomputeTime != moved {
+		t.Errorf("SimPrecomputeTime %v, want %v", got.SimPrecomputeTime, moved)
+	}
+	// The work itself is not erased: launches and bytes remain.
+	if got.KernelLaunches != after.KernelLaunches || got.BytesHostToDev != after.BytesHostToDev {
+		t.Errorf("reclassification must not touch work counters")
+	}
+	// SimTime excludes the precompute bill by contract.
+	if got.SimTime() != got.SimTransferTime+got.SimComputeTime+got.SimFaultTime {
+		t.Errorf("SimTime must not include SimPrecomputeTime")
+	}
+}
+
+func TestReclassifyPrecomputeWithStreamedChunks(t *testing.T) {
+	d := MustNew(SmallTestDevice(), true)
+	mark := d.Stats()
+	pipe := d.NewPipeline(2)
+	for i := 0; i < 4; i++ {
+		pipe.Begin()
+		chargeWork(t, d)
+		pipe.End()
+	}
+	pipe.Close()
+	moved := d.ReclassifyPrecompute(mark)
+	got := d.Stats()
+	if moved <= 0 {
+		t.Fatalf("streamed refill should move a positive overlapped duration")
+	}
+	if got.SimTime() != 0 || got.SimTimeOverlapped() != 0 {
+		t.Errorf("online clocks should return to the mark: seq %v overlapped %v", got.SimTime(), got.SimTimeOverlapped())
+	}
+	if got.StreamChunks != 4 {
+		t.Errorf("stream work counters must survive: chunks %d", got.StreamChunks)
+	}
+	if got.SimPrecomputeTime != moved {
+		t.Errorf("SimPrecomputeTime %v, want %v", got.SimPrecomputeTime, moved)
+	}
+}
+
+func TestPublishMetricsIncludesPrecompute(t *testing.T) {
+	d := MustNew(SmallTestDevice(), true)
+	mark := d.Stats()
+	chargeWork(t, d)
+	d.ReclassifyPrecompute(mark)
+	reg := obs.NewRegistry()
+	d.PublishMetrics(reg, "dev")
+	if v := reg.Counter("dev.sim_precompute_ns"); v == 0 || v != int64(d.Stats().SimPrecomputeTime) {
+		t.Errorf("sim_precompute_ns: got %d, want %d", v, int64(d.Stats().SimPrecomputeTime))
+	}
+}

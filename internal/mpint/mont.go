@@ -1,5 +1,10 @@
 package mpint
 
+import (
+	"fmt"
+	"sync"
+)
+
 // Mont is a Montgomery multiplication context for a fixed odd modulus n.
 // It precomputes n' = -n⁻¹ mod 2³² (the per-word inverse used by CIOS,
 // Algorithm 1 in the paper) and R² mod n for conversion into Montgomery
@@ -11,6 +16,8 @@ type Mont struct {
 	rr     Nat    // R² mod n
 	one    Nat    // R mod n (the Montgomery form of 1)
 	nWords []Word // n padded to exactly k limbs
+
+	scratch sync.Pool // *mulScratch, reused across multiply chains
 }
 
 // NewMont builds a context for odd modulus n ≥ 3. It panics on even or
@@ -61,14 +68,66 @@ func (m *Mont) FromMont(x Nat) Nat { return m.Mul(x, One()) }
 // MontOne returns the Montgomery form of 1 (R mod n).
 func (m *Mont) MontOne() Nat { return m.one.Clone() }
 
+// mulScratch holds the working buffers of one CIOS multiplication — the
+// uint64 accumulator and the zero-padded operand copies — so a multiply
+// chain (an exponentiation, a comb evaluation) reuses one buffer set instead
+// of allocating three slices per Mul.
+type mulScratch struct {
+	t      []uint64
+	aw, bw []Word
+}
+
+// getScratch returns a scratch buffer set sized for this modulus, drawing
+// from a pool so concurrent exponentiations (the simulated GPU lanes) each
+// get their own set without contention.
+func (m *Mont) getScratch() *mulScratch {
+	if sc, ok := m.scratch.Get().(*mulScratch); ok {
+		return sc
+	}
+	return &mulScratch{
+		t:  make([]uint64, m.k+2),
+		aw: make([]Word, m.k),
+		bw: make([]Word, m.k),
+	}
+}
+
+func (m *Mont) putScratch(sc *mulScratch) { m.scratch.Put(sc) }
+
+// padInto copies trimmed x into dst, zero-filling the tail. It panics when x
+// needs more limbs than dst holds (operands must be < n).
+func padInto(dst []Word, x Nat) {
+	x = trim(x)
+	if len(x) > len(dst) {
+		panic(fmt.Sprintf("mpint: operand needs %d limbs, scratch has %d", len(x), len(dst)))
+	}
+	n := copy(dst, x)
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
 // Mul returns a·b·R⁻¹ mod n using the CIOS (coarsely integrated operand
 // scanning) method — the serial reference for the paper's Algorithm 1/2.
 // Inputs must be < n.
 func (m *Mont) Mul(a, b Nat) Nat {
+	sc := m.getScratch()
+	z := m.mulInto(make(Nat, m.k), a, b, sc)
+	m.putScratch(sc)
+	return z
+}
+
+// mulInto is Mul writing its result into dst (which must hold at least k
+// limbs) through caller-provided scratch. Both operands are staged into the
+// scratch copies first, so dst may alias a or b. The returned Nat is dst
+// trimmed to canonical form.
+func (m *Mont) mulInto(dst Nat, a, b Nat, sc *mulScratch) Nat {
 	k := m.k
-	aw := a.Words(k)
-	bw := b.Words(k)
-	t := make([]uint64, k+2) // t[k+1] never exceeds 1
+	padInto(sc.aw, a)
+	padInto(sc.bw, b)
+	aw, bw, t := sc.aw, sc.bw, sc.t
+	for i := range t {
+		t[i] = 0 // t[k+1] never exceeds 1 during the scan
+	}
 	for i := 0; i < k; i++ {
 		// t += a * b[i]
 		var carry uint64
@@ -97,7 +156,7 @@ func (m *Mont) Mul(a, b Nat) Nat {
 		t[k+1] = 0
 	}
 	// Final conditional subtraction.
-	z := make(Nat, k)
+	z := dst[:k]
 	for i := 0; i < k; i++ {
 		z[i] = Word(t[i])
 	}
@@ -116,56 +175,74 @@ func (m *Mont) Mul(a, b Nat) Nat {
 
 // expWindowBits chooses the sliding-window width for an exponent of the
 // given bit length, balancing table precomputation against saved multiplies.
+// The returned width never exceeds the exponent's own bit length, so tiny
+// exponents (0, 1, a few bits) cannot provision oversized tables.
 func expWindowBits(expBits int) uint {
+	var w uint
 	switch {
 	case expBits <= 8:
-		return 1
+		w = 1
 	case expBits <= 64:
-		return 3
+		w = 3
 	case expBits <= 512:
-		return 4
+		w = 4
 	case expBits <= 2048:
-		return 5
+		w = 5
 	default:
-		return 6
+		w = 6
 	}
+	if expBits >= 1 && w > uint(expBits) {
+		w = uint(expBits)
+	}
+	return w
 }
 
-// Exp returns base^e mod n using left-to-right sliding-window exponentiation
-// over Montgomery multiplication — the paper's "extension of the sliding
-// window exponential method", reducing the multiply count from e to
-// roughly log₂(e)·(1 + 1/w) plus 2^(w−1) table entries. The window width is
-// chosen from the exponent size; ExpWindow fixes it explicitly.
-func (m *Mont) Exp(base, e Nat) Nat {
-	return m.ExpWindow(base, e, expWindowBits(e.BitLen()))
+// opSquare marks a squaring step in a compiled schedule; non-negative
+// entries index the odd-power table (tbl[i] holds base^(2i+1)).
+const opSquare = -1
+
+// ExpSchedule is the recoded sliding-window plan of one exponent: the exact
+// square/multiply sequence ExpWindow derives by scanning the exponent bits,
+// compiled once so vector operations sharing an exponent pay the scan and
+// window recoding a single time instead of once per element. A compiled
+// schedule is immutable and safe for concurrent use.
+type ExpSchedule struct {
+	w      uint
+	bits   int
+	maxIdx int
+	ops    []int16
+	isZero bool
+	isOne  bool
 }
 
-// ExpWindow is Exp with a caller-chosen window width w ∈ [1, 12] — exposed
-// for the window-size ablation benchmark.
-func (m *Mont) ExpWindow(base, e Nat, w uint) Nat {
+// CompileExp recodes exponent e into its sliding-window schedule at width
+// w ∈ [1, 12]. The width is clamped to e's bit length; e == 0 and e == 1
+// compile to empty schedules that require no odd-power table at all.
+func CompileExp(e Nat, w uint) *ExpSchedule {
 	if w < 1 || w > 12 {
-		panic("mpint: ExpWindow width out of range")
+		panic("mpint: CompileExp width out of range")
 	}
-	base = Mod(base, m.n)
-	if e.IsZero() {
-		return One()
+	bits := e.BitLen()
+	s := &ExpSchedule{w: w, bits: bits}
+	switch bits {
+	case 0:
+		s.isZero = true
+		s.w = 1
+		return s
+	case 1:
+		s.isOne = true
+		s.w = 1
+		return s
 	}
-	bm := m.ToMont(base)
-	// Precompute odd powers base^1, base^3, ..., base^(2^w - 1) in Montgomery
-	// form.
-	tbl := make([]Nat, 1<<(w-1))
-	tbl[0] = bm
-	if w > 1 {
-		b2 := m.Mul(bm, bm)
-		for i := 1; i < len(tbl); i++ {
-			tbl[i] = m.Mul(tbl[i-1], b2)
-		}
+	if int(w) > bits {
+		w = uint(bits)
+		s.w = w
 	}
-	acc := m.one.Clone()
-	i := e.BitLen() - 1
+	s.ops = make([]int16, 0, bits+bits/int(w)+1)
+	i := bits - 1
 	for i >= 0 {
 		if e.Bit(i) == 0 {
-			acc = m.Mul(acc, acc)
+			s.ops = append(s.ops, opSquare)
 			i--
 			continue
 		}
@@ -179,13 +256,98 @@ func (m *Mont) ExpWindow(base, e Nat, w uint) Nat {
 		}
 		var win uint
 		for b := i; b >= j; b-- {
-			acc = m.Mul(acc, acc)
+			s.ops = append(s.ops, opSquare)
 			win = win<<1 | e.Bit(b)
 		}
-		acc = m.Mul(acc, tbl[win>>1])
+		idx := int(win >> 1)
+		if idx > s.maxIdx {
+			s.maxIdx = idx
+		}
+		s.ops = append(s.ops, int16(idx))
 		i = j - 1
 	}
-	return m.FromMont(acc)
+	return s
+}
+
+// CompileExpAuto recodes e at the window width Exp itself would pick.
+func CompileExpAuto(e Nat) *ExpSchedule { return CompileExp(e, expWindowBits(e.BitLen())) }
+
+// WindowBits returns the schedule's effective window width (clamped to the
+// exponent bit length).
+func (s *ExpSchedule) WindowBits() uint { return s.w }
+
+// ExpBits returns the bit length of the compiled exponent.
+func (s *ExpSchedule) ExpBits() int { return s.bits }
+
+// TableSize returns how many odd-power table entries one execution needs —
+// zero for the trivial exponents 0 and 1, which build no table.
+func (s *ExpSchedule) TableSize() int {
+	if s.isZero || s.isOne {
+		return 0
+	}
+	return s.maxIdx + 1
+}
+
+// Ops returns the length of the square/multiply sequence.
+func (s *ExpSchedule) Ops() int { return len(s.ops) }
+
+// Exp returns base^e mod n using left-to-right sliding-window exponentiation
+// over Montgomery multiplication — the paper's "extension of the sliding
+// window exponential method", reducing the multiply count from e to
+// roughly log₂(e)·(1 + 1/w) plus 2^(w−1) table entries. The window width is
+// chosen from the exponent size; ExpWindow fixes it explicitly.
+func (m *Mont) Exp(base, e Nat) Nat {
+	return m.ExpSched(base, CompileExpAuto(e))
+}
+
+// ExpWindow is Exp with a caller-chosen window width w ∈ [1, 12] — exposed
+// for the window-size ablation benchmark.
+func (m *Mont) ExpWindow(base, e Nat, w uint) Nat {
+	if w < 1 || w > 12 {
+		panic("mpint: ExpWindow width out of range")
+	}
+	return m.ExpSched(base, CompileExp(e, w))
+}
+
+// ExpSched executes a compiled schedule against one base: base^e mod n where
+// s = CompileExp(e, ·). The multiply chain runs through two ping-pong
+// accumulator buffers and one pooled scratch, so an exponentiation costs a
+// handful of allocations (the table) instead of three per multiply.
+func (m *Mont) ExpSched(base Nat, s *ExpSchedule) Nat {
+	base = Mod(base, m.n)
+	if s.isZero {
+		return One()
+	}
+	if s.isOne {
+		return base
+	}
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	// Odd powers base^1, base^3, ..., in Montgomery form, up to the highest
+	// index the schedule references.
+	bm := m.mulInto(make(Nat, m.k), base, m.rr, sc)
+	tbl := make([]Nat, s.maxIdx+1)
+	tbl[0] = bm
+	if s.maxIdx > 0 {
+		b2 := m.mulInto(make(Nat, m.k), bm, bm, sc)
+		for i := 1; i <= s.maxIdx; i++ {
+			tbl[i] = m.mulInto(make(Nat, m.k), tbl[i-1], b2, sc)
+		}
+	}
+	bufs := [2]Nat{make(Nat, m.k), make(Nat, m.k)}
+	cur := m.one
+	which := 0
+	for _, op := range s.ops {
+		x := cur
+		if op != opSquare {
+			x = tbl[op]
+		}
+		cur = m.mulInto(bufs[which], cur, x, sc)
+		which ^= 1
+	}
+	// Fresh allocation out of Montgomery form: the result must not alias the
+	// ping-pong buffers.
+	return m.mulInto(make(Nat, m.k), cur, One(), sc)
 }
 
 // ModExp returns base^e mod n for any modulus n ≥ 1. Odd moduli use

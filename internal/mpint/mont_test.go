@@ -165,6 +165,7 @@ func benchMontMul(b *testing.B, bits int) {
 	m := NewMont(n)
 	x := m.ToMont(r.RandBelow(n))
 	y := m.ToMont(r.RandBelow(n))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x = m.Mul(x, y)
@@ -180,6 +181,7 @@ func benchModExp(b *testing.B, bits int) {
 	m := NewMont(n)
 	base := r.RandBelow(n)
 	e := r.RandBits(bits)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Exp(base, e)

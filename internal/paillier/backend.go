@@ -22,6 +22,10 @@ type Backend interface {
 	AddVec(pk *PublicKey, a, b []Ciphertext) ([]Ciphertext, error)
 	// MulPlainVec raises each ciphertext to the matching plaintext scalar.
 	MulPlainVec(pk *PublicKey, cs []Ciphertext, ks []mpint.Nat) ([]Ciphertext, error)
+	// RerandomizeVec multiplies each ciphertext by a fresh encryption of
+	// zero drawn from the seed's nonce stream, unlinking ciphertexts from
+	// their origin without changing plaintexts.
+	RerandomizeVec(pk *PublicKey, cs []Ciphertext, seed uint64) ([]Ciphertext, error)
 }
 
 // CPUBackend performs every HE operation serially on the host, as FATE's
@@ -82,6 +86,16 @@ func (CPUBackend) MulPlainVec(pk *PublicKey, cs []Ciphertext, ks []mpint.Nat) ([
 	return out, nil
 }
 
+// RerandomizeVec implements Backend with the sequential host RNG stream.
+func (CPUBackend) RerandomizeVec(pk *PublicKey, cs []Ciphertext, seed uint64) ([]Ciphertext, error) {
+	rng := mpint.NewRNG(seed)
+	out := make([]Ciphertext, len(cs))
+	for i, c := range cs {
+		out[i] = pk.Rerandomize(c, rng)
+	}
+	return out, nil
+}
+
 // GPUBackend lowers batched operations onto the GPU-HE engine, following the
 // pipeline of Fig. 4: convert, copy to device, compute in parallel, copy
 // back. The engine is any ghe.VectorEngine — the raw device engine, the
@@ -89,6 +103,12 @@ func (CPUBackend) MulPlainVec(pk *PublicKey, cs []Ciphertext, ks []mpint.Nat) ([
 // so the backend degrades between substrates without code changes.
 type GPUBackend struct {
 	Engine ghe.VectorEngine
+	// Pool optionally serves precomputed rⁿ noise terms to EncryptVec,
+	// RerandomizeVec, and streamed encryption sessions. Because the pool
+	// draws from the same global-index nonce stream the engine defines,
+	// attaching it never changes results — only how much exponentiation
+	// work remains on the online path. Nil disables pooling.
+	Pool *NoncePool
 }
 
 // NewGPUBackend wraps a GPU-HE vector engine. Typed nils (e.g. a nil
@@ -124,22 +144,58 @@ func MustGPUBackend(e ghe.VectorEngine) *GPUBackend {
 // Name implements Backend.
 func (g *GPUBackend) Name() string { return "gpu-he" }
 
+// nonceTerms returns the rⁿ mod n² noise terms for global nonce-stream
+// positions [base, base+count) under seed. Ready terms pop from the
+// attached pool — a hit skips the online exponentiation entirely — and the
+// remainder is drawn and exponentiated through the engine from the same
+// stream positions, so results are identical with or without a pool.
+func (g *GPUBackend) nonceTerms(pk *PublicKey, base, count int, seed uint64) ([]mpint.Nat, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	var ready []mpint.Nat
+	if g.Pool != nil {
+		ready = g.Pool.take(pk, seed, base, count)
+		if len(ready) == count {
+			return ready, nil
+		}
+	}
+	at, need := base+len(ready), count-len(ready)
+	var rs []mpint.Nat
+	var err error
+	if se, ok := g.Engine.(ghe.StreamEngine); ok {
+		rs, err = se.RandCoprimeRange(at, need, pk.N, seed)
+	} else if at == 0 {
+		rs, err = g.Engine.RandCoprimeVec(need, pk.N, seed)
+	} else {
+		return nil, fmt.Errorf("paillier: engine %T cannot draw nonces at stream offset %d", g.Engine, at)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("paillier: gpu nonces at %d: %w", at, err)
+	}
+	rn, err := g.Engine.ModExpVec(rs, pk.N, pk.MontN2())
+	if err != nil {
+		return nil, fmt.Errorf("paillier: gpu r^n at %d: %w", at, err)
+	}
+	if len(ready) == 0 {
+		return rn, nil
+	}
+	return append(ready, rn...), nil
+}
+
 // EncryptVec implements Backend. gᵐ uses the n+1 shortcut on the host (two
-// word-level ops per element) while the expensive rⁿ modexp batch runs as
-// one device kernel, then a hom-mul kernel combines them.
+// word-level ops per element) while the expensive rⁿ modexp batch comes
+// from the nonce pool or runs as one device kernel, then a hom-mul kernel
+// combines them.
 func (g *GPUBackend) EncryptVec(pk *PublicKey, ms []mpint.Nat, seed uint64) ([]Ciphertext, error) {
 	for i, m := range ms {
 		if mpint.Cmp(m, pk.N) >= 0 {
 			return nil, fmt.Errorf("paillier: gpu EncryptVec[%d]: plaintext exceeds modulus", i)
 		}
 	}
-	rs, err := g.Engine.RandCoprimeVec(len(ms), pk.N, seed)
+	rn, err := g.nonceTerms(pk, 0, len(ms), seed)
 	if err != nil {
-		return nil, fmt.Errorf("paillier: gpu EncryptVec nonces: %w", err)
-	}
-	rn, err := g.Engine.ModExpVec(rs, pk.N, pk.MontN2())
-	if err != nil {
-		return nil, fmt.Errorf("paillier: gpu EncryptVec r^n: %w", err)
+		return nil, fmt.Errorf("paillier: gpu EncryptVec: %w", err)
 	}
 	gm := make([]mpint.Nat, len(ms))
 	for i, m := range ms {
@@ -156,8 +212,32 @@ func (g *GPUBackend) EncryptVec(pk *PublicKey, ms []mpint.Nat, seed uint64) ([]C
 	return out, nil
 }
 
-// DecryptVec implements Backend: one c^λ kernel, then the cheap L(·)·μ
-// host-side finish per element.
+// RerandomizeVec implements Backend: each ciphertext is multiplied by a
+// ready (or freshly computed) rⁿ noise term in one hom-mul kernel.
+func (g *GPUBackend) RerandomizeVec(pk *PublicKey, cs []Ciphertext, seed uint64) ([]Ciphertext, error) {
+	rn, err := g.nonceTerms(pk, 0, len(cs), seed)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: gpu RerandomizeVec: %w", err)
+	}
+	cv := make([]mpint.Nat, len(cs))
+	for i := range cs {
+		cv[i] = cs[i].C
+	}
+	prod, err := g.Engine.ModMulVec(cv, rn, pk.MontN2())
+	if err != nil {
+		return nil, fmt.Errorf("paillier: gpu RerandomizeVec combine: %w", err)
+	}
+	out := make([]Ciphertext, len(cs))
+	for i := range prod {
+		out[i] = Ciphertext{C: prod[i]}
+	}
+	return out, nil
+}
+
+// DecryptVec implements Backend with the reduced-exponent CRT split: two
+// shared-exponent kernels over the half-size moduli p² and q² (exponents
+// p−1 and q−1, half the bits of λ, on operands with half the limbs), then
+// the cheap L(·)·h and Garner recombination per element on the host.
 func (g *GPUBackend) DecryptVec(sk *PrivateKey, cs []Ciphertext) ([]mpint.Nat, error) {
 	bases := make([]mpint.Nat, len(cs))
 	for i, c := range cs {
@@ -166,13 +246,19 @@ func (g *GPUBackend) DecryptVec(sk *PrivateKey, cs []Ciphertext) ([]mpint.Nat, e
 		}
 		bases[i] = c.C
 	}
-	cl, err := g.Engine.ModExpVec(bases, sk.Lambda, sk.MontN2())
+	xp, err := g.Engine.ModExpVec(bases, sk.pm1, sk.montP2)
 	if err != nil {
-		return nil, fmt.Errorf("paillier: gpu DecryptVec c^λ: %w", err)
+		return nil, fmt.Errorf("paillier: gpu DecryptVec c^(p-1): %w", err)
+	}
+	xq, err := g.Engine.ModExpVec(bases, sk.qm1, sk.montQ2)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: gpu DecryptVec c^(q-1): %w", err)
 	}
 	out := make([]mpint.Nat, len(cs))
-	for i := range cl {
-		out[i] = mpint.ModMul(sk.lFunc(cl[i]), sk.Mu, sk.N)
+	for i := range cs {
+		mp := mpint.ModMul(lHalf(xp[i], sk.P), sk.hp, sk.P)
+		mq := mpint.ModMul(lHalf(xq[i], sk.Q), sk.hq, sk.Q)
+		out[i] = sk.garner(mp, mq)
 	}
 	return out, nil
 }

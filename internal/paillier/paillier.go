@@ -40,6 +40,15 @@ type PrivateKey struct {
 	montP2     *mpint.Mont
 	montQ2     *mpint.Mont
 	q2InvModP2 mpint.Nat // (q²)⁻¹ mod p²
+
+	// Reduced-exponent CRT decryption (§III-B optimisation): instead of one
+	// full-λ exponentiation per prime square, decrypt with exponent p−1
+	// (resp. q−1) — half the bits of λ — and fold the L(g^λ)⁻¹ correction
+	// into per-prime constants hp = L_p(g^{p−1} mod p²)⁻¹ mod p. The halves
+	// recombine over p and q with Garner's formula.
+	pm1, qm1 mpint.Nat // p−1, q−1: the reduced decryption exponents
+	hp, hq   mpint.Nat // L_p(g^{p−1})⁻¹ mod p, L_q(g^{q−1})⁻¹ mod q
+	qInvModP mpint.Nat // q⁻¹ mod p
 }
 
 // Ciphertext is a Paillier ciphertext: an element of Z*_{n²}.
@@ -150,7 +159,32 @@ func newKey(p, q, g mpint.Nat) (*PrivateKey, error) {
 		return nil, fmt.Errorf("paillier: L(g^λ) not invertible mod n (bad g)")
 	}
 	sk.Mu = mu
+
+	// Reduced-exponent constants. g^{p−1} mod p² ≡ 1 mod p by Fermat, so
+	// L_p applies; invertibility of the result mod p holds for every valid
+	// g (it fails exactly when L(g^λ) is not invertible mod n, which the μ
+	// computation above already rejected), but we check and redraw anyway.
+	sk.pm1, sk.qm1 = pm1, qm1
+	hp, ok := mpint.ModInverse(lHalf(sk.montP2.Exp(pk.G, pm1), p), p)
+	if !ok {
+		return nil, fmt.Errorf("paillier: L_p(g^(p-1)) not invertible mod p (bad g)")
+	}
+	hq, ok := mpint.ModInverse(lHalf(sk.montQ2.Exp(pk.G, qm1), q), q)
+	if !ok {
+		return nil, fmt.Errorf("paillier: L_q(g^(q-1)) not invertible mod q (bad g)")
+	}
+	qInv, ok := mpint.ModInverse(mpint.Mod(q, p), p)
+	if !ok {
+		return nil, fmt.Errorf("paillier: q not invertible mod p")
+	}
+	sk.hp, sk.hq, sk.qInvModP = hp, hq, qInv
 	return sk, nil
+}
+
+// lHalf computes L_p(x) = (x−1)/p for x < p² with x ≡ 1 mod p; the quotient
+// is already reduced mod p.
+func lHalf(x, p mpint.Nat) mpint.Nat {
+	return mpint.Div(mpint.Sub(x, mpint.One()), p)
 }
 
 // lFunc computes L(x) = (x−1)/n.
@@ -199,13 +233,45 @@ func (pk *PublicKey) EncryptWithNonce(m, r mpint.Nat) (Ciphertext, error) {
 	return Ciphertext{C: mpint.ModMul(gm, rn, pk.N2)}, nil
 }
 
-// Decrypt recovers the plaintext: D(c) = L(c^λ mod n²)·μ mod n (Eq. 4).
+// Decrypt recovers the plaintext with the reduced-exponent CRT path:
+// m_p = L_p(c^{p−1} mod p²)·hp mod p and m_q likewise, recombined with
+// Garner's formula m = m_q + q·((m_p − m_q)·q⁻¹ mod p). The exponents are
+// half the bits of λ, so each prime-square exponentiation does roughly half
+// the Montgomery multiplies of the classic D(c) = L(c^λ mod n²)·μ mod n —
+// which DecryptClassic still provides, bit-exact with this path on every
+// valid ciphertext.
 func (sk *PrivateKey) Decrypt(c Ciphertext) (mpint.Nat, error) {
+	if c.C.IsZero() || mpint.Cmp(c.C, sk.N2) >= 0 {
+		return nil, fmt.Errorf("paillier: ciphertext out of range")
+	}
+	mp := sk.halfDecrypt(c.C, sk.montP2, sk.pm1, sk.hp, sk.P)
+	mq := sk.halfDecrypt(c.C, sk.montQ2, sk.qm1, sk.hq, sk.Q)
+	return sk.garner(mp, mq), nil
+}
+
+// DecryptClassic recovers the plaintext via the textbook full-λ route:
+// D(c) = L(c^λ mod n²)·μ mod n (Eq. 4), with the n² exponentiation CRT-split
+// over p² and q². Kept as the differential-testing reference for Decrypt.
+func (sk *PrivateKey) DecryptClassic(c Ciphertext) (mpint.Nat, error) {
 	if c.C.IsZero() || mpint.Cmp(c.C, sk.N2) >= 0 {
 		return nil, fmt.Errorf("paillier: ciphertext out of range")
 	}
 	cl := sk.expN2(c.C, sk.Lambda)
 	return mpint.ModMul(sk.lFunc(cl), sk.Mu, sk.N), nil
+}
+
+// halfDecrypt computes L_prime(c^{prime−1} mod prime²)·h mod prime — one
+// prime's share of the reduced-exponent decryption.
+func (sk *PrivateKey) halfDecrypt(c mpint.Nat, m *mpint.Mont, em1, h, prime mpint.Nat) mpint.Nat {
+	return mpint.ModMul(lHalf(m.Exp(c, em1), prime), h, prime)
+}
+
+// garner recombines the per-prime plaintext shares into m mod n:
+// m = m_q + q·((m_p − m_q)·q⁻¹ mod p).
+func (sk *PrivateKey) garner(mp, mq mpint.Nat) mpint.Nat {
+	diff := mpint.ModSub(mp, mpint.Mod(mq, sk.P), sk.P)
+	h := mpint.ModMul(diff, sk.qInvModP, sk.P)
+	return mpint.Add(mq, mpint.Mul(sk.Q, h))
 }
 
 // Add computes the homomorphic addition E(m₁+m₂) = E(m₁)·E(m₂) mod n²

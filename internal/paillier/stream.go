@@ -88,7 +88,7 @@ func (g *GPUBackend) BeginEncrypt(pk *PublicKey, seed uint64) (EncryptSession, e
 	if !ok {
 		return nil, fmt.Errorf("paillier: engine %T does not support streamed encryption", g.Engine)
 	}
-	s := &gpuEncryptSession{pk: pk, seed: seed, eng: se}
+	s := &gpuEncryptSession{g: g, pk: pk, seed: seed, eng: se}
 	if dev := se.StreamDevice(); dev != nil {
 		s.pipe = dev.NewPipeline(2)
 	}
@@ -96,6 +96,7 @@ func (g *GPUBackend) BeginEncrypt(pk *PublicKey, seed uint64) (EncryptSession, e
 }
 
 type gpuEncryptSession struct {
+	g    *GPUBackend
 	pk   *PublicKey
 	seed uint64
 	eng  ghe.StreamEngine
@@ -104,9 +105,10 @@ type gpuEncryptSession struct {
 	done bool
 }
 
-// Next implements EncryptSession: the same three-kernel chunk as
-// EncryptVec (nonces, rⁿ modexp, hom-mul combine) with nonce positions
-// offset by the session's global base, bracketed as one pipeline chunk.
+// Next implements EncryptSession: the same chunk shape as EncryptVec
+// (nonce terms from the pool or the two online kernels, then the hom-mul
+// combine) with nonce positions offset by the session's global base,
+// bracketed as one pipeline chunk.
 func (s *gpuEncryptSession) Next(ms []mpint.Nat) ([]Ciphertext, time.Duration, error) {
 	for i, m := range ms {
 		if mpint.Cmp(m, s.pk.N) >= 0 {
@@ -116,13 +118,9 @@ func (s *gpuEncryptSession) Next(ms []mpint.Nat) ([]Ciphertext, time.Duration, e
 	if s.pipe != nil {
 		s.pipe.Begin()
 	}
-	rs, err := s.eng.RandCoprimeRange(s.base, len(ms), s.pk.N, s.seed)
+	rn, err := s.g.nonceTerms(s.pk, s.base, len(ms), s.seed)
 	if err != nil {
-		return nil, 0, fmt.Errorf("paillier: gpu EncryptSession nonces: %w", err)
-	}
-	rn, err := s.eng.ModExpVec(rs, s.pk.N, s.pk.MontN2())
-	if err != nil {
-		return nil, 0, fmt.Errorf("paillier: gpu EncryptSession r^n: %w", err)
+		return nil, 0, fmt.Errorf("paillier: gpu EncryptSession: %w", err)
 	}
 	gm := make([]mpint.Nat, len(ms))
 	for i, m := range ms {
