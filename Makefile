@@ -1,12 +1,13 @@
 # Developer entry points. `make check` is the pre-commit gate: it builds
 # everything, vets, runs the full test suite, re-runs the concurrency-
 # sensitive packages (transport + round runtime + device fault layer) under
-# the race detector, smoke-runs the fuzz targets, and compiles-and-runs
-# every HE-stack benchmark once so benchmark code cannot bit-rot.
+# the race detector, smoke-runs the fuzz targets, compiles-and-runs every
+# HE-stack benchmark once so benchmark code cannot bit-rot, and runs the
+# CI-sized multi-fault chaos soak under the race detector.
 
 GO ?= go
 
-.PHONY: build test vet race fuzz bench-smoke check resilience devfault
+.PHONY: build test vet race fuzz bench-smoke soak-smoke check resilience devfault soak
 
 build:
 	$(GO) build ./...
@@ -34,7 +35,13 @@ fuzz:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/mpint ./internal/ghe ./internal/paillier
 
-check: build vet test race fuzz bench-smoke
+# The CI-sized chaos soak (DESIGN.md §11): seeded network chaos + device
+# faults + coordinator kills with journal recovery + client churn, every
+# completed round checked against the plaintext oracle, all under -race.
+soak-smoke:
+	$(GO) test -race -run TestSoakSmoke -timeout 300s -count 1 ./internal/fl
+
+check: build vet test race fuzz bench-smoke soak-smoke
 
 # Demonstrate graceful degradation under a straggler (see DESIGN.md §6).
 resilience:
@@ -44,3 +51,8 @@ resilience:
 # verified, a mid-round device kill failing over bit-exact (DESIGN.md §7).
 devfault:
 	$(GO) run ./cmd/flbench -keys 1024 -epochs 4 devfault
+
+# The full 60-round multi-fault chaos soak; regenerates BENCH_soak.json
+# (run from the repo root so the summary lands next to its siblings).
+soak:
+	$(GO) run ./cmd/flbench soak

@@ -23,6 +23,18 @@
 //	              spans on exit, plus a metrics text dump to stdout (demo
 //	              mode shares one trace across the in-process parties)
 //
+// Durability (see DESIGN.md, "Durable epochs"):
+//
+//	-journal f    server: append round state to a write-ahead journal file
+//	-resume       server: replay -journal on startup and resume the round
+//	              from the last safe boundary (or exit 0 if already done)
+//	-failpoint s  server: crash at a named durable boundary (testing only;
+//	              "aggregate" dies after the aggregate is journaled)
+//
+// The first SIGINT/SIGTERM starts a graceful drain: a server with quorum
+// met finishes the round; below quorum it journals the abandoned round and
+// exits zero. A second signal aborts hard with a nonzero status.
+//
 // All parties derive the same demo key pair from -seed; in production each
 // deployment would provision keys through its own PKI.
 package main
@@ -32,8 +44,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"flbooster/internal/fl"
@@ -49,13 +63,26 @@ import (
 const demoRound = 1
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// First SIGINT/SIGTERM starts the graceful drain; a second one means the
+	// operator wants out now — a dirty stop, and the only path that exits
+	// nonzero without an actual error.
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+		<-sig
+		fmt.Fprintln(os.Stderr, "flserver: second signal, aborting")
+		os.Exit(1)
+	}()
+	if err := run(os.Args[1:], stop); err != nil {
 		fmt.Fprintln(os.Stderr, "flserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stop <-chan struct{}) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: flserver <hub|server|client|demo> [flags]")
 	}
@@ -73,6 +100,9 @@ func run(args []string) error {
 	straggle := fs.Duration("straggle", 0, "delay this client's upload (demo: client 0)")
 	chunk := fs.Int("chunk", 0, "streamed-pipeline chunk size in plaintexts (0 = sequential)")
 	trace := fs.String("trace", "", "write Chrome trace-event JSON of sim-time spans to this file on exit")
+	journal := fs.String("journal", "", "server: write-ahead round journal file (empty = no journal)")
+	resume := fs.Bool("resume", false, "server: replay -journal and resume from the last safe boundary")
+	failpoint := fs.String("failpoint", "", "server: crash at a named durable boundary (testing; e.g. \"aggregate\")")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -90,10 +120,19 @@ func run(args []string) error {
 			return herr
 		}
 		fmt.Println("hub listening on", hub.Addr())
-		select {} // route until killed
+		if stop == nil {
+			select {} // route until killed
+		}
+		<-stop // route until the drain signal, then close cleanly
+		return hub.Close()
 
 	case "server":
-		err = runServer(*addr, *clients, *keyBits, *seed, *quorum, *timeout, o)
+		err = runServer(serverOpts{
+			addr: *addr, clients: *clients, keyBits: *keyBits, seed: *seed,
+			quorum: *quorum, timeout: *timeout,
+			journal: *journal, resume: *resume, failpoint: *failpoint,
+			stop: stop, o: o,
+		})
 
 	case "client":
 		var vals []float64
@@ -103,7 +142,7 @@ func run(args []string) error {
 		err = runClient(*addr, *id, *clients, *keyBits, *chunk, *seed, vals, *straggle, o)
 
 	case "demo":
-		err = runDemo(*clients, *dim, *keyBits, *chunk, *seed, *quorum, *timeout, *straggle, o)
+		err = runDemo(*clients, *dim, *keyBits, *chunk, *seed, *quorum, *timeout, *straggle, stop, o)
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -155,68 +194,194 @@ func demoContext(keyBits, clients, chunk int, seed uint64, o *obs.Obs, label str
 	return ctx, nil
 }
 
-func runServer(addr string, clients, keyBits int, seed uint64, quorum int, timeout time.Duration, o *obs.Obs) error {
+// serverOpts bundles the aggregation server's configuration; the zero value
+// of each optional field (journal, resume, failpoint, stop, o) disables it.
+type serverOpts struct {
+	addr    string
+	clients int
+	keyBits int
+	seed    uint64
+	// quorum and timeout select the degraded gather mode (see DESIGN.md).
+	quorum  int
+	timeout time.Duration
+	// journal appends round state to this write-ahead file; resume replays
+	// it on startup and picks the round up from the last safe boundary.
+	journal string
+	resume  bool
+	// failpoint crashes the server at a named durable boundary ("aggregate"
+	// dies right after the aggregate record is journaled). Testing only.
+	failpoint string
+	// stop is the graceful-drain signal (SIGINT/SIGTERM in main): with
+	// quorum met the server finishes the round; below quorum it journals
+	// the abandoned round and exits cleanly.
+	stop <-chan struct{}
+	o    *obs.Obs
+}
+
+func runServer(opts serverOpts) error {
 	// The server only aggregates and decrypts whole batches, so it never
 	// needs the streamed path — chunk 0 regardless of the client flag.
-	ctx, err := demoContext(keyBits, clients, 0, seed, o, fl.ServerName)
+	ctx, err := demoContext(opts.keyBits, opts.clients, 0, opts.seed, opts.o, fl.ServerName)
 	if err != nil {
 		return err
 	}
 	defer ctx.PublishMetrics()
-	if quorum <= 0 || quorum > clients {
-		quorum = clients
+	quorum := opts.quorum
+	if quorum <= 0 || quorum > opts.clients {
+		quorum = opts.clients
 	}
-	conn, err := flnet.DialHub(addr, fl.ServerName)
+
+	var jr *fl.Journal
+	attempt := uint32(1)
+	var resumePt *fl.ResumePoint
+	if opts.journal != "" {
+		store, err := fl.OpenFileStore(opts.journal)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		if jr, err = fl.NewJournal(store); err != nil {
+			return err
+		}
+		if opts.resume {
+			recs, err := jr.Records()
+			if err != nil {
+				return err
+			}
+			state, err := fl.Replay(recs)
+			if err != nil {
+				return err
+			}
+			if state.Completed > 0 {
+				fmt.Printf("journal %s: round %d already complete (digest %016x)\n",
+					opts.journal, demoRound, state.Digests[demoRound])
+				return nil
+			}
+			if rp := state.Resume; rp != nil {
+				attempt = rp.Attempt + 1
+				resumePt = rp
+				fmt.Printf("journal %s: resuming round %d attempt %d at the %s boundary\n",
+					opts.journal, rp.Round, attempt, rp.Phase)
+			}
+		}
+	}
+
+	conn, err := flnet.DialHub(opts.addr, fl.ServerName)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	fmt.Printf("server up: %d-bit key, waiting for %d clients (quorum %d)\n", keyBits, clients, quorum)
 
-	var deadline time.Time
-	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
+	if resumePt != nil && resumePt.Phase == fl.PhaseBroadcast {
+		// The aggregate survived the crash (digest-checked by Replay):
+		// replay it straight to the clients without re-gathering.
+		return broadcastAggregate(conn, jr, attempt, resumePt.Included, resumePt.Payload, opts.clients)
 	}
-	batches := make(map[string][]paillier.Ciphertext, clients)
-	order := make([]string, 0, clients)
-	for len(batches) < clients {
-		var remaining time.Duration
-		if !deadline.IsZero() {
-			if remaining = time.Until(deadline); remaining <= 0 {
-				break // deadline elapsed with the loop below deciding quorum
-			}
+
+	if jr != nil {
+		names := make([]string, opts.clients)
+		for i := range names {
+			names[i] = fl.ClientName(i)
 		}
-		msg, err := conn.RecvTimeout(fl.ServerName, remaining)
-		if err != nil {
-			if flnet.IsTimeout(err) {
-				break
-			}
+		rec := fl.JournalRecord{Kind: fl.EventRoundStart, Round: demoRound, Attempt: attempt, Members: names}
+		if err := jr.Append(rec); err != nil {
 			return err
 		}
-		if msg.Kind != "grads" || msg.Round != demoRound {
-			fmt.Printf("discarding stale %q from %s (round %d)\n", msg.Kind, msg.From, msg.Round)
-			continue
+	}
+	fmt.Printf("server up: %d-bit key, waiting for %d clients (quorum %d)\n", opts.keyBits, opts.clients, quorum)
+
+	// A receiver goroutine turns the blocking Recv into a channel so the
+	// gather can select on the deadline and the drain signal without a
+	// mid-frame timeout desyncing the stream; the deferred conn.Close
+	// unblocks it on every exit path.
+	type delivery struct {
+		msg flnet.Message
+		err error
+	}
+	msgs := make(chan delivery)
+	recvDone := make(chan struct{})
+	defer close(recvDone)
+	go func() {
+		for {
+			msg, err := conn.Recv(fl.ServerName)
+			select {
+			case msgs <- delivery{msg, err}:
+				if err != nil {
+					return
+				}
+			case <-recvDone:
+				return
+			}
 		}
-		if _, dup := batches[msg.From]; dup {
-			fmt.Printf("discarding duplicate upload from %s\n", msg.From)
-			continue
+	}()
+
+	var deadlineC <-chan time.Time
+	if opts.timeout > 0 {
+		tm := time.NewTimer(opts.timeout)
+		defer tm.Stop()
+		deadlineC = tm.C
+	}
+
+	batches := make(map[string][]paillier.Ciphertext, opts.clients)
+	order := make([]string, 0, opts.clients)
+	draining := false
+gather:
+	for len(batches) < opts.clients {
+		select {
+		case d := <-msgs:
+			if d.err != nil {
+				return d.err
+			}
+			msg := d.msg
+			if msg.Kind != "grads" || msg.Round != demoRound {
+				fmt.Printf("discarding stale %q from %s (round %d)\n", msg.Kind, msg.From, msg.Round)
+				continue
+			}
+			if _, dup := batches[msg.From]; dup {
+				fmt.Printf("discarding duplicate upload from %s\n", msg.From)
+				continue
+			}
+			nats, err := flnet.DecodeNats(msg.Payload)
+			if err != nil {
+				return err
+			}
+			cts := make([]paillier.Ciphertext, len(nats))
+			for j, n := range nats {
+				cts[j] = paillier.Ciphertext{C: n}
+			}
+			batches[msg.From] = cts
+			order = append(order, msg.From)
+			fmt.Printf("received %d ciphertexts from %s (%d/%d)\n", len(cts), msg.From, len(batches), opts.clients)
+		case <-deadlineC:
+			break gather // deadline elapsed with the code below deciding quorum
+		case <-opts.stop:
+			draining = true
+			break gather
 		}
-		nats, err := flnet.DecodeNats(msg.Payload)
-		if err != nil {
-			return err
+	}
+	if draining && len(batches) < quorum {
+		// Graceful drain below quorum: journal the abandoned round and exit
+		// zero — a restart with -resume re-runs the round from the top.
+		fmt.Printf("drain signal with %d/%d uploads (quorum %d): abandoning the round\n",
+			len(batches), opts.clients, quorum)
+		if jr != nil {
+			rec := fl.JournalRecord{
+				Kind: fl.EventDrained, Round: demoRound, Attempt: attempt,
+				Phase: fl.PhaseGather, Reason: "drained below quorum",
+			}
+			if err := jr.Append(rec); err != nil {
+				return err
+			}
 		}
-		cts := make([]paillier.Ciphertext, len(nats))
-		for j, n := range nats {
-			cts[j] = paillier.Ciphertext{C: n}
-		}
-		batches[msg.From] = cts
-		order = append(order, msg.From)
-		fmt.Printf("received %d ciphertexts from %s (%d/%d)\n", len(cts), msg.From, len(batches), clients)
+		return nil
 	}
 	if len(batches) < quorum {
-		return fmt.Errorf("gather deadline with %d/%d uploads, below quorum %d", len(batches), clients, quorum)
+		return fmt.Errorf("gather deadline with %d/%d uploads, below quorum %d", len(batches), opts.clients, quorum)
 	}
-	for i := 0; i < clients; i++ {
+	if draining {
+		fmt.Println("drain signal with quorum met: finishing the round before exit")
+	}
+	for i := 0; i < opts.clients; i++ {
 		if _, ok := batches[fl.ClientName(i)]; !ok {
 			fmt.Printf("dropping straggler %s (missed the gather deadline)\n", fl.ClientName(i))
 		}
@@ -230,24 +395,50 @@ func runServer(addr string, clients, keyBits int, seed uint64, quorum int, timeo
 	if err != nil {
 		return err
 	}
-	// The aggregate is prefixed with the contributor count K so clients can
-	// remove the quantization bias for K parties and rescale to N/K.
 	nats := make([]mpint.Nat, len(agg))
 	for i, c := range agg {
 		nats[i] = c.C
 	}
-	payload := make([]byte, 4, 4+len(nats)*8)
-	binary.LittleEndian.PutUint32(payload, uint32(len(order)))
-	payload = append(payload, flnet.EncodeNats(nats)...)
-	// Broadcast to every client — stragglers included, so a late participant
-	// still terminates instead of waiting forever for an aggregate.
+	raw := flnet.EncodeNats(nats)
+	if jr != nil {
+		rec := fl.JournalRecord{
+			Kind: fl.EventAggregated, Round: demoRound, Attempt: attempt,
+			Members: order, Digest: fl.PayloadDigest(raw), Payload: raw,
+		}
+		if err := jr.Append(rec); err != nil {
+			return err
+		}
+	}
+	if opts.failpoint == "aggregate" {
+		return fmt.Errorf("failpoint %q: crashing after the aggregate was journaled", opts.failpoint)
+	}
+	return broadcastAggregate(conn, jr, attempt, order, raw, opts.clients)
+}
+
+// broadcastAggregate prefixes the encoded aggregate with the contributor
+// count K (so clients can remove the K-party quantization bias and rescale
+// to N/K), sends it to every client — stragglers included, so a late
+// participant still terminates — and journals the round done.
+func broadcastAggregate(conn *flnet.TCPClient, jr *fl.Journal, attempt uint32, included []string, raw []byte, clients int) error {
+	payload := make([]byte, 4, 4+len(raw))
+	binary.LittleEndian.PutUint32(payload, uint32(len(included)))
+	payload = append(payload, raw...)
 	for i := 0; i < clients; i++ {
 		msg := flnet.Message{From: fl.ServerName, To: fl.ClientName(i), Kind: "agg", Round: demoRound, Payload: payload}
 		if err := conn.Send(msg); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("aggregated %d/%d uploads and broadcast %d ciphertexts\n", len(order), clients, len(agg))
+	if jr != nil {
+		rec := fl.JournalRecord{
+			Kind: fl.EventRoundDone, Round: demoRound, Attempt: attempt,
+			Members: included, Digest: fl.PayloadDigest(raw),
+		}
+		if err := jr.Append(rec); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("aggregated %d/%d uploads and broadcast the %d-byte aggregate\n", len(included), clients, len(payload))
 	return nil
 }
 
@@ -321,7 +512,7 @@ func runClient(addr string, id, clients, keyBits, chunk int, seed uint64, vals [
 // runDemo runs hub, server, and clients in one process over loopback TCP.
 // With straggle > 0, client 0 delays its upload; combined with -quorum and
 // -timeout this demonstrates the round completing without it.
-func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout, straggle time.Duration, o *obs.Obs) error {
+func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout, straggle time.Duration, stop <-chan struct{}, o *obs.Obs) error {
 	hub, err := flnet.NewTCPHub("127.0.0.1:0", flnet.GigabitEthernet())
 	if err != nil {
 		return err
@@ -330,7 +521,12 @@ func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout,
 	fmt.Println("demo hub on", hub.Addr())
 
 	errs := make(chan error, clients+1)
-	go func() { errs <- runServer(hub.Addr(), clients, keyBits, seed, quorum, timeout, o) }()
+	go func() {
+		errs <- runServer(serverOpts{
+			addr: hub.Addr(), clients: clients, keyBits: keyBits, seed: seed,
+			quorum: quorum, timeout: timeout, stop: stop, o: o,
+		})
+	}()
 
 	rng := mpint.NewRNG(seed)
 	want := make([]float64, dim)

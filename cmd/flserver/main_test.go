@@ -1,9 +1,13 @@
 package main
 
 import (
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"flbooster/internal/fl"
+	"flbooster/internal/flnet"
 	"flbooster/internal/obs"
 )
 
@@ -31,7 +35,7 @@ func TestDemoEndToEnd(t *testing.T) {
 	// clients encrypting through the streamed pipeline (chunk 2), sharing
 	// one observability bundle across the in-process parties.
 	o := obs.New(9)
-	if err := runDemo(3, 4, 128, 2, 9, 0, 0, 0, o); err != nil {
+	if err := runDemo(3, 4, 128, 2, 9, 0, 0, 0, nil, o); err != nil {
 		t.Fatal(err)
 	}
 	if o.Recorder().Len() == 0 {
@@ -48,7 +52,7 @@ func TestDemoQuorumSurvivesStraggler(t *testing.T) {
 	// of stalling on the missing upload.
 	done := make(chan error, 1)
 	go func() {
-		done <- runDemo(4, 4, 128, 0, 9, 3, 250*time.Millisecond, 900*time.Millisecond, nil)
+		done <- runDemo(4, 4, 128, 0, 9, 3, 250*time.Millisecond, 900*time.Millisecond, nil, nil)
 	}()
 	select {
 	case err := <-done:
@@ -66,7 +70,7 @@ func TestDemoQuorumBelowThresholdFails(t *testing.T) {
 	// demo path only delays client 0, so demand a full quorum of 2.
 	done := make(chan error, 1)
 	go func() {
-		done <- runDemo(2, 2, 128, 0, 9, 2, time.Nanosecond, 500*time.Millisecond, nil)
+		done <- runDemo(2, 2, 128, 0, 9, 2, time.Nanosecond, 500*time.Millisecond, nil, nil)
 	}()
 	select {
 	case err := <-done:
@@ -78,14 +82,188 @@ func TestDemoQuorumBelowThresholdFails(t *testing.T) {
 	}
 }
 
+// replayJournal loads and replays a server journal file for assertions.
+func replayJournal(t *testing.T, path string) fl.RecoveryState {
+	t.Helper()
+	store, err := fl.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	recs, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := fl.Replay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state
+}
+
+func TestServerGracefulDrainAborts(t *testing.T) {
+	// A drain signal with zero uploads (below quorum) must exit cleanly —
+	// nil error, so main exits zero — leaving the abandoned round journaled
+	// as drained with no open resume point.
+	hub, err := flnet.NewTCPHub("127.0.0.1:0", flnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	journal := filepath.Join(t.TempDir(), "round.journal")
+
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- runServer(serverOpts{
+			addr: hub.Addr(), clients: 2, keyBits: 128, seed: 9,
+			journal: journal, stop: stop,
+		})
+	}()
+	close(stop) // closed channels are always ready: no upload can win the race
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain below quorum must exit clean, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain hung")
+	}
+	state := replayJournal(t, journal)
+	if state.Drained != 1 || state.Resume != nil || state.Completed != 0 {
+		t.Fatalf("drained journal replayed wrong: %+v", state)
+	}
+}
+
+func TestServerDrainFinishesWithQuorum(t *testing.T) {
+	// A drain signal after quorum is met must finish the round — aggregate,
+	// broadcast, journal round-done — not abandon the connected client.
+	hub, err := flnet.NewTCPHub("127.0.0.1:0", flnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	journal := filepath.Join(t.TempDir(), "round.journal")
+
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- runServer(serverOpts{
+			addr: hub.Addr(), clients: 2, keyBits: 128, seed: 9,
+			quorum: 1, journal: journal, stop: stop,
+		})
+	}()
+	clientErr := make(chan error, 1)
+	go func() {
+		clientErr <- runClient(hub.Addr(), 0, 2, 128, 0, 9, []float64{0.5, -0.25}, 0, nil)
+	}()
+
+	// Drain only after the upload has been routed through the hub (plus a
+	// beat for the server loop to consume it), so quorum 1 is already met.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, msgsRouted, _ := hub.Meter().Snapshot()
+		if msgsRouted >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("upload never reached the hub")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(250 * time.Millisecond)
+	close(stop)
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("drain with quorum met must finish the round: %v", err)
+			}
+		case err := <-clientErr:
+			if err != nil {
+				t.Fatalf("client failed: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("drain-with-quorum run hung")
+		}
+	}
+	state := replayJournal(t, journal)
+	if state.Completed != 1 || state.Drained != 0 || state.Resume != nil {
+		t.Fatalf("drain-with-quorum journal replayed wrong: %+v", state)
+	}
+}
+
+func TestServerCrashResumeBroadcast(t *testing.T) {
+	// Kill the server at the aggregate boundary (nonzero exit), restart it
+	// with -resume: it must broadcast the journaled payload to the still-
+	// waiting clients without re-gathering, and a further -resume restart
+	// must be a no-op because the journal shows the round complete.
+	hub, err := flnet.NewTCPHub("127.0.0.1:0", flnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	journal := filepath.Join(t.TempDir(), "round.journal")
+
+	vals := [][]float64{{0.1, 0.2, 0.3, 0.4}, {-0.05, 0.25, 0, 0.5}}
+	clientErr := make(chan error, 2)
+	for i := range vals {
+		go func(id int) {
+			clientErr <- runClient(hub.Addr(), id, 2, 128, 0, 9, vals[id], 0, nil)
+		}(i)
+	}
+
+	err = runServer(serverOpts{
+		addr: hub.Addr(), clients: 2, keyBits: 128, seed: 9,
+		journal: journal, failpoint: "aggregate",
+	})
+	if err == nil || !strings.Contains(err.Error(), "failpoint") {
+		t.Fatalf("failpoint run returned %v", err)
+	}
+	mid := replayJournal(t, journal)
+	if mid.Resume == nil || mid.Resume.Phase != fl.PhaseBroadcast {
+		t.Fatalf("crash left no broadcast resume point: %+v", mid)
+	}
+
+	if err := runServer(serverOpts{
+		addr: hub.Addr(), clients: 2, keyBits: 128, seed: 9,
+		journal: journal, resume: true,
+	}); err != nil {
+		t.Fatalf("resume run failed: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-clientErr:
+			if err != nil {
+				t.Fatalf("client failed after resume: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("clients never received the resumed broadcast")
+		}
+	}
+	state := replayJournal(t, journal)
+	if state.Completed != 1 || state.Resume != nil || state.Digests[demoRound] == 0 {
+		t.Fatalf("resumed journal replayed wrong: %+v", state)
+	}
+
+	// Third incarnation: round already done, exit zero without dialing.
+	if err := runServer(serverOpts{
+		addr: "0.0.0.0:1", clients: 2, keyBits: 128, seed: 9,
+		journal: journal, resume: true,
+	}); err != nil {
+		t.Fatalf("resume of a completed round must be a no-op: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(nil, nil); err == nil {
 		t.Fatal("no command should fail")
 	}
-	if err := run([]string{"nope"}); err == nil {
+	if err := run([]string{"nope"}, nil); err == nil {
 		t.Fatal("unknown command should fail")
 	}
-	if err := run([]string{"client", "-values", ""}); err == nil {
+	if err := run([]string{"client", "-values", ""}, nil); err == nil {
 		t.Fatal("client without values should fail")
 	}
 }

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSoakDeterministic runs the same soak config twice and requires
+// identical summaries: the committed BENCH_soak.json must be a pure
+// function of the seed, restarts and all.
+func TestSoakDeterministic(t *testing.T) {
+	cfg := DefaultSoakConfig(7, 16, 4, 128)
+	a, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("soak summaries diverged across identical runs:\n%+v\n%+v", a, b)
+	}
+	if a.Completed+a.Failed != cfg.Rounds {
+		t.Fatalf("rounds unaccounted for: %+v", a)
+	}
+	if a.Mismatches != 0 || a.UntypedErrors != 0 {
+		t.Fatalf("soak found corruption: %+v", a)
+	}
+	if a.Crashes != a.Recoveries {
+		t.Fatalf("crashes %d != recoveries %d", a.Crashes, a.Recoveries)
+	}
+}
+
+// TestSoakValidates rejects nonsense configs.
+func TestSoakValidates(t *testing.T) {
+	bad := []SoakConfig{
+		{Rounds: 0, Parties: 4, Dim: 4, RejoinAfter: 1},
+		{Rounds: 5, Parties: 1, Dim: 4, RejoinAfter: 1},
+		{Rounds: 5, Parties: 4, Dim: 0, RejoinAfter: 1},
+		{Rounds: 5, Parties: 4, Dim: 4, RejoinAfter: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := RunSoak(cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package fl
+
+import (
+	"testing"
+
+	"flbooster/internal/flnet"
+)
+
+// TestChurnLeaveRejoinAdmission walks the roster life-cycle across round
+// boundaries: a departed client stops contributing (with the scale
+// compensating), a rejoin parks it as pending, and the next round boundary
+// admits it — reported in RoundReport.Admitted.
+func TestChurnLeaveRejoinAdmission(t *testing.T) {
+	p := quorumProfile(SystemFLBooster)
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	grads := epochGrads(1, p.Parties, 4)[0]
+
+	// Round 1: full federation.
+	_, rep, err := fed.SecureAggregateReport(grads)
+	if err != nil || len(rep.Included) != 4 || rep.Scale != 1 {
+		t.Fatalf("round 1: rep %+v err %v", rep, err)
+	}
+
+	// client1 departs; round 2 runs with the remaining three at scale 4/3.
+	if err := fed.Leave(ClientName(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err = fed.SecureAggregateReport(grads)
+	if err != nil {
+		t.Fatalf("round 2: %v", err)
+	}
+	if len(rep.Included) != 3 || rep.Scale != 4.0/3.0 {
+		t.Fatalf("round 2: rep %+v", rep)
+	}
+	for _, name := range rep.Included {
+		if name == ClientName(1) {
+			t.Fatalf("departed client included: %+v", rep)
+		}
+	}
+
+	// Rejoin parks the client: it is pending, not active, until the boundary.
+	if err := fed.Rejoin(ClientName(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := fed.Roster().Pending(); len(got) != 1 || got[0] != ClientName(1) {
+		t.Fatalf("pending %v", got)
+	}
+	if got := fed.Roster().Active(); len(got) != 3 {
+		t.Fatalf("active %v before the boundary", got)
+	}
+
+	// Round 3 admits it at the boundary and runs full again.
+	_, rep, err = fed.SecureAggregateReport(grads)
+	if err != nil {
+		t.Fatalf("round 3: %v", err)
+	}
+	if len(rep.Admitted) != 1 || rep.Admitted[0] != ClientName(1) {
+		t.Fatalf("round 3 admitted %v", rep.Admitted)
+	}
+	if len(rep.Included) != 4 || rep.Scale != 1 {
+		t.Fatalf("round 3: rep %+v", rep)
+	}
+}
+
+// TestChurnRosterErrors: the roster rejects invalid transitions.
+func TestChurnRosterErrors(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFATE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	if err := fed.Leave("server"); err == nil {
+		t.Fatal("server accepted as departing client")
+	}
+	if err := fed.Leave("client99"); err == nil {
+		t.Fatal("unknown client departed")
+	}
+	if err := fed.Rejoin(ClientName(0)); err == nil {
+		t.Fatal("active client rejoined")
+	}
+	if err := fed.Leave(ClientName(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Leave(ClientName(0)); err == nil {
+		t.Fatal("double departure accepted")
+	}
+	if err := fed.Rejoin(ClientName(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Rejoin(ClientName(0)); err == nil {
+		t.Fatal("double rejoin accepted")
+	}
+}
+
+// TestChurnBelowQuorumFailsTyped: once departures push the active roster
+// below an explicit quorum, rounds fail with a typed admit-phase error until
+// someone rejoins.
+func TestChurnBelowQuorumFailsTyped(t *testing.T) {
+	p := quorumProfile(SystemFATE) // quorum 3 of 4
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	grads := epochGrads(1, p.Parties, 3)[0]
+	for _, name := range []string{ClientName(0), ClientName(1)} {
+		if err := fed.Leave(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err = fed.SecureAggregateReport(grads)
+	asRoundError(t, err, PhaseAdmit)
+
+	// A rejoin at the boundary restores quorum and the next round runs.
+	if err := fed.Rejoin(ClientName(0)); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := fed.SecureAggregateReport(grads)
+	if err != nil || len(rep.Included) != 3 {
+		t.Fatalf("post-rejoin round: rep %+v err %v", rep, err)
+	}
+}
+
+// TestResumeHandshakeMidRound injects session-resume probes from a departed
+// client into the server's queue while a round is in flight: a token naming
+// the in-flight (epoch, round, attempt) gets resume-ok, a stale one gets
+// resume-wait pointing at the next round boundary — and the in-flight round
+// completes unperturbed either way.
+func TestResumeHandshakeMidRound(t *testing.T) {
+	cases := []struct {
+		name     string
+		tok      flnet.SessionToken
+		wantKind string
+	}{
+		{"exact token resumes", flnet.SessionToken{Epoch: 0, Round: 1, Attempt: 1}, flnet.KindResumeOK},
+		{"stale token waits", flnet.SessionToken{Epoch: 0, Round: 0, Attempt: 1}, flnet.KindResumeWait},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := quorumProfile(SystemFLBooster)
+			ctx, err := NewContext(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fed := NewFederation(ctx)
+			defer fed.Close()
+			// client3 departed; its probe reaches the server mid-gather.
+			if err := fed.Leave(ClientName(3)); err != nil {
+				t.Fatal(err)
+			}
+			probe := flnet.Message{
+				From: ClientName(3), To: ServerName, Kind: flnet.KindResume,
+				Round: 1, Payload: tc.tok.Encode(),
+			}
+			if err := fed.Transport.Send(probe); err != nil {
+				t.Fatal(err)
+			}
+
+			grads := epochGrads(1, p.Parties, 4)[0]
+			_, rep, err := fed.SecureAggregateReport(grads)
+			if err != nil {
+				t.Fatalf("round with probe in flight: %v", err)
+			}
+			if len(rep.Included) != 3 || rep.Degraded() {
+				t.Fatalf("probe perturbed the round: %+v", rep)
+			}
+
+			// The departed client received exactly one admission reply.
+			reply, err := fed.Transport.Recv(ClientName(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reply.Kind != tc.wantKind {
+				t.Fatalf("reply kind %q, want %q", reply.Kind, tc.wantKind)
+			}
+			tok, err := flnet.DecodeSessionToken(reply.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantKind == flnet.KindResumeOK && tok != tc.tok {
+				t.Fatalf("resume-ok token %+v", tok)
+			}
+			if tc.wantKind == flnet.KindResumeWait && (tok.Round != 2 || tok.Attempt != 1) {
+				t.Fatalf("resume-wait token %+v, want next boundary round 2", tok)
+			}
+		})
+	}
+}

@@ -241,6 +241,22 @@ func (c *Context) metricAdd(name string, delta int64) {
 	c.Obs.Metrics().Add("fl."+c.obsPrefix+"."+name, delta)
 }
 
+// SeedCursor returns the nonce-stream cursor: the state nextSeed advances
+// once per HE batch. Journaling it at round boundaries is what makes crash
+// recovery bit-exact — a recovered coordinator restores the cursor and every
+// re-encrypted batch draws the same nonce stream the lost attempt would have.
+func (c *Context) SeedCursor() uint64 { return c.seed }
+
+// RestoreSeedCursor rewinds (or fast-forwards) the nonce-stream cursor to a
+// journaled position and re-arms the nonce pool, if any, at the batch the
+// cursor implies.
+func (c *Context) RestoreSeedCursor(cursor uint64) {
+	c.seed = cursor
+	if c.Pool != nil {
+		c.Pool.Reseed(c.peekSeed())
+	}
+}
+
 // nextSeed derives a fresh nonce-stream seed per HE batch.
 func (c *Context) nextSeed() uint64 {
 	c.seed = c.peekSeed()

@@ -27,6 +27,15 @@ type Federation struct {
 
 	round      uint64
 	lastReport RoundReport
+
+	// Durability and churn state: the (optional) write-ahead journal, the
+	// epoch this coordinator serves, the live-client roster, and the resume
+	// position a crash recovery parked for the next round.
+	epoch       uint64
+	journal     *Journal
+	roster      *Roster
+	nextAttempt uint32
+	resume      *ResumePoint
 }
 
 // ClientName returns the canonical name of client i.
@@ -47,6 +56,7 @@ func NewFederation(ctx *Context) *Federation {
 		Ctx:       ctx,
 		Transport: flnet.NewSimTransport(ctx.Link, names...),
 		parties:   names,
+		roster:    NewRoster(names[:len(names)-1]),
 	}
 }
 
@@ -55,6 +65,81 @@ func (f *Federation) Round() uint64 { return f.round }
 
 // LastReport returns the report of the most recently completed round.
 func (f *Federation) LastReport() RoundReport { return f.lastReport }
+
+// Epoch returns the epoch this coordinator serves (0 unless recovered).
+func (f *Federation) Epoch() uint64 { return f.epoch }
+
+// AttachJournal wires a write-ahead journal into the federation: every
+// round transition is appended durably before the round acts on it, making
+// the coordinator crash-recoverable via Recover. A nil journal detaches.
+func (f *Federation) AttachJournal(j *Journal) { f.journal = j }
+
+// Journal returns the attached journal (nil when durability is off).
+func (f *Federation) Journal() *Journal { return f.journal }
+
+// Roster returns the live-client roster.
+func (f *Federation) Roster() *Roster { return f.roster }
+
+// Leave marks a client departed: it stops being scheduled from the next
+// round on. The in-flight round (if any) is unaffected.
+func (f *Federation) Leave(name string) error {
+	if err := f.roster.Leave(name); err != nil {
+		return err
+	}
+	f.Ctx.metricAdd("client_departures", 1)
+	return nil
+}
+
+// Rejoin parks a departed client for admission at the next round boundary —
+// never mid-round, so a returning client cannot perturb the current round.
+func (f *Federation) Rejoin(name string) error {
+	if err := f.roster.Rejoin(name); err != nil {
+		return err
+	}
+	f.Ctx.metricAdd("rejoin_requests", 1)
+	return nil
+}
+
+// journalAppend stamps the epoch onto rec and appends it durably; a no-op
+// without an attached journal. The returned error is fatal to the round —
+// a transition that cannot be made durable must not be acted on.
+func (f *Federation) journalAppend(rec JournalRecord) error {
+	if f.journal == nil {
+		return nil
+	}
+	rec.Epoch = f.epoch
+	if err := f.journal.Append(rec); err != nil {
+		return err
+	}
+	c := f.Ctx
+	c.metricAdd("journal_records", 1)
+	if c.Obs != nil {
+		c.Obs.Metrics().SetMax("fl."+c.obsPrefix+".journal_round", int64(rec.Round))
+	}
+	return nil
+}
+
+// takeAttempt consumes the recovery-provided attempt number for the round
+// about to run (1 when this is a fresh execution).
+func (f *Federation) takeAttempt() uint32 {
+	a := f.nextAttempt
+	f.nextAttempt = 0
+	if a == 0 {
+		a = 1
+	}
+	return a
+}
+
+// takeResume consumes the parked resume point if it targets the round about
+// to run.
+func (f *Federation) takeResume() *ResumePoint {
+	rp := f.resume
+	f.resume = nil
+	if rp != nil && rp.Round != f.round {
+		return nil
+	}
+	return rp
+}
 
 // SecureAggregate executes one full round: grads[i] is client i's local
 // gradient vector (all equal length). It returns the element-wise sum as
@@ -86,15 +171,76 @@ func (f *Federation) SecureAggregateReport(grads [][]float64) ([]float64, RoundR
 		return nil, RoundReport{}, err
 	}
 
+	// Round boundary: departed clients are out, rejoiners come back in.
+	admitted := f.roster.admit()
+	if len(admitted) > 0 {
+		f.Ctx.metricAdd("rejoins_admitted", int64(len(admitted)))
+	}
+	active := f.roster.Active()
+
 	f.round++
-	st := newRoundState(f, policy, count)
-	result, err := st.run(grads)
+	attempt := f.takeAttempt()
+	resume := f.takeResume()
+	// The round-start record is durable before any client encrypts: its
+	// cursor is the position a recovered coordinator rewinds to when it must
+	// re-run this round from scratch.
+	if err := f.journalAppend(JournalRecord{
+		Kind: EventRoundStart, Round: f.round, Attempt: attempt,
+		Cursor: f.Ctx.SeedCursor(), Members: active,
+	}); err != nil {
+		return nil, RoundReport{}, err
+	}
+
+	st := newRoundState(f, policy, count, active, attempt, resume)
+	var result []float64
+	var err error
+	if rerr := f.admissionError(active, policy); rerr != nil {
+		err = rerr
+	} else {
+		result, err = st.run(grads)
+	}
 	f.lastReport = st.report()
+	f.lastReport.Admitted = admitted
 	f.observeRound(f.lastReport, err)
 	if err != nil {
+		// A simulated coordinator crash means the process died at a durable
+		// boundary: nothing after that boundary — including a round-failed
+		// record — can have been written.
+		if !errors.Is(err, ErrCoordinatorCrash) {
+			rec := JournalRecord{
+				Kind: EventRoundFailed, Round: f.round, Attempt: attempt,
+				Cursor: f.Ctx.SeedCursor(), Reason: err.Error(),
+			}
+			var re *RoundError
+			if errors.As(err, &re) {
+				rec.Phase, rec.Party = re.Phase, re.Party
+			}
+			if jerr := f.journalAppend(rec); jerr != nil {
+				return nil, f.lastReport, jerr
+			}
+		}
 		return nil, f.lastReport, err
 	}
+	if jerr := f.journalAppend(JournalRecord{
+		Kind: EventRoundDone, Round: f.round, Attempt: attempt,
+		Cursor: f.Ctx.SeedCursor(), Members: st.included, Digest: st.aggDigest,
+	}); jerr != nil {
+		return nil, f.lastReport, jerr
+	}
 	return result, f.lastReport, nil
+}
+
+// admissionError fails a round that cannot start: an explicit quorum the
+// active roster no longer covers, or no active clients at all.
+func (f *Federation) admissionError(active []string, policy RoundPolicy) *RoundError {
+	if len(active) == 0 {
+		return &RoundError{Round: f.round, Phase: PhaseAdmit, Err: fmt.Errorf("no active clients")}
+	}
+	if policy.Quorum > 0 && len(active) < policy.Quorum {
+		return &RoundError{Round: f.round, Phase: PhaseAdmit, Err: fmt.Errorf(
+			"%d active clients below quorum %d", len(active), policy.Quorum)}
+	}
+	return nil
 }
 
 // observeRound publishes one completed round's protocol counters into the
@@ -131,33 +277,38 @@ type roundState struct {
 	quorum int
 	count  int // gradient dimension
 
+	active  []string     // the clients this round schedules (roster at start)
+	attempt uint32       // execution count across coordinator restarts
+	resume  *ResumePoint // non-nil when recovering a journaled round
+
 	send    func(flnet.Message) error
 	retrier *flnet.RetryTransport // nil when MaxRetries is 0
 
 	uploaded    []string                         // clients whose upload send succeeded
 	batches     map[string][]paillier.Ciphertext // gathered uploads by client
-	pending     map[string]*partialUpload        // chunked uploads being reassembled
+	pending     map[string]*flnet.Reassembler    // chunked uploads being reassembled
 	included    []string                         // aggregation order
 	reached     []string                         // clients the broadcast reached
 	dropped     map[string]RoundPhase            // dropped client -> losing phase
 	stale, dups int
+
+	aggPayload []byte // the encoded aggregate, journaled before broadcast
+	aggDigest  uint64
+	resumed    bool // round replayed a journaled aggregate
 }
 
-// partialUpload reassembles one client's chunked upload.
-type partialUpload struct {
-	total  int
-	chunks map[int][]paillier.Ciphertext
-}
-
-func newRoundState(f *Federation, policy RoundPolicy, count int) *roundState {
+func newRoundState(f *Federation, policy RoundPolicy, count int, active []string, attempt uint32, resume *ResumePoint) *roundState {
 	st := &roundState{
 		f:       f,
 		id:      f.round,
 		policy:  policy,
-		quorum:  policy.EffectiveQuorum(f.Ctx.Profile.Parties),
+		quorum:  policy.EffectiveQuorum(len(active)),
 		count:   count,
+		active:  active,
+		attempt: attempt,
+		resume:  resume,
 		batches: make(map[string][]paillier.Ciphertext),
-		pending: make(map[string]*partialUpload),
+		pending: make(map[string]*flnet.Reassembler),
 		dropped: make(map[string]RoundPhase),
 	}
 	st.send = f.Transport.Send
@@ -185,6 +336,8 @@ func (st *roundState) report() RoundReport {
 		Stale:      st.stale,
 		Duplicates: st.dups,
 		Scale:      1,
+		Attempt:    st.attempt,
+		Resumed:    st.resumed,
 	}
 	if st.retrier != nil {
 		rep.Retries = st.retrier.Retries()
@@ -196,13 +349,13 @@ func (st *roundState) report() RoundReport {
 }
 
 // drop records a lost client and enforces the quorum budget: once more than
-// parties-quorum clients are gone, the round fails with a typed error naming
+// active-quorum clients are gone, the round fails with a typed error naming
 // the phase and party that exhausted the budget.
 func (st *roundState) drop(phase RoundPhase, party string, cause error) *RoundError {
 	if _, ok := st.dropped[party]; !ok {
 		st.dropped[party] = phase
 	}
-	if len(st.dropped) > st.f.Ctx.Profile.Parties-st.quorum {
+	if len(st.dropped) > len(st.active)-st.quorum {
 		return &RoundError{Round: st.id, Phase: phase, Party: party, Err: cause}
 	}
 	return nil
@@ -234,21 +387,24 @@ func (st *roundState) phaseDeadline() time.Time {
 }
 
 func (st *roundState) run(grads [][]float64) ([]float64, error) {
-	if err := st.phaseSpan("upload", func() error { return st.upload(grads) }); err != nil {
-		return nil, err
+	if st.resume != nil && st.resume.Phase == PhaseBroadcast {
+		// The crashed attempt already gathered and aggregated: rehydrate the
+		// journaled aggregate and resume at the broadcast boundary.
+		if err := st.restoreAggregate(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := st.phaseSpan("upload", func() error { return st.upload(grads) }); err != nil {
+			return nil, err
+		}
+		if err := st.phaseSpan("gather", st.gather); err != nil {
+			return nil, err
+		}
+		if err := st.phaseSpan("aggregate", st.aggregate); err != nil {
+			return nil, err
+		}
 	}
-	if err := st.phaseSpan("gather", st.gather); err != nil {
-		return nil, err
-	}
-	var agg []paillier.Ciphertext
-	if err := st.phaseSpan("aggregate", func() error {
-		var err error
-		agg, err = st.aggregate()
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	if err := st.phaseSpan("broadcast", func() error { return st.broadcast(agg) }); err != nil {
+	if err := st.phaseSpan("broadcast", st.broadcast); err != nil {
 		return nil, err
 	}
 	var result []float64
@@ -289,14 +445,17 @@ func (st *roundState) phaseSpan(phase string, fn func() error) error {
 // With a positive Profile.Chunk each client uploads through the streamed
 // pipeline: chunk i is on the wire while chunk i+1 is still encrypting.
 func (st *roundState) upload(grads [][]float64) error {
-	for i := 0; i < st.f.Ctx.Profile.Parties; i++ {
+	for _, name := range st.active {
+		i, err := ClientIndex(name)
+		if err != nil {
+			return st.fail(PhaseUpload, name, err)
+		}
 		if st.f.Ctx.Profile.Chunk > 0 {
 			if err := st.uploadClientChunked(i, grads[i]); err != nil {
 				return err
 			}
 			continue
 		}
-		name := ClientName(i)
 		cts, err := st.f.Ctx.EncryptGradients(grads[i])
 		if err != nil {
 			return fmt.Errorf("fl: client %d encrypt: %w", i, err)
@@ -435,6 +594,12 @@ func (st *roundState) gather() error {
 			// A hard receive failure at the server is not a straggler.
 			return st.fail(PhaseGather, "", err)
 		}
+		if msg.Kind == flnet.KindResume {
+			// A churned client probing for readmission mid-round: answer the
+			// handshake without letting it into the in-flight round.
+			st.answerResume(msg)
+			continue
+		}
 		if msg.Round != st.id || (msg.Kind != "grads" && msg.Kind != "gradc") {
 			st.stale++
 			continue
@@ -466,66 +631,133 @@ func (st *roundState) gather() error {
 	}
 	if len(st.included) < st.quorum {
 		return st.fail(PhaseGather, "", fmt.Errorf("%d/%d uploads below quorum %d",
-			len(st.included), st.f.Ctx.Profile.Parties, st.quorum))
+			len(st.included), len(st.active), st.quorum))
 	}
 	return nil
 }
 
-// acceptChunk folds one "gradc" message into the sender's partial upload;
-// when the last chunk lands, the batch is reassembled in chunk order and
-// promoted to st.batches. Duplicated chunks (retransmissions, transport
-// duplication) are counted and ignored; chunk-order arrival is not assumed.
+// answerResume replies to one session-resume probe. Only a token that
+// matches the in-flight (epoch, round, attempt) exactly may keep uploading
+// into this round; anything else — a stale round, a pre-crash attempt, a
+// foreign epoch — is told the next round boundary it may join. Either way
+// the in-flight round's state is untouched.
+func (st *roundState) answerResume(msg flnet.Message) {
+	ctx := st.f.Ctx
+	decision := flnet.AdmissionDecision{
+		Kind:  flnet.KindResumeWait,
+		Token: flnet.SessionToken{Epoch: st.f.epoch, Round: st.id + 1, Attempt: 1},
+	}
+	if tok, err := flnet.DecodeSessionToken(msg.Payload); err == nil {
+		adm := flnet.Admission{Current: flnet.SessionToken{Epoch: st.f.epoch, Round: st.id, Attempt: st.attempt}}
+		decision = adm.Decide(tok)
+	}
+	reply := flnet.Message{From: ServerName, To: msg.From, Kind: decision.Kind, Round: st.id, Payload: decision.Token.Encode()}
+	if err := st.send(reply); err == nil {
+		ctx.RecordTransfer(reply.WireSize())
+	}
+	if decision.Kind == flnet.KindResumeOK {
+		ctx.metricAdd("rejoin_resumes", 1)
+	} else {
+		ctx.metricAdd("rejoin_waits", 1)
+	}
+}
+
+// acceptChunk folds one "gradc" message into the sender's reassembler; when
+// the last chunk lands, the batch is decoded in chunk order and promoted to
+// st.batches. The reassembler's invariants turn transport chaos into typed
+// outcomes: an exact duplicate (retransmission, ChaosTransport duplication)
+// is counted and dropped, while a conflicting rewrite, an out-of-range
+// index, or a changed total poisons the upload and fails the round — never
+// a silent overwrite.
 func (st *roundState) acceptChunk(msg flnet.Message) error {
 	index, total, body, err := flnet.DecodeChunk(msg.Payload)
 	if err != nil {
+		st.f.Ctx.metricAdd("chunk_rejects", 1)
 		return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode: %w", err))
 	}
-	p := st.pending[msg.From]
-	if p == nil {
-		p = &partialUpload{total: int(total), chunks: make(map[int][]paillier.Ciphertext)}
-		st.pending[msg.From] = p
+	asm := st.pending[msg.From]
+	if asm == nil {
+		asm, err = flnet.NewReassembler(total)
+		if err != nil {
+			st.f.Ctx.metricAdd("chunk_rejects", 1)
+			return st.fail(PhaseGather, msg.From, fmt.Errorf("server reassembly: %w", err))
+		}
+		st.pending[msg.From] = asm
 	}
-	if p.total != int(total) {
-		return st.fail(PhaseGather, msg.From, fmt.Errorf(
-			"server decode: chunk total changed mid-upload (%d vs %d)", total, p.total))
+	done, err := asm.Accept(index, total, body)
+	if err != nil {
+		var ce *flnet.ChunkError
+		if errors.As(err, &ce) && ce.Ignorable() {
+			st.dups++
+			st.f.Ctx.metricAdd("chunk_dup_rejects", 1)
+			return nil
+		}
+		st.f.Ctx.metricAdd("chunk_rejects", 1)
+		return st.fail(PhaseGather, msg.From, fmt.Errorf("server reassembly: %w", err))
 	}
-	if _, dup := p.chunks[int(index)]; dup {
-		st.dups++
+	if !done {
 		return nil
 	}
-	cts, err := decodeCiphertexts(body)
+	bodies, err := asm.Assemble()
 	if err != nil {
-		return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode chunk %d: %w", index, err))
+		return st.fail(PhaseGather, msg.From, err)
 	}
-	p.chunks[int(index)] = cts
-	if len(p.chunks) == p.total {
-		var all []paillier.Ciphertext
-		for k := 0; k < p.total; k++ {
-			all = append(all, p.chunks[k]...)
+	var all []paillier.Ciphertext
+	for k, b := range bodies {
+		cts, err := decodeCiphertexts(b)
+		if err != nil {
+			return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode chunk %d: %w", k, err))
 		}
-		st.batches[msg.From] = all
-		delete(st.pending, msg.From)
-		st.f.Ctx.metricAdd("chunks_reassembled", int64(p.total))
+		all = append(all, cts...)
 	}
+	st.batches[msg.From] = all
+	delete(st.pending, msg.From)
+	st.f.Ctx.metricAdd("chunks_reassembled", int64(asm.Total()))
 	return nil
 }
 
-// aggregate homomorphically sums the gathered batches in upload order.
-func (st *roundState) aggregate() ([]paillier.Ciphertext, error) {
+// aggregate homomorphically sums the gathered batches in upload order and
+// journals the result — the mid-round safe point. Once the aggregated
+// record is durable, a coordinator crash no longer costs the gathered
+// uploads: recovery resumes at the broadcast boundary with this payload.
+func (st *roundState) aggregate() error {
 	batches := make([][]paillier.Ciphertext, 0, len(st.included))
 	for _, name := range st.included {
 		batches = append(batches, st.batches[name])
 	}
 	agg, err := st.f.Ctx.AggregateCiphertexts(batches)
 	if err != nil {
-		return nil, st.fail(PhaseGather, "", err)
+		return st.fail(PhaseGather, "", err)
 	}
-	return agg, nil
+	st.aggPayload = encodeCiphertexts(agg)
+	st.aggDigest = PayloadDigest(st.aggPayload)
+	return st.f.journalAppend(JournalRecord{
+		Kind: EventAggregated, Round: st.id, Attempt: st.attempt,
+		Cursor: st.f.Ctx.SeedCursor(), Members: st.included,
+		Digest: st.aggDigest, Payload: st.aggPayload,
+	})
+}
+
+// restoreAggregate rehydrates the round from a journaled aggregate after a
+// crash: uploads and aggregation already happened in the lost attempt, so
+// the round verifies the payload against its digest and resumes at the
+// broadcast boundary.
+func (st *roundState) restoreAggregate() error {
+	rp := st.resume
+	if PayloadDigest(rp.Payload) != rp.Digest {
+		return st.fail(PhaseBroadcast, "", fmt.Errorf("journaled aggregate fails its digest"))
+	}
+	st.included = append([]string(nil), rp.Included...)
+	st.aggPayload = rp.Payload
+	st.aggDigest = rp.Digest
+	st.resumed = true
+	st.f.Ctx.metricAdd("rounds_resumed", 1)
+	return nil
 }
 
 // broadcast: the server returns the aggregate to every included client.
-func (st *roundState) broadcast(agg []paillier.Ciphertext) error {
-	payload := encodeCiphertexts(agg)
+func (st *roundState) broadcast() error {
+	payload := st.aggPayload
 	for _, name := range st.included {
 		msg := flnet.Message{From: ServerName, To: name, Kind: "agg", Round: st.id, Payload: payload}
 		if err := st.send(msg); err != nil {

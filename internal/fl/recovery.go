@@ -1,0 +1,47 @@
+package fl
+
+// Recover rebuilds a coordinator from its write-ahead journal after a crash:
+// it replays the store's records, restores the nonce-stream cursor and the
+// client roster to their journaled positions, and parks the incomplete round
+// (if one was open) so the next SecureAggregate call re-runs it from its
+// last safe boundary — upload when only round-start is durable, broadcast
+// when the aggregate is. Because the cursor is restored, the re-run draws
+// the exact nonce stream the lost attempt would have: the recovered epoch's
+// aggregates are bit-identical to an uninterrupted run.
+//
+// ctx must be built from the same profile (same seed) as the crashed
+// coordinator's — key generation is deterministic, so the keys match. The
+// journal stays attached for the recovered epoch's appends.
+func Recover(ctx *Context, store JournalStore) (*Federation, *RecoveryState, error) {
+	j, err := NewJournal(store)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := j.Records()
+	if err != nil {
+		return nil, nil, err
+	}
+	state, err := Replay(recs)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := NewFederation(ctx)
+	f.journal = j
+	f.epoch = state.Epoch
+	if state.Members != nil {
+		f.roster.Restore(state.Members)
+	}
+	if rp := state.Resume; rp != nil {
+		f.round = rp.Round - 1
+		f.nextAttempt = rp.Attempt + 1
+		f.resume = rp
+		ctx.RestoreSeedCursor(rp.Cursor)
+	} else {
+		f.round = state.LastRound
+		if state.Records > 0 {
+			ctx.RestoreSeedCursor(state.Cursor)
+		}
+	}
+	ctx.metricAdd("recoveries", 1)
+	return f, &state, nil
+}

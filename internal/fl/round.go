@@ -19,6 +19,10 @@ const (
 	PhaseBroadcast RoundPhase = "broadcast"
 	// PhaseDecrypt: clients receive and decrypt the aggregate.
 	PhaseDecrypt RoundPhase = "decrypt"
+	// PhaseAdmit: the pre-round boundary where departed clients are checked
+	// against quorum and rejoining clients are admitted. A round that cannot
+	// start (active roster below quorum) fails here.
+	PhaseAdmit RoundPhase = "admit"
 )
 
 // RoundError is the typed failure of a federation round: which round, which
@@ -104,6 +108,15 @@ type RoundReport struct {
 	Duplicates int
 	// Scale is parties/len(Included) — 1 for a full round.
 	Scale float64
+	// Attempt counts executions of this round across coordinator restarts
+	// (1 = first run, 2 = first re-run after a crash, ...).
+	Attempt uint32
+	// Resumed is true when the round skipped straight to broadcast by
+	// replaying a journaled aggregate instead of re-gathering uploads.
+	Resumed bool
+	// Admitted lists clients re-admitted at this round's boundary after a
+	// departure.
+	Admitted []string
 }
 
 // Degraded reports whether the round completed without all parties.

@@ -1,0 +1,54 @@
+// The chaos soak smoke test lives in an external test package so it can
+// drive the fl layer through the bench harness's multi-fault soak engine
+// without an import cycle (bench imports fl).
+package fl_test
+
+import (
+	"testing"
+	"time"
+
+	"flbooster/internal/bench"
+)
+
+// TestSoakSmoke is the CI-sized chaos soak (`make soak-smoke`): a seeded
+// multi-fault run — network chaos, device faults, coordinator kills with
+// journal recovery, client churn — that must finish quickly and with the
+// two zero-tolerance invariants intact: no completed round deviates from
+// the arithmetic oracle, and no failure is untyped. The seed and elevated
+// crash/churn probabilities are chosen so the short run still exercises at
+// least one coordinator recovery and one full depart/rejoin cycle.
+func TestSoakSmoke(t *testing.T) {
+	cfg := bench.DefaultSoakConfig(3, 12, 4, 128)
+	cfg.CrashProb = 0.3
+	cfg.ChurnProb = 0.3
+
+	start := time.Now()
+	sum, err := bench.RunSoak(cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("smoke soak took %v, budget 30s", elapsed)
+	}
+	if sum.Mismatches != 0 {
+		t.Fatalf("silent corruption in %d rounds: %+v", sum.Mismatches, sum)
+	}
+	if sum.UntypedErrors != 0 {
+		t.Fatalf("%d untyped round failures: %+v", sum.UntypedErrors, sum)
+	}
+	if sum.Completed+sum.Failed != cfg.Rounds {
+		t.Fatalf("rounds unaccounted for: %+v", sum)
+	}
+	if sum.Crashes == 0 || sum.Recoveries != sum.Crashes {
+		t.Fatalf("smoke run exercised no coordinator recovery: %+v", sum)
+	}
+	if sum.Departures == 0 || sum.Rejoins == 0 {
+		t.Fatalf("smoke run exercised no churn cycle: %+v", sum)
+	}
+	if sum.Completed == 0 {
+		t.Fatalf("no round completed under chaos: %+v", sum)
+	}
+	t.Logf("smoke soak: %d/%d completed, %d crashes, %d departures, %v wall",
+		sum.Completed, cfg.Rounds, sum.Crashes, sum.Departures, elapsed)
+}

@@ -1,0 +1,109 @@
+package flnet
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// ChunkReject classifies why a Reassembler refused a chunk.
+type ChunkReject string
+
+// The reject reasons, from benign to fatal.
+const (
+	// RejectDuplicate: the same index arrived again with identical bytes — a
+	// retransmission or transport duplication. Idempotent to ignore.
+	RejectDuplicate ChunkReject = "duplicate"
+	// RejectConflict: the same index arrived again with *different* bytes.
+	// Something rewrote the chunk in flight; accepting either copy silently
+	// would be corruption, so the upload is poisoned.
+	RejectConflict ChunkReject = "conflict"
+	// RejectRange: the index is at or beyond the declared total.
+	RejectRange ChunkReject = "range"
+	// RejectTotal: the declared total changed mid-upload.
+	RejectTotal ChunkReject = "total-mismatch"
+)
+
+// ChunkError is the typed rejection of one chunk. Callers branch on
+// Ignorable: a duplicate is counted and dropped, everything else fails the
+// sender's upload rather than silently overwriting received state.
+type ChunkError struct {
+	Index  uint32
+	Total  uint32
+	Reject ChunkReject
+}
+
+// Error implements error.
+func (e *ChunkError) Error() string {
+	return fmt.Sprintf("flnet: chunk %d/%d rejected (%s)", e.Index, e.Total, e.Reject)
+}
+
+// Ignorable reports whether the rejected chunk is safe to drop and continue
+// (an exact retransmission). Conflicts, range and total violations are not.
+func (e *ChunkError) Ignorable() bool { return e.Reject == RejectDuplicate }
+
+// Reassembler collects the chunks of one logical payload in any arrival
+// order and hands back the bodies in index order once every piece landed.
+// It enforces the invariants a chaotic transport can break: indices stay in
+// range, the total never changes, and an index that already landed is only
+// accepted again if it is byte-identical (and then rejected as an ignorable
+// duplicate — never overwritten).
+type Reassembler struct {
+	total  int
+	bodies map[int][]byte
+	dups   int64
+}
+
+// NewReassembler starts reassembly of a payload declared to span `total`
+// chunks.
+func NewReassembler(total uint32) (*Reassembler, error) {
+	if total == 0 {
+		return nil, &ChunkError{Total: total, Reject: RejectTotal}
+	}
+	return &Reassembler{total: int(total), bodies: make(map[int][]byte)}, nil
+}
+
+// Total returns the declared chunk count.
+func (r *Reassembler) Total() int { return r.total }
+
+// Received returns how many distinct chunks have landed.
+func (r *Reassembler) Received() int { return len(r.bodies) }
+
+// Duplicates returns how many ignorable duplicate chunks were rejected.
+func (r *Reassembler) Duplicates() int64 { return r.dups }
+
+// Done reports whether every chunk has landed.
+func (r *Reassembler) Done() bool { return len(r.bodies) == r.total }
+
+// Accept folds one chunk in. It returns true when this chunk completed the
+// payload. Rejections are typed *ChunkError values; only Ignorable ones
+// leave the reassembler usable for further chunks.
+func (r *Reassembler) Accept(index, total uint32, body []byte) (bool, error) {
+	if total == 0 || int(total) != r.total {
+		return false, &ChunkError{Index: index, Total: total, Reject: RejectTotal}
+	}
+	if int(index) >= r.total {
+		return false, &ChunkError{Index: index, Total: total, Reject: RejectRange}
+	}
+	if prev, ok := r.bodies[int(index)]; ok {
+		if bytes.Equal(prev, body) {
+			r.dups++
+			return false, &ChunkError{Index: index, Total: total, Reject: RejectDuplicate}
+		}
+		return false, &ChunkError{Index: index, Total: total, Reject: RejectConflict}
+	}
+	r.bodies[int(index)] = body
+	return r.Done(), nil
+}
+
+// Assemble returns the chunk bodies in index order. It fails while chunks
+// are still missing.
+func (r *Reassembler) Assemble() ([][]byte, error) {
+	if !r.Done() {
+		return nil, fmt.Errorf("flnet: assemble with %d/%d chunks received", len(r.bodies), r.total)
+	}
+	out := make([][]byte, r.total)
+	for i := 0; i < r.total; i++ {
+		out[i] = r.bodies[i]
+	}
+	return out, nil
+}

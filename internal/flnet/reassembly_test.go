@@ -1,0 +1,122 @@
+package flnet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReassemblerInOrderAndOutOfOrder(t *testing.T) {
+	for _, order := range [][]uint32{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+		r, err := NewReassembler(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+		for i, idx := range order {
+			done, err := r.Accept(idx, 3, bodies[idx])
+			if err != nil {
+				t.Fatalf("order %v: accept %d: %v", order, idx, err)
+			}
+			if wantDone := i == len(order)-1; done != wantDone {
+				t.Fatalf("order %v: done = %v after %d chunks", order, done, i+1)
+			}
+		}
+		got, err := r.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bodies {
+			if string(got[i]) != string(bodies[i]) {
+				t.Fatalf("order %v: chunk %d = %q", order, i, got[i])
+			}
+		}
+	}
+}
+
+func TestReassemblerRejectsDuplicateWithoutOverwrite(t *testing.T) {
+	r, err := NewReassembler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Accept(0, 2, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	// An exact retransmission is an ignorable typed rejection.
+	_, err = r.Accept(0, 2, []byte("original"))
+	var ce *ChunkError
+	if !errors.As(err, &ce) || ce.Reject != RejectDuplicate || !ce.Ignorable() {
+		t.Fatalf("exact dup: got %v", err)
+	}
+	if r.Duplicates() != 1 {
+		t.Fatalf("Duplicates = %d", r.Duplicates())
+	}
+	// A same-index chunk with different bytes is corruption, not a dup.
+	_, err = r.Accept(0, 2, []byte("rewritten"))
+	if !errors.As(err, &ce) || ce.Reject != RejectConflict || ce.Ignorable() {
+		t.Fatalf("conflicting dup: got %v", err)
+	}
+	// The first-written body must have survived both rejections.
+	if _, err := r.Accept(1, 2, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0]) != "original" {
+		t.Fatalf("chunk 0 overwritten to %q", got[0])
+	}
+}
+
+func TestReassemblerRejectsRangeAndTotalViolations(t *testing.T) {
+	if _, err := NewReassembler(0); err == nil {
+		t.Fatal("zero total accepted")
+	}
+	r, err := NewReassembler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ce *ChunkError
+	if _, err := r.Accept(2, 2, nil); !errors.As(err, &ce) || ce.Reject != RejectRange {
+		t.Fatalf("out-of-range index: got %v", err)
+	}
+	if _, err := r.Accept(0, 3, nil); !errors.As(err, &ce) || ce.Reject != RejectTotal {
+		t.Fatalf("total mismatch: got %v", err)
+	}
+	if _, err := r.Assemble(); err == nil {
+		t.Fatal("assemble of incomplete payload succeeded")
+	}
+}
+
+func TestSessionTokenRoundTrip(t *testing.T) {
+	tok := SessionToken{Epoch: 3, Round: 17, Attempt: 2}
+	got, err := DecodeSessionToken(tok.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tok {
+		t.Fatalf("round trip %+v != %+v", got, tok)
+	}
+	if _, err := DecodeSessionToken([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short token accepted")
+	}
+}
+
+func TestAdmissionDecisions(t *testing.T) {
+	adm := Admission{Current: SessionToken{Epoch: 1, Round: 5, Attempt: 2}}
+	// Exact match resumes the in-flight round.
+	if d := adm.Decide(adm.Current); d.Kind != KindResumeOK || d.Token != adm.Current {
+		t.Fatalf("exact match: %+v", d)
+	}
+	next := SessionToken{Epoch: 1, Round: 6, Attempt: 1}
+	for name, tok := range map[string]SessionToken{
+		"stale round":       {Epoch: 1, Round: 4, Attempt: 1},
+		"pre-crash attempt": {Epoch: 1, Round: 5, Attempt: 1},
+		"future round":      {Epoch: 1, Round: 9, Attempt: 1},
+		"other epoch":       {Epoch: 0, Round: 5, Attempt: 2},
+	} {
+		if d := adm.Decide(tok); d.Kind != KindResumeWait || d.Token != next {
+			t.Fatalf("%s: %+v", name, d)
+		}
+	}
+}

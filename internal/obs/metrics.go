@@ -48,6 +48,20 @@ func (g *Registry) Set(name string, v int64) {
 	g.mu.Unlock()
 }
 
+// SetMax raises a counter to v if v is larger — a high-water mark (the
+// journal's latest durable round, peak queue depths). Lower values are
+// ignored so publishers may report out of order.
+func (g *Registry) SetMax(name string, v int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if v > g.counters[name] {
+		g.counters[name] = v
+	}
+	g.mu.Unlock()
+}
+
 // SetGauge overwrites a gauge.
 func (g *Registry) SetGauge(name string, v float64) {
 	if g == nil {

@@ -128,6 +128,16 @@ func TestRegistryCountersAndGauges(t *testing.T) {
 	if reg.Counter("x") != 5 || reg.Counter("y") != 7 {
 		t.Fatalf("counters x=%d y=%d", reg.Counter("x"), reg.Counter("y"))
 	}
+	// SetMax is a high-water mark: it raises, never lowers.
+	reg.SetMax("w", 4)
+	reg.SetMax("w", 2)
+	if reg.Counter("w") != 4 {
+		t.Fatalf("SetMax lowered the mark: w=%d", reg.Counter("w"))
+	}
+	reg.SetMax("w", 9)
+	if reg.Counter("w") != 9 {
+		t.Fatalf("SetMax did not raise the mark: w=%d", reg.Counter("w"))
+	}
 	if reg.Gauge("g") != 0.5 {
 		t.Fatalf("gauge g=%v", reg.Gauge("g"))
 	}
@@ -135,7 +145,7 @@ func TestRegistryCountersAndGauges(t *testing.T) {
 	if err := reg.WriteText(&buf); err != nil {
 		t.Fatal(err)
 	}
-	want := "counter x 5\ncounter y 7\ngauge g 0.5\n"
+	want := "counter w 9\ncounter x 5\ncounter y 7\ngauge g 0.5\n"
 	if buf.String() != want {
 		t.Fatalf("WriteText = %q, want %q", buf.String(), want)
 	}
