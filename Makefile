@@ -6,17 +6,30 @@
 # CI-sized multi-fault chaos soak under the race detector.
 
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: build test vet race fuzz bench-smoke soak-smoke check resilience devfault soak
+.PHONY: build test vet lint race fuzz bench-smoke soak-smoke check resilience devfault soak
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order within each package so tests that only
+# pass because of accidental ordering are flushed out instead of fossilized.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. CI installs and runs staticcheck
+# unconditionally (see .github/workflows/ci.yml); locally the target tells
+# you how to get it rather than silently passing.
+lint: vet
+	@command -v $(STATICCHECK) >/dev/null 2>&1 || { \
+		echo "staticcheck not found; install with:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@latest"; \
+		exit 1; }
+	$(STATICCHECK) ./...
 
 # The chaos/quorum suites and the device fault/watchdog/failover paths
 # exercise goroutines, deadlines, and shared counters; they must stay clean
@@ -24,10 +37,13 @@ vet:
 race:
 	$(GO) test -race -timeout 300s ./internal/flnet/... ./internal/fl/... ./internal/gpu/... ./internal/ghe/...
 
-# Short fuzz pass over device-config validation and the launch path; the
-# corpus grows under internal/gpu/testdata/fuzz.
+# Short fuzz passes: device-config validation (corpus under
+# internal/gpu/testdata/fuzz) and the chunk reassembler's untrusted-input
+# invariants (out-of-range indices, flip-flopping totals, oversized
+# declarations must all reject typed, never panic).
 fuzz:
 	$(GO) test ./internal/gpu -run '^$$' -fuzz FuzzConfigValidate -fuzztime 10s
+	$(GO) test ./internal/flnet -run '^$$' -fuzz FuzzReassembler -fuzztime 10s
 
 # One iteration of every benchmark in the HE hot-path packages: catches
 # benchmarks that no longer compile or crash without paying for real timing

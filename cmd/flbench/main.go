@@ -7,7 +7,7 @@
 //	flbench [flags] <experiment>...
 //
 // Experiments: fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7
-// ablation resilience devfault pipeline heopt soak all
+// ablation resilience devfault pipeline heopt byz soak all
 //
 // Flags:
 //
@@ -98,7 +98,7 @@ func run(args []string) error {
 
 	exps := fs.Args()
 	if len(exps) == 0 {
-		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience devfault pipeline heopt soak all")
+		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience devfault pipeline heopt byz soak all")
 	}
 	r, err := bench.NewRunner(cfg)
 	if err != nil {
@@ -137,6 +137,8 @@ func run(args []string) error {
 			err = r.Pipeline(os.Stdout)
 		case "heopt":
 			err = r.HEOpt(os.Stdout)
+		case "byz":
+			err = r.Byz(os.Stdout)
 		case "soak":
 			err = r.Soak(os.Stdout)
 		case "all":

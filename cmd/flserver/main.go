@@ -23,6 +23,18 @@
 //	              spans on exit, plus a metrics text dump to stdout (demo
 //	              mode shares one trace across the in-process parties)
 //
+// Robustness (see DESIGN.md, "Byzantine-robust aggregation"):
+//
+//	-byz kind     arm the seeded demo adversary: the shared seed picks one
+//	              compromised client whose upload is rewritten by the named
+//	              attack (sign-flip, scale, noise, zero, collude) before
+//	              encryption
+//	-groups g     server aggregates group-wise: g seeded groups are HE-summed
+//	              separately and broadcast as one grouped aggregate
+//	-defense c    clients robust-combine the decrypted group means with this
+//	              combiner (fedavg, trimmed-mean, median, norm-clip, krum;
+//	              default trimmed-mean when -groups > 1)
+//
 // Durability (see DESIGN.md, "Durable epochs"):
 //
 //	-journal f    server: append round state to a write-ahead journal file
@@ -103,8 +115,24 @@ func run(args []string, stop <-chan struct{}) error {
 	journal := fs.String("journal", "", "server: write-ahead round journal file (empty = no journal)")
 	resume := fs.Bool("resume", false, "server: replay -journal and resume from the last safe boundary")
 	failpoint := fs.String("failpoint", "", "server: crash at a named durable boundary (testing; e.g. \"aggregate\")")
+	byz := fs.String("byz", "", "attack kind for the seeded demo adversary (empty = all honest)")
+	groups := fs.Int("groups", 0, "secure-aggregation group count for the robust defense (0/1 = plain aggregate)")
+	defense := fs.String("defense", "", "robust combiner over group means (default trimmed-mean when -groups > 1)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+
+	// All parties must agree on the defense policy (the server groups, the
+	// clients combine), so it is validated once up front.
+	policy := fl.DefensePolicy{Groups: *groups, Combiner: fl.CombinerKind(*defense)}
+	if err := policy.Validate(); err != nil {
+		return err
+	}
+	attack := fl.AttackKind(*byz)
+	if attack != fl.AttackNone {
+		if err := (fl.AdversaryConfig{Seed: *seed, Kind: attack, Count: 1}).Validate(*clients); err != nil {
+			return err
+		}
 	}
 
 	var o *obs.Obs
@@ -129,7 +157,7 @@ func run(args []string, stop <-chan struct{}) error {
 	case "server":
 		err = runServer(serverOpts{
 			addr: *addr, clients: *clients, keyBits: *keyBits, seed: *seed,
-			quorum: *quorum, timeout: *timeout,
+			quorum: *quorum, timeout: *timeout, groups: *groups,
 			journal: *journal, resume: *resume, failpoint: *failpoint,
 			stop: stop, o: o,
 		})
@@ -139,10 +167,18 @@ func run(args []string, stop <-chan struct{}) error {
 		if vals, err = parseFloats(*values); err != nil {
 			return err
 		}
-		err = runClient(*addr, *id, *clients, *keyBits, *chunk, *seed, vals, *straggle, o)
+		err = runClient(clientOpts{
+			addr: *addr, id: *id, clients: *clients, keyBits: *keyBits,
+			chunk: *chunk, seed: *seed, vals: vals, delay: *straggle,
+			byz: attack, defense: policy, o: o,
+		})
 
 	case "demo":
-		err = runDemo(*clients, *dim, *keyBits, *chunk, *seed, *quorum, *timeout, *straggle, stop, o)
+		err = runDemo(demoOpts{
+			clients: *clients, dim: *dim, keyBits: *keyBits, chunk: *chunk,
+			seed: *seed, quorum: *quorum, timeout: *timeout, straggle: *straggle,
+			byz: attack, defense: policy, stop: stop, o: o,
+		})
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -204,6 +240,10 @@ type serverOpts struct {
 	// quorum and timeout select the degraded gather mode (see DESIGN.md).
 	quorum  int
 	timeout time.Duration
+	// groups > 1 aggregates group-wise: the gathered uploads are split into
+	// seeded groups, each HE-summed separately, and the grouped aggregate is
+	// broadcast under the "gagg" kind for clients to robust-combine.
+	groups int
 	// journal appends round state to this write-ahead file; resume replays
 	// it on startup and picks the round up from the last safe boundary.
 	journal string
@@ -272,10 +312,17 @@ func runServer(opts serverOpts) error {
 	}
 	defer conn.Close()
 
+	// The broadcast kind is a pure function of the (restart-stable) -groups
+	// flag, so a resumed journaled aggregate replays under the same kind.
+	kind := "agg"
+	if opts.groups > 1 {
+		kind = flnet.KindGroupAgg
+	}
+
 	if resumePt != nil && resumePt.Phase == fl.PhaseBroadcast {
 		// The aggregate survived the crash (digest-checked by Replay):
 		// replay it straight to the clients without re-gathering.
-		return broadcastAggregate(conn, jr, attempt, resumePt.Included, resumePt.Payload, opts.clients)
+		return broadcastAggregate(conn, jr, attempt, kind, resumePt.Included, resumePt.Payload, opts.clients)
 	}
 
 	if jr != nil {
@@ -387,19 +434,50 @@ gather:
 		}
 	}
 
-	ordered := make([][]paillier.Ciphertext, 0, len(order))
-	for _, name := range order {
-		ordered = append(ordered, batches[name])
+	var raw []byte
+	if opts.groups > 1 {
+		// Group-wise aggregation: the contributors are dealt into seeded
+		// groups (same pure assignment the clients can re-derive), each group
+		// HE-summed on its own, and the per-group sums framed together so the
+		// decryptors can robust-combine the group means.
+		assignment := fl.AssignGroups(order, opts.groups, opts.seed, demoRound)
+		sizes := make([]int, len(assignment))
+		blobs := make([][]byte, len(assignment))
+		for g, members := range assignment {
+			grouped := make([][]paillier.Ciphertext, len(members))
+			for i, name := range members {
+				grouped[i] = batches[name]
+			}
+			agg, err := ctx.AggregateCiphertexts(grouped)
+			if err != nil {
+				return err
+			}
+			nats := make([]mpint.Nat, len(agg))
+			for i, c := range agg {
+				nats[i] = c.C
+			}
+			sizes[g] = len(members)
+			blobs[g] = flnet.EncodeNats(nats)
+		}
+		if raw, err = flnet.EncodeGroupAgg(sizes, blobs); err != nil {
+			return err
+		}
+		fmt.Printf("group-wise aggregation: %d uploads dealt into %d groups %v\n", len(order), len(sizes), sizes)
+	} else {
+		ordered := make([][]paillier.Ciphertext, 0, len(order))
+		for _, name := range order {
+			ordered = append(ordered, batches[name])
+		}
+		agg, err := ctx.AggregateCiphertexts(ordered)
+		if err != nil {
+			return err
+		}
+		nats := make([]mpint.Nat, len(agg))
+		for i, c := range agg {
+			nats[i] = c.C
+		}
+		raw = flnet.EncodeNats(nats)
 	}
-	agg, err := ctx.AggregateCiphertexts(ordered)
-	if err != nil {
-		return err
-	}
-	nats := make([]mpint.Nat, len(agg))
-	for i, c := range agg {
-		nats[i] = c.C
-	}
-	raw := flnet.EncodeNats(nats)
 	if jr != nil {
 		rec := fl.JournalRecord{
 			Kind: fl.EventAggregated, Round: demoRound, Attempt: attempt,
@@ -412,19 +490,19 @@ gather:
 	if opts.failpoint == "aggregate" {
 		return fmt.Errorf("failpoint %q: crashing after the aggregate was journaled", opts.failpoint)
 	}
-	return broadcastAggregate(conn, jr, attempt, order, raw, opts.clients)
+	return broadcastAggregate(conn, jr, attempt, kind, order, raw, opts.clients)
 }
 
 // broadcastAggregate prefixes the encoded aggregate with the contributor
 // count K (so clients can remove the K-party quantization bias and rescale
 // to N/K), sends it to every client — stragglers included, so a late
 // participant still terminates — and journals the round done.
-func broadcastAggregate(conn *flnet.TCPClient, jr *fl.Journal, attempt uint32, included []string, raw []byte, clients int) error {
+func broadcastAggregate(conn *flnet.TCPClient, jr *fl.Journal, attempt uint32, kind string, included []string, raw []byte, clients int) error {
 	payload := make([]byte, 4, 4+len(raw))
 	binary.LittleEndian.PutUint32(payload, uint32(len(included)))
 	payload = append(payload, raw...)
 	for i := 0; i < clients; i++ {
-		msg := flnet.Message{From: fl.ServerName, To: fl.ClientName(i), Kind: "agg", Round: demoRound, Payload: payload}
+		msg := flnet.Message{From: fl.ServerName, To: fl.ClientName(i), Kind: kind, Round: demoRound, Payload: payload}
 		if err := conn.Send(msg); err != nil {
 			return err
 		}
@@ -442,18 +520,52 @@ func broadcastAggregate(conn *flnet.TCPClient, jr *fl.Journal, attempt uint32, i
 	return nil
 }
 
-func runClient(addr string, id, clients, keyBits, chunk int, seed uint64, vals []float64, delay time.Duration, o *obs.Obs) error {
-	name := fl.ClientName(id)
-	ctx, err := demoContext(keyBits, clients, chunk, seed, o, name)
+// clientOpts bundles a demo client's configuration; zero values of byz,
+// defense, delay, and o disable the corresponding behavior.
+type clientOpts struct {
+	addr    string
+	id      int
+	clients int
+	keyBits int
+	chunk   int
+	seed    uint64
+	vals    []float64
+	delay   time.Duration
+	// byz arms the seeded demo adversary: when the shared seed selects this
+	// client as compromised, its upload is rewritten by the named attack
+	// before encryption. Every party derives the same cohort from the seed.
+	byz fl.AttackKind
+	// defense mirrors the server's -groups flag: with Groups > 1 the client
+	// expects a grouped aggregate and robust-combines the group means.
+	defense fl.DefensePolicy
+	o       *obs.Obs
+}
+
+func runClient(opts clientOpts) error {
+	name := fl.ClientName(opts.id)
+	clients := opts.clients
+	ctx, err := demoContext(opts.keyBits, clients, opts.chunk, opts.seed, opts.o, name)
 	if err != nil {
 		return err
 	}
 	defer ctx.PublishMetrics()
-	conn, err := flnet.DialHub(addr, name)
+	conn, err := flnet.DialHub(opts.addr, name)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+
+	vals := opts.vals
+	if opts.byz != fl.AttackNone {
+		adv, err := fl.NewAdversary(fl.AdversaryConfig{Seed: opts.seed ^ 0xad3, Kind: opts.byz, Count: 1}, clients)
+		if err != nil {
+			return err
+		}
+		if adv.IsMalicious(opts.id) {
+			fmt.Printf("%s is compromised: applying the %s attack to its upload\n", name, opts.byz)
+		}
+		vals = adv.Apply(demoRound, opts.id, vals)
+	}
 
 	cts, err := ctx.EncryptGradients(vals)
 	if err != nil {
@@ -463,9 +575,9 @@ func runClient(addr string, id, clients, keyBits, chunk int, seed uint64, vals [
 	for i, c := range cts {
 		nats[i] = c.C
 	}
-	if delay > 0 {
-		fmt.Printf("%s straggling for %v before upload\n", name, delay)
-		time.Sleep(delay)
+	if opts.delay > 0 {
+		fmt.Printf("%s straggling for %v before upload\n", name, opts.delay)
+		time.Sleep(opts.delay)
 	}
 	if err := conn.Send(flnet.Message{From: name, To: fl.ServerName, Kind: "grads", Round: demoRound, Payload: flnet.EncodeNats(nats)}); err != nil {
 		return err
@@ -476,12 +588,22 @@ func runClient(addr string, id, clients, keyBits, chunk int, seed uint64, vals [
 	if err != nil {
 		return err
 	}
+	wantKind := "agg"
+	if opts.defense.Enabled() {
+		wantKind = flnet.KindGroupAgg
+	}
+	if msg.Kind != wantKind {
+		return fmt.Errorf("%s: aggregate kind %q, want %q (server and clients must agree on -groups)", name, msg.Kind, wantKind)
+	}
 	if len(msg.Payload) < 4 {
 		return fmt.Errorf("%s: aggregate payload too short", name)
 	}
 	k := int(binary.LittleEndian.Uint32(msg.Payload[:4]))
 	if k < 1 || k > clients {
 		return fmt.Errorf("%s: implausible contributor count %d", name, k)
+	}
+	if opts.defense.Enabled() {
+		return decryptGrouped(ctx, name, msg.Payload[4:], len(opts.vals), k, clients, opts.defense)
 	}
 	aggNats, err := flnet.DecodeNats(msg.Payload[4:])
 	if err != nil {
@@ -491,7 +613,7 @@ func runClient(addr string, id, clients, keyBits, chunk int, seed uint64, vals [
 	for i, n := range aggNats {
 		aggCts[i] = paillier.Ciphertext{C: n}
 	}
-	sums, err := ctx.DecryptAggregated(aggCts, len(vals), k)
+	sums, err := ctx.DecryptAggregated(aggCts, len(opts.vals), k)
 	if err != nil {
 		return err
 	}
@@ -509,10 +631,79 @@ func runClient(addr string, id, clients, keyBits, chunk int, seed uint64, vals [
 	return nil
 }
 
+// decryptGrouped decodes a grouped aggregate, decrypts each group's sum at
+// its own contributor count, reduces the sums to group means, and
+// robust-combines them — the same defended-decrypt path internal/fl runs,
+// over the demo's TCP framing. The result is scaled back to a
+// full-federation sum like the plain path.
+func decryptGrouped(ctx *fl.Context, name string, raw []byte, dim, k, clients int, policy fl.DefensePolicy) error {
+	sizes, blobs, err := flnet.DecodeGroupAgg(raw)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	total := 0
+	groups := make([]fl.GroupUpdate, len(blobs))
+	for g, blob := range blobs {
+		gnats, err := flnet.DecodeNats(blob)
+		if err != nil {
+			return fmt.Errorf("%s: group %d: %w", name, g, err)
+		}
+		cts := make([]paillier.Ciphertext, len(gnats))
+		for i, n := range gnats {
+			cts[i] = paillier.Ciphertext{C: n}
+		}
+		mean, err := ctx.DecryptAggregated(cts, dim, sizes[g])
+		if err != nil {
+			return fmt.Errorf("%s: group %d: %w", name, g, err)
+		}
+		for i := range mean {
+			mean[i] /= float64(sizes[g])
+		}
+		groups[g] = fl.GroupUpdate{Mean: mean, Size: sizes[g]}
+		total += sizes[g]
+	}
+	if total != k {
+		return fmt.Errorf("%s: group sizes sum to %d, header says %d contributors", name, total, k)
+	}
+	agg, err := policy.NewAggregator()
+	if err != nil {
+		return err
+	}
+	combined, stats, err := agg.Combine(groups)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	for i := range combined {
+		combined[i] *= float64(clients)
+	}
+	fmt.Printf("%s decrypted defended aggregate (%s over %d groups, %d coords trimmed, %d clipped, %d dropped): %v\n",
+		name, agg.Name(), len(groups), stats.TrimmedCoords, stats.Clipped, stats.GroupsDropped, combined)
+	return nil
+}
+
+// demoOpts bundles the all-in-one demo's configuration.
+type demoOpts struct {
+	clients  int
+	dim      int
+	keyBits  int
+	chunk    int
+	seed     uint64
+	quorum   int
+	timeout  time.Duration
+	straggle time.Duration
+	// byz and defense arm the adversary and the group-wise robust decrypt;
+	// every in-process party shares them the way real deployments would
+	// share the flags.
+	byz     fl.AttackKind
+	defense fl.DefensePolicy
+	stop    <-chan struct{}
+	o       *obs.Obs
+}
+
 // runDemo runs hub, server, and clients in one process over loopback TCP.
 // With straggle > 0, client 0 delays its upload; combined with -quorum and
 // -timeout this demonstrates the round completing without it.
-func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout, straggle time.Duration, stop <-chan struct{}, o *obs.Obs) error {
+func runDemo(opts demoOpts) error {
 	hub, err := flnet.NewTCPHub("127.0.0.1:0", flnet.GigabitEthernet())
 	if err != nil {
 		return err
@@ -520,28 +711,34 @@ func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout,
 	defer hub.Close()
 	fmt.Println("demo hub on", hub.Addr())
 
+	clients := opts.clients
 	errs := make(chan error, clients+1)
 	go func() {
 		errs <- runServer(serverOpts{
-			addr: hub.Addr(), clients: clients, keyBits: keyBits, seed: seed,
-			quorum: quorum, timeout: timeout, stop: stop, o: o,
+			addr: hub.Addr(), clients: clients, keyBits: opts.keyBits, seed: opts.seed,
+			quorum: opts.quorum, timeout: opts.timeout, groups: opts.defense.Groups,
+			stop: opts.stop, o: opts.o,
 		})
 	}()
 
-	rng := mpint.NewRNG(seed)
-	want := make([]float64, dim)
+	rng := mpint.NewRNG(opts.seed)
+	want := make([]float64, opts.dim)
 	for c := 0; c < clients; c++ {
-		vals := make([]float64, dim)
+		vals := make([]float64, opts.dim)
 		for i := range vals {
 			vals[i] = rng.Float64()*0.5 - 0.25
 			want[i] += vals[i]
 		}
 		delay := time.Duration(0)
 		if c == 0 {
-			delay = straggle
+			delay = opts.straggle
 		}
 		go func(id int, vals []float64, delay time.Duration) {
-			errs <- runClient(hub.Addr(), id, clients, keyBits, chunk, seed, vals, delay, o)
+			errs <- runClient(clientOpts{
+				addr: hub.Addr(), id: id, clients: clients, keyBits: opts.keyBits,
+				chunk: opts.chunk, seed: opts.seed, vals: vals, delay: delay,
+				byz: opts.byz, defense: opts.defense, o: opts.o,
+			})
 		}(c, vals, delay)
 	}
 	for i := 0; i < clients+1; i++ {
@@ -549,11 +746,11 @@ func runDemo(clients, dim, keyBits, chunk int, seed uint64, quorum int, timeout,
 			return err
 		}
 	}
-	fmt.Printf("expected full-federation sums: %v\n", want)
+	fmt.Printf("expected full-federation sums (all honest): %v\n", want)
 	bytes, msgs, _ := hub.Meter().Snapshot()
 	fmt.Printf("hub traffic: %d bytes across %d messages\n", bytes, msgs)
-	if o != nil {
-		hub.Meter().Publish(o.Metrics(), "net.hub")
+	if opts.o != nil {
+		hub.Meter().Publish(opts.o.Metrics(), "net.hub")
 	}
 	return nil
 }

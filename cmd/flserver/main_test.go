@@ -35,7 +35,7 @@ func TestDemoEndToEnd(t *testing.T) {
 	// clients encrypting through the streamed pipeline (chunk 2), sharing
 	// one observability bundle across the in-process parties.
 	o := obs.New(9)
-	if err := runDemo(3, 4, 128, 2, 9, 0, 0, 0, nil, o); err != nil {
+	if err := runDemo(demoOpts{clients: 3, dim: 4, keyBits: 128, chunk: 2, seed: 9, o: o}); err != nil {
 		t.Fatal(err)
 	}
 	if o.Recorder().Len() == 0 {
@@ -52,7 +52,10 @@ func TestDemoQuorumSurvivesStraggler(t *testing.T) {
 	// of stalling on the missing upload.
 	done := make(chan error, 1)
 	go func() {
-		done <- runDemo(4, 4, 128, 0, 9, 3, 250*time.Millisecond, 900*time.Millisecond, nil, nil)
+		done <- runDemo(demoOpts{
+			clients: 4, dim: 4, keyBits: 128, seed: 9,
+			quorum: 3, timeout: 250 * time.Millisecond, straggle: 900 * time.Millisecond,
+		})
 	}()
 	select {
 	case err := <-done:
@@ -70,7 +73,10 @@ func TestDemoQuorumBelowThresholdFails(t *testing.T) {
 	// demo path only delays client 0, so demand a full quorum of 2.
 	done := make(chan error, 1)
 	go func() {
-		done <- runDemo(2, 2, 128, 0, 9, 2, time.Nanosecond, 500*time.Millisecond, nil, nil)
+		done <- runDemo(demoOpts{
+			clients: 2, dim: 2, keyBits: 128, seed: 9,
+			quorum: 2, timeout: time.Nanosecond, straggle: 500 * time.Millisecond,
+		})
 	}()
 	select {
 	case err := <-done:
@@ -79,6 +85,80 @@ func TestDemoQuorumBelowThresholdFails(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("below-quorum demo hung")
+	}
+}
+
+func TestDemoDefendedRound(t *testing.T) {
+	// The robustness flags end to end over loopback TCP: a seeded scale
+	// adversary poisons one upload, the server aggregates group-wise, and
+	// every client decrypts and robust-combines the grouped aggregate.
+	done := make(chan error, 1)
+	go func() {
+		done <- runDemo(demoOpts{
+			clients: 4, dim: 4, keyBits: 128, seed: 9,
+			byz:     fl.AttackScale,
+			defense: fl.DefensePolicy{Groups: 2, Combiner: fl.CombineMedian},
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("defended demo hung")
+	}
+}
+
+func TestServerGroupedCrashResumeBroadcast(t *testing.T) {
+	// Crash a group-wise server at the aggregate boundary and resume it: the
+	// journaled grouped payload must replay under the "gagg" kind so the
+	// defended clients still decode and combine it.
+	hub, err := flnet.NewTCPHub("127.0.0.1:0", flnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	journal := filepath.Join(t.TempDir(), "round.journal")
+	policy := fl.DefensePolicy{Groups: 2}
+
+	vals := [][]float64{{0.1, 0.2}, {-0.05, 0.25}, {0.3, -0.1}}
+	clientErr := make(chan error, len(vals))
+	for i := range vals {
+		go func(id int) {
+			clientErr <- runClient(clientOpts{
+				addr: hub.Addr(), id: id, clients: len(vals), keyBits: 128, seed: 9,
+				vals: vals[id], defense: policy,
+			})
+		}(i)
+	}
+
+	err = runServer(serverOpts{
+		addr: hub.Addr(), clients: len(vals), keyBits: 128, seed: 9,
+		groups: policy.Groups, journal: journal, failpoint: "aggregate",
+	})
+	if err == nil || !strings.Contains(err.Error(), "failpoint") {
+		t.Fatalf("failpoint run returned %v", err)
+	}
+	if err := runServer(serverOpts{
+		addr: hub.Addr(), clients: len(vals), keyBits: 128, seed: 9,
+		groups: policy.Groups, journal: journal, resume: true,
+	}); err != nil {
+		t.Fatalf("resume run failed: %v", err)
+	}
+	for range vals {
+		select {
+		case err := <-clientErr:
+			if err != nil {
+				t.Fatalf("defended client failed after resume: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("defended clients never received the resumed broadcast")
+		}
+	}
+	state := replayJournal(t, journal)
+	if state.Completed != 1 || state.Resume != nil {
+		t.Fatalf("grouped resume journal replayed wrong: %+v", state)
 	}
 }
 
@@ -155,7 +235,10 @@ func TestServerDrainFinishesWithQuorum(t *testing.T) {
 	}()
 	clientErr := make(chan error, 1)
 	go func() {
-		clientErr <- runClient(hub.Addr(), 0, 2, 128, 0, 9, []float64{0.5, -0.25}, 0, nil)
+		clientErr <- runClient(clientOpts{
+			addr: hub.Addr(), id: 0, clients: 2, keyBits: 128, seed: 9,
+			vals: []float64{0.5, -0.25},
+		})
 	}()
 
 	// Drain only after the upload has been routed through the hub (plus a
@@ -210,7 +293,10 @@ func TestServerCrashResumeBroadcast(t *testing.T) {
 	clientErr := make(chan error, 2)
 	for i := range vals {
 		go func(id int) {
-			clientErr <- runClient(hub.Addr(), id, 2, 128, 0, 9, vals[id], 0, nil)
+			clientErr <- runClient(clientOpts{
+				addr: hub.Addr(), id: id, clients: 2, keyBits: 128, seed: 9,
+				vals: vals[id],
+			})
 		}(i)
 	}
 
@@ -265,5 +351,11 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"client", "-values", ""}, nil); err == nil {
 		t.Fatal("client without values should fail")
+	}
+	if err := run([]string{"demo", "-groups", "2", "-defense", "nope"}, nil); err == nil {
+		t.Fatal("unknown -defense combiner should fail")
+	}
+	if err := run([]string{"client", "-values", "1", "-byz", "nope"}, nil); err == nil {
+		t.Fatal("unknown -byz attack should fail")
 	}
 }

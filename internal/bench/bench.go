@@ -110,7 +110,7 @@ type Runner struct {
 	data map[string]*datasets.Dataset
 	ctxs map[ctxKey]*fl.Context
 
-	obs     *obs.Obs     // shared observability bundle (nil unless cfg.Observe)
+	obs     *obs.Obs      // shared observability bundle (nil unless cfg.Observe)
 	obsCtxs []*fl.Context // every context attached to obs, for reconciliation
 }
 

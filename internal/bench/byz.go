@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"flbooster/internal/fl"
+	"flbooster/internal/mpint"
+)
+
+// The Byzantine-robustness experiment: sweep attack model × adversary
+// fraction × defense and measure how far the decrypted aggregate lands from
+// the honest-client oracle (an all-honest, undefended same-seed round over
+// the same gradients). Every cell is one full secure-aggregation round —
+// encryption, group-wise HE summation, robust combine — so the numbers
+// measure the deployed defense, not a plaintext simulation. All randomness
+// derives from the seed; the committed BENCH_byz.json replays bit-exactly.
+
+// byzJSON is the committed robustness artifact.
+const byzJSON = "BENCH_byz.json"
+
+const (
+	byzParties = 10 // 20% adversaries = 2 compromised clients
+	byzGroups  = 5
+	byzTrim    = 2 // per-side trim: tolerates both adversaries grouped apart
+	byzDim     = 16
+	byzFactor  = 25 // boosting multiplier; bounded by the quantizer range
+	byzBound   = 8  // GradBound: keeps 25× boosted uploads un-clamped
+)
+
+// byzRow is one sweep cell.
+type byzRow struct {
+	Attack      string  `json:"attack"`
+	Fraction    float64 `json:"fraction"`
+	Adversaries int     `json:"adversaries"`
+	Defense     string  `json:"defense"`
+	// Deviation is the L2 distance of the round's aggregate from the
+	// honest-client oracle.
+	Deviation float64 `json:"deviation"`
+	// MaxSuspicion is the defended round's highest per-group outlier score.
+	MaxSuspicion  float64 `json:"max_suspicion,omitempty"`
+	TrimmedCoords int64   `json:"trimmed_coords,omitempty"`
+	Clipped       int     `json:"clipped,omitempty"`
+	GroupsDropped int     `json:"groups_dropped,omitempty"`
+}
+
+// byzHeadline is the acceptance cell: 20% scaling adversaries, defense off
+// versus trimmed-mean on.
+type byzHeadline struct {
+	Attack            string  `json:"attack"`
+	Fraction          float64 `json:"fraction"`
+	OffDeviation      float64 `json:"off_deviation"`
+	DefendedDeviation float64 `json:"defended_deviation"`
+	// Ratio is OffDeviation / DefendedDeviation — how many times closer the
+	// defense pulls the aggregate to the honest oracle.
+	Ratio float64 `json:"ratio"`
+}
+
+// byzReport is the BENCH_byz.json schema.
+type byzReport struct {
+	Seed       uint64      `json:"seed"`
+	Parties    int         `json:"parties"`
+	KeyBits    int         `json:"key_bits"`
+	Dim        int         `json:"dim"`
+	Groups     int         `json:"groups"`
+	Trim       int         `json:"trim"`
+	Factor     float64     `json:"factor"`
+	HonestNorm float64     `json:"honest_norm"`
+	Rows       []byzRow    `json:"rows"`
+	Headline   byzHeadline `json:"headline"`
+}
+
+// byzDefenses lists the sweep's defense arms: off, then every combiner.
+func byzDefenses() []fl.DefensePolicy {
+	arms := []fl.DefensePolicy{{}}
+	for _, kind := range fl.KnownCombiners() {
+		arms = append(arms, fl.DefensePolicy{Groups: byzGroups, Combiner: kind, Trim: byzTrim})
+	}
+	return arms
+}
+
+// byzDefenseName labels a defense arm.
+func byzDefenseName(d fl.DefensePolicy) string {
+	if !d.Enabled() {
+		return "off"
+	}
+	return string(d.Combiner)
+}
+
+// byzHonestGrads draws the honest per-client gradients: a shared descent
+// direction in [-0.25, 0.25) plus small per-client jitter — the correlated
+// shape of real FL updates. Low cross-client variance is what gives the
+// group means a tight honest cluster for the combiners to defend.
+func byzHonestGrads(seed uint64) [][]float64 {
+	rng := mpint.NewRNG(seed ^ 0xb52a)
+	base := make([]float64, byzDim)
+	for i := range base {
+		base[i] = 0.5*rng.Float64() - 0.25
+	}
+	out := make([][]float64, byzParties)
+	for c := range out {
+		g := make([]float64, byzDim)
+		for i := range g {
+			g[i] = base[i] + 0.02*(2*rng.Float64()-1)
+		}
+		out[c] = g
+	}
+	return out
+}
+
+// byzRound runs one secure-aggregation round of the sweep.
+func byzRound(seed uint64, keyBits int, byz fl.AdversaryConfig, defense fl.DefensePolicy, grads [][]float64) ([]float64, fl.RoundReport, error) {
+	p := fl.NewProfile(fl.SystemFATE, keyBits, byzParties)
+	p.Seed = seed
+	p.GradBound = byzBound
+	p.Byz = byz
+	p.Defense = defense
+	ctx, err := fl.NewContext(p)
+	if err != nil {
+		return nil, fl.RoundReport{}, err
+	}
+	fed := fl.NewFederation(ctx)
+	defer fed.Close()
+	return fed.SecureAggregateReport(grads)
+}
+
+// Byz runs the robustness sweep and writes the table and BENCH_byz.json.
+func (r *Runner) Byz(w io.Writer) error {
+	keyBits := r.cfg.KeyBits[0]
+	seed := r.cfg.Seed
+	header(w, fmt.Sprintf("Byzantine robustness — attack × fraction × defense (%d parties, %d groups, %d-bit keys)",
+		byzParties, byzGroups, keyBits))
+
+	grads := byzHonestGrads(seed)
+	honest, _, err := byzRound(seed, keyBits, fl.AdversaryConfig{}, fl.DefensePolicy{}, grads)
+	if err != nil {
+		return fmt.Errorf("bench: honest oracle round: %w", err)
+	}
+
+	report := byzReport{
+		Seed: seed, Parties: byzParties, KeyBits: keyBits, Dim: byzDim,
+		Groups: byzGroups, Trim: byzTrim, Factor: byzFactor,
+		HonestNorm: l2vec(honest),
+	}
+	fmt.Fprintf(w, "honest oracle norm %.4f\n\n", report.HonestNorm)
+	fmt.Fprintf(w, "%-10s %-5s %-13s %12s %10s\n", "attack", "frac", "defense", "L2 deviation", "suspicion")
+
+	start := time.Now()
+	for _, attack := range fl.KnownAttacks() {
+		for _, fraction := range []float64{0.1, 0.2} {
+			byz := fl.AdversaryConfig{
+				Seed: seed ^ 0x1b2c, Kind: attack, Fraction: fraction,
+				Factor: byzFactor, NoiseStd: 2, Drift: 2,
+			}
+			for _, defense := range byzDefenses() {
+				sum, rep, err := byzRound(seed, keyBits, byz, defense, grads)
+				if err != nil {
+					return fmt.Errorf("bench: byz cell %s/%v/%s: %w",
+						attack, fraction, byzDefenseName(defense), err)
+				}
+				row := byzRow{
+					Attack:      string(attack),
+					Fraction:    fraction,
+					Adversaries: int(fraction * byzParties),
+					Defense:     byzDefenseName(defense),
+					Deviation:   l2dev(sum, honest),
+				}
+				if d := rep.Defense; d != nil {
+					row.MaxSuspicion = d.MaxSuspicion()
+					row.TrimmedCoords = d.Stats.TrimmedCoords
+					row.Clipped = d.Stats.Clipped
+					row.GroupsDropped = d.Stats.GroupsDropped
+				}
+				report.Rows = append(report.Rows, row)
+				fmt.Fprintf(w, "%-10s %-5.2f %-13s %12.4f %10.3f\n",
+					row.Attack, row.Fraction, row.Defense, row.Deviation, row.MaxSuspicion)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	// The acceptance headline: 20% scaling adversaries must land the
+	// undefended aggregate ≥10× further from the honest oracle than the
+	// trimmed-mean defense does.
+	var off, defended float64
+	for _, row := range report.Rows {
+		if row.Attack == string(fl.AttackScale) && row.Fraction == 0.2 {
+			switch row.Defense {
+			case "off":
+				off = row.Deviation
+			case string(fl.CombineTrimmedMean):
+				defended = row.Deviation
+			}
+		}
+	}
+	report.Headline = byzHeadline{
+		Attack: string(fl.AttackScale), Fraction: 0.2,
+		OffDeviation: off, DefendedDeviation: defended,
+	}
+	if defended > 0 {
+		report.Headline.Ratio = off / defended
+	}
+	fmt.Fprintf(w, "\nheadline: scale@20%% off %.4f vs trimmed-mean %.4f (%.1fx closer); wall time %s\n",
+		off, defended, report.Headline.Ratio, fmtDur(elapsed))
+	if report.Headline.Ratio < 10 {
+		return fmt.Errorf("bench: defense headline ratio %.2f below the 10x target", report.Headline.Ratio)
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(byzJSON, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report written to %s\n", byzJSON)
+	return nil
+}
+
+// l2vec is the L2 norm of v.
+func l2vec(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// l2dev is the L2 distance between a and b.
+func l2dev(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

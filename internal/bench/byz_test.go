@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"testing"
+
+	"flbooster/internal/fl"
+)
+
+// TestByzCellsDeterministic: identical seeds must reproduce every cell of
+// the sweep bit-for-bit — the committed BENCH_byz.json is a pure function
+// of -seed.
+func TestByzCellsDeterministic(t *testing.T) {
+	grads := byzHonestGrads(7)
+	byz := fl.AdversaryConfig{Seed: 7 ^ 0x1b2c, Kind: fl.AttackCollude, Fraction: 0.2, Drift: 2}
+	defense := fl.DefensePolicy{Groups: byzGroups, Combiner: fl.CombineTrimmedMean, Trim: byzTrim}
+	a, _, err := byzRound(7, 128, byz, defense, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := byzRound(7, 128, byz, defense, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2dev(a, b) != 0 {
+		t.Fatal("identical byz cells diverged")
+	}
+}
+
+// TestByzHeadlineRatio is the acceptance criterion at test scale: with 20%
+// scaling adversaries the undefended aggregate must land ≥10× further from
+// the honest oracle than the trimmed-mean defense.
+func TestByzHeadlineRatio(t *testing.T) {
+	const seed, keyBits = 1, 128
+	grads := byzHonestGrads(seed)
+	honest, _, err := byzRound(seed, keyBits, fl.AdversaryConfig{}, fl.DefensePolicy{}, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := fl.AdversaryConfig{Seed: seed ^ 0x1b2c, Kind: fl.AttackScale, Fraction: 0.2, Factor: byzFactor}
+	off, _, err := byzRound(seed, keyBits, byz, fl.DefensePolicy{}, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defense := fl.DefensePolicy{Groups: byzGroups, Combiner: fl.CombineTrimmedMean, Trim: byzTrim}
+	defended, rep, err := byzRound(seed, keyBits, byz, defense, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Defense == nil {
+		t.Fatal("defended cell lost its defense report")
+	}
+	dOff, dDef := l2dev(off, honest), l2dev(defended, honest)
+	if dDef <= 0 {
+		t.Fatalf("defended deviation %v not positive", dDef)
+	}
+	if ratio := dOff / dDef; ratio < 10 {
+		t.Fatalf("headline ratio %.2f below 10x (off %v, defended %v)", ratio, dOff, dDef)
+	}
+}

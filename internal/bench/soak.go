@@ -57,26 +57,37 @@ type SoakConfig struct {
 	// RejoinAfter round boundaries later.
 	ChurnProb   float64 `json:"churn_prob"`
 	RejoinAfter int     `json:"rejoin_after"`
+	// Adversaries arms the Byzantine injector with this many compromised
+	// clients; the attack model rotates per round through the pre-drawn
+	// schedule, composing with every other fault class.
+	Adversaries int `json:"adversaries"`
+	// DefenseGroups > 1 arms group-wise robust aggregation (trimmed-mean,
+	// DefenseTrim groups per side) for every round of the soak.
+	DefenseGroups int `json:"defense_groups"`
+	DefenseTrim   int `json:"defense_trim"`
 }
 
 // DefaultSoakConfig returns the standard chaos mix at a given scale.
 func DefaultSoakConfig(seed uint64, rounds, parties, keyBits int) SoakConfig {
 	return SoakConfig{
-		Seed:         seed,
-		Rounds:       rounds,
-		Parties:      parties,
-		KeyBits:      keyBits,
-		Dim:          8,
-		Chunk:        2,
-		Quorum:       parties - 1,
-		PhaseTimeout: 200 * time.Millisecond,
-		DropProb:     0.06,
-		DupProb:      0.12,
-		ReorderProb:  0.12,
-		DeviceFaults: true,
-		CrashProb:    0.12,
-		ChurnProb:    0.15,
-		RejoinAfter:  2,
+		Seed:          seed,
+		Rounds:        rounds,
+		Parties:       parties,
+		KeyBits:       keyBits,
+		Dim:           8,
+		Chunk:         2,
+		Quorum:        parties - 1,
+		PhaseTimeout:  200 * time.Millisecond,
+		DropProb:      0.06,
+		DupProb:       0.12,
+		ReorderProb:   0.12,
+		DeviceFaults:  true,
+		CrashProb:     0.12,
+		ChurnProb:     0.15,
+		RejoinAfter:   2,
+		Adversaries:   1,
+		DefenseGroups: 3,
+		DefenseTrim:   1,
 	}
 }
 
@@ -105,6 +116,14 @@ type SoakSummary struct {
 	// FailuresByPhase types every failed round by the phase its RoundError
 	// names — the proof that no failure was untyped.
 	FailuresByPhase map[string]int `json:"failures_by_phase"`
+	// Byzantine counters: completed rounds whose included set held at least
+	// one compromised client, completed rounds that ran the group defense,
+	// and — zero tolerance — defended rounds whose aggregate escaped the
+	// trimmed-mean bound (outside the honest groups' coordinate range while
+	// the poisoned-group count was within the trim budget).
+	AttackedRounds  int `json:"attacked_rounds"`
+	DefendedRounds  int `json:"defended_rounds"`
+	BoundViolations int `json:"bound_violations"`
 	// JournalRecords is the final length of the epoch journal.
 	JournalRecords int `json:"journal_records"`
 	// The two zero-tolerance counters: completed rounds whose result
@@ -122,6 +141,7 @@ type soakSchedule struct {
 	crash       []fl.EventKind
 	churnDraw   []bool
 	churnTarget []int
+	attack      []fl.AttackKind // per-round attack model rotation
 }
 
 func drawSoakSchedule(cfg SoakConfig) soakSchedule {
@@ -131,7 +151,9 @@ func drawSoakSchedule(cfg SoakConfig) soakSchedule {
 		crash:       make([]fl.EventKind, cfg.Rounds),
 		churnDraw:   make([]bool, cfg.Rounds),
 		churnTarget: make([]int, cfg.Rounds),
+		attack:      make([]fl.AttackKind, cfg.Rounds),
 	}
+	attacks := fl.KnownAttacks()
 	for r := 0; r < cfg.Rounds; r++ {
 		sched.grads[r] = make([][]float64, cfg.Parties)
 		for c := 0; c < cfg.Parties; c++ {
@@ -149,6 +171,9 @@ func drawSoakSchedule(cfg SoakConfig) soakSchedule {
 		}
 		sched.churnDraw[r] = rng.Float64() < cfg.ChurnProb
 		sched.churnTarget[r] = rng.Intn(cfg.Parties)
+		// Pre-drawn like everything else, so crashed re-runs of a round
+		// replay the identical attack.
+		sched.attack[r] = attacks[rng.Intn(len(attacks))]
 	}
 	return sched
 }
@@ -187,6 +212,20 @@ func RunSoak(cfg SoakConfig) (SoakSummary, error) {
 		PhaseTimeout: cfg.PhaseTimeout,
 		MaxRetries:   2,
 		Backoff:      time.Millisecond,
+	}
+	if cfg.Adversaries > 0 {
+		// Factor 3 keeps boosted uploads inside the quantizer's ±1 bound
+		// (gradients are drawn in [-0.25, 0.25)) so the attack is never
+		// masked by clamping.
+		profile.Byz = fl.AdversaryConfig{
+			Seed: cfg.Seed ^ 0xb42, Kind: fl.AttackSignFlip, Count: cfg.Adversaries,
+			Factor: 3, NoiseStd: 0.5, Drift: 0.5,
+		}
+	}
+	if cfg.DefenseGroups > 1 {
+		profile.Defense = fl.DefensePolicy{
+			Groups: cfg.DefenseGroups, Combiner: fl.CombineTrimmedMean, Trim: cfg.DefenseTrim,
+		}
 	}
 	if cfg.DeviceFaults {
 		profile.Faults.Inject = gpu.FaultConfig{
@@ -276,6 +315,14 @@ func RunSoak(cfg SoakConfig) (SoakSummary, error) {
 			crashArmed = true
 			sched.crash[r] = ""
 		}
+		if adv := fed.Adversary(); adv != nil {
+			// Rotate the attack model per the pre-drawn schedule. Re-set on
+			// every iteration (not just fresh rounds) so a recovered
+			// coordinator's fresh injector replays the same attack.
+			if err := adv.SetKind(sched.attack[r]); err != nil {
+				return sum, fmt.Errorf("bench: soak attack rotation: %w", err)
+			}
+		}
 
 		result, rep, err := fed.SecureAggregateReport(sched.grads[r])
 		if err != nil {
@@ -313,17 +360,47 @@ func RunSoak(cfg SoakConfig) (SoakSummary, error) {
 		sum.Duplicates += rep.Duplicates
 		sum.Retries += rep.Retries
 
-		// The arithmetic oracle: quantize the included clients' gradients,
-		// sum in plain integers, dequantize, and scale exactly the way the
-		// protocol does. HE is exact on quantized values, so a completed
-		// round that is not bit-identical to this is silent corruption —
-		// whatever chaos, faults, crashes, or churn the round survived.
-		want, oerr := soakOracle(quant, sched.grads[r], rep, cfg.Parties)
-		if oerr != nil {
-			return sum, fmt.Errorf("bench: soak oracle round %d: %w", r+1, oerr)
+		// The arithmetic oracle: quantize the included clients' uploads (as
+		// attacked — the adversary's rewrites are deterministic and keyed on
+		// the replayed round ID), sum in plain integers per group, dequantize,
+		// and combine exactly the way the protocol does. HE is exact on
+		// quantized values, so a completed round that is not bit-identical to
+		// this is silent corruption — whatever chaos, faults, crashes, churn,
+		// or attacks the round survived.
+		adv := fed.Adversary()
+		uploads := make([][]float64, cfg.Parties)
+		for i := range uploads {
+			uploads[i] = adv.Apply(rep.Round, i, sched.grads[r][i])
 		}
-		if !bitsEqual(result, want) {
-			sum.Mismatches++
+		attacked := false
+		for _, name := range rep.Included {
+			if i, ierr := fl.ClientIndex(name); ierr == nil && adv.IsMalicious(i) {
+				attacked = true
+			}
+		}
+		if attacked {
+			sum.AttackedRounds++
+		}
+		if rep.Defense != nil {
+			sum.DefendedRounds++
+			want, groups, oerr := soakDefendedOracle(quant, uploads, rep, profile.Defense, cfg.Parties)
+			if oerr != nil {
+				return sum, fmt.Errorf("bench: soak defended oracle round %d: %w", r+1, oerr)
+			}
+			if !bitsEqual(result, want) {
+				sum.Mismatches++
+			}
+			if soakBoundViolated(result, groups, rep, profile.Defense, adv, cfg.Parties) {
+				sum.BoundViolations++
+			}
+		} else {
+			want, oerr := soakOracle(quant, uploads, rep, cfg.Parties)
+			if oerr != nil {
+				return sum, fmt.Errorf("bench: soak oracle round %d: %w", r+1, oerr)
+			}
+			if !bitsEqual(result, want) {
+				sum.Mismatches++
+			}
 		}
 	}
 
@@ -382,6 +459,96 @@ func soakOracle(q *quant.Quantizer, grads [][]float64, rep fl.RoundReport, parti
 	return want, nil
 }
 
+// soakDefendedOracle recomputes a defended round's expected result in
+// plaintext: per reported group, quantized integer sums over the group's
+// (possibly attacked) uploads, dequantized at group size, reduced to the
+// group mean, combined by the same pure combiner the clients ran, and scaled
+// by the party count. It also returns the plaintext group updates for the
+// trimming-bound check.
+func soakDefendedOracle(q *quant.Quantizer, uploads [][]float64, rep fl.RoundReport, policy fl.DefensePolicy, parties int) ([]float64, []fl.GroupUpdate, error) {
+	d := rep.Defense
+	if len(d.GroupMembers) == 0 {
+		return nil, nil, fmt.Errorf("defended round reported no group members")
+	}
+	groups := make([]fl.GroupUpdate, len(d.GroupMembers))
+	for g, members := range d.GroupMembers {
+		var sums []uint64
+		for _, name := range members {
+			i, err := fl.ClientIndex(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals := q.QuantizeVec(uploads[i])
+			if sums == nil {
+				sums = make([]uint64, len(vals))
+			}
+			for j, v := range vals {
+				sums[j] += v
+			}
+		}
+		mean, err := q.DequantizeSumVec(sums, len(members))
+		if err != nil {
+			return nil, nil, err
+		}
+		for j := range mean {
+			mean[j] /= float64(len(members))
+		}
+		groups[g] = fl.GroupUpdate{Mean: mean, Size: len(members)}
+	}
+	agg, err := policy.NewAggregator()
+	if err != nil {
+		return nil, nil, err
+	}
+	combined, _, err := agg.Combine(groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j := range combined {
+		combined[j] *= float64(parties)
+	}
+	return combined, groups, nil
+}
+
+// soakBoundViolated checks the trimmed-mean guarantee on a defended round:
+// when the number of groups containing a compromised client is within the
+// trim budget, every coordinate of the defended aggregate (at mean scale)
+// must lie within the honest groups' coordinate range, modulo float
+// rounding. Outside those preconditions the theorem makes no promise and
+// the check passes vacuously.
+func soakBoundViolated(result []float64, groups []fl.GroupUpdate, rep fl.RoundReport, policy fl.DefensePolicy, adv *fl.Adversary, parties int) bool {
+	poisoned := 0
+	honest := make([]fl.GroupUpdate, 0, len(groups))
+	for g, members := range rep.Defense.GroupMembers {
+		mal := false
+		for _, name := range members {
+			if i, err := fl.ClientIndex(name); err == nil && adv.IsMalicious(i) {
+				mal = true
+			}
+		}
+		if mal {
+			poisoned++
+		} else {
+			honest = append(honest, groups[g])
+		}
+	}
+	if poisoned == 0 || poisoned > policy.EffectiveTrim(len(groups)) || len(honest) == 0 {
+		return false
+	}
+	for j := range result {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, gu := range honest {
+			lo = math.Min(lo, gu.Mean[j])
+			hi = math.Max(hi, gu.Mean[j])
+		}
+		v := result[j] / float64(parties)
+		eps := 1e-9 * (1 + math.Abs(lo) + math.Abs(hi))
+		if v < lo-eps || v > hi+eps {
+			return true
+		}
+	}
+	return false
+}
+
 // soakJSON is the committed soak summary artifact.
 const soakJSON = "BENCH_soak.json"
 
@@ -393,9 +560,11 @@ func (r *Runner) Soak(w io.Writer) error {
 	cfg := DefaultSoakConfig(r.cfg.Seed, rounds, r.cfg.Parties, keyBits)
 	header(w, fmt.Sprintf("Chaos soak — %d multi-fault rounds (%d parties, %d-bit keys)",
 		cfg.Rounds, cfg.Parties, cfg.KeyBits))
-	fmt.Fprintf(w, "faults: drop %.0f%%, dup %.0f%%, reorder %.0f%%, device faults %v, crash %.0f%%/round, churn %.0f%%/round (rejoin after %d)\n\n",
+	fmt.Fprintf(w, "faults: drop %.0f%%, dup %.0f%%, reorder %.0f%%, device faults %v, crash %.0f%%/round, churn %.0f%%/round (rejoin after %d)\n",
 		cfg.DropProb*100, cfg.DupProb*100, cfg.ReorderProb*100, cfg.DeviceFaults,
 		cfg.CrashProb*100, cfg.ChurnProb*100, cfg.RejoinAfter)
+	fmt.Fprintf(w, "adversary: %d compromised client(s), rotating attack per round; defense: trimmed-mean over %d groups (trim %d)\n\n",
+		cfg.Adversaries, cfg.DefenseGroups, cfg.DefenseTrim)
 
 	start := time.Now()
 	sum, err := RunSoak(cfg)
@@ -418,14 +587,17 @@ func (r *Runner) Soak(w io.Writer) error {
 	row("degraded rounds", sum.Degraded)
 	row("duplicate messages dropped", sum.Duplicates)
 	row("send retries", sum.Retries)
+	row("attacked rounds", sum.AttackedRounds)
+	row("defended rounds", sum.DefendedRounds)
+	row("trimming-bound violations", sum.BoundViolations)
 	row("journal records", sum.JournalRecords)
 	row("silent corruption", sum.Mismatches)
 	row("untyped errors", sum.UntypedErrors)
 	fmt.Fprintf(w, "\nwall time %s\n", fmtDur(elapsed))
 
-	if sum.Mismatches > 0 || sum.UntypedErrors > 0 {
-		return fmt.Errorf("bench: soak detected %d silent corruptions, %d untyped errors",
-			sum.Mismatches, sum.UntypedErrors)
+	if sum.Mismatches > 0 || sum.UntypedErrors > 0 || sum.BoundViolations > 0 {
+		return fmt.Errorf("bench: soak detected %d silent corruptions, %d untyped errors, %d bound violations",
+			sum.Mismatches, sum.UntypedErrors, sum.BoundViolations)
 	}
 
 	blob, err := json.MarshalIndent(sum, "", "  ")

@@ -30,6 +30,12 @@ func TestSoakDeterministic(t *testing.T) {
 	if a.Crashes != a.Recoveries {
 		t.Fatalf("crashes %d != recoveries %d", a.Crashes, a.Recoveries)
 	}
+	if a.AttackedRounds == 0 || a.DefendedRounds == 0 {
+		t.Fatalf("soak never exercised the adversary/defense: %+v", a)
+	}
+	if a.BoundViolations != 0 {
+		t.Fatalf("defended aggregate escaped the trimming bound %d times: %+v", a.BoundViolations, a)
+	}
 }
 
 // TestSoakValidates rejects nonsense configs.

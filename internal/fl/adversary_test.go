@@ -1,0 +1,211 @@
+package fl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdversaryDisabledIsNil(t *testing.T) {
+	adv, err := NewAdversary(AdversaryConfig{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv != nil {
+		t.Fatal("zero config should yield the nil (honest) injector")
+	}
+	// The nil injector is safe to call and a strict no-op.
+	if adv.IsMalicious(0) {
+		t.Error("nil adversary compromises nobody")
+	}
+	g := []float64{0.1, -0.2}
+	if out := adv.Apply(1, 0, g); &out[0] != &g[0] {
+		t.Error("nil adversary must return the input slice untouched")
+	}
+	if got := adv.Stats(); got.Compromised != 0 || got.Applications != 0 {
+		t.Errorf("nil adversary stats = %+v", got)
+	}
+	if adv.Kind() != AttackNone {
+		t.Error("nil adversary kind should be AttackNone")
+	}
+}
+
+func TestAdversaryValidation(t *testing.T) {
+	bad := []AdversaryConfig{
+		{Kind: "martian"},
+		{Kind: AttackScale, Fraction: -0.1},
+		{Kind: AttackScale, Fraction: 1},
+		{Kind: AttackScale, Count: -1},
+		{Kind: AttackScale, Count: 4}, // all 4 parties compromised
+		{Kind: AttackScale, Count: 1, Factor: -1},
+		{Kind: AttackNoise, Count: 1, NoiseStd: -1},
+		{Kind: AttackCollude, Count: 1, Drift: -1},
+		{Count: 1}, // cohort without an attack kind
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(4); err == nil {
+			t.Errorf("config %d should fail validation: %+v", i, cfg)
+		}
+	}
+}
+
+func TestAdversaryCohortDeterministic(t *testing.T) {
+	cfg := AdversaryConfig{Seed: 42, Kind: AttackSignFlip, Fraction: 0.4}
+	a1, err := NewAdversary(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewAdversary(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := a1.Malicious(), a2.Malicious()
+	if len(m1) != 4 {
+		t.Fatalf("fraction 0.4 of 10 should compromise 4, got %v", m1)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("cohorts diverge for the same seed: %v vs %v", m1, m2)
+		}
+	}
+	cfg.Seed = 43
+	a3, err := NewAdversary(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	m3 := a3.Malicious()
+	for i := range m1 {
+		if m1[i] != m3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should (generically) draw different cohorts")
+	}
+	// An armed fractional config always compromises at least one client.
+	small, err := NewAdversary(AdversaryConfig{Kind: AttackZero, Fraction: 0.01}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := small.Stats().Compromised; got != 1 {
+		t.Errorf("armed config compromised %d, want floor of 1", got)
+	}
+}
+
+func TestAdversaryAttackSemantics(t *testing.T) {
+	g := []float64{0.5, -0.25, 0}
+	mk := func(kind AttackKind) *Adversary {
+		t.Helper()
+		adv, err := NewAdversary(AdversaryConfig{Seed: 7, Kind: kind, Count: 2, Factor: 3}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return adv
+	}
+
+	flip := mk(AttackSignFlip)
+	mal := flip.Malicious()[0]
+	honest := -1
+	for i := 0; i < 5; i++ {
+		if !flip.IsMalicious(i) {
+			honest = i
+			break
+		}
+	}
+	if out := flip.Apply(3, honest, g); &out[0] != &g[0] {
+		t.Error("honest client's gradients must pass through untouched")
+	}
+	out := flip.Apply(3, mal, g)
+	if &out[0] == &g[0] {
+		t.Error("malicious rewrite must be a fresh copy")
+	}
+	for i := range g {
+		if out[i] != -g[i] {
+			t.Fatalf("sign-flip[%d] = %v, want %v", i, out[i], -g[i])
+		}
+	}
+
+	scale := mk(AttackScale)
+	out = scale.Apply(3, scale.Malicious()[0], g)
+	for i := range g {
+		if out[i] != 3*g[i] {
+			t.Fatalf("scale[%d] = %v, want %v", i, out[i], 3*g[i])
+		}
+	}
+
+	zero := mk(AttackZero)
+	out = zero.Apply(3, zero.Malicious()[0], g)
+	for i := range out {
+		if out[i] != 0 {
+			t.Fatalf("zero[%d] = %v", i, out[i])
+		}
+	}
+
+	noise := mk(AttackNoise)
+	nm := noise.Malicious()[0]
+	n1 := noise.Apply(3, nm, g)
+	n2 := noise.Apply(3, nm, g)
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatal("noise draw must be deterministic per (round, client)")
+		}
+	}
+	n3 := noise.Apply(4, nm, g)
+	if n1[0] == n3[0] && n1[1] == n3[1] && n1[2] == n3[2] {
+		t.Error("different rounds should draw different noise")
+	}
+
+	if got := noise.Stats(); got.Applications != 3 || got.ByKind[AttackNoise] != 3 {
+		t.Errorf("noise stats = %+v", got)
+	}
+}
+
+func TestAdversaryColludersShareTarget(t *testing.T) {
+	adv, err := NewAdversary(AdversaryConfig{Seed: 9, Kind: AttackCollude, Count: 3, Drift: 0.5}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mal := adv.Malicious()
+	g := []float64{1, 2, 3, 4}
+	first := adv.Apply(11, mal[0], g)
+	for _, m := range mal[1:] {
+		out := adv.Apply(11, m, g)
+		for i := range first {
+			if out[i] != first[i] {
+				t.Fatal("colluders must upload the identical per-round target")
+			}
+		}
+	}
+	for i, v := range first {
+		if math.Abs(v) > 0.5 {
+			t.Errorf("collude target[%d] = %v outside drift bound", i, v)
+		}
+	}
+	next := adv.Apply(12, mal[0], g)
+	if first[0] == next[0] && first[1] == next[1] {
+		t.Error("collusion target should move between rounds")
+	}
+}
+
+func TestAdversarySetKind(t *testing.T) {
+	adv, err := NewAdversary(AdversaryConfig{Seed: 1, Kind: AttackSignFlip, Count: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adv.SetKind(AttackZero); err != nil {
+		t.Fatal(err)
+	}
+	if adv.Kind() != AttackZero {
+		t.Fatalf("kind = %q after SetKind", adv.Kind())
+	}
+	out := adv.Apply(1, adv.Malicious()[0], []float64{5})
+	if out[0] != 0 {
+		t.Error("rotated kind should apply")
+	}
+	if err := adv.SetKind(AttackNone); err == nil {
+		t.Error("SetKind(AttackNone) should fail")
+	}
+	if err := (*Adversary)(nil).SetKind(AttackZero); err == nil {
+		t.Error("SetKind on nil adversary should fail")
+	}
+}

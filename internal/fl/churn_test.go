@@ -67,6 +67,73 @@ func TestChurnLeaveRejoinAdmission(t *testing.T) {
 	}
 }
 
+// TestChurnLeaveRejoinSameRound is the regression for the tightest churn
+// window: a client that leaves and rejoins between the same two round
+// boundaries must be admitted exactly once, contribute normally, and burn
+// none of the round's drop budget. Repeated rejoin requests in the window
+// must be rejected rather than queueing a double admission.
+func TestChurnLeaveRejoinSameRound(t *testing.T) {
+	p := quorumProfile(SystemFLBooster) // quorum 3 of 4
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	grads := epochGrads(1, p.Parties, 4)[0]
+
+	// Leave and rejoin with no round in between: the client is pending, and
+	// every further rejoin in the same window is a rejected double-admit.
+	if err := fed.Leave(ClientName(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Rejoin(ClientName(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Rejoin(ClientName(2)); err == nil {
+		t.Fatal("double rejoin within the same round window accepted")
+	}
+	if got := fed.Roster().Pending(); len(got) != 1 || got[0] != ClientName(2) {
+		t.Fatalf("pending %v, want just %s", got, ClientName(2))
+	}
+
+	// The next boundary admits it exactly once; the round runs full, with no
+	// drop recorded — the leave/rejoin cycle must not count against the
+	// quorum budget.
+	_, rep, err := fed.SecureAggregateReport(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Admitted) != 1 || rep.Admitted[0] != ClientName(2) {
+		t.Fatalf("admitted %v, want exactly one %s", rep.Admitted, ClientName(2))
+	}
+	if len(rep.Included) != p.Parties || rep.Scale != 1 {
+		t.Fatalf("round after same-window churn degraded: %+v", rep)
+	}
+	if len(rep.Dropped) != 0 {
+		t.Fatalf("same-window churn burned drop budget: %+v", rep.Dropped)
+	}
+	if got := len(fed.Roster().Active()); got != p.Parties {
+		t.Fatalf("active %d after admission, want %d", got, p.Parties)
+	}
+	if got := fed.Roster().Pending(); len(got) != 0 {
+		t.Fatalf("client still pending after admission: %v", got)
+	}
+
+	// A second run of the cycle ending below the boundary: the pending
+	// client is not active, so it cannot leave again — the departed state is
+	// single-entry, not a counter.
+	if err := fed.Leave(ClientName(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Rejoin(ClientName(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Leave(ClientName(2)); err == nil {
+		t.Fatal("pending client accepted a second departure")
+	}
+}
+
 // TestChurnRosterErrors: the roster rejects invalid transitions.
 func TestChurnRosterErrors(t *testing.T) {
 	ctx, err := NewContext(testProfile(SystemFATE))

@@ -25,9 +25,9 @@ type Context struct {
 	Key     *paillier.PrivateKey
 	Backend paillier.Backend
 	Quant   *quant.Quantizer
-	Packer  *batch.Packer      // nil when batch compression is off
-	Device  *gpu.Device        // nil on CPU profiles
-	Checked *ghe.CheckedEngine // nil on CPU profiles; the resilient GPU-HE path
+	Packer  *batch.Packer       // nil when batch compression is off
+	Device  *gpu.Device         // nil on CPU profiles
+	Checked *ghe.CheckedEngine  // nil on CPU profiles; the resilient GPU-HE path
 	Pool    *paillier.NoncePool // nil unless Profile.NoncePool > 0 on a GPU profile
 	Link    flnet.Link
 	Costs   *Costs
@@ -462,6 +462,45 @@ func (c *Context) AggregateCiphertexts(batches [][]paillier.Ciphertext) ([]paill
 		acc = sum
 	}
 	return acc, nil
+}
+
+// AggregateGrouped homomorphically sums each group's per-party ciphertext
+// batches through an independent paillier.Accumulator — one aggregation
+// context per secure-aggregation group, so group sub-aggregates never mix.
+// Every fold is charged to the HE component exactly like the single-group
+// AggregateCiphertexts path.
+func (c *Context) AggregateGrouped(groups [][][]paillier.Ciphertext) ([][]paillier.Ciphertext, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("fl: no groups to aggregate")
+	}
+	out := make([][]paillier.Ciphertext, len(groups))
+	for g, batches := range groups {
+		acc, err := paillier.NewAccumulator(&c.Key.PublicKey, c.Backend)
+		if err != nil {
+			return nil, err
+		}
+		for i, cts := range batches {
+			if acc.Batches() == 0 {
+				if err := acc.Add(cts); err != nil {
+					return nil, fmt.Errorf("fl: group %d batch %d: %w", g, i, err)
+				}
+				continue
+			}
+			base := c.simBase()
+			start := time.Now()
+			if err := acc.Add(cts); err != nil {
+				return nil, fmt.Errorf("fl: group %d batch %d: %w", g, i, err)
+			}
+			wall := time.Since(start)
+			c.Costs.AddHE(wall, c.simSince(base, wall), int64(len(cts)), int64(len(cts)))
+		}
+		sum, err := acc.Sum()
+		if err != nil {
+			return nil, fmt.Errorf("fl: group %d: %w", g, err)
+		}
+		out[g] = sum
+	}
+	return out, nil
 }
 
 // DecryptAggregated runs the decryption phase (steps ⑤–⑨ of Fig. 4) for an

@@ -27,6 +27,7 @@ type Federation struct {
 
 	round      uint64
 	lastReport RoundReport
+	adversary  *Adversary // nil unless Profile.Byz arms the injector
 
 	// Durability and churn state: the (optional) write-ahead journal, the
 	// epoch this coordinator serves, the live-client roster, and the resume
@@ -52,13 +53,22 @@ func NewFederation(ctx *Context) *Federation {
 		names = append(names, ClientName(i))
 	}
 	names = append(names, ServerName)
+	// Profile.Validate (run by NewContext) already vetted the adversary
+	// config, so construction cannot fail here; a disabled config yields the
+	// nil (honest) injector.
+	adv, _ := NewAdversary(ctx.Profile.Byz, ctx.Profile.Parties)
 	return &Federation{
 		Ctx:       ctx,
 		Transport: flnet.NewSimTransport(ctx.Link, names...),
 		parties:   names,
 		roster:    NewRoster(names[:len(names)-1]),
+		adversary: adv,
 	}
 }
+
+// Adversary returns the armed Byzantine injector (nil when the federation is
+// all-honest). Harnesses use it to rotate the attack model between rounds.
+func (f *Federation) Adversary() *Adversary { return f.adversary }
 
 // Round returns the ID of the most recently started round.
 func (f *Federation) Round() uint64 { return f.round }
@@ -259,6 +269,13 @@ func (f *Federation) observeRound(rep RoundReport, err error) {
 	c.metricAdd("round_stale", int64(rep.Stale))
 	c.metricAdd("round_dups", int64(rep.Duplicates))
 	c.Obs.Metrics().SetGauge("fl."+c.obsPrefix+".round_scale", rep.Scale)
+	if d := rep.Defense; d != nil {
+		c.metricAdd("defense_rounds", 1)
+		c.metricAdd("defense_trimmed", d.Stats.TrimmedCoords)
+		c.metricAdd("defense_clips", int64(d.Stats.Clipped))
+		c.metricAdd("defense_dropped", int64(d.Stats.GroupsDropped))
+		c.Obs.Metrics().SetGauge("fl."+c.obsPrefix+".defense_suspicion", d.MaxSuspicion())
+	}
 	if mt, ok := f.Transport.(interface{ Meter() *flnet.Meter }); ok {
 		mt.Meter().Publish(c.Obs.Metrics(), "net."+c.obsPrefix)
 	}
@@ -295,7 +312,12 @@ type roundState struct {
 	aggPayload []byte // the encoded aggregate, journaled before broadcast
 	aggDigest  uint64
 	resumed    bool // round replayed a journaled aggregate
+
+	defense *DefenseReport // the defended round's group anatomy (nil when plain)
 }
+
+// defended reports whether this round runs group-wise robust aggregation.
+func (st *roundState) defended() bool { return st.f.Ctx.Profile.Defense.Enabled() }
 
 func newRoundState(f *Federation, policy RoundPolicy, count int, active []string, attempt uint32, resume *ResumePoint) *roundState {
 	st := &roundState{
@@ -345,6 +367,7 @@ func (st *roundState) report() RoundReport {
 	if n := len(st.included); n > 0 {
 		rep.Scale = float64(st.f.Ctx.Profile.Parties) / float64(n)
 	}
+	rep.Defense = st.defense
 	return rep
 }
 
@@ -439,6 +462,17 @@ func (st *roundState) phaseSpan(phase string, fn func() error) error {
 	return err
 }
 
+// clientGrads resolves client i's upload for this round: honest clients
+// upload their local gradients unchanged; a compromised client's vector is
+// rewritten by the armed attack model — before quantization and encryption,
+// exactly where a real malicious participant would poison its update.
+func (st *roundState) clientGrads(i int, grads [][]float64) []float64 {
+	if st.f.adversary.IsMalicious(i) {
+		st.f.Ctx.metricAdd("byz_attacks", 1)
+	}
+	return st.f.adversary.Apply(st.id, i, grads[i])
+}
+
 // upload: every client encrypts and sends to the server. A send that still
 // fails after the retry policy drops the client (within the quorum budget);
 // a local encryption fault is not a network fault and aborts the round.
@@ -451,12 +485,12 @@ func (st *roundState) upload(grads [][]float64) error {
 			return st.fail(PhaseUpload, name, err)
 		}
 		if st.f.Ctx.Profile.Chunk > 0 {
-			if err := st.uploadClientChunked(i, grads[i]); err != nil {
+			if err := st.uploadClientChunked(i, st.clientGrads(i, grads)); err != nil {
 				return err
 			}
 			continue
 		}
-		cts, err := st.f.Ctx.EncryptGradients(grads[i])
+		cts, err := st.f.Ctx.EncryptGradients(st.clientGrads(i, grads))
 		if err != nil {
 			return fmt.Errorf("fl: client %d encrypt: %w", i, err)
 		}
@@ -720,7 +754,30 @@ func (st *roundState) acceptChunk(msg flnet.Message) error {
 // journals the result — the mid-round safe point. Once the aggregated
 // record is durable, a coordinator crash no longer costs the gathered
 // uploads: recovery resumes at the broadcast boundary with this payload.
+// A defended round sums each seeded group through its own aggregation
+// context instead and frames the G sub-aggregates (with their group sizes —
+// the round's group metadata) into one grouped payload, journaled the same
+// way, so crash recovery replays defended rounds unchanged.
 func (st *roundState) aggregate() error {
+	var err error
+	if st.defended() {
+		err = st.aggregateGrouped()
+	} else {
+		err = st.aggregatePlain()
+	}
+	if err != nil {
+		return err
+	}
+	st.aggDigest = PayloadDigest(st.aggPayload)
+	return st.f.journalAppend(JournalRecord{
+		Kind: EventAggregated, Round: st.id, Attempt: st.attempt,
+		Cursor: st.f.Ctx.SeedCursor(), Members: st.included,
+		Digest: st.aggDigest, Payload: st.aggPayload,
+	})
+}
+
+// aggregatePlain is the undefended single-aggregate sum.
+func (st *roundState) aggregatePlain() error {
 	batches := make([][]paillier.Ciphertext, 0, len(st.included))
 	for _, name := range st.included {
 		batches = append(batches, st.batches[name])
@@ -730,12 +787,40 @@ func (st *roundState) aggregate() error {
 		return st.fail(PhaseGather, "", err)
 	}
 	st.aggPayload = encodeCiphertexts(agg)
-	st.aggDigest = PayloadDigest(st.aggPayload)
-	return st.f.journalAppend(JournalRecord{
-		Kind: EventAggregated, Round: st.id, Attempt: st.attempt,
-		Cursor: st.f.Ctx.SeedCursor(), Members: st.included,
-		Digest: st.aggDigest, Payload: st.aggPayload,
-	})
+	return nil
+}
+
+// aggregateGrouped partitions the reporting clients into the policy's seeded
+// groups and HE-sums each group independently. Only the G group sums ever
+// reach a decryptor — individual updates stay hidden inside their group's
+// secure aggregate.
+func (st *roundState) aggregateGrouped() error {
+	policy := st.f.Ctx.Profile.Defense
+	groups := AssignGroups(st.included, policy.Groups, st.f.Ctx.Profile.Seed, st.id)
+	grouped := make([][][]paillier.Ciphertext, len(groups))
+	sizes := make([]int, len(groups))
+	for g, members := range groups {
+		sizes[g] = len(members)
+		grouped[g] = make([][]paillier.Ciphertext, 0, len(members))
+		for _, name := range members {
+			grouped[g] = append(grouped[g], st.batches[name])
+		}
+	}
+	sums, err := st.f.Ctx.AggregateGrouped(grouped)
+	if err != nil {
+		return st.fail(PhaseGather, "", err)
+	}
+	blobs := make([][]byte, len(sums))
+	for g, cts := range sums {
+		blobs[g] = encodeCiphertexts(cts)
+	}
+	payload, err := flnet.EncodeGroupAgg(sizes, blobs)
+	if err != nil {
+		return st.fail(PhaseGather, "", err)
+	}
+	st.aggPayload = payload
+	st.f.Ctx.metricAdd("defense_groups", int64(len(groups)))
+	return nil
 }
 
 // restoreAggregate rehydrates the round from a journaled aggregate after a
@@ -756,10 +841,17 @@ func (st *roundState) restoreAggregate() error {
 }
 
 // broadcast: the server returns the aggregate to every included client.
+// Defended rounds broadcast under the grouped kind so decryptors parse the
+// grouped frame; the resumed path inherits the kind from the (unchanged)
+// profile, matching the journaled payload's framing.
 func (st *roundState) broadcast() error {
 	payload := st.aggPayload
+	kind := "agg"
+	if st.defended() {
+		kind = flnet.KindGroupAgg
+	}
 	for _, name := range st.included {
-		msg := flnet.Message{From: ServerName, To: name, Kind: "agg", Round: st.id, Payload: payload}
+		msg := flnet.Message{From: ServerName, To: name, Kind: kind, Round: st.id, Payload: payload}
 		if err := st.send(msg); err != nil {
 			if rerr := st.drop(PhaseBroadcast, name, err); rerr != nil {
 				return rerr
@@ -785,6 +877,10 @@ func (st *roundState) decrypt() ([]float64, error) {
 	// before any HE decryption runs, so slow local compute can never expire
 	// the clock on a client whose message already arrived.
 	deadline := st.phaseDeadline()
+	wantKind := "agg"
+	if st.defended() {
+		wantKind = flnet.KindGroupAgg
+	}
 	copies := make([]flnet.Message, 0, len(st.reached))
 	for _, name := range st.reached {
 		for {
@@ -795,7 +891,7 @@ func (st *roundState) decrypt() ([]float64, error) {
 				}
 				break
 			}
-			if msg.Round != st.id || msg.Kind != "agg" {
+			if msg.Round != st.id || msg.Kind != wantKind {
 				st.stale++
 				continue // keep waiting for this round's aggregate
 			}
@@ -807,6 +903,20 @@ func (st *roundState) decrypt() ([]float64, error) {
 	for _, msg := range copies {
 		if result != nil {
 			break
+		}
+		if st.defended() {
+			sums, derr, ferr := st.decryptGroupedCopy(msg)
+			if ferr != nil {
+				return nil, st.fail(PhaseDecrypt, msg.To, ferr)
+			}
+			if derr != nil {
+				if rerr := st.drop(PhaseDecrypt, msg.To, derr); rerr != nil {
+					return nil, rerr
+				}
+				continue
+			}
+			result = sums
+			continue
 		}
 		cts, err := decodeCiphertexts(msg.Payload)
 		if err != nil {
@@ -832,6 +942,81 @@ func (st *roundState) decrypt() ([]float64, error) {
 		return nil, st.fail(PhaseDecrypt, "", fmt.Errorf("no client obtained the aggregate"))
 	}
 	return result, nil
+}
+
+// decryptGroupedCopy decrypts one grouped-aggregate copy — only the G group
+// sums are ever decrypted — and runs the robust combiner over the group
+// means. The combiner is a pure function of the decrypted groups, so every
+// decrypting client reaches the identical defended result. A payload that
+// fails to parse or contradicts the seeded assignment returns a non-nil
+// decode error (the copy is dropped, the next one is tried); decryption and
+// combiner failures are fatal to the round.
+func (st *roundState) decryptGroupedCopy(msg flnet.Message) (result []float64, decodeErr, fatalErr error) {
+	ctx := st.f.Ctx
+	policy := ctx.Profile.Defense
+	sizes, blobs, err := flnet.DecodeGroupAgg(msg.Payload)
+	if err != nil {
+		return nil, err, nil
+	}
+	// Every decryptor re-derives the seeded partition — a pure function of
+	// (seed, round, members) — and checks the frame's group metadata against
+	// it, so a corrupted frame cannot silently reshape the groups.
+	members := AssignGroups(st.included, policy.Groups, ctx.Profile.Seed, st.id)
+	if len(members) != len(sizes) {
+		return nil, fmt.Errorf("fl: frame carries %d groups, assignment says %d", len(sizes), len(members)), nil
+	}
+	covered := 0
+	for g, m := range members {
+		if len(m) != sizes[g] {
+			return nil, fmt.Errorf("fl: group %d carries %d contributors, assignment says %d", g, sizes[g], len(m)), nil
+		}
+		covered += sizes[g]
+	}
+	if covered != len(st.included) {
+		return nil, fmt.Errorf("fl: groups cover %d clients, round included %d", covered, len(st.included)), nil
+	}
+	groups := make([]GroupUpdate, len(blobs))
+	for g, blob := range blobs {
+		cts, err := decodeCiphertexts(blob)
+		if err != nil {
+			return nil, fmt.Errorf("group %d: %w", g, err), nil
+		}
+		sum, err := ctx.DecryptAggregated(cts, st.count, sizes[g])
+		if err != nil {
+			return nil, nil, fmt.Errorf("group %d: %w", g, err)
+		}
+		for i := range sum {
+			sum[i] /= float64(sizes[g])
+		}
+		groups[g] = GroupUpdate{Mean: sum, Size: sizes[g]}
+	}
+	agg, err := policy.NewAggregator()
+	if err != nil {
+		return nil, nil, err
+	}
+	var combined []float64
+	var stats CombineStats
+	if err := st.phaseSpan("combine", func() error {
+		var cerr error
+		combined, stats, cerr = agg.Combine(groups)
+		return cerr
+	}); err != nil {
+		return nil, nil, err
+	}
+	// The robust combine estimates the per-client mean update; scale it to
+	// the full-federation sum estimate the protocol has always returned
+	// (identical to the plain path's N/K-scaled sum under FedAvg).
+	for i := range combined {
+		combined[i] *= float64(ctx.Profile.Parties)
+	}
+	st.defense = &DefenseReport{
+		Combiner:     agg.Name(),
+		Groups:       len(groups),
+		GroupSizes:   sizes,
+		GroupMembers: members,
+		Stats:        stats,
+	}
+	return combined, nil, nil
 }
 
 // encodeCiphertexts frames a ciphertext batch for the wire.

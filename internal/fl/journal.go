@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -131,11 +132,39 @@ type FileStore struct {
 	f    *os.File
 }
 
+// dirSync fsyncs the directory so a just-created journal file's entry is
+// durable — without it a crash can lose the file itself even though every
+// record in it was fsynced. Swappable for tests asserting the
+// open-create-sync sequence.
+var dirSync = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
 // OpenFileStore opens (creating if absent) an append-only journal file.
+// When the call creates the file, the parent directory is fsynced too:
+// per-record fsyncs make the *contents* durable, but only a directory sync
+// makes the file's existence durable across a crash.
 func OpenFileStore(path string) (*FileStore, error) {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("fl: open journal: %w", err)
+	}
+	if created {
+		if err := dirSync(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fl: sync journal directory: %w", err)
+		}
 	}
 	return &FileStore{path: path, f: f}, nil
 }

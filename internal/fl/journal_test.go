@@ -16,6 +16,63 @@ func mustAppend(t *testing.T, j *Journal, recs ...JournalRecord) {
 	}
 }
 
+// TestFileStoreSyncsDirOnCreate pins the open-create-sync sequence: creating
+// the journal file fsyncs its parent directory (making the file's existence
+// durable, not just its records), reopening an existing journal does not,
+// and a directory-sync failure fails the open instead of being swallowed.
+func TestFileStoreSyncsDirOnCreate(t *testing.T) {
+	dir := t.TempDir()
+	var synced []string
+	orig := dirSync
+	dirSync = func(d string) error {
+		synced = append(synced, d)
+		return nil
+	}
+	defer func() { dirSync = orig }()
+
+	path := filepath.Join(dir, "epoch.wal")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("creating the journal synced %v, want exactly [%s]", synced, dir)
+	}
+	mustAppend(t, mustJournal(t, s), JournalRecord{Kind: EventRoundStart, Round: 1, Attempt: 1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening the existing file must not re-sync the directory.
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 {
+		t.Fatalf("reopening an existing journal synced the directory again: %v", synced)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failed directory sync is a failed open: the store must not come up
+	// with its durability story half-told.
+	dirSync = func(string) error { return errors.New("sync refused") }
+	if _, err := OpenFileStore(filepath.Join(dir, "other.wal")); err == nil {
+		t.Fatal("open succeeded despite the directory sync failing")
+	}
+}
+
+// mustJournal wraps NewJournal for tests that only need a working journal.
+func mustJournal(t *testing.T, store JournalStore) *Journal {
+	t.Helper()
+	j, err := NewJournal(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
 // TestJournalStoresRoundTrip exercises both stores through the same
 // append/load cycle: sequence numbers are stamped contiguously and records
 // come back exactly as written.

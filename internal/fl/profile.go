@@ -79,6 +79,15 @@ type Profile struct {
 	// CPU fallback). The zero value injects nothing and checks with
 	// defaults. Ignored on CPU profiles.
 	Faults FaultPolicy
+	// Byz arms the seeded Byzantine-client injector: a fixed compromised
+	// cohort rewrites its gradient uploads per the configured attack model.
+	// The zero value is an all-honest federation.
+	Byz AdversaryConfig
+	// Defense arms group-wise robust aggregation: clients are partitioned
+	// into seeded groups, HE-summed per group, and only the group sums are
+	// decrypted and robustly combined. The zero value keeps the plain
+	// single-aggregate round, byte-identical to the pre-defense protocol.
+	Defense DefensePolicy
 	// Observe attaches a sim-time span recorder and metrics registry to the
 	// context at construction (seeded from Seed), so rounds emit traces and
 	// the cost counters mirror into metrics. Off by default: the nil
@@ -157,6 +166,12 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("fl: negative nonce pool depth %d", p.NoncePool)
 	}
 	if err := p.Round.Validate(p.Parties); err != nil {
+		return err
+	}
+	if err := p.Byz.Validate(p.Parties); err != nil {
+		return err
+	}
+	if err := p.Defense.Validate(); err != nil {
 		return err
 	}
 	if p.UseGPU {

@@ -117,6 +117,10 @@ type RoundReport struct {
 	// Admitted lists clients re-admitted at this round's boundary after a
 	// departure.
 	Admitted []string
+	// Defense describes the group-wise robust aggregation of a defended
+	// round: the partition, the combiner, and what it suppressed. Nil for
+	// plain (undefended) rounds.
+	Defense *DefenseReport
 }
 
 // Degraded reports whether the round completed without all parties.

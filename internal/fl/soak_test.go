@@ -49,6 +49,12 @@ func TestSoakSmoke(t *testing.T) {
 	if sum.Completed == 0 {
 		t.Fatalf("no round completed under chaos: %+v", sum)
 	}
-	t.Logf("smoke soak: %d/%d completed, %d crashes, %d departures, %v wall",
-		sum.Completed, cfg.Rounds, sum.Crashes, sum.Departures, elapsed)
+	if sum.AttackedRounds == 0 || sum.DefendedRounds == 0 {
+		t.Fatalf("smoke run exercised no adversary/defense round: %+v", sum)
+	}
+	if sum.BoundViolations != 0 {
+		t.Fatalf("defended aggregate escaped the trimming bound %d times: %+v", sum.BoundViolations, sum)
+	}
+	t.Logf("smoke soak: %d/%d completed, %d crashes, %d departures, %d attacked, %v wall",
+		sum.Completed, cfg.Rounds, sum.Crashes, sum.Departures, sum.AttackedRounds, elapsed)
 }

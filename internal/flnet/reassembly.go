@@ -21,7 +21,16 @@ const (
 	RejectRange ChunkReject = "range"
 	// RejectTotal: the declared total changed mid-upload.
 	RejectTotal ChunkReject = "total-mismatch"
+	// RejectOversize: the declared total exceeds MaxChunkTotal. The total is
+	// attacker-controlled wire input; without a cap it sizes allocations.
+	RejectOversize ChunkReject = "oversize"
 )
+
+// MaxChunkTotal bounds the declared chunk count of one logical payload. The
+// declared total arrives from the (untrusted) wire and drives the assembly
+// allocation, so it is capped far above any real upload but far below
+// anything that could exhaust memory.
+const MaxChunkTotal = 1 << 20
 
 // ChunkError is the typed rejection of one chunk. Callers branch on
 // Ignorable: a duplicate is counted and dropped, everything else fails the
@@ -59,6 +68,9 @@ func NewReassembler(total uint32) (*Reassembler, error) {
 	if total == 0 {
 		return nil, &ChunkError{Total: total, Reject: RejectTotal}
 	}
+	if total > MaxChunkTotal {
+		return nil, &ChunkError{Total: total, Reject: RejectOversize}
+	}
 	return &Reassembler{total: int(total), bodies: make(map[int][]byte)}, nil
 }
 
@@ -78,6 +90,9 @@ func (r *Reassembler) Done() bool { return len(r.bodies) == r.total }
 // payload. Rejections are typed *ChunkError values; only Ignorable ones
 // leave the reassembler usable for further chunks.
 func (r *Reassembler) Accept(index, total uint32, body []byte) (bool, error) {
+	if total > MaxChunkTotal {
+		return false, &ChunkError{Index: index, Total: total, Reject: RejectOversize}
+	}
 	if total == 0 || int(total) != r.total {
 		return false, &ChunkError{Index: index, Total: total, Reject: RejectTotal}
 	}

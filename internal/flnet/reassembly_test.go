@@ -1,6 +1,7 @@
 package flnet
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 )
@@ -86,6 +87,108 @@ func TestReassemblerRejectsRangeAndTotalViolations(t *testing.T) {
 	if _, err := r.Assemble(); err == nil {
 		t.Fatal("assemble of incomplete payload succeeded")
 	}
+}
+
+func TestReassemblerRejectsOversizedTotal(t *testing.T) {
+	// The declared total is untrusted wire input sizing the assembly: above
+	// the cap it is rejected up front, before any allocation grows with it.
+	var ce *ChunkError
+	if _, err := NewReassembler(MaxChunkTotal + 1); !errors.As(err, &ce) || ce.Reject != RejectOversize {
+		t.Fatalf("oversized total: got %v", err)
+	}
+	r, err := NewReassembler(MaxChunkTotal)
+	if err != nil {
+		t.Fatalf("cap itself must be accepted: %v", err)
+	}
+	if _, err := r.Accept(0, MaxChunkTotal+1, nil); !errors.As(err, &ce) || ce.Reject != RejectOversize {
+		t.Fatalf("oversized total on Accept: got %v", err)
+	}
+}
+
+// FuzzReassembler throws arbitrary chunk streams — out-of-range indices,
+// flip-flopping totals, oversized declarations, duplicate and conflicting
+// bodies — at one reassembler and checks the contract: every rejection is a
+// typed *ChunkError (never a panic, never an untyped error), accepted state
+// is never overwritten, and completion implies a full in-order assembly.
+func FuzzReassembler(f *testing.F) {
+	f.Add(uint32(3), []byte{0, 0, 1, 2, 0, 1, 0})
+	f.Add(uint32(1), []byte{7, 7, 7})
+	f.Add(uint32(5), []byte{4, 3, 2, 1, 0, 9, 255})
+	f.Fuzz(func(t *testing.T, declared uint32, ops []byte) {
+		r, err := NewReassembler(declared)
+		if err != nil {
+			var ce *ChunkError
+			if !errors.As(err, &ce) {
+				t.Fatalf("NewReassembler(%d) returned untyped error %v", declared, err)
+			}
+			if declared != 0 && declared <= MaxChunkTotal {
+				t.Fatalf("NewReassembler(%d) rejected a valid total: %v", declared, err)
+			}
+			return
+		}
+		if declared == 0 || declared > MaxChunkTotal {
+			t.Fatalf("NewReassembler(%d) accepted an invalid total", declared)
+		}
+
+		seen := make(map[uint32][]byte)
+		for i, op := range ops {
+			// Derive a chunk from each op byte: hostile indices and totals
+			// (including far out-of-range and oversized ones) and bodies that
+			// sometimes collide with an index that already landed.
+			index := uint32(op) % (declared + 2)
+			total := declared
+			switch op % 5 {
+			case 1:
+				total = declared + 1 // mid-upload total change
+			case 2:
+				total = MaxChunkTotal + uint32(op) + 1 // oversized declaration
+			case 3:
+				index = declared + uint32(op) // out of range
+			}
+			body := []byte{op, byte(i)}
+			if prev, ok := seen[index]; ok && op%2 == 0 {
+				body = prev // exact retransmission
+			}
+
+			done, err := r.Accept(index, total, body)
+			if err != nil {
+				var ce *ChunkError
+				if !errors.As(err, &ce) {
+					t.Fatalf("op %d: untyped reject %v", i, err)
+				}
+				if done {
+					t.Fatalf("op %d: rejected chunk reported completion", i)
+				}
+				continue
+			}
+			if total != declared || index >= declared {
+				t.Fatalf("op %d: invalid chunk (%d/%d) accepted", i, index, total)
+			}
+			if _, dup := seen[index]; dup {
+				t.Fatalf("op %d: index %d accepted twice", i, index)
+			}
+			seen[index] = body
+			if done != (len(seen) == int(declared)) {
+				t.Fatalf("op %d: done=%v with %d/%d chunks", i, done, len(seen), declared)
+			}
+		}
+		if r.Received() != len(seen) {
+			t.Fatalf("received %d, accepted %d", r.Received(), len(seen))
+		}
+		if r.Done() {
+			parts, err := r.Assemble()
+			if err != nil {
+				t.Fatalf("assemble after completion: %v", err)
+			}
+			for i, part := range parts {
+				if !bytes.Equal(part, seen[uint32(i)]) {
+					t.Fatalf("chunk %d came back rewritten", i)
+				}
+			}
+		} else if _, err := r.Assemble(); err == nil {
+			t.Fatal("assemble of incomplete payload succeeded")
+		}
+	})
 }
 
 func TestSessionTokenRoundTrip(t *testing.T) {

@@ -32,14 +32,14 @@ type Device struct {
 
 // Stats aggregates device activity.
 type Stats struct {
-	KernelLaunches   int64
-	ThreadsExecuted  int64
-	WarpsExecuted    int64
-	BytesHostToDev   int64
-	BytesDevToHost   int64
-	SimTransferTime  time.Duration // modelled PCIe time (Eq. 10 transfer term)
-	SimComputeTime   time.Duration // modelled kernel time (Eq. 10 compute term)
-	SimFaultTime     time.Duration // modelled time lost to faults: watchdog windows, retry backoff, degraded host execution
+	KernelLaunches  int64
+	ThreadsExecuted int64
+	WarpsExecuted   int64
+	BytesHostToDev  int64
+	BytesDevToHost  int64
+	SimTransferTime time.Duration // modelled PCIe time (Eq. 10 transfer term)
+	SimComputeTime  time.Duration // modelled kernel time (Eq. 10 compute term)
+	SimFaultTime    time.Duration // modelled time lost to faults: watchdog windows, retry backoff, degraded host execution
 	// SimPrecomputeTime holds device work reclassified as offline
 	// precomputation (nonce-pool refills run during idle sim-time). It is
 	// excluded from SimTime(): the online clock only pays for work the
@@ -47,8 +47,8 @@ type Stats struct {
 	// visible here.
 	SimPrecomputeTime time.Duration
 	WallKernelTime    time.Duration // real host time spent in kernel bodies
-	UtilizationSum   float64       // Σ occupancy per launch, for averaging
-	UtilizationCount int64
+	UtilizationSum    float64       // Σ occupancy per launch, for averaging
+	UtilizationCount  int64
 
 	// Stream-pipeline observability: ops executed as chunked streams
 	// (Pipeline) report their measured critical path in SimStreamTime and

@@ -1,0 +1,140 @@
+package paillier
+
+import (
+	"testing"
+
+	"flbooster/internal/mpint"
+)
+
+// TestAccumulatorMatchesFold asserts a per-group accumulator reproduces the
+// direct AddVec fold over the same batches, bit for bit.
+func TestAccumulatorMatchesFold(t *testing.T) {
+	sk := testKey(t)
+	be := CPUBackend{}
+	batches := make([][]Ciphertext, 3)
+	for b := range batches {
+		pts := []mpint.Nat{
+			mpint.FromUint64(uint64(10 + b)),
+			mpint.FromUint64(uint64(100 + 7*b)),
+		}
+		cts, err := be.EncryptVec(&sk.PublicKey, pts, uint64(900+b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches[b] = cts
+	}
+
+	acc, err := NewAccumulator(&sk.PublicKey, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cts := range batches {
+		if err := acc.Add(cts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.Batches() != len(batches) {
+		t.Fatalf("Batches() = %d, want %d", acc.Batches(), len(batches))
+	}
+	got, err := acc.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := batches[0]
+	for _, cts := range batches[1:] {
+		want, err = be.AddVec(&sk.PublicKey, want, cts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sum width %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if mpint.Cmp(got[i].C, want[i].C) != 0 {
+			t.Fatalf("slot %d diverges from the AddVec fold", i)
+		}
+	}
+
+	pts, err := be.DecryptVec(sk, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wantv := range []uint64{10 + 11 + 12, 100 + 107 + 114} {
+		if v, ok := pts[i].Uint64(); !ok || v != wantv {
+			t.Fatalf("decrypted slot %d = %v, want %d", i, pts[i], wantv)
+		}
+	}
+}
+
+// TestAccumulatorIsolation: two accumulators over disjoint batches never mix.
+func TestAccumulatorIsolation(t *testing.T) {
+	sk := testKey(t)
+	be := CPUBackend{}
+	enc := func(v uint64, seed uint64) []Ciphertext {
+		cts, err := be.EncryptVec(&sk.PublicKey, []mpint.Nat{mpint.FromUint64(v)}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cts
+	}
+	a, _ := NewAccumulator(&sk.PublicKey, be)
+	b, _ := NewAccumulator(&sk.PublicKey, be)
+	if err := a.Add(enc(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(enc(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(enc(50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for i, tc := range []struct {
+		acc  *Accumulator
+		want uint64
+	}{{a, 7}, {b, 50}} {
+		sum, err := tc.acc.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := be.DecryptVec(sk, sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := pts[0].Uint64(); !ok || v != tc.want {
+			t.Fatalf("accumulator %d = %v, want %d", i, pts[0], tc.want)
+		}
+	}
+}
+
+func TestAccumulatorErrors(t *testing.T) {
+	sk := testKey(t)
+	be := CPUBackend{}
+	if _, err := NewAccumulator(nil, be); err == nil {
+		t.Error("nil public key should fail")
+	}
+	if _, err := NewAccumulator(&sk.PublicKey, nil); err == nil {
+		t.Error("nil backend should fail")
+	}
+	acc, err := NewAccumulator(&sk.PublicKey, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Sum(); err == nil {
+		t.Error("sum of an empty accumulator should fail")
+	}
+	if err := acc.Add(nil); err == nil {
+		t.Error("empty batch should fail")
+	}
+	cts, err := be.EncryptVec(&sk.PublicKey, []mpint.Nat{mpint.FromUint64(1), mpint.FromUint64(2)}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(cts); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(cts[:1]); err == nil {
+		t.Error("width mismatch should fail")
+	}
+}
