@@ -2,13 +2,15 @@
 # everything, vets, runs the full test suite, re-runs the concurrency-
 # sensitive packages (transport + round runtime + device fault layer) under
 # the race detector, smoke-runs the fuzz targets, compiles-and-runs every
-# HE-stack benchmark once so benchmark code cannot bit-rot, and runs the
-# CI-sized multi-fault chaos soak under the race detector.
+# HE-stack benchmark once so benchmark code cannot bit-rot, runs the
+# CI-sized multi-fault chaos soak under the race detector, and runs the
+# small-N cross-device scale sweep (flat vs tree bit-exactness and the
+# coordinator memory bound) under the race detector.
 
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: build test vet lint race fuzz bench-smoke soak-smoke check resilience devfault soak
+.PHONY: build test vet lint race fuzz bench-smoke soak-smoke scale-smoke check resilience devfault soak scale
 
 build:
 	$(GO) build ./...
@@ -57,7 +59,13 @@ bench-smoke:
 soak-smoke:
 	$(GO) test -race -run TestSoakSmoke -timeout 300s -count 1 ./internal/fl
 
-check: build vet test race fuzz bench-smoke soak-smoke
+# The cross-device scale sweep at CI-affordable client counts (DESIGN.md
+# §13): tree rounds must decrypt bit-identically to flat and the
+# coordinator's live-ciphertext peak must stay bounded by fanout·depth.
+scale-smoke:
+	$(GO) test -race -run TestScaleSmoke -timeout 300s -count 1 ./internal/bench
+
+check: build vet test race fuzz bench-smoke soak-smoke scale-smoke
 
 # Demonstrate graceful degradation under a straggler (see DESIGN.md §6).
 resilience:
@@ -72,3 +80,7 @@ devfault:
 # (run from the repo root so the summary lands next to its siblings).
 soak:
 	$(GO) run ./cmd/flbench soak
+
+# The full 10²→10⁵ cross-device client sweep; regenerates BENCH_scale.json.
+scale:
+	$(GO) run ./cmd/flbench scale

@@ -7,7 +7,7 @@
 //	flbench [flags] <experiment>...
 //
 // Experiments: fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7
-// ablation resilience devfault pipeline heopt byz soak all
+// ablation resilience devfault pipeline heopt byz scale soak all
 //
 // Flags:
 //
@@ -98,7 +98,7 @@ func run(args []string) error {
 
 	exps := fs.Args()
 	if len(exps) == 0 {
-		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience devfault pipeline heopt byz soak all")
+		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience devfault pipeline heopt byz scale soak all")
 	}
 	r, err := bench.NewRunner(cfg)
 	if err != nil {
@@ -139,6 +139,10 @@ func run(args []string) error {
 			err = r.HEOpt(os.Stdout)
 		case "byz":
 			err = r.Byz(os.Stdout)
+		case "scale":
+			// The cross-device sweep sizes its own client counts (10²→10⁵);
+			// -parties keeps meaning the cross-silo party count elsewhere.
+			err = r.Scale(os.Stdout, nil)
 		case "soak":
 			err = r.Soak(os.Stdout)
 		case "all":

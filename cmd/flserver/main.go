@@ -35,6 +35,19 @@
 //	              combiner (fedavg, trimmed-mean, median, norm-clip, krum;
 //	              default trimmed-mean when -groups > 1)
 //
+// Cross-device scale (see DESIGN.md, "Cross-device scale"):
+//
+//	-cohort k     sample k of -clients for the round; every party derives
+//	              the same cohort from -seed, and an unsampled client skips
+//	              its upload but still receives the broadcast
+//	-fanout f     server folds arriving uploads through a fan-out-f
+//	              aggregation tree, bounding its live ciphertexts by the
+//	              tree depth instead of the cohort size (0 = flat)
+//
+// Inconsistent flag combinations (quorum above the sampled cohort, more
+// groups than sampled uploads, a fan-out of 1) fail at startup with a typed
+// ConfigError naming the flag, not mid-round.
+//
 // Durability (see DESIGN.md, "Durable epochs"):
 //
 //	-journal f    server: append round state to a write-ahead journal file
@@ -118,7 +131,15 @@ func run(args []string, stop <-chan struct{}) error {
 	byz := fs.String("byz", "", "attack kind for the seeded demo adversary (empty = all honest)")
 	groups := fs.Int("groups", 0, "secure-aggregation group count for the robust defense (0/1 = plain aggregate)")
 	defense := fs.String("defense", "", "robust combiner over group means (default trimmed-mean when -groups > 1)")
+	cohort := fs.Int("cohort", 0, "sample this many of -clients per round (0 = everyone; derived from -seed)")
+	fanout := fs.Int("fanout", 0, "server: fold uploads through an aggregation tree of this fan-out (0 = flat)")
 	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if err := (flagConfig{
+		cmd: cmd, clients: *clients, id: *id, dim: *dim,
+		cohort: *cohort, fanout: *fanout, quorum: *quorum, groups: *groups,
+	}).validate(); err != nil {
 		return err
 	}
 
@@ -158,6 +179,7 @@ func run(args []string, stop <-chan struct{}) error {
 		err = runServer(serverOpts{
 			addr: *addr, clients: *clients, keyBits: *keyBits, seed: *seed,
 			quorum: *quorum, timeout: *timeout, groups: *groups,
+			cohort: *cohort, fanout: *fanout,
 			journal: *journal, resume: *resume, failpoint: *failpoint,
 			stop: stop, o: o,
 		})
@@ -170,13 +192,14 @@ func run(args []string, stop <-chan struct{}) error {
 		err = runClient(clientOpts{
 			addr: *addr, id: *id, clients: *clients, keyBits: *keyBits,
 			chunk: *chunk, seed: *seed, vals: vals, delay: *straggle,
-			byz: attack, defense: policy, o: o,
+			cohort: *cohort, byz: attack, defense: policy, o: o,
 		})
 
 	case "demo":
 		err = runDemo(demoOpts{
 			clients: *clients, dim: *dim, keyBits: *keyBits, chunk: *chunk,
 			seed: *seed, quorum: *quorum, timeout: *timeout, straggle: *straggle,
+			cohort: *cohort, fanout: *fanout,
 			byz: attack, defense: policy, stop: stop, o: o,
 		})
 
@@ -244,6 +267,12 @@ type serverOpts struct {
 	// seeded groups, each HE-summed separately, and the grouped aggregate is
 	// broadcast under the "gagg" kind for clients to robust-combine.
 	groups int
+	// cohort > 0 samples that many of the registered clients for the round
+	// (the same seeded draw every party derives); fanout ≥ 2 folds arriving
+	// uploads through an aggregation tree so the server's live ciphertexts
+	// are bounded by the tree depth, not the cohort size.
+	cohort int
+	fanout int
 	// journal appends round state to this write-ahead file; resume replays
 	// it on startup and picks the round up from the last safe boundary.
 	journal string
@@ -266,9 +295,23 @@ func runServer(opts serverOpts) error {
 		return err
 	}
 	defer ctx.PublishMetrics()
+	names := make([]string, opts.clients)
+	for i := range names {
+		names[i] = fl.ClientName(i)
+	}
+	// The cohort is the same pure seeded draw every client derives, so no
+	// scheduling message is needed: unsampled clients simply skip the upload.
+	cohort := fl.SampleCohort(names, opts.cohort, opts.seed, demoRound)
+	sampled := make(map[string]bool, len(cohort))
+	for _, m := range cohort {
+		sampled[m] = true
+	}
+	if len(cohort) < opts.clients {
+		fmt.Printf("sampled cohort of %d/%d clients: %v\n", len(cohort), opts.clients, cohort)
+	}
 	quorum := opts.quorum
-	if quorum <= 0 || quorum > opts.clients {
-		quorum = opts.clients
+	if quorum <= 0 || quorum > len(cohort) {
+		quorum = len(cohort)
 	}
 
 	var jr *fl.Journal
@@ -326,16 +369,15 @@ func runServer(opts serverOpts) error {
 	}
 
 	if jr != nil {
-		names := make([]string, opts.clients)
-		for i := range names {
-			names[i] = fl.ClientName(i)
-		}
 		rec := fl.JournalRecord{Kind: fl.EventRoundStart, Round: demoRound, Attempt: attempt, Members: names}
+		if len(cohort) < len(names) {
+			rec.Cohort = cohort
+		}
 		if err := jr.Append(rec); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("server up: %d-bit key, waiting for %d clients (quorum %d)\n", opts.keyBits, opts.clients, quorum)
+	fmt.Printf("server up: %d-bit key, waiting for %d clients (quorum %d)\n", opts.keyBits, len(cohort), quorum)
 
 	// A receiver goroutine turns the blocking Recv into a channel so the
 	// gather can select on the deadline and the drain signal without a
@@ -369,11 +411,38 @@ func runServer(opts serverOpts) error {
 		deadlineC = tm.C
 	}
 
-	batches := make(map[string][]paillier.Ciphertext, opts.clients)
-	order := make([]string, 0, opts.clients)
+	// With -fanout each arriving upload is folded into the aggregation
+	// tree(s) immediately and its buffer dropped — batches then records only
+	// who contributed (nil values) and the server's live ciphertexts are
+	// bounded by the tree depth, not the cohort size. Group mode assigns the
+	// cohort into seeded groups up front and gives each group its own tree.
+	var tree *fl.AggTree
+	var groupTrees []*fl.AggTree
+	var groupCounts []int
+	groupOf := map[string]int{}
+	if opts.fanout >= 2 {
+		if opts.groups > 1 {
+			assignment := fl.AssignGroups(cohort, opts.groups, opts.seed, demoRound)
+			groupTrees = make([]*fl.AggTree, len(assignment))
+			groupCounts = make([]int, len(assignment))
+			for g, members := range assignment {
+				if groupTrees[g], err = ctx.NewAggTree(opts.fanout); err != nil {
+					return err
+				}
+				for _, m := range members {
+					groupOf[m] = g
+				}
+			}
+		} else if tree, err = ctx.NewAggTree(opts.fanout); err != nil {
+			return err
+		}
+	}
+
+	batches := make(map[string][]paillier.Ciphertext, len(cohort))
+	order := make([]string, 0, len(cohort))
 	draining := false
 gather:
-	for len(batches) < opts.clients {
+	for len(batches) < len(cohort) {
 		select {
 		case d := <-msgs:
 			if d.err != nil {
@@ -382,6 +451,10 @@ gather:
 			msg := d.msg
 			if msg.Kind != "grads" || msg.Round != demoRound {
 				fmt.Printf("discarding stale %q from %s (round %d)\n", msg.Kind, msg.From, msg.Round)
+				continue
+			}
+			if !sampled[msg.From] {
+				fmt.Printf("discarding upload from %s: not sampled this round\n", msg.From)
 				continue
 			}
 			if _, dup := batches[msg.From]; dup {
@@ -396,9 +469,24 @@ gather:
 			for j, n := range nats {
 				cts[j] = paillier.Ciphertext{C: n}
 			}
-			batches[msg.From] = cts
+			switch {
+			case tree != nil:
+				if err := tree.Add(cts); err != nil {
+					return err
+				}
+				batches[msg.From] = nil
+			case groupTrees != nil:
+				g := groupOf[msg.From]
+				if err := groupTrees[g].Add(cts); err != nil {
+					return err
+				}
+				groupCounts[g]++
+				batches[msg.From] = nil
+			default:
+				batches[msg.From] = cts
+			}
 			order = append(order, msg.From)
-			fmt.Printf("received %d ciphertexts from %s (%d/%d)\n", len(cts), msg.From, len(batches), opts.clients)
+			fmt.Printf("received %d ciphertexts from %s (%d/%d)\n", len(cts), msg.From, len(batches), len(cohort))
 		case <-deadlineC:
 			break gather // deadline elapsed with the code below deciding quorum
 		case <-opts.stop:
@@ -410,7 +498,7 @@ gather:
 		// Graceful drain below quorum: journal the abandoned round and exit
 		// zero — a restart with -resume re-runs the round from the top.
 		fmt.Printf("drain signal with %d/%d uploads (quorum %d): abandoning the round\n",
-			len(batches), opts.clients, quorum)
+			len(batches), len(cohort), quorum)
 		if jr != nil {
 			rec := fl.JournalRecord{
 				Kind: fl.EventDrained, Round: demoRound, Attempt: attempt,
@@ -423,19 +511,58 @@ gather:
 		return nil
 	}
 	if len(batches) < quorum {
-		return fmt.Errorf("gather deadline with %d/%d uploads, below quorum %d", len(batches), opts.clients, quorum)
+		return fmt.Errorf("gather deadline with %d/%d uploads, below quorum %d", len(batches), len(cohort), quorum)
 	}
 	if draining {
 		fmt.Println("drain signal with quorum met: finishing the round before exit")
 	}
-	for i := 0; i < opts.clients; i++ {
-		if _, ok := batches[fl.ClientName(i)]; !ok {
-			fmt.Printf("dropping straggler %s (missed the gather deadline)\n", fl.ClientName(i))
+	for _, name := range cohort {
+		if _, ok := batches[name]; !ok {
+			fmt.Printf("dropping straggler %s (missed the gather deadline)\n", name)
 		}
 	}
 
 	var raw []byte
-	if opts.groups > 1 {
+	switch {
+	case groupTrees != nil:
+		// Tree × defense: each group's tree already holds its members' sum.
+		// A group emptied by dropped stragglers is skipped rather than
+		// framed at size zero (the decryptors divide by the group size).
+		sizes := make([]int, 0, len(groupTrees))
+		blobs := make([][]byte, 0, len(groupTrees))
+		for g, gt := range groupTrees {
+			if groupCounts[g] == 0 {
+				continue
+			}
+			root, err := gt.Root()
+			if err != nil {
+				return err
+			}
+			nats := make([]mpint.Nat, len(root))
+			for i, c := range root {
+				nats[i] = c.C
+			}
+			sizes = append(sizes, groupCounts[g])
+			blobs = append(blobs, flnet.EncodeNats(nats))
+		}
+		if raw, err = flnet.EncodeGroupAgg(sizes, blobs); err != nil {
+			return err
+		}
+		fmt.Printf("tree group-wise aggregation: %d uploads across %d groups %v\n", len(order), len(sizes), sizes)
+	case tree != nil:
+		root, err := tree.Root()
+		if err != nil {
+			return err
+		}
+		nats := make([]mpint.Nat, len(root))
+		for i, c := range root {
+			nats[i] = c.C
+		}
+		raw = flnet.EncodeNats(nats)
+		stats := tree.Stats()
+		fmt.Printf("tree aggregation: %d uploads folded at depth %d (peak %d live ciphertexts)\n",
+			len(order), stats.Depth, stats.PeakLiveCts)
+	case opts.groups > 1:
 		// Group-wise aggregation: the contributors are dealt into seeded
 		// groups (same pure assignment the clients can re-derive), each group
 		// HE-summed on its own, and the per-group sums framed together so the
@@ -463,7 +590,7 @@ gather:
 			return err
 		}
 		fmt.Printf("group-wise aggregation: %d uploads dealt into %d groups %v\n", len(order), len(sizes), sizes)
-	} else {
+	default:
 		ordered := make([][]paillier.Ciphertext, 0, len(order))
 		for _, name := range order {
 			ordered = append(ordered, batches[name])
@@ -531,6 +658,10 @@ type clientOpts struct {
 	seed    uint64
 	vals    []float64
 	delay   time.Duration
+	// cohort mirrors the server's -cohort flag: the client derives the same
+	// seeded draw and, when unsampled, skips its upload but still waits for
+	// the broadcast so every party terminates with the round's aggregate.
+	cohort int
 	// byz arms the seeded demo adversary: when the shared seed selects this
 	// client as compromised, its upload is rewritten by the named attack
 	// before encryption. Every party derives the same cohort from the seed.
@@ -539,6 +670,25 @@ type clientOpts struct {
 	// expects a grouped aggregate and robust-combines the group means.
 	defense fl.DefensePolicy
 	o       *obs.Obs
+}
+
+// inCohort reports whether the named client is in the round's sampled
+// cohort — the same pure seeded draw the server makes, so the parties agree
+// without any scheduling message.
+func inCohort(name string, clients, cohort int, seed uint64) bool {
+	if cohort <= 0 || cohort >= clients {
+		return true
+	}
+	names := make([]string, clients)
+	for i := range names {
+		names[i] = fl.ClientName(i)
+	}
+	for _, m := range fl.SampleCohort(names, cohort, seed, demoRound) {
+		if m == name {
+			return true
+		}
+	}
+	return false
 }
 
 func runClient(opts clientOpts) error {
@@ -555,34 +705,38 @@ func runClient(opts clientOpts) error {
 	}
 	defer conn.Close()
 
-	vals := opts.vals
-	if opts.byz != fl.AttackNone {
-		adv, err := fl.NewAdversary(fl.AdversaryConfig{Seed: opts.seed ^ 0xad3, Kind: opts.byz, Count: 1}, clients)
+	if !inCohort(name, clients, opts.cohort, opts.seed) {
+		fmt.Printf("%s not sampled this round: skipping upload, awaiting the broadcast\n", name)
+	} else {
+		vals := opts.vals
+		if opts.byz != fl.AttackNone {
+			adv, err := fl.NewAdversary(fl.AdversaryConfig{Seed: opts.seed ^ 0xad3, Kind: opts.byz, Count: 1}, clients)
+			if err != nil {
+				return err
+			}
+			if adv.IsMalicious(opts.id) {
+				fmt.Printf("%s is compromised: applying the %s attack to its upload\n", name, opts.byz)
+			}
+			vals = adv.Apply(demoRound, opts.id, vals)
+		}
+
+		cts, err := ctx.EncryptGradients(vals)
 		if err != nil {
 			return err
 		}
-		if adv.IsMalicious(opts.id) {
-			fmt.Printf("%s is compromised: applying the %s attack to its upload\n", name, opts.byz)
+		nats := make([]mpint.Nat, len(cts))
+		for i, c := range cts {
+			nats[i] = c.C
 		}
-		vals = adv.Apply(demoRound, opts.id, vals)
+		if opts.delay > 0 {
+			fmt.Printf("%s straggling for %v before upload\n", name, opts.delay)
+			time.Sleep(opts.delay)
+		}
+		if err := conn.Send(flnet.Message{From: name, To: fl.ServerName, Kind: "grads", Round: demoRound, Payload: flnet.EncodeNats(nats)}); err != nil {
+			return err
+		}
+		fmt.Printf("%s sent %d ciphertexts (%d gradients)\n", name, len(cts), len(vals))
 	}
-
-	cts, err := ctx.EncryptGradients(vals)
-	if err != nil {
-		return err
-	}
-	nats := make([]mpint.Nat, len(cts))
-	for i, c := range cts {
-		nats[i] = c.C
-	}
-	if opts.delay > 0 {
-		fmt.Printf("%s straggling for %v before upload\n", name, opts.delay)
-		time.Sleep(opts.delay)
-	}
-	if err := conn.Send(flnet.Message{From: name, To: fl.ServerName, Kind: "grads", Round: demoRound, Payload: flnet.EncodeNats(nats)}); err != nil {
-		return err
-	}
-	fmt.Printf("%s sent %d ciphertexts (%d gradients)\n", name, len(cts), len(vals))
 
 	msg, err := conn.Recv(name)
 	if err != nil {
@@ -691,6 +845,10 @@ type demoOpts struct {
 	quorum   int
 	timeout  time.Duration
 	straggle time.Duration
+	// cohort and fanout select cross-device mode: a seeded sub-population
+	// cohort and hierarchical tree aggregation at the server.
+	cohort int
+	fanout int
 	// byz and defense arm the adversary and the group-wise robust decrypt;
 	// every in-process party shares them the way real deployments would
 	// share the flags.
@@ -717,6 +875,7 @@ func runDemo(opts demoOpts) error {
 		errs <- runServer(serverOpts{
 			addr: hub.Addr(), clients: clients, keyBits: opts.keyBits, seed: opts.seed,
 			quorum: opts.quorum, timeout: opts.timeout, groups: opts.defense.Groups,
+			cohort: opts.cohort, fanout: opts.fanout,
 			stop: opts.stop, o: opts.o,
 		})
 	}()
@@ -737,7 +896,7 @@ func runDemo(opts demoOpts) error {
 			errs <- runClient(clientOpts{
 				addr: hub.Addr(), id: id, clients: clients, keyBits: opts.keyBits,
 				chunk: opts.chunk, seed: opts.seed, vals: vals, delay: delay,
-				byz: opts.byz, defense: opts.defense, o: opts.o,
+				cohort: opts.cohort, byz: opts.byz, defense: opts.defense, o: opts.o,
 			})
 		}(c, vals, delay)
 	}

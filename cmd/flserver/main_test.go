@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -339,6 +340,85 @@ func TestServerCrashResumeBroadcast(t *testing.T) {
 		journal: journal, resume: true,
 	}); err != nil {
 		t.Fatalf("resume of a completed round must be a no-op: %v", err)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	// Inconsistent flag combinations must fail at startup with a typed
+	// ConfigError naming the offending flag, not mid-round.
+	cases := []struct {
+		args []string
+		flag string
+	}{
+		{[]string{"demo", "-clients", "0"}, "clients"},
+		{[]string{"client", "-id", "7", "-clients", "4", "-values", "1"}, "id"},
+		{[]string{"client", "-id", "-1", "-values", "1"}, "id"},
+		{[]string{"demo", "-dim", "0"}, "dim"},
+		{[]string{"server", "-clients", "4", "-cohort", "9"}, "cohort"},
+		{[]string{"server", "-cohort", "-1"}, "cohort"},
+		{[]string{"server", "-fanout", "1"}, "fanout"},
+		{[]string{"server", "-fanout", "-2"}, "fanout"},
+		{[]string{"demo", "-quorum", "-1"}, "quorum"},
+		{[]string{"demo", "-clients", "4", "-quorum", "5"}, "quorum"},
+		{[]string{"server", "-clients", "8", "-cohort", "3", "-quorum", "4"}, "quorum"},
+		{[]string{"server", "-clients", "8", "-cohort", "2", "-groups", "3"}, "groups"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, nil)
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("run(%v) = %v, want ConfigError on -%s", tc.args, err, tc.flag)
+			continue
+		}
+		if ce.Flag != tc.flag {
+			t.Errorf("run(%v) flagged -%s (%s), want -%s", tc.args, ce.Flag, ce.Reason, tc.flag)
+		}
+	}
+	// A consistent combination must pass validation and fail later on the
+	// unreachable address instead, proving the checks are not over-eager.
+	err := run([]string{"client", "-clients", "8", "-cohort", "3", "-quorum", "3",
+		"-values", "1", "-addr", "0.0.0.0:1"}, nil)
+	var ce *ConfigError
+	if err == nil || errors.As(err, &ce) {
+		t.Fatalf("consistent flags returned %v, want a dial error", err)
+	}
+}
+
+func TestDemoSampledTreeRound(t *testing.T) {
+	// Cross-device demo: 3 of 5 clients are sampled and the server folds the
+	// arriving uploads through a fan-out-2 tree. The unsampled clients must
+	// still terminate on the broadcast.
+	done := make(chan error, 1)
+	go func() {
+		done <- runDemo(demoOpts{clients: 5, dim: 4, keyBits: 128, seed: 9, cohort: 3, fanout: 2})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("sampled tree demo hung")
+	}
+}
+
+func TestDemoDefendedTreeRound(t *testing.T) {
+	// Tree aggregation composed with the group-wise defense: per-group trees
+	// at the server, grouped robust decrypt at the clients.
+	done := make(chan error, 1)
+	go func() {
+		done <- runDemo(demoOpts{
+			clients: 4, dim: 4, keyBits: 128, seed: 9, fanout: 2,
+			defense: fl.DefensePolicy{Groups: 2, Combiner: fl.CombineMedian},
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("defended tree demo hung")
 	}
 }
 

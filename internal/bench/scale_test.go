@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScaleSmoke runs the cross-device sweep at toy sizes and pins its two
+// claims: the tree round is bit-exact with the flat protocol, and the
+// coordinator's peak live-ciphertext count is bounded by the hierarchy
+// (sublinear in the cohort), not by the client count.
+func TestScaleSmoke(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	if err := os.Chdir(tmp); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	r, err := NewRunner(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := r.Scale(&out, []int{40, 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(filepath.Join(tmp, scaleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report scaleReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !report.BitExact {
+		t.Fatal("tree rounds diverged from flat")
+	}
+	if len(report.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(report.Rows))
+	}
+	rows := map[[2]interface{}]scaleRow{}
+	for _, row := range report.Rows {
+		rows[[2]interface{}{row.Clients, row.Mode}] = row
+	}
+	for _, clients := range []int{40, 100} {
+		flat := rows[[2]interface{}{clients, "flat"}]
+		tree := rows[[2]interface{}{clients, "tree"}]
+		if flat.PeakLiveCts == 0 || tree.PeakLiveCts == 0 {
+			t.Fatalf("N=%d: peaks not populated (%d/%d)", clients, flat.PeakLiveCts, tree.PeakLiveCts)
+		}
+		// Flat holds every client's batch at once; the tree must hold only
+		// the fanout·depth live set.
+		if flat.PeakPerClient < 0.99 {
+			t.Fatalf("N=%d: flat peak %v per client, want ≈1 batch each", clients, flat.PeakPerClient)
+		}
+		if tree.PeakLiveCts*2 >= flat.PeakLiveCts {
+			t.Fatalf("N=%d: tree peak %d not sublinear vs flat %d", clients, tree.PeakLiveCts, flat.PeakLiveCts)
+		}
+		width := flat.PeakLiveCts / int64(clients)
+		if bound := int64(tree.Depth+1) * int64(report.Fanout) * width; tree.PeakLiveCts > bound {
+			t.Fatalf("N=%d: tree peak %d above the fanout·depth bound %d", clients, tree.PeakLiveCts, bound)
+		}
+		if !tree.MatchesFlat || tree.Depth == 0 || tree.Partials == 0 {
+			t.Fatalf("N=%d: tree row %+v", clients, tree)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package fl
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"flbooster/internal/paillier"
+)
+
+// encryptBatches encrypts n distinct gradient batches of the given width.
+func encryptBatches(t *testing.T, ctx *Context, n, width int) [][]paillier.Ciphertext {
+	t.Helper()
+	out := make([][]paillier.Ciphertext, n)
+	for i := range out {
+		g := make([]float64, width)
+		for j := range g {
+			g[j] = 0.01*float64(i+1) + 0.001*float64(j)
+		}
+		cts, err := ctx.EncryptGradients(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = cts
+	}
+	return out
+}
+
+// TestAggTreeRootMatchesFlatFold is the tree's correctness bar: for any
+// leaf count around the fanout boundaries, the tree's root must be
+// byte-identical to the flat left-fold over the same batches.
+func TestAggTreeRootMatchesFlatFold(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaves := range []int{1, 2, 3, 4, 8, 9, 10, 13} {
+		batches := encryptBatches(t, ctx, leaves, 6)
+		flat, err := ctx.AggregateCiphertexts(batches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := ctx.NewAggTree(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batches {
+			if err := tree.Add(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		root, err := tree.Root()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeCiphertexts(root), encodeCiphertexts(flat)) {
+			t.Fatalf("%d leaves: tree root diverged from the flat fold", leaves)
+		}
+		st := tree.Stats()
+		if st.Leaves != leaves || st.Fanout != 3 {
+			t.Fatalf("%d leaves: stats %+v", leaves, st)
+		}
+	}
+}
+
+// TestAggTreePeakBoundedByFanoutDepth pins the memory claim the refactor
+// exists for: the high-water live-ciphertext count is bounded by one
+// running partial per level plus the batch in flight — (depth+1)·width —
+// and stays far below the flat path's leaves·width.
+func TestAggTreePeakBoundedByFanoutDepth(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFLBooster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const leaves, width = 27, 4
+	batches := encryptBatches(t, ctx, leaves, width)
+	wctx := len(batches[0]) // ciphertexts per batch after packing
+	tree, err := ctx.NewAggTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := tree.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		if live := tree.LiveCts(); live > int64((tree.Stats().Depth+1)*wctx) {
+			t.Fatalf("live %d exceeds the level bound", live)
+		}
+	}
+	if _, err := tree.Root(); err != nil {
+		t.Fatal(err)
+	}
+	st := tree.Stats()
+	if st.PeakLiveCts > int64((st.Depth+1)*wctx) {
+		t.Fatalf("peak %d exceeds (depth+1)·width = %d", st.PeakLiveCts, (st.Depth+1)*wctx)
+	}
+	if st.PeakLiveCts >= int64(leaves*wctx) {
+		t.Fatalf("peak %d not sublinear in %d leaves", st.PeakLiveCts, leaves)
+	}
+	if st.Depth < 3 || st.Forwards == 0 || st.Folds == 0 {
+		t.Fatalf("27 leaves at fanout 3 should cascade: %+v", st)
+	}
+	if len(st.LevelSimNs) != st.Depth {
+		t.Fatalf("level times %v for depth %d", st.LevelSimNs, st.Depth)
+	}
+}
+
+func TestAggTreeValidation(t *testing.T) {
+	ctx, err := NewContext(testProfile(SystemFATE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.NewAggTree(1); err == nil {
+		t.Fatal("fanout 1 accepted")
+	}
+	newAcc := func() (*paillier.Accumulator, error) {
+		return paillier.NewAccumulator(&ctx.Key.PublicKey, ctx.Backend)
+	}
+	fold := func(acc *paillier.Accumulator, cts []paillier.Ciphertext) (time.Duration, error) {
+		return 0, acc.Add(cts)
+	}
+	if _, err := NewAggTree(2, nil, fold, nil); err == nil {
+		t.Fatal("nil accumulator hook accepted")
+	}
+	if _, err := NewAggTree(2, newAcc, nil, nil); err == nil {
+		t.Fatal("nil fold hook accepted")
+	}
+	tree, err := NewAggTree(2, newAcc, fold, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Add(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := tree.Root(); err == nil {
+		t.Fatal("root of an empty tree succeeded")
+	}
+}
+
+func TestTreeStatsMerge(t *testing.T) {
+	var s TreeStats
+	s.merge(TreeStats{Fanout: 4, Depth: 2, Leaves: 5, Folds: 3, Forwards: 2, PeakLiveCts: 6, LevelSimNs: []int64{10, 20}})
+	s.merge(TreeStats{Fanout: 4, Depth: 3, Leaves: 4, Folds: 2, Forwards: 3, PeakLiveCts: 4, LevelSimNs: []int64{1, 2, 3}})
+	want := TreeStats{Fanout: 4, Depth: 3, Leaves: 9, Folds: 5, Forwards: 5, PeakLiveCts: 10, LevelSimNs: []int64{11, 22, 3}}
+	if s.Fanout != want.Fanout || s.Depth != want.Depth || s.Leaves != want.Leaves ||
+		s.Folds != want.Folds || s.Forwards != want.Forwards || s.PeakLiveCts != want.PeakLiveCts {
+		t.Fatalf("merged %+v, want %+v", s, want)
+	}
+	for i, ns := range want.LevelSimNs {
+		if s.LevelSimNs[i] != ns {
+			t.Fatalf("level %d time %d, want %d", i, s.LevelSimNs[i], ns)
+		}
+	}
+}

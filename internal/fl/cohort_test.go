@@ -1,0 +1,243 @@
+package fl
+
+import (
+	"testing"
+	"time"
+
+	"flbooster/internal/flnet"
+	"flbooster/internal/gpu"
+)
+
+// cohortProfile returns a 9-party test profile; mutate Cohort/Defense/Chunk
+// per case.
+func cohortProfile(sys System) Profile {
+	p := NewProfile(sys, 128, 9)
+	p.Device = gpu.SmallTestDevice()
+	p.RBits = 14
+	return p
+}
+
+// runEpochDigests runs `rounds` rounds on a journaled federation and returns
+// the decrypted sums plus the journaled per-round aggregate digests.
+func runEpochDigests(t *testing.T, p Profile, rounds int) ([][]float64, map[uint64]uint64, []RoundReport) {
+	t.Helper()
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	store := NewMemStore()
+	fed.AttachJournal(mustJournal(t, store))
+	grads := epochGrads(rounds, p.Parties, 6)
+	sums := make([][]float64, rounds)
+	reps := make([]RoundReport, rounds)
+	for r := 0; r < rounds; r++ {
+		sum, rep, err := fed.SecureAggregateReport(grads[r])
+		if err != nil {
+			t.Fatalf("round %d: %v", r+1, err)
+		}
+		sums[r], reps[r] = sum, rep
+	}
+	recs, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := Replay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sums, state.Digests, reps
+}
+
+// TestTreeRoundBitExactWithFlat is the refactor's acceptance bar: for the
+// same profile and seed, a hierarchical round must journal byte-identical
+// aggregates and decrypt bit-identical sums to the flat protocol — plain,
+// chunk-streamed, and defended (grouped robust aggregation composed with
+// tree levels) alike.
+func TestTreeRoundBitExactWithFlat(t *testing.T) {
+	const rounds = 3
+	cases := []struct {
+		name string
+		prep func(*Profile)
+	}{
+		{"plain", func(p *Profile) {}},
+		{"chunked", func(p *Profile) { p.Chunk = 2 }},
+		{"defended", func(p *Profile) { p.Defense = DefensePolicy{Groups: 3} }},
+		{"defended-chunked", func(p *Profile) {
+			p.Defense = DefensePolicy{Groups: 3, Combiner: CombineMedian}
+			p.Chunk = 2
+		}},
+		{"sampled", func(p *Profile) { p.Cohort.Size = 6 }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			flatP := cohortProfile(SystemFLBooster)
+			c.prep(&flatP)
+			treeP := flatP
+			treeP.Cohort.Fanout = 3
+			treeP.Cohort.MaxInflight = 4
+			// In the sampled case both runs share Cohort.Size — only the
+			// aggregation topology differs between them.
+			flatSums, flatDigests, flatReps := runEpochDigests(t, flatP, rounds)
+			treeSums, treeDigests, treeReps := runEpochDigests(t, treeP, rounds)
+			for r := 0; r < rounds; r++ {
+				if !sameBits(flatSums[r], treeSums[r]) {
+					t.Fatalf("round %d sums diverged\nflat %v\ntree %v", r+1, flatSums[r], treeSums[r])
+				}
+				if flatDigests[uint64(r+1)] != treeDigests[uint64(r+1)] {
+					t.Fatalf("round %d journaled digests diverged: %#x vs %#x",
+						r+1, flatDigests[uint64(r+1)], treeDigests[uint64(r+1)])
+				}
+				if !sameMembers(flatReps[r].Included, treeReps[r].Included) {
+					t.Fatalf("round %d included sets diverged: %v vs %v",
+						r+1, flatReps[r].Included, treeReps[r].Included)
+				}
+				if treeReps[r].Tree == nil || flatReps[r].Tree != nil {
+					t.Fatalf("round %d tree stats on the wrong mode", r+1)
+				}
+			}
+		})
+	}
+}
+
+// TestTreeRoundBoundsLiveCiphertexts: the report's live-ciphertext
+// high-water mark must be sublinear in the cohort for a tree round and
+// exactly cohort·width for the flat baseline.
+func TestTreeRoundBoundsLiveCiphertexts(t *testing.T) {
+	flatP := cohortProfile(SystemFLBooster)
+	treeP := flatP
+	treeP.Cohort.Fanout = 3
+
+	grads := epochGrads(1, flatP.Parties, 6)[0]
+	run := func(p Profile) RoundReport {
+		ctx, err := NewContext(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed := NewFederation(ctx)
+		defer fed.Close()
+		if _, rep, err := fed.SecureAggregateReport(grads); err != nil {
+			t.Fatal(err)
+		} else {
+			return rep
+		}
+		return RoundReport{}
+	}
+	flat := run(flatP)
+	tree := run(treeP)
+	if flat.PeakLiveCts == 0 || tree.PeakLiveCts == 0 {
+		t.Fatalf("peaks not populated: flat %d tree %d", flat.PeakLiveCts, tree.PeakLiveCts)
+	}
+	if tree.PeakLiveCts >= flat.PeakLiveCts {
+		t.Fatalf("tree peak %d not below flat peak %d", tree.PeakLiveCts, flat.PeakLiveCts)
+	}
+	if tree.Tree == nil || tree.Tree.Leaves != flatP.Parties {
+		t.Fatalf("tree stats %+v", tree.Tree)
+	}
+	if flat.CohortSize != flatP.Parties || tree.CohortSize != flatP.Parties {
+		t.Fatalf("cohort sizes %d/%d", flat.CohortSize, tree.CohortSize)
+	}
+}
+
+// TestSampledCohortSchedulesSubset: with Cohort.Size < N only the sampled
+// clients contribute, the aggregate is scaled to the full-federation
+// estimate, and successive rounds rotate the cohort.
+func TestSampledCohortSchedulesSubset(t *testing.T) {
+	p := cohortProfile(SystemFLBooster)
+	p.Cohort = CohortPolicy{Size: 5, Fanout: 2}
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	grads := epochGrads(2, p.Parties, 4)
+	var firstCohort []string
+	for r := 0; r < 2; r++ {
+		sum, rep, err := fed.SecureAggregateReport(grads[r])
+		if err != nil {
+			t.Fatalf("round %d: %v", r+1, err)
+		}
+		if rep.CohortSize != 5 || len(rep.Included) != 5 {
+			t.Fatalf("round %d scheduled %d/%d clients", r+1, len(rep.Included), rep.CohortSize)
+		}
+		if rep.Scale < 1.79 || rep.Scale > 1.81 {
+			t.Fatalf("round %d scale %v, want 9/5", r+1, rep.Scale)
+		}
+		if len(sum) != 4 {
+			t.Fatalf("round %d sum has %d dims", r+1, len(sum))
+		}
+		if r == 0 {
+			firstCohort = rep.Included
+		} else if sameMembers(firstCohort, rep.Included) {
+			t.Log("rounds 1 and 2 drew the same cohort (possible but unlikely)")
+		}
+	}
+}
+
+// lastChunkDropper silently discards the final chunk of the victim's upload,
+// leaving a half-received reassembly buffered at the server.
+type lastChunkDropper struct {
+	flnet.Transport
+	victim string
+}
+
+func (d *lastChunkDropper) Send(msg flnet.Message) error {
+	if msg.From == d.victim && msg.Kind == "gradc" {
+		if idx, total, _, err := flnet.DecodeChunk(msg.Payload); err == nil && idx == total-1 {
+			return nil // vanishes on the wire
+		}
+	}
+	return d.Transport.Send(msg)
+}
+
+// TestTreeRoundSurvivesDroppedUpload: a client whose upload is silently
+// dropped mid-wave is cut off at the wave deadline, charged as late, and
+// the quorum round completes with the scaled estimate — the tree-mode
+// mirror of the flat straggler test.
+func TestTreeRoundSurvivesDroppedUpload(t *testing.T) {
+	p := cohortProfile(SystemFATE) // no batching: dim 2 at Chunk 1 = 2 chunks
+	p.Cohort = CohortPolicy{Fanout: 3, MaxInflight: 4}
+	p.Round = RoundPolicy{
+		Quorum:       8,
+		PhaseTimeout: 200 * time.Millisecond,
+		MaxRetries:   1,
+		Backoff:      time.Millisecond,
+	}
+	p.Chunk = 1 // chunked uploads, so the cutoff releases a real half-buffer
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	fed.Transport = &lastChunkDropper{Transport: fed.Transport, victim: ClientName(2)}
+
+	grads := make([][]float64, p.Parties)
+	for i := range grads {
+		grads[i] = []float64{0.1, -0.2}
+	}
+	sum, rep, err := fed.SecureAggregateReport(grads)
+	if err != nil {
+		t.Fatalf("tree quorum round should survive one dropped upload: %v", err)
+	}
+	if len(rep.Included) != p.Parties-1 {
+		t.Fatalf("included %v", rep.Included)
+	}
+	if phase, ok := rep.Dropped[ClientName(2)]; !ok || phase != PhaseGather {
+		t.Fatalf("dropped %v, want client2 lost in gather", rep.Dropped)
+	}
+	bound := float64(p.Parties) * rep.Scale * ctx.Quant.MaxError()
+	want := []float64{0.1 * float64(p.Parties), -0.2 * float64(p.Parties)}
+	for i := range want {
+		if d := sum[i] - want[i]; d > bound || d < -bound {
+			t.Fatalf("sum[%d] = %v, want %v ± %v", i, sum[i], want[i], bound)
+		}
+	}
+	late := ctx.Costs.Snapshot()
+	if late.LateChunks == 0 || late.LateBytes == 0 {
+		t.Fatalf("cutoff did not charge late traffic: %+v", late)
+	}
+}

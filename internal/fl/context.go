@@ -212,6 +212,8 @@ func (c *Context) ReconcileObs() error {
 		{"pipe_chunks", s.PipeChunks},
 		{"pipe_seq_ns", int64(s.PipeSeqSim)},
 		{"pipe_ns", int64(s.PipeSim)},
+		{"late_chunks", s.LateChunks},
+		{"late_bytes", s.LateBytes},
 		{"plainvals", s.Plainvals},
 		{"ciphertexts", s.Ciphertexts},
 	}
@@ -239,6 +241,16 @@ func (c *Context) metricAdd(name string, delta int64) {
 		return
 	}
 	c.Obs.Metrics().Add("fl."+c.obsPrefix+"."+name, delta)
+}
+
+// metricMax raises one high-water counter under the context's "fl.<label>."
+// prefix; a no-op without an attached bundle. Like metricAdd these sit
+// outside the reconciled cost-mirror set.
+func (c *Context) metricMax(name string, v int64) {
+	if c.Obs == nil {
+		return
+	}
+	c.Obs.Metrics().SetMax("fl."+c.obsPrefix+"."+name, v)
 }
 
 // SeedCursor returns the nonce-stream cursor: the state nextSeed advances
@@ -501,6 +513,39 @@ func (c *Context) AggregateGrouped(groups [][][]paillier.Ciphertext) ([][]pailli
 		out[g] = sum
 	}
 	return out, nil
+}
+
+// NewAggTree builds a hierarchical aggregation tree over this context's key
+// and backend, with the cost model wired in: every fold into a non-empty
+// level accumulator is charged to the HE component exactly like the flat
+// AggregateCiphertexts path (the first child of a level is adopted by copy,
+// not HE-added — mirroring AggregateGrouped), and every partial forwarded up
+// a level is framed (flnet partial-aggregate framing) and charged to the
+// communication component as interior-link traffic.
+func (c *Context) NewAggTree(fanout int) (*AggTree, error) {
+	newAcc := func() (*paillier.Accumulator, error) {
+		return paillier.NewAccumulator(&c.Key.PublicKey, c.Backend)
+	}
+	fold := func(acc *paillier.Accumulator, cts []paillier.Ciphertext) (time.Duration, error) {
+		if acc.Batches() == 0 {
+			return 0, acc.Add(cts)
+		}
+		base := c.simBase()
+		start := time.Now()
+		if err := acc.Add(cts); err != nil {
+			return 0, err
+		}
+		wall := time.Since(start)
+		sim := c.simSince(base, wall)
+		c.Costs.AddHE(wall, sim, int64(len(cts)), int64(len(cts)))
+		return sim, nil
+	}
+	forward := func(level int, cts []paillier.Ciphertext) {
+		payload := flnet.EncodePartialAgg(uint32(level), encodeCiphertexts(cts))
+		c.RecordTransfer(int64(len(payload)))
+		c.metricAdd("tree_partials", 1)
+	}
+	return NewAggTree(fanout, newAcc, fold, forward)
 }
 
 // DecryptAggregated runs the decryption phase (steps ⑤–⑨ of Fig. 4) for an

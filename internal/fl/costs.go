@@ -46,6 +46,14 @@ type CostSnapshot struct {
 	PipeSim    time.Duration
 	PipeChunks int64
 
+	// LateChunks and LateBytes count chunked-upload traffic the late-arrival
+	// cutoff discarded: chunks that were received and buffered (their wire
+	// time and bytes already charged to Comm at send) but whose upload never
+	// completed before the deadline, so the buffers were released
+	// unaggregated.
+	LateChunks int64
+	LateBytes  int64
+
 	// Ciphertexts counts ciphertexts produced (the compression denominator).
 	Ciphertexts int64
 	// Plainvals counts plaintext values before packing (the numerator).
@@ -69,6 +77,7 @@ var costMirrorNames = []string{
 	"he_ops", "instances", "he_sim_ns",
 	"comm_msgs", "comm_bytes", "comm_sim_ns", "retry_msgs",
 	"pipe_chunks", "pipe_seq_ns", "pipe_ns",
+	"late_chunks", "late_bytes",
 	"plainvals", "ciphertexts",
 }
 
@@ -141,6 +150,19 @@ func (c *Costs) AddPipeline(seq, overlapped time.Duration, chunks int64) {
 	c.mirror("pipe_seq_ns", int64(seq))
 	c.mirror("pipe_ns", int64(overlapped))
 	c.mirror("pipe_chunks", chunks)
+}
+
+// AddLate accounts one late-arrival cutoff: chunks received from an upload
+// that never completed, released unaggregated. Their wire time and bytes
+// were already charged to Comm at send time; these counters record how much
+// of that traffic was wasted.
+func (c *Costs) AddLate(chunks, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.LateChunks += chunks
+	c.s.LateBytes += bytes
+	c.mirror("late_chunks", chunks)
+	c.mirror("late_bytes", bytes)
 }
 
 // AddOther accounts model-computation time.

@@ -3,6 +3,7 @@ package fl
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"flbooster/internal/flnet"
@@ -191,20 +192,36 @@ func (f *Federation) SecureAggregateReport(grads [][]float64) ([]float64, RoundR
 	f.round++
 	attempt := f.takeAttempt()
 	resume := f.takeResume()
+	// Cross-device scheduling: sample this round's cohort from the active
+	// roster. The sample is a pure function of (roster, seed, round), and the
+	// roster itself is journaled, so a crash-recovered re-run draws the
+	// identical cohort — cross-checked against the journaled one below.
+	cohort := active
+	var sampled []string
+	if cp := f.Ctx.Profile.Cohort; cp.Sampling() && cp.Size < len(active) {
+		cohort = SampleCohort(active, cp.Size, f.Ctx.Profile.Seed, f.round)
+		sampled = cohort
+		f.Ctx.metricAdd("cohorts_sampled", 1)
+	}
+	if resume != nil && resume.Cohort != nil && !sameMembers(resume.Cohort, cohort) {
+		return nil, RoundReport{}, fmt.Errorf(
+			"fl: recovered round %d resamples a different cohort (journal has %d members, got %d)",
+			f.round, len(resume.Cohort), len(cohort))
+	}
 	// The round-start record is durable before any client encrypts: its
 	// cursor is the position a recovered coordinator rewinds to when it must
 	// re-run this round from scratch.
 	if err := f.journalAppend(JournalRecord{
 		Kind: EventRoundStart, Round: f.round, Attempt: attempt,
-		Cursor: f.Ctx.SeedCursor(), Members: active,
+		Cursor: f.Ctx.SeedCursor(), Members: active, Cohort: sampled,
 	}); err != nil {
 		return nil, RoundReport{}, err
 	}
 
-	st := newRoundState(f, policy, count, active, attempt, resume)
+	st := newRoundState(f, policy, count, cohort, attempt, resume)
 	var result []float64
 	var err error
-	if rerr := f.admissionError(active, policy); rerr != nil {
+	if rerr := f.admissionError(cohort, policy); rerr != nil {
 		err = rerr
 	} else {
 		result, err = st.run(grads)
@@ -241,16 +258,29 @@ func (f *Federation) SecureAggregateReport(grads [][]float64) ([]float64, RoundR
 }
 
 // admissionError fails a round that cannot start: an explicit quorum the
-// active roster no longer covers, or no active clients at all.
-func (f *Federation) admissionError(active []string, policy RoundPolicy) *RoundError {
-	if len(active) == 0 {
+// scheduled cohort no longer covers, or no active clients at all.
+func (f *Federation) admissionError(cohort []string, policy RoundPolicy) *RoundError {
+	if len(cohort) == 0 {
 		return &RoundError{Round: f.round, Phase: PhaseAdmit, Err: fmt.Errorf("no active clients")}
 	}
-	if policy.Quorum > 0 && len(active) < policy.Quorum {
+	if policy.Quorum > 0 && len(cohort) < policy.Quorum {
 		return &RoundError{Round: f.round, Phase: PhaseAdmit, Err: fmt.Errorf(
-			"%d active clients below quorum %d", len(active), policy.Quorum)}
+			"%d active clients below quorum %d", len(cohort), policy.Quorum)}
 	}
 	return nil
+}
+
+// sameMembers reports whether two canonical-order member lists are equal.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // observeRound publishes one completed round's protocol counters into the
@@ -294,7 +324,7 @@ type roundState struct {
 	quorum int
 	count  int // gradient dimension
 
-	active  []string     // the clients this round schedules (roster at start)
+	active  []string     // the clients this round schedules (the sampled cohort; the full roster when sampling is off)
 	attempt uint32       // execution count across coordinator restarts
 	resume  *ResumePoint // non-nil when recovering a journaled round
 
@@ -302,12 +332,24 @@ type roundState struct {
 	retrier *flnet.RetryTransport // nil when MaxRetries is 0
 
 	uploaded    []string                         // clients whose upload send succeeded
-	batches     map[string][]paillier.Ciphertext // gathered uploads by client
+	batches     map[string][]paillier.Ciphertext // gathered uploads by client (flat mode)
 	pending     map[string]*flnet.Reassembler    // chunked uploads being reassembled
 	included    []string                         // aggregation order
 	reached     []string                         // clients the broadcast reached
 	dropped     map[string]RoundPhase            // dropped client -> losing phase
 	stale, dups int
+
+	// Tree-mode state: uploads stream straight into the (per-group)
+	// aggregation trees instead of accumulating in st.batches, and resolved
+	// tracks which cohort members have been folded or cut off.
+	tree       *AggTree
+	groupTrees []*AggTree
+	groupOf    map[string]int
+	resolved   map[string]bool
+	treeStats  *TreeStats
+
+	reasmBytes int64 // live chunk-buffer bytes across pending reassemblers
+	peakLive   int64 // high-water simultaneously-live aggregate-path ciphertexts
 
 	aggPayload []byte // the encoded aggregate, journaled before broadcast
 	aggDigest  uint64
@@ -318,6 +360,9 @@ type roundState struct {
 
 // defended reports whether this round runs group-wise robust aggregation.
 func (st *roundState) defended() bool { return st.f.Ctx.Profile.Defense.Enabled() }
+
+// treeMode reports whether this round aggregates through a hierarchy.
+func (st *roundState) treeMode() bool { return st.f.Ctx.Profile.Cohort.Tree() }
 
 func newRoundState(f *Federation, policy RoundPolicy, count int, active []string, attempt uint32, resume *ResumePoint) *roundState {
 	st := &roundState{
@@ -368,6 +413,9 @@ func (st *roundState) report() RoundReport {
 		rep.Scale = float64(st.f.Ctx.Profile.Parties) / float64(n)
 	}
 	rep.Defense = st.defense
+	rep.CohortSize = len(st.active)
+	rep.PeakLiveCts = st.peakLive
+	rep.Tree = st.treeStats
 	return rep
 }
 
@@ -414,6 +462,16 @@ func (st *roundState) run(grads [][]float64) ([]float64, error) {
 		// The crashed attempt already gathered and aggregated: rehydrate the
 		// journaled aggregate and resume at the broadcast boundary.
 		if err := st.restoreAggregate(); err != nil {
+			return nil, err
+		}
+	} else if st.treeMode() {
+		// Hierarchical rounds stream: upload and gather merge into one
+		// contribute phase whose admission waves fold completed uploads
+		// straight into the aggregation tree and release their buffers.
+		if err := st.phaseSpan("contribute", func() error { return st.contribute(grads) }); err != nil {
+			return nil, err
+		}
+		if err := st.phaseSpan("aggregate", st.aggregate); err != nil {
 			return nil, err
 		}
 	} else {
@@ -478,8 +536,14 @@ func (st *roundState) clientGrads(i int, grads [][]float64) []float64 {
 // a local encryption fault is not a network fault and aborts the round.
 // With a positive Profile.Chunk each client uploads through the streamed
 // pipeline: chunk i is on the wire while chunk i+1 is still encrypting.
-func (st *roundState) upload(grads [][]float64) error {
-	for _, name := range st.active {
+func (st *roundState) upload(grads [][]float64) error { return st.uploadWave(st.active, grads) }
+
+// uploadWave runs the upload send loop for one slice of the cohort — the
+// whole cohort in flat mode, one bounded admission wave in tree mode.
+// Clients encrypt in cohort order either way, so the nonce-stream cursor
+// advances identically in both modes and across crash-recovered re-runs.
+func (st *roundState) uploadWave(wave []string, grads [][]float64) error {
+	for _, name := range wave {
 		i, err := ClientIndex(name)
 		if err != nil {
 			return st.fail(PhaseUpload, name, err)
@@ -619,7 +683,11 @@ func (st *roundState) gather() error {
 		if err != nil {
 			if flnet.IsTimeout(err) {
 				if len(st.batches) >= st.quorum {
-					break // quorum reached: proceed without the stragglers
+					// Quorum reached: proceed without the stragglers. Their
+					// half-received chunk buffers are dead weight — release
+					// them and charge the wasted traffic as late arrivals.
+					st.releasePending(true)
+					break
 				}
 				return st.fail(PhaseGather, "", fmt.Errorf(
 					"deadline with %d/%d uploads (quorum %d): %w",
@@ -650,8 +718,12 @@ func (st *roundState) gather() error {
 			}
 			st.batches[msg.From] = cts
 		case "gradc":
-			if err := st.acceptChunk(msg); err != nil {
+			cts, err := st.acceptChunk(msg)
+			if err != nil {
 				return err
+			}
+			if cts != nil {
+				st.batches[msg.From] = cts
 			}
 		}
 	}
@@ -697,57 +769,292 @@ func (st *roundState) answerResume(msg flnet.Message) {
 }
 
 // acceptChunk folds one "gradc" message into the sender's reassembler; when
-// the last chunk lands, the batch is decoded in chunk order and promoted to
-// st.batches. The reassembler's invariants turn transport chaos into typed
-// outcomes: an exact duplicate (retransmission, ChaosTransport duplication)
-// is counted and dropped, while a conflicting rewrite, an out-of-range
-// index, or a changed total poisons the upload and fails the round — never
-// a silent overwrite.
-func (st *roundState) acceptChunk(msg flnet.Message) error {
+// the last chunk lands, the batch is decoded in chunk order, the chunk
+// buffers are released (the reassembled payload's usefulness ends at
+// decode), and the decoded ciphertexts are returned — nil while the upload
+// is still incomplete. The reassembler's invariants turn transport chaos
+// into typed outcomes: an exact duplicate (retransmission, ChaosTransport
+// duplication) is counted and dropped, while a conflicting rewrite, an
+// out-of-range index, or a changed total poisons the upload and fails the
+// round — never a silent overwrite. Buffered bytes are tracked across all
+// in-flight reassemblers as the reassembly_bytes_peak high-water metric.
+func (st *roundState) acceptChunk(msg flnet.Message) ([]paillier.Ciphertext, error) {
 	index, total, body, err := flnet.DecodeChunk(msg.Payload)
 	if err != nil {
 		st.f.Ctx.metricAdd("chunk_rejects", 1)
-		return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode: %w", err))
+		return nil, st.fail(PhaseGather, msg.From, fmt.Errorf("server decode: %w", err))
 	}
 	asm := st.pending[msg.From]
 	if asm == nil {
 		asm, err = flnet.NewReassembler(total)
 		if err != nil {
 			st.f.Ctx.metricAdd("chunk_rejects", 1)
-			return st.fail(PhaseGather, msg.From, fmt.Errorf("server reassembly: %w", err))
+			return nil, st.fail(PhaseGather, msg.From, fmt.Errorf("server reassembly: %w", err))
 		}
 		st.pending[msg.From] = asm
 	}
+	before := asm.Bytes()
 	done, err := asm.Accept(index, total, body)
+	st.trackReasm(asm.Bytes() - before)
 	if err != nil {
 		var ce *flnet.ChunkError
 		if errors.As(err, &ce) && ce.Ignorable() {
 			st.dups++
 			st.f.Ctx.metricAdd("chunk_dup_rejects", 1)
-			return nil
+			return nil, nil
 		}
 		st.f.Ctx.metricAdd("chunk_rejects", 1)
-		return st.fail(PhaseGather, msg.From, fmt.Errorf("server reassembly: %w", err))
+		return nil, st.fail(PhaseGather, msg.From, fmt.Errorf("server reassembly: %w", err))
 	}
 	if !done {
-		return nil
+		return nil, nil
 	}
 	bodies, err := asm.Assemble()
 	if err != nil {
-		return st.fail(PhaseGather, msg.From, err)
+		return nil, st.fail(PhaseGather, msg.From, err)
 	}
 	var all []paillier.Ciphertext
 	for k, b := range bodies {
 		cts, err := decodeCiphertexts(b)
 		if err != nil {
-			return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode chunk %d: %w", k, err))
+			return nil, st.fail(PhaseGather, msg.From, fmt.Errorf("server decode chunk %d: %w", k, err))
 		}
 		all = append(all, cts...)
 	}
-	st.batches[msg.From] = all
+	st.trackReasm(-asm.Release())
 	delete(st.pending, msg.From)
 	st.f.Ctx.metricAdd("chunks_reassembled", int64(asm.Total()))
+	return all, nil
+}
+
+// trackReasm adjusts the live reassembly-byte total and maintains its
+// high-water metric.
+func (st *roundState) trackReasm(delta int64) {
+	st.reasmBytes += delta
+	if delta > 0 {
+		st.f.Ctx.metricMax("reassembly_bytes_peak", st.reasmBytes)
+	}
+}
+
+// releaseUpload frees one client's half-received chunk buffers. When charge
+// is set the released chunks and bytes are charged to the late-arrival
+// counters — traffic that was paid for on the wire but never aggregated.
+func (st *roundState) releaseUpload(name string, charge bool) {
+	asm := st.pending[name]
+	if asm == nil {
+		return
+	}
+	chunks := int64(asm.Received())
+	freed := asm.Release()
+	st.trackReasm(-freed)
+	delete(st.pending, name)
+	if charge {
+		st.f.Ctx.Costs.AddLate(chunks, freed)
+		st.f.Ctx.metricAdd("late_uploads", 1)
+	}
+}
+
+// releasePending frees every in-flight reassembler — the late-arrival
+// cutoff for stragglers whose round has moved on without them.
+func (st *roundState) releasePending(charge bool) {
+	for _, name := range st.uploaded {
+		st.releaseUpload(name, charge)
+	}
+}
+
+// ---- hierarchical (tree-mode) contribution -------------------------------
+
+// initTrees builds this round's aggregation tree(s). A defended tree round
+// partitions the scheduled cohort — not the final included set, which a
+// streaming fold cannot wait for — so a client dropped mid-wave simply
+// leaves its group's tree one contribution lighter rather than reshaping
+// the partition. With zero drops the cohort partition and the flat path's
+// included-set partition are the same list, which is what keeps the two
+// modes bit-exact on clean rounds.
+func (st *roundState) initTrees() error {
+	ctx := st.f.Ctx
+	fanout := ctx.Profile.Cohort.Fanout
+	st.resolved = make(map[string]bool, len(st.active))
+	if !st.defended() {
+		tree, err := ctx.NewAggTree(fanout)
+		if err != nil {
+			return st.fail(PhaseGather, "", err)
+		}
+		st.tree = tree
+		return nil
+	}
+	groups := AssignGroups(st.active, ctx.Profile.Defense.Groups, ctx.Profile.Seed, st.id)
+	st.groupTrees = make([]*AggTree, len(groups))
+	st.groupOf = make(map[string]int, len(st.active))
+	for g, members := range groups {
+		tree, err := ctx.NewAggTree(fanout)
+		if err != nil {
+			return st.fail(PhaseGather, "", err)
+		}
+		st.groupTrees[g] = tree
+		for _, name := range members {
+			st.groupOf[name] = g
+		}
+	}
 	return nil
+}
+
+// contribute is the tree round's merged upload+gather phase: the cohort is
+// admitted in bounded waves of MaxInflight clients, each completed upload is
+// folded straight into its aggregation tree and its buffers released, and
+// anything still unresolved when a wave's deadline expires is cut off and
+// charged as late traffic. Coordinator memory is therefore bounded by the
+// admission window plus the tree's fanout·depth live set — never by the
+// cohort size.
+func (st *roundState) contribute(grads [][]float64) error {
+	if err := st.initTrees(); err != nil {
+		return err
+	}
+	window := st.f.Ctx.Profile.Cohort.MaxInflight
+	if window <= 0 || window > len(st.active) {
+		window = len(st.active)
+	}
+	for base := 0; base < len(st.active); base += window {
+		end := base + window
+		if end > len(st.active) {
+			end = len(st.active)
+		}
+		if err := st.uploadWave(st.active[base:end], grads); err != nil {
+			return err
+		}
+		if err := st.gatherWave(); err != nil {
+			return err
+		}
+	}
+	// Every wave either folded or cut off its members; anything left pending
+	// here is a protocol bug, but release defensively so buffers never leak.
+	st.releasePending(true)
+	st.sortIncluded()
+	if len(st.included) < st.quorum {
+		return st.fail(PhaseGather, "", fmt.Errorf("%d/%d uploads below quorum %d",
+			len(st.included), len(st.active), st.quorum))
+	}
+	return nil
+}
+
+// gatherWave drains the current admission wave: it waits for every uploader
+// not yet resolved, folding each completed batch into the tree the moment
+// it reassembles. A wave deadline that expires cuts the stragglers off —
+// their buffers are released and their traffic charged as late — instead of
+// failing the round outright; quorum is judged once, over the whole cohort,
+// at the end of contribute.
+func (st *roundState) gatherWave() error {
+	deadline := st.phaseDeadline()
+	waiting := make(map[string]bool)
+	for _, name := range st.uploaded {
+		if !st.resolved[name] {
+			waiting[name] = true
+		}
+	}
+	for len(waiting) > 0 {
+		msg, err := st.recv(ServerName, deadline)
+		if err != nil {
+			if flnet.IsTimeout(err) {
+				return st.cutoff(waiting, err)
+			}
+			return st.fail(PhaseGather, "", err)
+		}
+		if msg.Kind == flnet.KindResume {
+			st.answerResume(msg)
+			continue
+		}
+		if msg.Round != st.id || (msg.Kind != "grads" && msg.Kind != "gradc") {
+			st.stale++
+			continue
+		}
+		if st.resolved[msg.From] || !waiting[msg.From] {
+			st.dups++
+			continue
+		}
+		switch msg.Kind {
+		case "grads":
+			cts, err := decodeCiphertexts(msg.Payload)
+			if err != nil {
+				return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode: %w", err))
+			}
+			if err := st.foldContribution(msg.From, cts); err != nil {
+				return err
+			}
+			delete(waiting, msg.From)
+		case "gradc":
+			cts, err := st.acceptChunk(msg)
+			if err != nil {
+				return err
+			}
+			if cts != nil {
+				if err := st.foldContribution(msg.From, cts); err != nil {
+					return err
+				}
+				delete(waiting, msg.From)
+			}
+		}
+	}
+	return nil
+}
+
+// foldContribution streams one client's completed upload into its
+// aggregation tree and marks the client included. In cohort order the fold
+// sequence matches arrival order, not canonical order — HE addition is
+// commutative and the backend deterministic, so the root is byte-identical
+// regardless; included is re-sorted to canonical order before it is
+// journaled.
+func (st *roundState) foldContribution(name string, cts []paillier.Ciphertext) error {
+	tree := st.tree
+	if st.defended() {
+		tree = st.groupTrees[st.groupOf[name]]
+	}
+	if err := tree.Add(cts); err != nil {
+		return st.fail(PhaseGather, name, err)
+	}
+	st.resolved[name] = true
+	st.included = append(st.included, name)
+	return nil
+}
+
+// cutoff resolves every still-waiting member of the current wave as late:
+// buffers released, traffic charged, client dropped (within the quorum
+// budget). The wave moves on; the cohort-wide quorum check happens at the
+// end of contribute.
+func (st *roundState) cutoff(waiting map[string]bool, cause error) error {
+	for _, name := range st.uploaded {
+		if !waiting[name] {
+			continue
+		}
+		st.resolved[name] = true
+		st.releaseUpload(name, true)
+		if rerr := st.drop(PhaseGather, name, fmt.Errorf("upload missed the wave cutoff: %w", cause)); rerr != nil {
+			return rerr
+		}
+	}
+	return nil
+}
+
+// sortIncluded restores the canonical cohort order: tree folds happen in
+// arrival order, but the journal, the report, and the grouped decryptors
+// all speak canonical order, and the flat path's byte-identical journal
+// records depend on it.
+func (st *roundState) sortIncluded() {
+	pos := make(map[string]int, len(st.active))
+	for i, name := range st.active {
+		pos[name] = i
+	}
+	sort.Slice(st.included, func(i, j int) bool {
+		return pos[st.included[i]] < pos[st.included[j]]
+	})
+}
+
+// observeLivePeak records a high-water candidate for the coordinator's
+// simultaneously-live aggregate-path ciphertext count.
+func (st *roundState) observeLivePeak(n int64) {
+	if n > st.peakLive {
+		st.peakLive = n
+	}
+	st.f.Ctx.metricMax("live_cts_peak", n)
 }
 
 // aggregate homomorphically sums the gathered batches in upload order and
@@ -760,9 +1067,14 @@ func (st *roundState) acceptChunk(msg flnet.Message) error {
 // way, so crash recovery replays defended rounds unchanged.
 func (st *roundState) aggregate() error {
 	var err error
-	if st.defended() {
+	switch {
+	case st.treeMode() && st.defended():
+		err = st.aggregateGroupedTree()
+	case st.treeMode():
+		err = st.aggregateTree()
+	case st.defended():
 		err = st.aggregateGrouped()
-	} else {
+	default:
 		err = st.aggregatePlain()
 	}
 	if err != nil {
@@ -779,15 +1091,106 @@ func (st *roundState) aggregate() error {
 // aggregatePlain is the undefended single-aggregate sum.
 func (st *roundState) aggregatePlain() error {
 	batches := make([][]paillier.Ciphertext, 0, len(st.included))
+	live := int64(0)
 	for _, name := range st.included {
 		batches = append(batches, st.batches[name])
+		live += int64(len(st.batches[name]))
 	}
+	// The flat path holds every gathered batch live at once — the O(K·width)
+	// baseline the tree refactor exists to beat.
+	st.observeLivePeak(live)
 	agg, err := st.f.Ctx.AggregateCiphertexts(batches)
 	if err != nil {
 		return st.fail(PhaseGather, "", err)
 	}
 	st.aggPayload = encodeCiphertexts(agg)
 	return nil
+}
+
+// aggregateTree flushes the streamed aggregation tree to its root — the
+// single partial every interior level has been folding toward — and frames
+// it exactly like the flat path's aggregate, so broadcast, decrypt, journal
+// replay, and digests are mode-blind.
+func (st *roundState) aggregateTree() error {
+	root, err := st.tree.Root()
+	if err != nil {
+		return st.fail(PhaseGather, "", err)
+	}
+	st.aggPayload = encodeCiphertexts(root)
+	st.finishTree(st.tree.Stats())
+	return nil
+}
+
+// aggregateGroupedTree flushes one tree per non-empty defense group and
+// frames the G roots as a grouped payload, identical in shape to the flat
+// defended path. Group sizes count the clients actually folded (the
+// included set), so the decryptors' coverage cross-check still holds on
+// degraded rounds.
+func (st *roundState) aggregateGroupedTree() error {
+	counts := make([]int, len(st.groupTrees))
+	for _, name := range st.included {
+		counts[st.groupOf[name]]++
+	}
+	var sizes []int
+	var blobs [][]byte
+	var merged TreeStats
+	for g, tree := range st.groupTrees {
+		if counts[g] == 0 {
+			continue // every member dropped: no aggregate to ship for this group
+		}
+		root, err := tree.Root()
+		if err != nil {
+			return st.fail(PhaseGather, "", err)
+		}
+		sizes = append(sizes, counts[g])
+		blobs = append(blobs, encodeCiphertexts(root))
+		merged.merge(tree.Stats())
+	}
+	payload, err := flnet.EncodeGroupAgg(sizes, blobs)
+	if err != nil {
+		return st.fail(PhaseGather, "", err)
+	}
+	st.aggPayload = payload
+	st.f.Ctx.metricAdd("defense_groups", int64(len(sizes)))
+	st.finishTree(merged)
+	return nil
+}
+
+// finishTree publishes one tree round's statistics: the report fields, the
+// high-water gauges, and the per-level span breakdown.
+func (st *roundState) finishTree(stats TreeStats) {
+	st.treeStats = &stats
+	st.observeLivePeak(stats.PeakLiveCts)
+	st.f.Ctx.metricAdd("tree_folds", stats.Folds)
+	st.f.Ctx.metricMax("tree_depth", int64(stats.Depth))
+	st.treeSpans(stats)
+}
+
+// treeSpans records the tree's per-level HE time as stacked spans ending at
+// the current sim-cost clock, so traces show where the hierarchy spent its
+// fold time level by level.
+func (st *roundState) treeSpans(stats TreeStats) {
+	ctx := st.f.Ctx
+	rec := ctx.Obs.Recorder()
+	if rec == nil {
+		return
+	}
+	var total time.Duration
+	for _, ns := range stats.LevelSimNs {
+		total += time.Duration(ns)
+	}
+	start := ctx.SimCost() - total
+	for l, ns := range stats.LevelSimNs {
+		d := time.Duration(ns)
+		rec.Record(obs.Span{
+			Phase: fmt.Sprintf("round%d.tree.level%d", st.id, l),
+			Party: ctx.obsPrefix + ".fl",
+			Lane:  "fl.tree",
+			Start: start,
+			Dur:   d,
+		})
+		start += d
+	}
 }
 
 // aggregateGrouped partitions the reporting clients into the policy's seeded
@@ -799,13 +1202,16 @@ func (st *roundState) aggregateGrouped() error {
 	groups := AssignGroups(st.included, policy.Groups, st.f.Ctx.Profile.Seed, st.id)
 	grouped := make([][][]paillier.Ciphertext, len(groups))
 	sizes := make([]int, len(groups))
+	live := int64(0)
 	for g, members := range groups {
 		sizes[g] = len(members)
 		grouped[g] = make([][]paillier.Ciphertext, 0, len(members))
 		for _, name := range members {
 			grouped[g] = append(grouped[g], st.batches[name])
+			live += int64(len(st.batches[name]))
 		}
 	}
+	st.observeLivePeak(live)
 	sums, err := st.f.Ctx.AggregateGrouped(grouped)
 	if err != nil {
 		return st.fail(PhaseGather, "", err)
@@ -944,6 +1350,39 @@ func (st *roundState) decrypt() ([]float64, error) {
 	return result, nil
 }
 
+// deriveGroups re-derives the defended round's group partition the way the
+// aggregator built it: a flat round partitions the included set, a tree
+// round partitions the scheduled cohort (the fold could not wait for the
+// final included set) and then intersects each group with the clients that
+// actually contributed, dropping groups that emptied out. Both are pure
+// functions of journaled state — included members plus the resampled
+// cohort, which broadcast-phase recovery cross-checks — so crash-recovered
+// decryptors reach the identical partition.
+func (st *roundState) deriveGroups() [][]string {
+	ctx := st.f.Ctx
+	policy := ctx.Profile.Defense
+	if !st.treeMode() {
+		return AssignGroups(st.included, policy.Groups, ctx.Profile.Seed, st.id)
+	}
+	in := make(map[string]bool, len(st.included))
+	for _, name := range st.included {
+		in[name] = true
+	}
+	var members [][]string
+	for _, group := range AssignGroups(st.active, policy.Groups, ctx.Profile.Seed, st.id) {
+		var kept []string
+		for _, name := range group {
+			if in[name] {
+				kept = append(kept, name)
+			}
+		}
+		if len(kept) > 0 {
+			members = append(members, kept)
+		}
+	}
+	return members
+}
+
 // decryptGroupedCopy decrypts one grouped-aggregate copy — only the G group
 // sums are ever decrypted — and runs the robust combiner over the group
 // means. The combiner is a pure function of the decrypted groups, so every
@@ -959,9 +1398,9 @@ func (st *roundState) decryptGroupedCopy(msg flnet.Message) (result []float64, d
 		return nil, err, nil
 	}
 	// Every decryptor re-derives the seeded partition — a pure function of
-	// (seed, round, members) — and checks the frame's group metadata against
+	// journaled round state — and checks the frame's group metadata against
 	// it, so a corrupted frame cannot silently reshape the groups.
-	members := AssignGroups(st.included, policy.Groups, ctx.Profile.Seed, st.id)
+	members := st.deriveGroups()
 	if len(members) != len(sizes) {
 		return nil, fmt.Errorf("fl: frame carries %d groups, assignment says %d", len(sizes), len(members)), nil
 	}

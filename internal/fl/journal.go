@@ -60,6 +60,11 @@ type JournalRecord struct {
 	// Members is kind-dependent: the active roster at round-start, the
 	// included (quorum) clients at aggregated/done.
 	Members []string `json:"members,omitempty"`
+	// Cohort is the round's sampled cohort (round-start only, and only when
+	// cohort sampling actually narrowed the roster). Recovery re-samples
+	// from the restored roster and cross-checks against this record — the
+	// replayed round must schedule the identical cohort.
+	Cohort []string `json:"cohort,omitempty"`
 	// Phase, Party, Reason describe a failure (EventRoundFailed/Drained).
 	Phase  RoundPhase `json:"phase,omitempty"`
 	Party  string     `json:"party,omitempty"`
@@ -314,6 +319,11 @@ type ResumePoint struct {
 	Included []string
 	Payload  []byte
 	Digest   uint64
+	// Cohort is the crashed attempt's sampled cohort (nil when the round
+	// scheduled the whole roster). The re-run cross-checks its own sample
+	// against it: a mismatch means the roster or profile diverged and the
+	// replay would not be bit-exact.
+	Cohort []string
 }
 
 // RecoveryState is the replayed summary of a journal.
@@ -393,7 +403,8 @@ func Replay(recs []JournalRecord) (RecoveryState, error) {
 		}
 	}
 	if open != nil {
-		rp := &ResumePoint{Round: open.Round, Attempt: open.Attempt, Phase: PhaseUpload, Cursor: open.Cursor}
+		rp := &ResumePoint{Round: open.Round, Attempt: open.Attempt, Phase: PhaseUpload,
+			Cursor: open.Cursor, Cohort: open.Cohort}
 		if agg != nil {
 			rp.Phase = PhaseBroadcast
 			rp.Cursor = agg.Cursor

@@ -88,6 +88,12 @@ type Profile struct {
 	// decrypted and robustly combined. The zero value keeps the plain
 	// single-aggregate round, byte-identical to the pre-defense protocol.
 	Defense DefensePolicy
+	// Cohort configures cross-device scale: per-round seeded cohort sampling
+	// (Size clients scheduled out of the Parties population), hierarchical
+	// fan-out-bounded tree aggregation with streaming partial folds, and
+	// bounded in-flight uploads. The zero value keeps the flat all-parties
+	// round, byte-identical to the pre-cohort protocol.
+	Cohort CohortPolicy
 	// Observe attaches a sim-time span recorder and metrics registry to the
 	// context at construction (seeded from Seed), so rounds emit traces and
 	// the cost counters mirror into metrics. Off by default: the nil
@@ -173,6 +179,14 @@ func (p Profile) Validate() error {
 	}
 	if err := p.Defense.Validate(); err != nil {
 		return err
+	}
+	if err := p.Cohort.Validate(p.Parties); err != nil {
+		return err
+	}
+	// A quorum above the sampled cohort size could never be met: every round
+	// would fail at admission, so reject the combination up front.
+	if p.Cohort.Size > 0 && p.Round.Quorum > p.Cohort.Size {
+		return fmt.Errorf("fl: quorum %d exceeds cohort size %d", p.Round.Quorum, p.Cohort.Size)
 	}
 	if p.UseGPU {
 		if err := p.Device.Validate(); err != nil {

@@ -117,6 +117,16 @@ type RoundReport struct {
 	// Admitted lists clients re-admitted at this round's boundary after a
 	// departure.
 	Admitted []string
+	// CohortSize is how many clients the round scheduled: the sampled cohort
+	// size, or the full active roster when sampling is off.
+	CohortSize int
+	// PeakLiveCts is the coordinator's high-water count of simultaneously
+	// live aggregate-path ciphertexts: cohort·width for a flat round, the
+	// tree's fanout·depth-bounded peak for a hierarchical one.
+	PeakLiveCts int64
+	// Tree describes the hierarchical aggregation of a tree round (summed
+	// across groups when the round is also defended). Nil for flat rounds.
+	Tree *TreeStats
 	// Defense describes the group-wise robust aggregation of a defended
 	// round: the partition, the combiner, and what it suppressed. Nil for
 	// plain (undefended) rounds.

@@ -139,15 +139,64 @@ type Transport interface {
 	Close() error
 }
 
+// simQueue is one party's unbounded FIFO. A plain slice under a mutex grows
+// with the actual backlog — a flat cross-device round parks every client's
+// upload at the server before the gather loop drains any of them, so the
+// server queue must absorb one message per party without Send ever blocking
+// (a fixed channel would deadlock the single-threaded round protocol against
+// its own backlog, and pre-sizing a channel per party costs O(parties²)
+// memory). wake carries at most one token; pop re-arms it while messages
+// remain so no waiting receiver misses a backlog.
+type simQueue struct {
+	mu    sync.Mutex
+	items []Message
+	head  int
+	wake  chan struct{}
+}
+
+func (q *simQueue) push(m Message) {
+	q.mu.Lock()
+	q.items = append(q.items, m)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (q *simQueue) pop() (Message, bool) {
+	q.mu.Lock()
+	if q.head == len(q.items) {
+		q.mu.Unlock()
+		return Message{}, false
+	}
+	m := q.items[q.head]
+	q.items[q.head] = Message{} // release the payload to the GC while queued
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	more := q.head < len(q.items)
+	q.mu.Unlock()
+	if more {
+		select {
+		case q.wake <- struct{}{}:
+		default:
+		}
+	}
+	return m, true
+}
+
 // SimTransport is the in-process transport: per-party unbounded queues with
-// every byte metered through the link model. Closing never closes the queue
-// channels — a broadcast `done` channel unblocks senders and receivers — so
-// Send racing Close cannot panic.
+// every byte metered through the link model. Closing never closes any
+// channel a sender writes — a broadcast `done` channel unblocks receivers —
+// so Send racing Close cannot panic.
 type SimTransport struct {
 	meter *Meter
 
 	mu     sync.Mutex
-	queues map[string]chan Message
+	queues map[string]*simQueue
 	done   chan struct{}
 	closed bool
 }
@@ -156,11 +205,11 @@ type SimTransport struct {
 func NewSimTransport(link Link, parties ...string) *SimTransport {
 	t := &SimTransport{
 		meter:  NewMeter(link),
-		queues: make(map[string]chan Message, len(parties)),
+		queues: make(map[string]*simQueue, len(parties)),
 		done:   make(chan struct{}),
 	}
 	for _, p := range parties {
-		t.queues[p] = make(chan Message, 1024)
+		t.queues[p] = &simQueue{wake: make(chan struct{}, 1)}
 	}
 	return t
 }
@@ -168,7 +217,7 @@ func NewSimTransport(link Link, parties ...string) *SimTransport {
 // Meter exposes the transport's traffic meter.
 func (t *SimTransport) Meter() *Meter { return t.meter }
 
-// Send implements Transport.
+// Send implements Transport. The queues are unbounded, so Send never blocks.
 func (t *SimTransport) Send(msg Message) error {
 	t.mu.Lock()
 	q, ok := t.queues[msg.To]
@@ -180,13 +229,9 @@ func (t *SimTransport) Send(msg Message) error {
 	if !ok {
 		return fmt.Errorf("flnet: unknown party %q", msg.To)
 	}
-	select {
-	case q <- msg:
-		t.meter.Record(msg.WireSize())
-		return nil
-	case <-t.done:
-		return fmt.Errorf("flnet: send on closed transport")
-	}
+	q.push(msg)
+	t.meter.Record(msg.WireSize())
+	return nil
 }
 
 // Recv implements Transport.
@@ -211,24 +256,23 @@ func (t *SimTransport) recv(party string, timeout <-chan time.Time) (Message, er
 	if !ok {
 		return Message{}, fmt.Errorf("flnet: unknown party %q", party)
 	}
-	// Drain already-delivered messages even after Close.
-	select {
-	case msg := <-q:
-		return msg, nil
-	default:
-	}
-	select {
-	case msg := <-q:
-		return msg, nil
-	case <-t.done:
-		select { // a send may have landed before the close won the race
-		case msg := <-q:
+	for {
+		// Drain already-delivered messages even after Close.
+		if msg, ok := q.pop(); ok {
 			return msg, nil
-		default:
 		}
-		return Message{}, fmt.Errorf("flnet: transport closed")
-	case <-timeout:
-		return Message{}, fmt.Errorf("%w: party %q", ErrTimeout, party)
+		select {
+		case <-q.wake:
+			// Retry the pop; a concurrent receiver may have raced us to the
+			// message, in which case we wait for the next token.
+		case <-t.done:
+			if msg, ok := q.pop(); ok { // a send landed before the close won
+				return msg, nil
+			}
+			return Message{}, fmt.Errorf("flnet: transport closed")
+		case <-timeout:
+			return Message{}, fmt.Errorf("%w: party %q", ErrTimeout, party)
+		}
 	}
 }
 

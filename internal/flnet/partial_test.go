@@ -1,0 +1,40 @@
+package flnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPartialAggRoundTrip(t *testing.T) {
+	body := []byte("partial-sum")
+	for _, level := range []uint32{0, 1, MaxTreeLevel} {
+		frame := EncodePartialAgg(level, body)
+		gotLevel, gotBody, err := DecodePartialAgg(frame)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if gotLevel != level || !bytes.Equal(gotBody, body) {
+			t.Fatalf("level %d: decoded (%d, %q)", level, gotLevel, gotBody)
+		}
+		// The decoded body must be a copy, not an alias into the frame.
+		gotBody[0] ^= 0xff
+		if frame[4] != body[0] {
+			t.Fatal("decoded body aliases the frame")
+		}
+	}
+	if _, got, err := DecodePartialAgg(EncodePartialAgg(2, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty body: %q, %v", got, err)
+	}
+}
+
+func TestPartialAggRejectsMalformedFrames(t *testing.T) {
+	for name, frame := range map[string][]byte{
+		"empty":     nil,
+		"short":     {1, 2, 3},
+		"level-cap": EncodePartialAgg(MaxTreeLevel+1, []byte("x")),
+	} {
+		if _, _, err := DecodePartialAgg(frame); err == nil {
+			t.Errorf("%s frame decoded without error", name)
+		}
+	}
+}

@@ -24,6 +24,10 @@ const (
 	// RejectOversize: the declared total exceeds MaxChunkTotal. The total is
 	// attacker-controlled wire input; without a cap it sizes allocations.
 	RejectOversize ChunkReject = "oversize"
+	// RejectReleased: the chunk arrived after the reassembler released its
+	// buffers (on completion or at the late-arrival cutoff). The upload is
+	// over; late chunks are counted by the caller, never buffered again.
+	RejectReleased ChunkReject = "released"
 )
 
 // MaxChunkTotal bounds the declared chunk count of one logical payload. The
@@ -57,9 +61,11 @@ func (e *ChunkError) Ignorable() bool { return e.Reject == RejectDuplicate }
 // accepted again if it is byte-identical (and then rejected as an ignorable
 // duplicate — never overwritten).
 type Reassembler struct {
-	total  int
-	bodies map[int][]byte
-	dups   int64
+	total    int
+	bodies   map[int][]byte
+	dups     int64
+	bytes    int64
+	released bool
 }
 
 // NewReassembler starts reassembly of a payload declared to span `total`
@@ -83,6 +89,25 @@ func (r *Reassembler) Received() int { return len(r.bodies) }
 // Duplicates returns how many ignorable duplicate chunks were rejected.
 func (r *Reassembler) Duplicates() int64 { return r.dups }
 
+// Bytes returns how many chunk-body bytes are currently buffered. Callers
+// track the sum across in-flight reassemblers as the coordinator's live
+// reassembly memory — the high-water reading behind reassembly_bytes_peak.
+func (r *Reassembler) Bytes() int64 { return r.bytes }
+
+// Release drops the buffered chunk bodies and returns how many bytes were
+// freed. Callers release on completion (the assembled payload has been
+// decoded) and at the late-arrival cutoff (the upload will never complete);
+// either way the buffers must not outlive their usefulness — coordinator
+// memory is the scarce resource at cross-device scale. A released
+// reassembler rejects every further chunk with RejectReleased.
+func (r *Reassembler) Release() int64 {
+	n := r.bytes
+	r.bodies = nil
+	r.bytes = 0
+	r.released = true
+	return n
+}
+
 // Done reports whether every chunk has landed.
 func (r *Reassembler) Done() bool { return len(r.bodies) == r.total }
 
@@ -90,6 +115,9 @@ func (r *Reassembler) Done() bool { return len(r.bodies) == r.total }
 // payload. Rejections are typed *ChunkError values; only Ignorable ones
 // leave the reassembler usable for further chunks.
 func (r *Reassembler) Accept(index, total uint32, body []byte) (bool, error) {
+	if r.released {
+		return false, &ChunkError{Index: index, Total: total, Reject: RejectReleased}
+	}
 	if total > MaxChunkTotal {
 		return false, &ChunkError{Index: index, Total: total, Reject: RejectOversize}
 	}
@@ -107,6 +135,7 @@ func (r *Reassembler) Accept(index, total uint32, body []byte) (bool, error) {
 		return false, &ChunkError{Index: index, Total: total, Reject: RejectConflict}
 	}
 	r.bodies[int(index)] = body
+	r.bytes += int64(len(body))
 	return r.Done(), nil
 }
 

@@ -89,6 +89,47 @@ func TestReassemblerRejectsRangeAndTotalViolations(t *testing.T) {
 	}
 }
 
+func TestReassemblerTracksAndReleasesBytes(t *testing.T) {
+	r, err := NewReassembler(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes() != 0 {
+		t.Fatalf("fresh reassembler holds %d bytes", r.Bytes())
+	}
+	if _, err := r.Accept(0, 3, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Accept(2, 3, []byte("cc")); err != nil {
+		t.Fatal(err)
+	}
+	// Rejections must not count: a duplicate leaves the tally unchanged.
+	if _, err := r.Accept(0, 3, []byte("aaaa")); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if r.Bytes() != 6 {
+		t.Fatalf("buffered %d bytes, want 6", r.Bytes())
+	}
+	if freed := r.Release(); freed != 6 {
+		t.Fatalf("released %d bytes, want 6", freed)
+	}
+	if r.Bytes() != 0 {
+		t.Fatalf("%d bytes survive release", r.Bytes())
+	}
+	// A released reassembler is spent: further chunks are a typed rejection,
+	// not a silent resurrection of the buffers.
+	var ce *ChunkError
+	if _, err := r.Accept(1, 3, []byte("b")); !errors.As(err, &ce) || ce.Reject != RejectReleased {
+		t.Fatalf("post-release accept: got %v", err)
+	}
+	if _, err := r.Assemble(); err == nil {
+		t.Fatal("assemble after release succeeded")
+	}
+	if freed := r.Release(); freed != 0 {
+		t.Fatalf("double release freed %d bytes", freed)
+	}
+}
+
 func TestReassemblerRejectsOversizedTotal(t *testing.T) {
 	// The declared total is untrusted wire input sizing the assembly: above
 	// the cap it is rejected up front, before any allocation grows with it.
