@@ -3,14 +3,16 @@
 # sensitive packages (transport + round runtime + device fault layer) under
 # the race detector, smoke-runs the fuzz targets, compiles-and-runs every
 # HE-stack benchmark once so benchmark code cannot bit-rot, runs the
-# CI-sized multi-fault chaos soak under the race detector, and runs the
-# small-N cross-device scale sweep (flat vs tree bit-exactness and the
-# coordinator memory bound) under the race detector.
+# CI-sized multi-fault chaos soak under the race detector, runs the small-N
+# cross-device scale sweep (flat vs tree bit-exactness and the coordinator
+# memory bound) under the race detector, and runs the CI-sized round-anatomy
+# sweep (optimized round path bit-exact with the seed path and never slower)
+# under the race detector.
 
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: build test vet lint race fuzz bench-smoke soak-smoke scale-smoke check resilience devfault soak scale
+.PHONY: build test vet lint race fuzz bench-smoke soak-smoke scale-smoke round-smoke check resilience devfault soak scale round
 
 build:
 	$(GO) build ./...
@@ -65,7 +67,14 @@ soak-smoke:
 scale-smoke:
 	$(GO) test -race -run TestScaleSmoke -timeout 300s -count 1 ./internal/bench
 
-check: build vet test race fuzz bench-smoke soak-smoke scale-smoke
+# The round-anatomy sweep at CI-affordable key sizes (DESIGN.md §14): the
+# optimized round path (nonce-pool rearm + wave overlap) must stay bit-exact
+# with the seed path across plain/chunked/defended/tree/classic rounds and
+# crash recovery, and must never be slower.
+round-smoke:
+	$(GO) test -race -run TestRoundSmoke -timeout 300s -count 1 ./internal/bench
+
+check: build vet test race fuzz bench-smoke soak-smoke scale-smoke round-smoke
 
 # Demonstrate graceful degradation under a straggler (see DESIGN.md §6).
 resilience:
@@ -84,3 +93,8 @@ soak:
 # The full 10²→10⁵ cross-device client sweep; regenerates BENCH_scale.json.
 scale:
 	$(GO) run ./cmd/flbench scale
+
+# The round-anatomy sweep at production keys; regenerates BENCH_round.json
+# and enforces the ≥1.15x end-to-end plain-round speedup floor.
+round:
+	$(GO) run ./cmd/flbench -keys 2048 round

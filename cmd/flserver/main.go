@@ -19,6 +19,9 @@
 //	              simulating a slow participant
 //	-chunk n      streamed-pipeline chunk size in plaintexts: clients encrypt
 //	              through the chunked double-buffered pipeline (0 = sequential)
+//	-pool n       clients precompute n Paillier rⁿ noise terms offline before
+//	              encrypting (the nonce pool, re-armed per batch); ciphertexts
+//	              are bit-exact with the unpooled path (0 = off)
 //	-trace file   write a Chrome trace-event JSON of the party's sim-time
 //	              spans on exit, plus a metrics text dump to stdout (demo
 //	              mode shares one trace across the in-process parties)
@@ -124,6 +127,7 @@ func run(args []string, stop <-chan struct{}) error {
 	timeout := fs.Duration("timeout", 0, "gather deadline (0 = wait forever)")
 	straggle := fs.Duration("straggle", 0, "delay this client's upload (demo: client 0)")
 	chunk := fs.Int("chunk", 0, "streamed-pipeline chunk size in plaintexts (0 = sequential)")
+	pool := fs.Int("pool", 0, "precomputed nonce-pool depth for encrypting parties (0 = off)")
 	trace := fs.String("trace", "", "write Chrome trace-event JSON of sim-time spans to this file on exit")
 	journal := fs.String("journal", "", "server: write-ahead round journal file (empty = no journal)")
 	resume := fs.Bool("resume", false, "server: replay -journal and resume from the last safe boundary")
@@ -191,13 +195,13 @@ func run(args []string, stop <-chan struct{}) error {
 		}
 		err = runClient(clientOpts{
 			addr: *addr, id: *id, clients: *clients, keyBits: *keyBits,
-			chunk: *chunk, seed: *seed, vals: vals, delay: *straggle,
+			chunk: *chunk, pool: *pool, seed: *seed, vals: vals, delay: *straggle,
 			cohort: *cohort, byz: attack, defense: policy, o: o,
 		})
 
 	case "demo":
 		err = runDemo(demoOpts{
-			clients: *clients, dim: *dim, keyBits: *keyBits, chunk: *chunk,
+			clients: *clients, dim: *dim, keyBits: *keyBits, chunk: *chunk, pool: *pool,
 			seed: *seed, quorum: *quorum, timeout: *timeout, straggle: *straggle,
 			cohort: *cohort, fanout: *fanout,
 			byz: attack, defense: policy, stop: stop, o: o,
@@ -238,11 +242,12 @@ func writeObs(o *obs.Obs, path string) error {
 // double-buffered pipeline; the ciphertexts are bit-exact either way. With
 // an observability bundle the context traces and meters under the party's
 // label (demo mode passes one bundle to every in-process party).
-func demoContext(keyBits, clients, chunk int, seed uint64, o *obs.Obs, label string) (*fl.Context, error) {
+func demoContext(keyBits, clients, chunk, pool int, seed uint64, o *obs.Obs, label string) (*fl.Context, error) {
 	p := fl.NewProfile(fl.SystemFLBooster, keyBits, clients)
 	p.Seed = seed
 	p.Device = gpu.RTX3090()
 	p.Chunk = chunk
+	p.NoncePool = pool
 	ctx, err := fl.NewContext(p)
 	if err != nil {
 		return nil, err
@@ -289,8 +294,9 @@ type serverOpts struct {
 
 func runServer(opts serverOpts) error {
 	// The server only aggregates and decrypts whole batches, so it never
-	// needs the streamed path — chunk 0 regardless of the client flag.
-	ctx, err := demoContext(opts.keyBits, opts.clients, 0, opts.seed, opts.o, fl.ServerName)
+	// needs the streamed path or the encrypt-side nonce pool — chunk and
+	// pool 0 regardless of the client flags.
+	ctx, err := demoContext(opts.keyBits, opts.clients, 0, 0, opts.seed, opts.o, fl.ServerName)
 	if err != nil {
 		return err
 	}
@@ -655,9 +661,12 @@ type clientOpts struct {
 	clients int
 	keyBits int
 	chunk   int
-	seed    uint64
-	vals    []float64
-	delay   time.Duration
+	// pool precomputes this many rⁿ noise terms offline before the upload's
+	// encryption (re-armed per batch); 0 keeps the online nonce path.
+	pool  int
+	seed  uint64
+	vals  []float64
+	delay time.Duration
 	// cohort mirrors the server's -cohort flag: the client derives the same
 	// seeded draw and, when unsampled, skips its upload but still waits for
 	// the broadcast so every party terminates with the round's aggregate.
@@ -694,7 +703,7 @@ func inCohort(name string, clients, cohort int, seed uint64) bool {
 func runClient(opts clientOpts) error {
 	name := fl.ClientName(opts.id)
 	clients := opts.clients
-	ctx, err := demoContext(opts.keyBits, clients, opts.chunk, opts.seed, opts.o, name)
+	ctx, err := demoContext(opts.keyBits, clients, opts.chunk, opts.pool, opts.seed, opts.o, name)
 	if err != nil {
 		return err
 	}
@@ -841,6 +850,7 @@ type demoOpts struct {
 	dim      int
 	keyBits  int
 	chunk    int
+	pool     int
 	seed     uint64
 	quorum   int
 	timeout  time.Duration
@@ -895,7 +905,7 @@ func runDemo(opts demoOpts) error {
 		go func(id int, vals []float64, delay time.Duration) {
 			errs <- runClient(clientOpts{
 				addr: hub.Addr(), id: id, clients: clients, keyBits: opts.keyBits,
-				chunk: opts.chunk, seed: opts.seed, vals: vals, delay: delay,
+				chunk: opts.chunk, pool: opts.pool, seed: opts.seed, vals: vals, delay: delay,
 				cohort: opts.cohort, byz: opts.byz, defense: opts.defense, o: opts.o,
 			})
 		}(c, vals, delay)

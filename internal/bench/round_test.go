@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRoundSmoke runs the end-to-end round-anatomy experiment at test keys
+// and pins its contract: every optimized round decrypts bit-identically to
+// its seed baseline (including the crash-recovered one), the optimized path
+// is never slower, the nonce pool serves every round (hits without misses),
+// and the final round's anatomy is populated and reconciles.
+func TestRoundSmoke(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	if err := os.Chdir(tmp); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	cfg := Quick()
+	// Round runs at the sweep's largest key; 256-bit keeps the 10-context
+	// sweep (5 modes × baseline/optimized, plus recovery) inside the -race
+	// smoke budget while exercising every code path the 2048-bit run does.
+	cfg.KeyBits = []int{256}
+	cfg.Observe = true // exercise the metrics mirror alongside the anatomy
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := r.Round(&out); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReconcileObs(); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(filepath.Join(tmp, roundJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report roundReportFile
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !report.BitExact || !report.RecoveryBitExact {
+		t.Fatalf("bit-exactness lost: modes %v, recovery %v", report.BitExact, report.RecoveryBitExact)
+	}
+	if len(report.Rows) != len(roundModes) {
+		t.Fatalf("%d rows, want %d", len(report.Rows), len(roundModes))
+	}
+	for _, row := range report.Rows {
+		if !row.BitExact {
+			t.Fatalf("mode %s: optimized aggregates diverged", row.Mode)
+		}
+		if row.OptimizedSimNs > row.BaselineSimNs {
+			t.Fatalf("mode %s: optimized round %dns slower than baseline %dns",
+				row.Mode, row.OptimizedSimNs, row.BaselineSimNs)
+		}
+		if row.PoolHits == 0 || row.PoolMisses != 0 {
+			t.Fatalf("mode %s: pool hits %d / misses %d, want hits with zero misses",
+				row.Mode, row.PoolHits, row.PoolMisses)
+		}
+	}
+	if report.Anatomy == nil || len(report.Anatomy.Phases) == 0 {
+		t.Fatal("no round anatomy recorded")
+	}
+	if report.Dominant == "" {
+		t.Fatal("no dominant phase named")
+	}
+	if !strings.Contains(out.String(), "per-phase cost anatomy") {
+		t.Fatal("anatomy table missing from experiment output")
+	}
+}

@@ -1,0 +1,147 @@
+package fl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PhaseCost is one protocol phase's slice of a round's cost anatomy: the
+// sim-time each cost component accrued while the phase ran, plus the
+// operation and byte counts behind them. Only modelled (sim) quantities
+// appear — wall times vary run to run, and the anatomy's contract is that
+// the same seed produces a byte-identical table. Pipeline columns carry the
+// phase's share of the streamed-overlap accounting: PipeSeqNs is the
+// sequential sum already included in the component columns, PipeNs the
+// measured critical path that replaces it under overlap.
+type PhaseCost struct {
+	Phase       string `json:"phase"`
+	EncodeSimNs int64  `json:"encode_sim_ns"`
+	HESimNs     int64  `json:"he_sim_ns"`
+	CommSimNs   int64  `json:"comm_sim_ns"`
+	CompSimNs   int64  `json:"comp_sim_ns"`
+	PipeSeqNs   int64  `json:"pipe_seq_ns"`
+	PipeNs      int64  `json:"pipe_ns"`
+	HEOps       int64  `json:"he_ops"`
+	CommBytes   int64  `json:"comm_bytes"`
+}
+
+// TotalSimNs is the phase's sequential sim-time: every component summed.
+func (p PhaseCost) TotalSimNs() int64 {
+	return p.EncodeSimNs + p.HESimNs + p.CommSimNs + p.CompSimNs
+}
+
+// OverlappedSimNs swaps the phase's sequential pipeline portion for its
+// measured critical path, clamped at zero like CostSnapshot.
+func (p PhaseCost) OverlappedSimNs() int64 {
+	t := p.TotalSimNs() - p.PipeSeqNs + p.PipeNs
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// add accumulates q's components into p (phase name untouched).
+func (p PhaseCost) add(q PhaseCost) PhaseCost {
+	p.EncodeSimNs += q.EncodeSimNs
+	p.HESimNs += q.HESimNs
+	p.CommSimNs += q.CommSimNs
+	p.CompSimNs += q.CompSimNs
+	p.PipeSeqNs += q.PipeSeqNs
+	p.PipeNs += q.PipeNs
+	p.HEOps += q.HEOps
+	p.CommBytes += q.CommBytes
+	return p
+}
+
+// sub removes q's components from p — how a closing frame deducts its
+// nested phases so each row reports only its own cost.
+func (p PhaseCost) sub(q PhaseCost) PhaseCost {
+	p.EncodeSimNs -= q.EncodeSimNs
+	p.HESimNs -= q.HESimNs
+	p.CommSimNs -= q.CommSimNs
+	p.CompSimNs -= q.CompSimNs
+	p.PipeSeqNs -= q.PipeSeqNs
+	p.PipeNs -= q.PipeNs
+	p.HEOps -= q.HEOps
+	p.CommBytes -= q.CommBytes
+	return p
+}
+
+// phaseDelta is the cost accrued between two snapshots, as a PhaseCost.
+func phaseDelta(before, after CostSnapshot) PhaseCost {
+	return PhaseCost{
+		EncodeSimNs: int64(after.EncodeSim - before.EncodeSim),
+		HESimNs:     int64(after.HESim - before.HESim),
+		CommSimNs:   int64(after.CommSim - before.CommSim),
+		CompSimNs:   int64(after.CompSim - before.CompSim),
+		PipeSeqNs:   int64(after.PipeSeqSim - before.PipeSeqSim),
+		PipeNs:      int64(after.PipeSim - before.PipeSim),
+		HEOps:       after.HEOps - before.HEOps,
+		CommBytes:   after.CommBytes - before.CommBytes,
+	}
+}
+
+// RoundAnatomy is the per-phase cost table of one federation round: which
+// phase spent what, in deterministic sim-time. Phases appear in
+// frame-closing order, so a nested phase (combine inside decrypt) precedes
+// its parent and every row reports only its own cost — the rows sum to the
+// round's whole-run cost delta, the same reconciliation discipline
+// Context.ReconcileObs enforces for the metrics mirror.
+type RoundAnatomy struct {
+	Round  uint64      `json:"round"`
+	Phases []PhaseCost `json:"phases"`
+}
+
+// Total sums every phase's components into one row named "total".
+func (a *RoundAnatomy) Total() PhaseCost {
+	t := PhaseCost{Phase: "total"}
+	for _, p := range a.Phases {
+		t = t.add(p)
+	}
+	return t
+}
+
+// TotalSimNs is the round's sequential sim-time across all phases.
+func (a *RoundAnatomy) TotalSimNs() int64 { return a.Total().TotalSimNs() }
+
+// OverlappedSimNs is the round's sim-time with streamed phases at their
+// measured critical path.
+func (a *RoundAnatomy) OverlappedSimNs() int64 { return a.Total().OverlappedSimNs() }
+
+// Dominant names the phase with the largest overlapped sim-time — the term
+// an optimization pass should attack first. Ties break toward the earlier
+// row, so the answer is deterministic.
+func (a *RoundAnatomy) Dominant() string {
+	best, at := int64(-1), ""
+	for _, p := range a.Phases {
+		if t := p.OverlappedSimNs(); t > best {
+			best, at = t, p.Phase
+		}
+	}
+	return at
+}
+
+// Table renders the anatomy as a fixed-width text table. Every column is a
+// deterministic sim quantity, so two same-seed rounds render byte-identical
+// tables.
+func (a *RoundAnatomy) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "round %d per-phase cost anatomy (sim time)\n", a.Round)
+	fmt.Fprintf(&b, "%-11s %12s %12s %12s %12s %12s %12s %12s\n",
+		"phase", "encode", "he", "comm", "comp", "pipe-seq", "pipe", "overlapped")
+	row := func(p PhaseCost) {
+		fmt.Fprintf(&b, "%-11s %12s %12s %12s %12s %12s %12s %12s\n",
+			p.Phase,
+			time.Duration(p.EncodeSimNs), time.Duration(p.HESimNs),
+			time.Duration(p.CommSimNs), time.Duration(p.CompSimNs),
+			time.Duration(p.PipeSeqNs), time.Duration(p.PipeNs),
+			time.Duration(p.OverlappedSimNs()))
+	}
+	for _, p := range a.Phases {
+		row(p)
+	}
+	row(a.Total())
+	fmt.Fprintf(&b, "dominant phase: %s\n", a.Dominant())
+	return b.String()
+}

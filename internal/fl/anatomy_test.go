@@ -1,0 +1,222 @@
+package fl
+
+import (
+	"testing"
+	"time"
+
+	"flbooster/internal/flnet"
+)
+
+// optimizedProfile is the full round-path optimization bundle: chunked
+// streaming, a nonce pool sized to the batch, and compute/upload overlap.
+func optimizedProfile(sys System, dim int) Profile {
+	p := testProfile(sys)
+	p.Chunk = 4
+	p.NoncePool = dim
+	p.Overlap = OverlapPolicy{Enabled: true, CompSimPerValue: 200 * time.Nanosecond}
+	return p
+}
+
+// TestRoundAnatomyDeterministic pins the anatomy's contract: two same-seed
+// rounds render byte-identical tables, and the phase rows sum to the round's
+// whole-run cost delta — the same reconciliation discipline ReconcileObs
+// enforces for the metrics mirror.
+func TestRoundAnatomyDeterministic(t *testing.T) {
+	const dim = 24
+	grads := testGrads(4, dim)
+	run := func() (string, PhaseCost, PhaseCost) {
+		p := optimizedProfile(SystemHAFLO, dim)
+		p.Observe = true
+		ctx, err := NewContext(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed := NewFederation(ctx)
+		defer fed.Close()
+		before := ctx.Costs.Snapshot()
+		_, rep, err := fed.SecureAggregateReport(grads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Anatomy == nil || len(rep.Anatomy.Phases) == 0 {
+			t.Fatalf("round report carries no anatomy: %+v", rep)
+		}
+		if err := ctx.ReconcileObs(); err != nil {
+			t.Fatal(err)
+		}
+		whole := phaseDelta(before, ctx.Costs.Snapshot())
+		return rep.Anatomy.Table(), rep.Anatomy.Total(), whole
+	}
+
+	tab1, total, whole := run()
+	tab2, _, _ := run()
+	if tab1 != tab2 {
+		t.Fatalf("same-seed anatomy tables differ:\n%s\nvs\n%s", tab1, tab2)
+	}
+	whole.Phase = total.Phase
+	if total != whole {
+		t.Fatalf("phase rows sum to %+v, whole-round delta is %+v", total, whole)
+	}
+	if total.HESimNs == 0 || total.CommSimNs == 0 || total.EncodeSimNs == 0 || total.CompSimNs == 0 {
+		t.Fatalf("anatomy missing a cost component: %+v", total)
+	}
+}
+
+// TestRoundAnatomyNestedCombine: a defended round's decrypt phase nests a
+// combine phase; the child row must precede its parent and the parent row
+// must not double-count the child's cost.
+func TestRoundAnatomyNestedCombine(t *testing.T) {
+	p := testProfile(SystemHAFLO)
+	p.Defense = DefensePolicy{Groups: 2, Combiner: CombineFedAvg}
+	_, _, rep := runRound(t, p, testGrads(4, 8), 1)
+	idx := map[string]int{}
+	for i, ph := range rep.Anatomy.Phases {
+		idx[ph.Phase] = i
+	}
+	ci, ok1 := idx["combine"]
+	di, ok2 := idx["decrypt"]
+	if !ok1 || !ok2 || ci > di {
+		t.Fatalf("combine/decrypt rows missing or misordered: %+v", rep.Anatomy.Phases)
+	}
+	// The rows sum to the round total; with double-counting the sum would
+	// exceed the whole-round HE time.
+	var heSum int64
+	for _, ph := range rep.Anatomy.Phases {
+		heSum += ph.HESimNs
+	}
+	if heSum != rep.Anatomy.Total().HESimNs {
+		t.Fatalf("per-phase HE sums to %d, total row says %d", heSum, rep.Anatomy.Total().HESimNs)
+	}
+}
+
+// TestPoolRearmAcrossRounds is the regression for the silently-cold pool:
+// before the per-batch rearm, only the first batch after NewContext found
+// warm nonces and every later round ran unpooled. Round 2 must pop from the
+// pool (hits grow) without a single miss.
+func TestPoolRearmAcrossRounds(t *testing.T) {
+	const dim = 16
+	p := testProfile(SystemHAFLO)
+	p.NoncePool = dim
+	p.Observe = true
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederation(ctx)
+	defer fed.Close()
+	grads := testGrads(4, dim)
+
+	hits := func() (int64, int64) {
+		ctx.PublishMetrics()
+		reg := ctx.Obs.Metrics()
+		pre := "pool." + ctx.ObsLabel() + "."
+		return reg.Counter(pre + "hits"), reg.Counter(pre + "misses")
+	}
+
+	if _, err := fed.SecureAggregate(grads); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := hits()
+	if h1 == 0 || m1 != 0 {
+		t.Fatalf("round 1: pool hits %d / misses %d, want warm pops", h1, m1)
+	}
+	if _, err := fed.SecureAggregate(grads); err != nil {
+		t.Fatal(err)
+	}
+	h2, m2 := hits()
+	if h2 <= h1 || m2 != 0 {
+		t.Fatalf("round 2 ran unpooled: hits %d→%d, misses %d", h1, h2, m2)
+	}
+}
+
+// TestSharesDenominator pins both Shares variants: sequential runs divide by
+// TotalSim, streamed runs (PipeChunks > 0) by TotalSimOverlapped so the
+// fractions sum against the headline those runs report.
+func TestSharesDenominator(t *testing.T) {
+	seq := &Costs{}
+	seq.AddHE(0, 100, 1, 1)
+	seq.AddComm(300, 10)
+	seq.AddOther(40)
+	seq.AddEncode(0, 40, 4)
+	seq.AddComp(20)
+	s := seq.Snapshot()
+	if got, want := s.TotalSim(), 500*time.Nanosecond; got != want {
+		t.Fatalf("TotalSim = %v, want %v", got, want)
+	}
+	other, he, comm := s.Shares()
+	if other != 0.2 || he != 0.2 || comm != 0.6 {
+		t.Fatalf("sequential shares = %v/%v/%v, want 0.2/0.2/0.6", other, he, comm)
+	}
+
+	// The same run streamed: 200ns of the sequential cost ran as pipeline
+	// chunks whose critical path measured 100ns, so the denominator drops to
+	// 400ns and the fractions sum above 1 — the overlap hides sequential cost.
+	ov := &Costs{}
+	ov.AddHE(0, 100, 1, 1)
+	ov.AddComm(300, 10)
+	ov.AddOther(40)
+	ov.AddEncode(0, 40, 4)
+	ov.AddComp(20)
+	ov.AddPipeline(200, 100, 2)
+	s = ov.Snapshot()
+	if got, want := s.TotalSimOverlapped(), 400*time.Nanosecond; got != want {
+		t.Fatalf("TotalSimOverlapped = %v, want %v", got, want)
+	}
+	other, he, comm = s.Shares()
+	if other != 0.25 || he != 0.25 || comm != 0.75 {
+		t.Fatalf("overlapped shares = %v/%v/%v, want 0.25/0.25/0.75", other, he, comm)
+	}
+}
+
+// TestTotalSimOverlappedClamp: a snapshot whose sequential pipeline charge
+// exceeds its total (a client dropped mid-pipeline keeps its sequential
+// charge with no overlap credit) clamps at zero instead of going negative.
+func TestTotalSimOverlappedClamp(t *testing.T) {
+	s := CostSnapshot{HESim: 100, PipeSeqSim: 500, PipeSim: 10}
+	if got := s.TotalSimOverlapped(); got != 0 {
+		t.Fatalf("TotalSimOverlapped = %v, want clamp at 0", got)
+	}
+	s = CostSnapshot{HESim: 600, PipeSeqSim: 500, PipeSim: 10}
+	if got := s.TotalSimOverlapped(); got != 110 {
+		t.Fatalf("TotalSimOverlapped = %v, want 110", got)
+	}
+}
+
+// TestDropMidPipelineOverlappedSane sweeps an injected send failure across
+// the round's send sequence so some runs lose a client mid-chunked-upload
+// under the overlapped wave scheduler. Every completed round must keep the
+// overlapped total inside [0, TotalSim] — the dropped client's sequential
+// charges stay, only completed uploads earn overlap credit.
+func TestDropMidPipelineOverlappedSane(t *testing.T) {
+	const dim = 8
+	grads := testGrads(4, dim)
+	degraded := 0
+	for failAt := int64(1); failAt <= 20; failAt++ {
+		p := optimizedProfile(SystemHAFLO, dim)
+		p.Chunk = 2
+		p.Round = RoundPolicy{Quorum: 3, PhaseTimeout: 200 * time.Millisecond}
+		ctx, err := NewContext(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed := NewFederation(ctx)
+		faulty := flnet.NewFaultyTransport(fed.Transport)
+		faulty.FailSendAt = failAt
+		fed.Transport = faulty
+		_, rep, err := fed.SecureAggregateReport(grads)
+		fed.Close()
+		if err != nil {
+			continue // below quorum or server-side failure: typed and fine
+		}
+		if rep.Degraded() {
+			degraded++
+		}
+		cs := ctx.Costs.Snapshot()
+		if ov := cs.TotalSimOverlapped(); ov < 0 || ov > cs.TotalSim() {
+			t.Fatalf("failAt=%d: overlapped total %v outside [0, %v]", failAt, ov, cs.TotalSim())
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no injected failure produced a degraded completed round")
+	}
+}

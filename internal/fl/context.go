@@ -92,7 +92,14 @@ func NewContext(p Profile) (*Context, error) {
 	} else {
 		ctx.Backend = paillier.CPUBackend{}
 	}
-	key, err := paillier.GenerateKey(mpint.NewRNG(p.Seed), p.KeyBits)
+	keyGen := paillier.GenerateKey
+	if p.ClassicKey {
+		// A classic random generator g makes the g^m term a full modular
+		// exponentiation — the configuration where fixed-base precomputation
+		// has something to accelerate on the encrypt path.
+		keyGen = paillier.GenerateKeyClassic
+	}
+	key, err := keyGen(mpint.NewRNG(p.Seed), p.KeyBits)
 	if err != nil {
 		return nil, fmt.Errorf("fl: key generation: %w", err)
 	}
@@ -130,6 +137,27 @@ func (c *Context) PrefillNonces(count int) (time.Duration, error) {
 	}
 	c.Pool.Reseed(c.peekSeed())
 	return c.Pool.Prefill(count)
+}
+
+// armPool re-arms the nonce pool for the HE batch about to run: retarget at
+// the seed the batch will draw (the pool drops stale pairs from the previous
+// batch) and top up to min(Profile.NoncePool, pts) noise terms. Without this
+// every batch after the NewContext prefill silently ran unpooled — the pool
+// only warms one seed, and nextSeed advances per batch. Called by both
+// encrypt paths just before they consume the seed; a no-op without a pool.
+func (c *Context) armPool(pts int) error {
+	if c.Pool == nil || pts <= 0 {
+		return nil
+	}
+	want := c.Profile.NoncePool
+	if pts < want {
+		want = pts
+	}
+	if c.Pool.Seed() != c.peekSeed() {
+		c.Pool.Reseed(c.peekSeed())
+	}
+	_, err := c.Pool.Prefill(want)
+	return err
 }
 
 // sanitizeLabel makes a label safe as a metric-name and trace-party segment.
@@ -216,6 +244,9 @@ func (c *Context) ReconcileObs() error {
 		{"late_bytes", s.LateBytes},
 		{"plainvals", s.Plainvals},
 		{"ciphertexts", s.Ciphertexts},
+		{"encode_sim_ns", int64(s.EncodeSim)},
+		{"encode_vals", s.EncodeVals},
+		{"comp_sim_ns", int64(s.CompSim)},
 	}
 	for _, ck := range checks {
 		if got := reg.Counter(pre + ck.name); got != ck.want {
@@ -225,12 +256,13 @@ func (c *Context) ReconcileObs() error {
 	return nil
 }
 
-// SimCost returns the context's sim cost clock: modelled HE plus wire time
-// accrued so far. Round phases are stamped on this clock, so spans from the
-// cost-model path line up with the device and pipeline spans.
+// SimCost returns the context's sim cost clock: modelled HE, wire, encode,
+// and model-compute time accrued so far. Round phases are stamped on this
+// clock, so spans from the cost-model path line up with the device and
+// pipeline spans.
 func (c *Context) SimCost() time.Duration {
 	s := c.Costs.Snapshot()
-	return s.HESim + s.CommSim
+	return s.HESim + s.CommSim + s.EncodeSim + s.CompSim
 }
 
 // metricAdd bumps one protocol counter under the context's "fl.<label>."
@@ -366,10 +398,15 @@ func (c *Context) EncryptGradientsStream(grads []float64, emit func(index int, c
 	if totalPts == 0 {
 		return emit(0, nil, 0)
 	}
+	encStart := time.Now()
 	vals := c.Quant.QuantizeVec(grads)
+	c.Costs.AddEncode(time.Since(encStart), encodeSim(len(grads)), int64(len(grads)))
 	slots := 1
 	if c.Packer != nil {
 		slots = c.Packer.Slots()
+	}
+	if err := c.armPool(totalPts); err != nil {
+		return err
 	}
 	sess, err := sb.BeginEncrypt(&c.Key.PublicKey, c.nextSeed())
 	if err != nil {
@@ -436,8 +473,13 @@ func (c *Context) EncryptGradients(grads []float64) ([]paillier.Ciphertext, erro
 		}
 		return out, nil
 	}
+	encStart := time.Now()
 	pts, err := c.EncodePlaintexts(grads)
 	if err != nil {
+		return nil, err
+	}
+	c.Costs.AddEncode(time.Since(encStart), encodeSim(len(grads)), int64(len(grads)))
+	if err := c.armPool(len(pts)); err != nil {
 		return nil, err
 	}
 	base := c.simBase()

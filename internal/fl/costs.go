@@ -37,6 +37,19 @@ type CostSnapshot struct {
 	// forward/backward passes) outside HE and communication.
 	OtherWall time.Duration
 
+	// EncodeWall is host time spent quantizing and packing gradients into
+	// plaintexts; EncodeSim is the modelled client-side cost of the same work
+	// and EncodeVals the values encoded. Encode used to hide inside the
+	// untimed gap before each HE batch; the round anatomy needs it split out.
+	EncodeWall time.Duration
+	EncodeSim  time.Duration
+	EncodeVals int64
+
+	// CompSim is modelled per-party model computation (forward/backward
+	// passes) charged by the round runtime. Unlike OtherWall it is a sim-time
+	// quantity, so the round anatomy stays deterministic across runs.
+	CompSim time.Duration
+
 	// PipeSeqSim and PipeSim are the streamed-pipeline view of the phases
 	// that ran chunked: the sequential sum of their HE and wire time (already
 	// included in HESim/CommSim above) and the measured critical path of the
@@ -60,6 +73,15 @@ type CostSnapshot struct {
 	Plainvals int64
 }
 
+// encodeSimPerValue is the modelled client-side cost of quantizing and
+// packing one gradient value into an HE plaintext. A fixed constant rather
+// than a wall measurement so the per-phase round anatomy is deterministic
+// across runs and machines.
+const encodeSimPerValue = 35 * time.Nanosecond
+
+// encodeSim returns the modelled encode cost of n gradient values.
+func encodeSim(n int) time.Duration { return time.Duration(n) * encodeSimPerValue }
+
 // Costs is the concurrency-safe accumulator behind CostSnapshot. When
 // Observe attaches a metrics registry, every Add also mirrors its counter
 // deltas into the registry at event time, so the registry view and the
@@ -79,6 +101,7 @@ var costMirrorNames = []string{
 	"pipe_chunks", "pipe_seq_ns", "pipe_ns",
 	"late_chunks", "late_bytes",
 	"plainvals", "ciphertexts",
+	"encode_sim_ns", "encode_vals", "comp_sim_ns",
 }
 
 // Observe mirrors future cost deltas into reg as counters named
@@ -172,6 +195,27 @@ func (c *Costs) AddOther(wall time.Duration) {
 	c.s.OtherWall += wall
 }
 
+// AddEncode accounts one quantize/pack step: host time measured, sim time
+// modelled, vals the gradient values encoded.
+func (c *Costs) AddEncode(wall, sim time.Duration, vals int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.EncodeWall += wall
+	c.s.EncodeSim += sim
+	c.s.EncodeVals += vals
+	c.mirror("encode_sim_ns", int64(sim))
+	c.mirror("encode_vals", vals)
+}
+
+// AddComp accounts modelled per-party model computation scheduled by the
+// round runtime.
+func (c *Costs) AddComp(sim time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.CompSim += sim
+	c.mirror("comp_sim_ns", int64(sim))
+}
+
 // AddCompression accounts a packing step: plainvals in, ciphertexts out.
 func (c *Costs) AddCompression(plainvals, ciphertexts int64) {
 	c.mu.Lock()
@@ -207,7 +251,9 @@ func (c *Costs) Reset() {
 func (c *Costs) TotalSim() time.Duration { return c.Snapshot().TotalSim() }
 
 // TotalSim is the modelled end-to-end time of the snapshot.
-func (s CostSnapshot) TotalSim() time.Duration { return s.HESim + s.CommSim + s.OtherWall }
+func (s CostSnapshot) TotalSim() time.Duration {
+	return s.HESim + s.CommSim + s.OtherWall + s.EncodeSim + s.CompSim
+}
 
 // TotalSimOverlapped is the modelled end-to-end time with the streamed
 // phases at their measured critical path instead of their sequential sum:
@@ -216,28 +262,47 @@ func (s CostSnapshot) TotalSim() time.Duration { return s.HESim + s.CommSim + s.
 func (c *Costs) TotalSimOverlapped() time.Duration { return c.Snapshot().TotalSimOverlapped() }
 
 // TotalSimOverlapped is the overlapped end-to-end time of the snapshot.
+// Clamped at zero: a client dropped mid-pipeline keeps its sequential charge
+// (the overlap accounting only credits completed uploads), so on a round
+// where nearly everything was both streamed and dropped the subtraction can
+// otherwise go negative.
 func (s CostSnapshot) TotalSimOverlapped() time.Duration {
-	return s.TotalSim() - s.PipeSeqSim + s.PipeSim
+	t := s.TotalSim() - s.PipeSeqSim + s.PipeSim
+	if t < 0 {
+		return 0
+	}
+	return t
 }
 
 // TotalWall is the measured end-to-end host time plus modelled wire time.
 func (c *Costs) TotalWall() time.Duration { return c.Snapshot().TotalWall() }
 
 // TotalWall is the measured end-to-end host time plus modelled wire time.
-func (s CostSnapshot) TotalWall() time.Duration { return s.HEWall + s.CommSim + s.OtherWall }
+func (s CostSnapshot) TotalWall() time.Duration {
+	return s.HEWall + s.CommSim + s.OtherWall + s.EncodeWall + s.CompSim
+}
 
 // Shares returns the fractions (other, HE, comm) of TotalSim — the rows of
 // Table VI.
 func (c *Costs) Shares() (other, he, comm float64) { return c.Snapshot().Shares() }
 
-// Shares returns the fractions (other, HE, comm) of the snapshot's TotalSim.
+// Shares returns the fractions (other, HE, comm) of the run's end-to-end
+// time. The "other" share folds in encode and model compute alongside
+// OtherWall. On runs with streamed phases (PipeChunks > 0) the denominator
+// is TotalSimOverlapped — the headline those runs report — so the shares sum
+// against the number printed next to them; sequential runs divide by
+// TotalSim as before. (On overlapped runs the fractions sum above 1: the
+// overlap hides part of the sequential cost inside the critical path.)
 func (s CostSnapshot) Shares() (other, he, comm float64) {
 	total := s.TotalSim()
+	if s.PipeChunks > 0 {
+		total = s.TotalSimOverlapped()
+	}
 	if total <= 0 {
 		return 0, 0, 0
 	}
 	t := float64(total)
-	return float64(s.OtherWall) / t, float64(s.HESim) / t, float64(s.CommSim) / t
+	return float64(s.OtherWall+s.EncodeSim+s.CompSim) / t, float64(s.HESim) / t, float64(s.CommSim) / t
 }
 
 // Throughput returns HE instances per second of modelled HE time — the

@@ -356,6 +356,19 @@ type roundState struct {
 	resumed    bool // round replayed a journaled aggregate
 
 	defense *DefenseReport // the defended round's group anatomy (nil when plain)
+
+	// Per-phase cost anatomy: phaseSpan brackets every phase with a cost
+	// snapshot frame; the stack handles nesting (combine inside decrypt) by
+	// deducting a closed child's delta from its parent's row.
+	anat   *RoundAnatomy
+	frames []anatFrame
+}
+
+// anatFrame is one open phase on the anatomy stack.
+type anatFrame struct {
+	name  string
+	start CostSnapshot
+	child PhaseCost // closed nested phases, deducted from this frame's row
 }
 
 // defended reports whether this round runs group-wise robust aggregation.
@@ -377,6 +390,7 @@ func newRoundState(f *Federation, policy RoundPolicy, count int, active []string
 		batches: make(map[string][]paillier.Ciphertext),
 		pending: make(map[string]*flnet.Reassembler),
 		dropped: make(map[string]RoundPhase),
+		anat:    &RoundAnatomy{Round: f.round},
 	}
 	st.send = f.Transport.Send
 	if policy.MaxRetries > 0 {
@@ -416,6 +430,7 @@ func (st *roundState) report() RoundReport {
 	rep.CohortSize = len(st.active)
 	rep.PeakLiveCts = st.peakLive
 	rep.Tree = st.treeStats
+	rep.Anatomy = st.anat
 	return rep
 }
 
@@ -499,25 +514,45 @@ func (st *roundState) run(grads [][]float64) ([]float64, error) {
 	return result, nil
 }
 
-// phaseSpan runs one protocol phase and records it as a span on the
-// context's sim cost clock, so every round leaves a phase-by-phase trace.
-// Without a recorder the phase runs bare.
+// phaseSpan runs one protocol phase, collects its cost delta into the
+// round's anatomy, and — with a recorder attached — also records it as a
+// span on the context's sim cost clock, so every round leaves a
+// phase-by-phase trace. Anatomy collection is unconditional: it reads only
+// the cost accumulator, which is always live.
 func (st *roundState) phaseSpan(phase string, fn func() error) error {
 	ctx := st.f.Ctx
-	rec := ctx.Obs.Recorder()
-	if rec == nil {
-		return fn()
-	}
 	start := ctx.SimCost()
+	st.frames = append(st.frames, anatFrame{name: phase, start: ctx.Costs.Snapshot()})
 	err := fn()
-	rec.Record(obs.Span{
-		Phase: fmt.Sprintf("round%d.%s", st.id, phase),
-		Party: ctx.obsPrefix + ".fl",
-		Lane:  "fl.round",
-		Start: start,
-		Dur:   ctx.SimCost() - start,
-	})
+	st.closeFrame()
+	if rec := ctx.Obs.Recorder(); rec != nil {
+		rec.Record(obs.Span{
+			Phase: fmt.Sprintf("round%d.%s", st.id, phase),
+			Party: ctx.obsPrefix + ".fl",
+			Lane:  "fl.round",
+			Start: start,
+			Dur:   ctx.SimCost() - start,
+		})
+	}
 	return err
+}
+
+// closeFrame pops the innermost phase frame: its cost delta minus any
+// nested phases' deltas becomes the phase's anatomy row, and the full delta
+// rolls up into the parent frame so the parent's own row excludes it.
+// Rows therefore land in frame-closing order (children before parents) and
+// sum exactly to the round's whole-run cost delta.
+func (st *roundState) closeFrame() {
+	n := len(st.frames) - 1
+	fr := st.frames[n]
+	st.frames = st.frames[:n]
+	delta := phaseDelta(fr.start, st.f.Ctx.Costs.Snapshot())
+	row := delta.sub(fr.child)
+	row.Phase = fr.name
+	st.anat.Phases = append(st.anat.Phases, row)
+	if n > 0 {
+		st.frames[n-1].child = st.frames[n-1].child.add(delta)
+	}
 }
 
 // clientGrads resolves client i's upload for this round: honest clients
@@ -542,19 +577,31 @@ func (st *roundState) upload(grads [][]float64) error { return st.uploadWave(st.
 // whole cohort in flat mode, one bounded admission wave in tree mode.
 // Clients encrypt in cohort order either way, so the nonce-stream cursor
 // advances identically in both modes and across crash-recovered re-runs.
+// Per-party model compute (Profile.Overlap.CompSimPerValue) is charged
+// before each client's encryption; with Overlap.Enabled the wave instead
+// runs through the overlap scheduler, which charges the identical work but
+// credits the wave at its measured critical path.
 func (st *roundState) uploadWave(wave []string, grads [][]float64) error {
+	ctx := st.f.Ctx
+	if ctx.Profile.Overlap.Enabled {
+		return st.uploadWaveOverlapped(wave, grads)
+	}
 	for _, name := range wave {
 		i, err := ClientIndex(name)
 		if err != nil {
 			return st.fail(PhaseUpload, name, err)
 		}
-		if st.f.Ctx.Profile.Chunk > 0 {
-			if err := st.uploadClientChunked(i, st.clientGrads(i, grads)); err != nil {
+		g := st.clientGrads(i, grads)
+		if comp := ctx.Profile.Overlap.compSim(len(g)); comp > 0 {
+			ctx.Costs.AddComp(comp)
+		}
+		if ctx.Profile.Chunk > 0 {
+			if err := st.uploadClientChunked(i, g); err != nil {
 				return err
 			}
 			continue
 		}
-		cts, err := st.f.Ctx.EncryptGradients(st.clientGrads(i, grads))
+		cts, err := ctx.EncryptGradients(g)
 		if err != nil {
 			return fmt.Errorf("fl: client %d encrypt: %w", i, err)
 		}
@@ -569,7 +616,91 @@ func (st *roundState) uploadWave(wave []string, grads [][]float64) error {
 			continue
 		}
 		st.uploaded = append(st.uploaded, name)
-		st.f.Ctx.RecordTransfer(msg.WireSize())
+		ctx.RecordTransfer(msg.WireSize())
+	}
+	return nil
+}
+
+// uploadWaveOverlapped schedules one wave's uploads across shared encrypt
+// and send streams, with each party's model compute + encode on a lane of
+// its own: client i+1's compute runs while client i's batch encrypts and
+// client i-1's is on the wire. Every cost is charged exactly as on the
+// sequential path — the scheduler only adds one wave-level AddPipeline
+// record whose critical path replaces the completed uploads' sequential sum
+// in TotalSimOverlapped. Dropped clients are excluded from both the
+// sequential credit and the stream events, so their charges stay
+// conservative (sequential), matching the chunked-upload convention.
+func (st *roundState) uploadWaveOverlapped(wave []string, grads [][]float64) error {
+	ctx := st.f.Ctx
+	enc := gpu.NewStream("encrypt")
+	wire := gpu.NewStream("send")
+	var waveSeq time.Duration
+	var waveChunks int64
+	completed := 0
+	for _, name := range wave {
+		i, err := ClientIndex(name)
+		if err != nil {
+			return st.fail(PhaseUpload, name, err)
+		}
+		g := st.clientGrads(i, grads)
+		comp := ctx.Profile.Overlap.compSim(len(g))
+		if comp > 0 {
+			ctx.Costs.AddComp(comp)
+		}
+		lane := comp + encodeSim(len(g))
+		compEv := gpu.NewStream("comp." + name).Schedule(lane)
+		if ctx.Profile.Chunk > 0 {
+			seqSim, chunks, ok, err := st.streamClientChunks(i, g, enc, wire, compEv)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			waveSeq += lane + seqSim
+			waveChunks += chunks
+			completed++
+			continue
+		}
+		heBefore := ctx.Costs.Snapshot().HESim
+		cts, err := ctx.EncryptGradients(g)
+		if err != nil {
+			return fmt.Errorf("fl: client %d encrypt: %w", i, err)
+		}
+		he := ctx.Costs.Snapshot().HESim - heBefore
+		msg := flnet.Message{
+			From: name, To: ServerName, Kind: "grads", Round: st.id,
+			Payload: encodeCiphertexts(cts),
+		}
+		if err := st.send(msg); err != nil {
+			if rerr := st.drop(PhaseUpload, name, err); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		st.uploaded = append(st.uploaded, name)
+		ctx.RecordTransfer(msg.WireSize())
+		comm := ctx.Link.TransferTime(msg.WireSize())
+		ev := enc.Schedule(he, compEv) // encrypt once the party's compute is done
+		wire.Schedule(comm, ev)        // then the batch hits the wire
+		waveSeq += lane + he + comm
+		waveChunks++ // a whole-batch upload is one unit on the streams
+		completed++
+	}
+	if completed > 0 {
+		span := enc.Clock()
+		if w := wire.Clock(); w > span {
+			span = w
+		}
+		// A client dropped mid-upload leaves chunks it already scheduled on
+		// the shared streams, but its charges stay sequential (it earns no
+		// credit), so the measured span can exceed the credited sequential
+		// sum. Clamp: overlap credit must never make the wave slower than its
+		// sequential accounting.
+		if span > waveSeq {
+			span = waveSeq
+		}
+		ctx.Costs.AddPipeline(waveSeq, span, waveChunks)
 	}
 	return nil
 }
@@ -586,14 +717,35 @@ type gradChunk struct {
 // chunks (the client was dropped); it is not a round failure.
 var errUploadAborted = errors.New("fl: chunked upload aborted")
 
-// uploadClientChunked runs one client's upload as a bounded producer/
+// uploadClientChunked runs one client's chunked upload on a private stream
+// pair — the sequential-wave accounting, one AddPipeline record per client.
+func (st *roundState) uploadClientChunked(i int, grads []float64) error {
+	ctx := st.f.Ctx
+	enc := gpu.NewStream("encrypt")
+	wire := gpu.NewStream("send")
+	seqSim, chunks, ok, err := st.streamClientChunks(i, grads, enc, wire)
+	if err != nil || !ok {
+		return err
+	}
+	span := enc.Clock()
+	if w := wire.Clock(); w > span {
+		span = w
+	}
+	ctx.Costs.AddPipeline(seqSim, span, chunks)
+	return nil
+}
+
+// streamClientChunks runs one client's upload as a bounded producer/
 // consumer pipeline: a goroutine encrypts chunks through the streamed HE
 // session and a two-chunk channel feeds the wire, so the send of chunk i
-// overlaps the encryption of chunk i+1. The overlap is also accounted: the
-// chunks' HE and wire costs are scheduled onto an encrypt stream and a send
-// stream, and the measured critical path lands in Costs.AddPipeline next to
-// the sequential totals.
-func (st *roundState) uploadClientChunked(i int, grads []float64) error {
+// overlaps the encryption of chunk i+1. The chunks' HE and wire costs are
+// scheduled onto the caller's encrypt and send streams (the first chunk
+// waits on `after` — the party's model-compute lane under the overlap
+// scheduler). Returns the sequential sum, the chunk count, and whether the
+// upload completed; a dropped client (failed send, within the quorum
+// budget) returns ok=false with its costs left at their sequential charge —
+// the overlapped accounting only credits completed uploads.
+func (st *roundState) streamClientChunks(i int, grads []float64, enc, wire *gpu.Stream, after ...gpu.Event) (seqSim time.Duration, chunks int64, ok bool, err error) {
 	ctx := st.f.Ctx
 	name := ClientName(i)
 	chunkPts := ctx.Profile.Chunk
@@ -617,18 +769,21 @@ func (st *roundState) uploadClientChunked(i int, grads []float64) error {
 		})
 	}()
 
-	enc := gpu.NewStream("encrypt")
-	wire := gpu.NewStream("send")
 	rec := ctx.Obs.Recorder()
 	origin := ctx.SimCost() // anchor stream-relative chunk spans on the cost clock
-	var seqSim time.Duration
-	var chunks int64
 	var sendErr error
+	first := true
 	for chk := range ch {
 		if sendErr != nil {
 			continue // drain the producer after a failed send
 		}
-		ev := enc.Schedule(chk.heSim)
+		var ev gpu.Event
+		if first {
+			ev = enc.Schedule(chk.heSim, after...)
+			first = false
+		} else {
+			ev = enc.Schedule(chk.heSim)
+		}
 		msg := flnet.Message{
 			From: name, To: ServerName, Kind: "gradc", Round: st.id,
 			Payload: flnet.EncodeChunk(uint32(chk.index), uint32(total), encodeCiphertexts(chk.cts)),
@@ -653,23 +808,16 @@ func (st *roundState) uploadClientChunked(i int, grads []float64) error {
 		ctx.RecordTransfer(msg.WireSize())
 	}
 	if err := <-errc; err != nil && !errors.Is(err, errUploadAborted) {
-		return fmt.Errorf("fl: client %d encrypt: %w", i, err)
+		return 0, 0, false, fmt.Errorf("fl: client %d encrypt: %w", i, err)
 	}
 	if sendErr != nil {
-		// The dropped client's chunks stay at their sequential cost — the
-		// overlapped accounting only credits completed uploads.
 		if rerr := st.drop(PhaseUpload, name, sendErr); rerr != nil {
-			return rerr
+			return 0, 0, false, rerr
 		}
-		return nil
+		return 0, 0, false, nil
 	}
-	span := enc.Clock()
-	if w := wire.Clock(); w > span {
-		span = w
-	}
-	ctx.Costs.AddPipeline(seqSim, span, chunks)
 	st.uploaded = append(st.uploaded, name)
-	return nil
+	return seqSim, chunks, true, nil
 }
 
 // gather: the server collects uploads for the current round. Messages from

@@ -131,6 +131,9 @@ type RoundReport struct {
 	// round: the partition, the combiner, and what it suppressed. Nil for
 	// plain (undefended) rounds.
 	Defense *DefenseReport
+	// Anatomy is the round's per-phase cost table: deterministic sim-time
+	// per protocol phase, split by cost component.
+	Anatomy *RoundAnatomy
 }
 
 // Degraded reports whether the round completed without all parties.

@@ -122,9 +122,9 @@ func (s *gpuEncryptSession) Next(ms []mpint.Nat) ([]Ciphertext, time.Duration, e
 	if err != nil {
 		return nil, 0, fmt.Errorf("paillier: gpu EncryptSession: %w", err)
 	}
-	gm := make([]mpint.Nat, len(ms))
-	for i, m := range ms {
-		gm[i] = s.pk.GPowM(m)
+	gm, err := s.g.gPowMVec(s.pk, ms)
+	if err != nil {
+		return nil, 0, fmt.Errorf("paillier: gpu EncryptSession g^m: %w", err)
 	}
 	prod, err := s.eng.ModMulVec(gm, rn, s.pk.MontN2())
 	if err != nil {
