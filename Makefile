@@ -5,14 +5,16 @@
 # HE-stack benchmark once so benchmark code cannot bit-rot, runs the
 # CI-sized multi-fault chaos soak under the race detector, runs the small-N
 # cross-device scale sweep (flat vs tree bit-exactness and the coordinator
-# memory bound) under the race detector, and runs the CI-sized round-anatomy
+# memory bound) under the race detector, runs the CI-sized round-anatomy
 # sweep (optimized round path bit-exact with the seed path and never slower)
-# under the race detector.
+# under the race detector, and runs the CI-sized multi-device sharding sweep
+# (near-linear scaling, bit-exact results, work stealing under a mid-batch
+# device kill) under the race detector.
 
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: build test vet lint race fuzz bench-smoke soak-smoke scale-smoke round-smoke check resilience devfault soak scale round
+.PHONY: build test vet lint race fuzz bench-smoke soak-smoke scale-smoke round-smoke devset-smoke check resilience devfault soak scale round devset
 
 build:
 	$(GO) build ./...
@@ -42,11 +44,14 @@ race:
 	$(GO) test -race -timeout 300s ./internal/flnet/... ./internal/fl/... ./internal/gpu/... ./internal/ghe/...
 
 # Short fuzz passes: device-config validation (corpus under
-# internal/gpu/testdata/fuzz) and the chunk reassembler's untrusted-input
-# invariants (out-of-range indices, flip-flopping totals, oversized
-# declarations must all reject typed, never panic).
+# internal/gpu/testdata/fuzz), the shard splitter's partition invariants
+# (contiguous, complete, non-overlapping for any item count and device
+# exclusion set), and the chunk reassembler's untrusted-input invariants
+# (out-of-range indices, flip-flopping totals, oversized declarations must
+# all reject typed, never panic).
 fuzz:
 	$(GO) test ./internal/gpu -run '^$$' -fuzz FuzzConfigValidate -fuzztime 10s
+	$(GO) test ./internal/gpu -run '^$$' -fuzz FuzzSplitShards -fuzztime 10s
 	$(GO) test ./internal/flnet -run '^$$' -fuzz FuzzReassembler -fuzztime 10s
 
 # One iteration of every benchmark in the HE hot-path packages: catches
@@ -74,7 +79,13 @@ scale-smoke:
 round-smoke:
 	$(GO) test -race -run TestRoundSmoke -timeout 300s -count 1 ./internal/bench
 
-check: build vet test race fuzz bench-smoke soak-smoke scale-smoke round-smoke
+# The multi-device sharding sweep at CI size (DESIGN.md §15): D ∈ {1, 2}
+# with bit-exact rows, a real speedup at D=2, and a mid-batch device kill
+# that steals the dead device's shards without diverging.
+devset-smoke:
+	$(GO) test -race -run TestDevsetSmoke -timeout 300s -count 1 ./internal/bench
+
+check: build vet test race fuzz bench-smoke soak-smoke scale-smoke round-smoke devset-smoke
 
 # Demonstrate graceful degradation under a straggler (see DESIGN.md §6).
 resilience:
@@ -98,3 +109,9 @@ scale:
 # and enforces the ≥1.15x end-to-end plain-round speedup floor.
 round:
 	$(GO) run ./cmd/flbench -keys 2048 round
+
+# The multi-device sharding sweep at production keys; regenerates
+# BENCH_devset.json and enforces the ≥0.75·D near-linear scaling gate plus
+# the 1-of-D death leg's bit-exactness and throughput bound.
+devset:
+	$(GO) run ./cmd/flbench -keys 2048 devset

@@ -7,7 +7,7 @@
 //	flbench [flags] <experiment>...
 //
 // Experiments: fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7
-// ablation resilience devfault pipeline heopt byz scale round soak all
+// ablation resilience devfault pipeline heopt byz scale round devset soak all
 //
 // Flags:
 //
@@ -18,6 +18,8 @@
 //	-batch n      SGD minibatch size                    (default 64)
 //	-seed n       PRNG seed for workloads, chaos, and fault injection (default 1)
 //	-chunk n      streamed-pipeline chunk size in plaintexts (default 0 = sequential)
+//	-devices n    shard vector HE ops across n simulated devices
+//	              (default 0 = classic single-device engine)
 //	-trace file   write a Chrome trace-event JSON of the run's sim-time spans
 //	              (load in Perfetto / chrome://tracing)
 //	-metrics file write the metrics registry as text ("-" = stdout)
@@ -54,6 +56,7 @@ func run(args []string) error {
 	batch := fs.Int("batch", 0, "SGD minibatch size")
 	seed := fs.Uint64("seed", 1, "PRNG seed for workloads, chaos, and fault injection")
 	chunk := fs.Int("chunk", 0, "streamed-pipeline chunk size in plaintexts (0 = sequential)")
+	devices := fs.Int("devices", 0, "shard vector HE ops across this many simulated devices (0 = single device)")
 	trace := fs.String("trace", "", "write Chrome trace-event JSON of sim-time spans to this file")
 	metrics := fs.String("metrics", "", "write the metrics registry as text to this file (\"-\" = stdout)")
 	paper := fs.Bool("paper", false, "use the paper's full-scale parameters")
@@ -94,11 +97,15 @@ func run(args []string) error {
 	// A positive -chunk streams every upload through the chunked
 	// encrypt→send pipeline; the aggregates stay bit-exact either way.
 	cfg.Chunk = *chunk
+	// A -devices value of 1 or more routes every vector HE op through a
+	// gpu.DeviceSet shard scheduler; out-of-range values fail Validate with
+	// a typed bench.ConfigError naming the field.
+	cfg.Devices = *devices
 	cfg.Observe = *trace != "" || *metrics != ""
 
 	exps := fs.Args()
 	if len(exps) == 0 {
-		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience devfault pipeline heopt byz scale round soak all")
+		return fmt.Errorf("no experiment named; choose from table2 fig1 table3 table4 fig6 table5 fig7 table6 fig8 table7 ablation resilience devfault pipeline heopt byz scale round devset soak all")
 	}
 	r, err := bench.NewRunner(cfg)
 	if err != nil {
@@ -147,6 +154,10 @@ func run(args []string) error {
 			// The round-anatomy experiment runs at the sweep's largest key:
 			// the speedup floor is defined at production (≥2048-bit) keys.
 			err = r.Round(os.Stdout)
+		case "devset":
+			// The multi-device sweep picks its own device counts (1→8, plus
+			// -devices when set); like round it runs at the largest key size.
+			err = r.Devset(os.Stdout, nil)
 		case "soak":
 			err = r.Soak(os.Stdout)
 		case "all":

@@ -1,6 +1,10 @@
 package main
 
-import "fmt"
+import (
+	"fmt"
+
+	"flbooster/internal/gpu"
+)
 
 // ConfigError reports a flag combination the protocol cannot run: the named
 // flag's value is inconsistent with the rest of the configuration. It is
@@ -30,6 +34,7 @@ type flagConfig struct {
 	fanout  int
 	quorum  int
 	groups  int
+	devices int
 }
 
 // validate rejects inconsistent flag combinations — a quorum above the
@@ -53,6 +58,12 @@ func (c flagConfig) validate() error {
 	}
 	if c.fanout < 0 || c.fanout == 1 {
 		return badFlag("fanout", "aggregation fan-out must be at least 2 (or 0 for flat), have %d", c.fanout)
+	}
+	if c.devices < 0 {
+		return badFlag("devices", "device count cannot be negative, have %d", c.devices)
+	}
+	if c.devices > gpu.MaxDevices {
+		return badFlag("devices", "device count %d exceeds the %d-device set limit", c.devices, gpu.MaxDevices)
 	}
 	// Quorum and groups are judged against the uploads a round can actually
 	// gather: the sampled cohort when -cohort is set, everyone otherwise.

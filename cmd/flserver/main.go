@@ -22,6 +22,9 @@
 //	-pool n       clients precompute n Paillier rⁿ noise terms offline before
 //	              encrypting (the nonce pool, re-armed per batch); ciphertexts
 //	              are bit-exact with the unpooled path (0 = off)
+//	-devices n    every party shards its vector HE ops across n simulated
+//	              devices with work stealing under device faults; results
+//	              are bit-exact with the single-device engine (0 = off)
 //	-trace file   write a Chrome trace-event JSON of the party's sim-time
 //	              spans on exit, plus a metrics text dump to stdout (demo
 //	              mode shares one trace across the in-process parties)
@@ -128,6 +131,7 @@ func run(args []string, stop <-chan struct{}) error {
 	straggle := fs.Duration("straggle", 0, "delay this client's upload (demo: client 0)")
 	chunk := fs.Int("chunk", 0, "streamed-pipeline chunk size in plaintexts (0 = sequential)")
 	pool := fs.Int("pool", 0, "precomputed nonce-pool depth for encrypting parties (0 = off)")
+	devices := fs.Int("devices", 0, "shard vector HE ops across this many simulated devices (0 = single device)")
 	trace := fs.String("trace", "", "write Chrome trace-event JSON of sim-time spans to this file on exit")
 	journal := fs.String("journal", "", "server: write-ahead round journal file (empty = no journal)")
 	resume := fs.Bool("resume", false, "server: replay -journal and resume from the last safe boundary")
@@ -143,6 +147,7 @@ func run(args []string, stop <-chan struct{}) error {
 	if err := (flagConfig{
 		cmd: cmd, clients: *clients, id: *id, dim: *dim,
 		cohort: *cohort, fanout: *fanout, quorum: *quorum, groups: *groups,
+		devices: *devices,
 	}).validate(); err != nil {
 		return err
 	}
@@ -183,7 +188,7 @@ func run(args []string, stop <-chan struct{}) error {
 		err = runServer(serverOpts{
 			addr: *addr, clients: *clients, keyBits: *keyBits, seed: *seed,
 			quorum: *quorum, timeout: *timeout, groups: *groups,
-			cohort: *cohort, fanout: *fanout,
+			cohort: *cohort, fanout: *fanout, devices: *devices,
 			journal: *journal, resume: *resume, failpoint: *failpoint,
 			stop: stop, o: o,
 		})
@@ -195,14 +200,16 @@ func run(args []string, stop <-chan struct{}) error {
 		}
 		err = runClient(clientOpts{
 			addr: *addr, id: *id, clients: *clients, keyBits: *keyBits,
-			chunk: *chunk, pool: *pool, seed: *seed, vals: vals, delay: *straggle,
+			chunk: *chunk, pool: *pool, devices: *devices,
+			seed: *seed, vals: vals, delay: *straggle,
 			cohort: *cohort, byz: attack, defense: policy, o: o,
 		})
 
 	case "demo":
 		err = runDemo(demoOpts{
 			clients: *clients, dim: *dim, keyBits: *keyBits, chunk: *chunk, pool: *pool,
-			seed: *seed, quorum: *quorum, timeout: *timeout, straggle: *straggle,
+			devices: *devices,
+			seed:    *seed, quorum: *quorum, timeout: *timeout, straggle: *straggle,
 			cohort: *cohort, fanout: *fanout,
 			byz: attack, defense: policy, stop: stop, o: o,
 		})
@@ -239,15 +246,17 @@ func writeObs(o *obs.Obs, path string) error {
 
 // demoContext builds the shared HE context all demo parties derive from the
 // seed. A positive chunk streams encryption through the chunked
-// double-buffered pipeline; the ciphertexts are bit-exact either way. With
+// double-buffered pipeline, and devices ≥ 1 shards vector HE ops across a
+// simulated device set; the ciphertexts are bit-exact either way. With
 // an observability bundle the context traces and meters under the party's
 // label (demo mode passes one bundle to every in-process party).
-func demoContext(keyBits, clients, chunk, pool int, seed uint64, o *obs.Obs, label string) (*fl.Context, error) {
+func demoContext(keyBits, clients, chunk, pool, devices int, seed uint64, o *obs.Obs, label string) (*fl.Context, error) {
 	p := fl.NewProfile(fl.SystemFLBooster, keyBits, clients)
 	p.Seed = seed
 	p.Device = gpu.RTX3090()
 	p.Chunk = chunk
 	p.NoncePool = pool
+	p.Devices = devices
 	ctx, err := fl.NewContext(p)
 	if err != nil {
 		return nil, err
@@ -278,6 +287,9 @@ type serverOpts struct {
 	// are bounded by the tree depth, not the cohort size.
 	cohort int
 	fanout int
+	// devices ≥ 1 shards the server's aggregate-and-decrypt vector ops
+	// across a simulated device set; 0 keeps the single-device engine.
+	devices int
 	// journal appends round state to this write-ahead file; resume replays
 	// it on startup and picks the round up from the last safe boundary.
 	journal string
@@ -295,8 +307,9 @@ type serverOpts struct {
 func runServer(opts serverOpts) error {
 	// The server only aggregates and decrypts whole batches, so it never
 	// needs the streamed path or the encrypt-side nonce pool — chunk and
-	// pool 0 regardless of the client flags.
-	ctx, err := demoContext(opts.keyBits, opts.clients, 0, 0, opts.seed, opts.o, fl.ServerName)
+	// pool 0 regardless of the client flags. The device set does apply: the
+	// aggregate-and-decrypt path shards like any other vector HE op.
+	ctx, err := demoContext(opts.keyBits, opts.clients, 0, 0, opts.devices, opts.seed, opts.o, fl.ServerName)
 	if err != nil {
 		return err
 	}
@@ -663,10 +676,13 @@ type clientOpts struct {
 	chunk   int
 	// pool precomputes this many rⁿ noise terms offline before the upload's
 	// encryption (re-armed per batch); 0 keeps the online nonce path.
-	pool  int
-	seed  uint64
-	vals  []float64
-	delay time.Duration
+	pool int
+	// devices ≥ 1 shards the client's encrypt path across a simulated
+	// device set; 0 keeps the single-device engine.
+	devices int
+	seed    uint64
+	vals    []float64
+	delay   time.Duration
 	// cohort mirrors the server's -cohort flag: the client derives the same
 	// seeded draw and, when unsampled, skips its upload but still waits for
 	// the broadcast so every party terminates with the round's aggregate.
@@ -703,7 +719,7 @@ func inCohort(name string, clients, cohort int, seed uint64) bool {
 func runClient(opts clientOpts) error {
 	name := fl.ClientName(opts.id)
 	clients := opts.clients
-	ctx, err := demoContext(opts.keyBits, clients, opts.chunk, opts.pool, opts.seed, opts.o, name)
+	ctx, err := demoContext(opts.keyBits, clients, opts.chunk, opts.pool, opts.devices, opts.seed, opts.o, name)
 	if err != nil {
 		return err
 	}
@@ -851,6 +867,7 @@ type demoOpts struct {
 	keyBits  int
 	chunk    int
 	pool     int
+	devices  int
 	seed     uint64
 	quorum   int
 	timeout  time.Duration
@@ -885,7 +902,7 @@ func runDemo(opts demoOpts) error {
 		errs <- runServer(serverOpts{
 			addr: hub.Addr(), clients: clients, keyBits: opts.keyBits, seed: opts.seed,
 			quorum: opts.quorum, timeout: opts.timeout, groups: opts.defense.Groups,
-			cohort: opts.cohort, fanout: opts.fanout,
+			cohort: opts.cohort, fanout: opts.fanout, devices: opts.devices,
 			stop: opts.stop, o: opts.o,
 		})
 	}()
@@ -905,7 +922,8 @@ func runDemo(opts demoOpts) error {
 		go func(id int, vals []float64, delay time.Duration) {
 			errs <- runClient(clientOpts{
 				addr: hub.Addr(), id: id, clients: clients, keyBits: opts.keyBits,
-				chunk: opts.chunk, pool: opts.pool, seed: opts.seed, vals: vals, delay: delay,
+				chunk: opts.chunk, pool: opts.pool, devices: opts.devices,
+				seed: opts.seed, vals: vals, delay: delay,
 				cohort: opts.cohort, byz: opts.byz, defense: opts.defense, o: opts.o,
 			})
 		}(c, vals, delay)

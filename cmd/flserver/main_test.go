@@ -47,6 +47,15 @@ func TestDemoEndToEnd(t *testing.T) {
 	}
 }
 
+func TestDemoMultiDeviceRound(t *testing.T) {
+	// Every party shards its vector HE ops across a 2-device set; the round
+	// must complete over real loopback TCP exactly like the single-device
+	// demo (bit-exactness of the sharded engine is pinned in fl's tests).
+	if err := runDemo(demoOpts{clients: 3, dim: 4, keyBits: 128, devices: 2, seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDemoQuorumSurvivesStraggler(t *testing.T) {
 	// Client 0 delays its upload past the gather deadline: with quorum 3 of
 	// 4 the round must complete (and the straggler still terminate) instead
@@ -362,6 +371,8 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{"demo", "-clients", "4", "-quorum", "5"}, "quorum"},
 		{[]string{"server", "-clients", "8", "-cohort", "3", "-quorum", "4"}, "quorum"},
 		{[]string{"server", "-clients", "8", "-cohort", "2", "-groups", "3"}, "groups"},
+		{[]string{"server", "-devices", "-1"}, "devices"},
+		{[]string{"demo", "-devices", "65"}, "devices"},
 	}
 	for _, tc := range cases {
 		err := run(tc.args, nil)

@@ -44,6 +44,10 @@ type Config struct {
 	// Chunk is the streamed-pipeline chunk size in plaintexts per upload
 	// chunk for every HE context (0 keeps the whole-batch sequential path).
 	Chunk int
+	// Devices is the simulated device count per GPU context: values of 1 or
+	// more shard every vector HE op across a gpu.DeviceSet of that many
+	// devices; 0 keeps the classic single-device engine.
+	Devices int
 	// Observe attaches one observability bundle (sim-time span recorder +
 	// metrics registry, seeded from Seed) to every context the runner builds,
 	// so experiments emit traces and metrics reconcilable against their
@@ -94,9 +98,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("bench: NN hidden width must be positive")
 	case c.Chunk < 0:
 		return fmt.Errorf("bench: pipeline chunk size must be non-negative, got %d", c.Chunk)
+	case c.Devices < 0:
+		return &ConfigError{Field: "devices", Reason: fmt.Sprintf("device count must be non-negative, got %d", c.Devices)}
+	case c.Devices > gpu.MaxDevices:
+		return &ConfigError{Field: "devices", Reason: fmt.Sprintf("device count %d exceeds %d", c.Devices, gpu.MaxDevices)}
 	}
 	return nil
 }
+
+// ConfigError reports a benchmark configuration a run rejects up front,
+// naming the offending field so CLI frontends can map it back to a flag.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string { return fmt.Sprintf("bench: invalid %s: %s", e.Field, e.Reason) }
 
 // ModelNames lists the benchmark models in the paper's order.
 func ModelNames() []string {
@@ -184,12 +201,16 @@ func (r *Runner) context(sys fl.System, keyBits int) (*fl.Context, error) {
 		if ctx.Device != nil {
 			ctx.Device.ResetStats()
 		}
+		if ctx.DevSet != nil {
+			ctx.DevSet.ResetStats()
+		}
 		return ctx, nil
 	}
 	p := fl.NewProfile(sys, keyBits, r.cfg.Parties)
 	p.Device = r.cfg.Device
 	p.Seed = r.cfg.Seed
 	p.Chunk = r.cfg.Chunk
+	p.Devices = r.cfg.Devices
 	ctx, err := fl.NewContext(p)
 	if err != nil {
 		return nil, fmt.Errorf("bench: context %s/%d: %w", sys, keyBits, err)

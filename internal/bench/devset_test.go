@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDevsetSmoke runs the multi-device sharding sweep at CI size (D ∈
+// {1, 2}, the Quick key sizes) and pins its claims: bit-exact rows at every
+// device count, a speedup gate at the largest D, and a graceful death leg
+// with real work stealing.
+func TestDevsetSmoke(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	if err := os.Chdir(tmp); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	r, err := NewRunner(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := r.Devset(&out, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(filepath.Join(tmp, devsetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report devsetReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 2 {
+		t.Fatalf("swept %d rows, want 2", len(report.Rows))
+	}
+	for _, row := range report.Rows {
+		if !row.BitExact {
+			t.Fatalf("D=%d row not bit-exact: %+v", row.Devices, row)
+		}
+		if row.Shards == 0 || row.SimNs <= 0 {
+			t.Fatalf("D=%d row missing shard accounting: %+v", row.Devices, row)
+		}
+	}
+	two := report.Rows[1]
+	if two.Devices != 2 || two.Speedup < 1.5 {
+		t.Fatalf("D=2 speedup %.2fx below the 1.5x gate", two.Speedup)
+	}
+	if two.ParallelNs >= two.SequentialNs {
+		t.Fatalf("D=2 parallel span %d not under the sequential sum %d", two.ParallelNs, two.SequentialNs)
+	}
+	d := report.Death
+	if d.Devices != 2 || !d.BitExact || d.Steals == 0 || d.RebalanceNs <= 0 {
+		t.Fatalf("death leg %+v", d)
+	}
+	if d.LostThroughput >= 1.5/float64(d.Devices) {
+		t.Fatalf("death leg lost %.2f of throughput, bound %.2f", d.LostThroughput, 1.5/float64(d.Devices))
+	}
+}
+
+// TestDevsetConfigValidation: the device-count knob rejects out-of-range
+// values with a typed ConfigError naming the field.
+func TestDevsetConfigValidation(t *testing.T) {
+	for _, devices := range []int{-1, 65} {
+		cfg := Quick()
+		cfg.Devices = devices
+		_, err := NewRunner(cfg)
+		var cerr *ConfigError
+		if !errors.As(err, &cerr) || cerr.Field != "devices" {
+			t.Fatalf("devices=%d: error %v, want a ConfigError for field devices", devices, err)
+		}
+	}
+}

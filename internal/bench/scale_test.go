@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"flbooster/internal/fl"
 )
 
 // TestScaleSmoke runs the cross-device sweep at toy sizes and pins its two
@@ -70,6 +72,32 @@ func TestScaleSmoke(t *testing.T) {
 		}
 		if !tree.MatchesFlat || tree.Depth == 0 || tree.Partials == 0 {
 			t.Fatalf("N=%d: tree row %+v", clients, tree)
+		}
+	}
+}
+
+// BenchmarkScaleFlatRound is the allocation baseline for the scale sweep's
+// flat protocol: one N-client secure-aggregation round, re-run over a single
+// federation so the wire arena reaches steady state. Run with -benchmem; the
+// hard allocation guard lives in fl's TestArenaCodecAllocs.
+func BenchmarkScaleFlatRound(b *testing.B) {
+	r, err := NewRunner(Quick())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const clients = 64
+	ctx, err := fl.NewContext(r.scaleProfile(clients, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fed := fl.NewFederation(ctx)
+	defer fed.Close()
+	grads := scaleGrads(clients)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.SecureAggregate(grads); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,65 @@
+package fl
+
+import (
+	"sync"
+
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+)
+
+// wireArena pools the flat round path's per-round scratch: the nat slices
+// the wire codec builds, the decoded per-client ciphertext batches, and the
+// batch-of-batches the plain aggregate folds over. Only provably-dead
+// scratch is pooled — message payload bytes are never reused, because the
+// transport may hold a delivered payload beyond the round — so pooling
+// changes allocation counts, never results.
+type wireArena struct {
+	nats    sync.Pool // *[]mpint.Nat
+	cts     sync.Pool // *[]paillier.Ciphertext
+	batches sync.Pool // *[][]paillier.Ciphertext
+}
+
+func (a *wireArena) getNats(n int) []mpint.Nat {
+	if p, _ := a.nats.Get().(*[]mpint.Nat); p != nil && cap(*p) >= n {
+		return (*p)[:0]
+	}
+	return make([]mpint.Nat, 0, n)
+}
+
+func (a *wireArena) putNats(s []mpint.Nat) {
+	for i := range s {
+		s[i] = nil
+	}
+	s = s[:0]
+	a.nats.Put(&s)
+}
+
+func (a *wireArena) getCts(n int) []paillier.Ciphertext {
+	if p, _ := a.cts.Get().(*[]paillier.Ciphertext); p != nil && cap(*p) >= n {
+		return (*p)[:0]
+	}
+	return make([]paillier.Ciphertext, 0, n)
+}
+
+func (a *wireArena) putCts(s []paillier.Ciphertext) {
+	for i := range s {
+		s[i] = paillier.Ciphertext{}
+	}
+	s = s[:0]
+	a.cts.Put(&s)
+}
+
+func (a *wireArena) getBatches(n int) [][]paillier.Ciphertext {
+	if p, _ := a.batches.Get().(*[][]paillier.Ciphertext); p != nil && cap(*p) >= n {
+		return (*p)[:0]
+	}
+	return make([][]paillier.Ciphertext, 0, n)
+}
+
+func (a *wireArena) putBatches(s [][]paillier.Ciphertext) {
+	for i := range s {
+		s[i] = nil
+	}
+	s = s[:0]
+	a.batches.Put(&s)
+}

@@ -1,0 +1,81 @@
+package fl
+
+import (
+	"bytes"
+	"testing"
+
+	"flbooster/internal/mpint"
+	"flbooster/internal/paillier"
+)
+
+func arenaFed(t *testing.T) *Federation {
+	t.Helper()
+	ctx, err := NewContext(testProfile(SystemFATE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFederation(ctx)
+}
+
+func arenaCts(n int) []paillier.Ciphertext {
+	rng := mpint.NewRNG(31)
+	cts := make([]paillier.Ciphertext, n)
+	for i := range cts {
+		cts[i] = paillier.Ciphertext{C: rng.RandBits(256)}
+	}
+	return cts
+}
+
+// TestArenaCodecRoundtrip: the arena-backed codec is byte- and value-exact
+// with the plain codec, including across pool reuse cycles.
+func TestArenaCodecRoundtrip(t *testing.T) {
+	f := arenaFed(t)
+	defer f.Close()
+	cts := arenaCts(9)
+	want := encodeCiphertexts(cts)
+	for cycle := 0; cycle < 3; cycle++ {
+		got := f.encodeCts(cts)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cycle %d: arena encoding differs from plain codec", cycle)
+		}
+		dec, err := f.decodeCts(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != len(cts) {
+			t.Fatalf("cycle %d: decoded %d ciphertexts, want %d", cycle, len(dec), len(cts))
+		}
+		for i := range dec {
+			if mpint.Cmp(dec[i].C, cts[i].C) != 0 {
+				t.Fatalf("cycle %d: ciphertext %d corrupted by pooling", cycle, i)
+			}
+		}
+		f.arena.putCts(dec)
+	}
+}
+
+// TestArenaCodecAllocs is the allocation regression guard for the flat round
+// path's codec primitives: with a warm arena, encoding a batch costs exactly
+// the payload buffer, and decoding costs only the per-value nat parses.
+func TestArenaCodecAllocs(t *testing.T) {
+	f := arenaFed(t)
+	defer f.Close()
+	const n = 16
+	cts := arenaCts(n)
+	payload := f.encodeCts(cts) // warm the nat pool
+
+	if got := testing.AllocsPerRun(100, func() {
+		f.encodeCts(cts)
+	}); got > 2 {
+		t.Errorf("warm arena encode: %.1f allocs per batch, want <= 2", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		dec, err := f.decodeCts(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.arena.putCts(dec)
+	}); got > n+2 {
+		t.Errorf("warm arena decode: %.1f allocs per batch, want <= %d", got, n+2)
+	}
+}

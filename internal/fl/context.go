@@ -26,8 +26,10 @@ type Context struct {
 	Backend paillier.Backend
 	Quant   *quant.Quantizer
 	Packer  *batch.Packer       // nil when batch compression is off
-	Device  *gpu.Device         // nil on CPU profiles
-	Checked *ghe.CheckedEngine  // nil on CPU profiles; the resilient GPU-HE path
+	Device  *gpu.Device         // nil on CPU profiles and device-set profiles
+	DevSet  *gpu.DeviceSet      // non-nil when Profile.Devices >= 1: the sharded fleet
+	Checked *ghe.CheckedEngine  // nil on CPU and device-set profiles; the resilient GPU-HE path
+	Sharded *ghe.ShardedEngine  // non-nil when DevSet is: the sharded vector engine
 	Pool    *paillier.NoncePool // nil unless Profile.NoncePool > 0 on a GPU profile
 	Link    flnet.Link
 	Costs   *Costs
@@ -63,7 +65,33 @@ func NewContext(p Profile) (*Context, error) {
 		}
 		ctx.Packer = pk
 	}
-	if p.UseGPU {
+	if p.UseGPU && p.Devices >= 1 {
+		set, err := gpu.NewDeviceSet(p.Device, p.FineRM, p.Devices)
+		if err != nil {
+			return nil, err
+		}
+		if p.Faults.Inject.Enabled() {
+			// Each member fails independently: derive a distinct injector seed
+			// per device so a profile-driven fault pattern does not kill the
+			// whole fleet in lockstep.
+			for i := 0; i < set.Size(); i++ {
+				cfg := p.Faults.Inject
+				cfg.Seed += uint64(i) * 0x9e3779b97f4a7c15
+				set.Device(i).SetFaultInjector(gpu.NewFaultInjector(cfg))
+			}
+		}
+		sharded, err := ghe.NewShardedEngine(set, p.Faults.Check)
+		if err != nil {
+			return nil, err
+		}
+		backend, err := paillier.NewGPUBackend(sharded)
+		if err != nil {
+			return nil, err
+		}
+		ctx.DevSet = set
+		ctx.Sharded = sharded
+		ctx.Backend = backend
+	} else if p.UseGPU {
 		dev, err := gpu.New(p.Device, p.FineRM)
 		if err != nil {
 			return nil, err
@@ -108,7 +136,11 @@ func NewContext(p Profile) (*Context, error) {
 		ctx.AttachObs(obs.New(p.Seed), string(p.System))
 	}
 	if p.UseGPU && p.NoncePool > 0 {
-		pool, err := paillier.NewNoncePool(&key.PublicKey, ctx.Checked, 0)
+		var eng ghe.StreamEngine = ctx.Checked
+		if ctx.Sharded != nil {
+			eng = ctx.Sharded
+		}
+		pool, err := paillier.NewNoncePool(&key.PublicKey, eng, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -181,6 +213,9 @@ func (c *Context) AttachObs(o *obs.Obs, label string) {
 	if c.Device != nil {
 		c.Device.SetRecorder(o.Recorder(), label+".gpu")
 	}
+	if c.DevSet != nil {
+		c.DevSet.SetRecorder(o.Recorder(), label+".gpu")
+	}
 }
 
 // ObsLabel returns the sanitized label AttachObs installed ("" when
@@ -198,8 +233,14 @@ func (c *Context) PublishMetrics() {
 	if c.Device != nil {
 		c.Device.PublishMetrics(reg, "gpu."+c.obsPrefix)
 	}
+	if c.DevSet != nil {
+		c.DevSet.PublishMetrics(reg, "gpu."+c.obsPrefix)
+	}
 	if c.Checked != nil {
 		c.Checked.PublishMetrics(reg, "ghe."+c.obsPrefix)
+	}
+	if c.Sharded != nil {
+		c.Sharded.PublishMetrics(reg, "ghe."+c.obsPrefix)
 	}
 	if c.Pool != nil {
 		// "pool." sits outside the reconciled "fl.<label>" cost-mirror set:
@@ -251,6 +292,34 @@ func (c *Context) ReconcileObs() error {
 	for _, ck := range checks {
 		if got := reg.Counter(pre + ck.name); got != ck.want {
 			return fmt.Errorf("fl: metrics/cost drift: %s%s = %d, snapshot says %d", pre, ck.name, got, ck.want)
+		}
+	}
+	return c.reconcileDevSet(reg)
+}
+
+// reconcileDevSet asserts the published per-device metric rows sum to the
+// device set's aggregate row for every additive counter — the invariant that
+// sharded dispatch never loses or double-counts device work. Publishes first
+// so the rows reflect current stats; a no-op on single-device and CPU
+// profiles.
+func (c *Context) reconcileDevSet(reg *obs.Registry) error {
+	if c.DevSet == nil {
+		return nil
+	}
+	c.PublishMetrics()
+	pre := "gpu." + c.obsPrefix
+	additive := []string{
+		"launches", "threads", "warps", "bytes_h2d", "bytes_d2h",
+		"sim_transfer_ns", "sim_compute_ns", "sim_fault_ns",
+		"sim_precompute_ns", "launch_failures", "watchdog_trips",
+	}
+	for _, name := range additive {
+		var sum int64
+		for i := 0; i < c.DevSet.Size(); i++ {
+			sum += reg.Counter(fmt.Sprintf("%s.dev%d.%s", pre, i, name))
+		}
+		if agg := reg.Counter(pre + "." + name); agg != sum {
+			return fmt.Errorf("fl: device-set drift: %s.%s = %d, per-device rows sum to %d", pre, name, agg, sum)
 		}
 	}
 	return nil
@@ -316,17 +385,23 @@ func (c *Context) peekSeed() uint64 {
 // simDelta reads the device's modelled time before/after a batch. For CPU
 // profiles the modelled time equals the measured wall time.
 func (c *Context) simBase() time.Duration {
-	if c.Device == nil {
-		return 0
+	switch {
+	case c.Device != nil:
+		return c.Device.Stats().SimTime()
+	case c.DevSet != nil:
+		return c.DevSet.SimTime()
 	}
-	return c.Device.Stats().SimTime()
+	return 0
 }
 
 func (c *Context) simSince(base time.Duration, wall time.Duration) time.Duration {
-	if c.Device == nil {
-		return wall
+	switch {
+	case c.Device != nil:
+		return c.Device.Stats().SimTime() - base
+	case c.DevSet != nil:
+		return c.DevSet.SimTime() - base
 	}
-	return c.Device.Stats().SimTime() - base
+	return wall
 }
 
 // EncodePlaintexts converts a gradient vector into HE plaintexts: always
@@ -444,7 +519,7 @@ func (c *Context) EncryptGradientsStream(grads []float64, emit func(index int, c
 		}
 		wall := time.Since(start)
 		heSim := seqSim
-		if c.Device == nil {
+		if c.Device == nil && c.DevSet == nil {
 			heSim = wall
 		}
 		c.Costs.AddHE(wall, heSim, int64(len(cts)), int64(hi-lo))
@@ -639,10 +714,13 @@ func (c *Context) TrackOther(fn func()) {
 // Utilization reports the device's average SM utilization (0 for CPU
 // profiles) — the Fig. 6 reading.
 func (c *Context) Utilization() float64 {
-	if c.Device == nil {
-		return 0
+	switch {
+	case c.Device != nil:
+		return c.Device.Stats().AvgUtilization()
+	case c.DevSet != nil:
+		return c.DevSet.AvgUtilization()
 	}
-	return c.Device.Stats().AvgUtilization()
+	return 0
 }
 
 // FaultReport aggregates the context's device fault, retry, and fallback
@@ -663,8 +741,34 @@ type FaultReport struct {
 	Checked ghe.CheckedStats
 }
 
-// FaultReport returns the current fault/resilience counters.
+// FaultReport returns the current fault/resilience counters. Multi-device
+// profiles report fleet-wide sums: the worst member health, every member's
+// injector decisions, and the sharded engine's checked-layer view.
 func (c *Context) FaultReport() FaultReport {
+	if c.DevSet != nil {
+		ds := c.DevSet.StatsSum()
+		rep := FaultReport{
+			Health:         ds.Health,
+			LaunchFailures: ds.LaunchFailures,
+			WatchdogTrips:  ds.WatchdogTrips,
+			SimFaultTime:   ds.SimFaultTime,
+		}
+		for i := 0; i < c.DevSet.Size(); i++ {
+			if fi := c.DevSet.Device(i).Injector(); fi != nil {
+				fs := fi.Stats()
+				rep.Injected.Launches += fs.Launches
+				rep.Injected.Aborts += fs.Aborts
+				rep.Injected.Corruptions += fs.Corruptions
+				rep.Injected.Stalls += fs.Stalls
+				rep.Injected.OOMs += fs.OOMs
+				rep.Injected.Kills += fs.Kills
+			}
+		}
+		if c.Sharded != nil {
+			rep.Checked = c.Sharded.Stats()
+		}
+		return rep
+	}
 	if c.Device == nil {
 		return FaultReport{Health: gpu.DeviceHealthy}
 	}

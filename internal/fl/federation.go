@@ -38,6 +38,10 @@ type Federation struct {
 	roster      *Roster
 	nextAttempt uint32
 	resume      *ResumePoint
+
+	// arena pools the flat round path's codec scratch and gathered batches
+	// across rounds; results are unchanged, only steady-state allocations.
+	arena wireArena
 }
 
 // ClientName returns the canonical name of client i.
@@ -607,7 +611,7 @@ func (st *roundState) uploadWave(wave []string, grads [][]float64) error {
 		}
 		msg := flnet.Message{
 			From: name, To: ServerName, Kind: "grads", Round: st.id,
-			Payload: encodeCiphertexts(cts),
+			Payload: st.f.encodeCts(cts),
 		}
 		if err := st.send(msg); err != nil {
 			if rerr := st.drop(PhaseUpload, name, err); rerr != nil {
@@ -670,7 +674,7 @@ func (st *roundState) uploadWaveOverlapped(wave []string, grads [][]float64) err
 		he := ctx.Costs.Snapshot().HESim - heBefore
 		msg := flnet.Message{
 			From: name, To: ServerName, Kind: "grads", Round: st.id,
-			Payload: encodeCiphertexts(cts),
+			Payload: st.f.encodeCts(cts),
 		}
 		if err := st.send(msg); err != nil {
 			if rerr := st.drop(PhaseUpload, name, err); rerr != nil {
@@ -786,7 +790,7 @@ func (st *roundState) streamClientChunks(i int, grads []float64, enc, wire *gpu.
 		}
 		msg := flnet.Message{
 			From: name, To: ServerName, Kind: "gradc", Round: st.id,
-			Payload: flnet.EncodeChunk(uint32(chk.index), uint32(total), encodeCiphertexts(chk.cts)),
+			Payload: flnet.EncodeChunk(uint32(chk.index), uint32(total), st.f.encodeCts(chk.cts)),
 		}
 		if err := st.send(msg); err != nil {
 			sendErr = err
@@ -860,7 +864,7 @@ func (st *roundState) gather() error {
 		}
 		switch msg.Kind {
 		case "grads":
-			cts, err := decodeCiphertexts(msg.Payload)
+			cts, err := st.f.decodeCts(msg.Payload)
 			if err != nil {
 				return st.fail(PhaseGather, msg.From, fmt.Errorf("server decode: %w", err))
 			}
@@ -1238,7 +1242,8 @@ func (st *roundState) aggregate() error {
 
 // aggregatePlain is the undefended single-aggregate sum.
 func (st *roundState) aggregatePlain() error {
-	batches := make([][]paillier.Ciphertext, 0, len(st.included))
+	a := &st.f.arena
+	batches := a.getBatches(len(st.included))
 	live := int64(0)
 	for _, name := range st.included {
 		batches = append(batches, st.batches[name])
@@ -1249,9 +1254,21 @@ func (st *roundState) aggregatePlain() error {
 	st.observeLivePeak(live)
 	agg, err := st.f.Ctx.AggregateCiphertexts(batches)
 	if err != nil {
+		a.putBatches(batches)
 		return st.fail(PhaseGather, "", err)
 	}
-	st.aggPayload = encodeCiphertexts(agg)
+	st.aggPayload = st.f.encodeCts(agg)
+	// Once the aggregate is framed the gathered batches are dead — but only
+	// when the sum is a fresh slice: a single-batch aggregate aliases
+	// batches[0], which must stay out of the pool.
+	if len(batches) > 1 {
+		for _, name := range st.included {
+			a.putCts(st.batches[name])
+			delete(st.batches, name)
+		}
+		a.putCts(agg)
+	}
+	a.putBatches(batches)
 	return nil
 }
 
@@ -1264,7 +1281,7 @@ func (st *roundState) aggregateTree() error {
 	if err != nil {
 		return st.fail(PhaseGather, "", err)
 	}
-	st.aggPayload = encodeCiphertexts(root)
+	st.aggPayload = st.f.encodeCts(root)
 	st.finishTree(st.tree.Stats())
 	return nil
 }
@@ -1291,7 +1308,7 @@ func (st *roundState) aggregateGroupedTree() error {
 			return st.fail(PhaseGather, "", err)
 		}
 		sizes = append(sizes, counts[g])
-		blobs = append(blobs, encodeCiphertexts(root))
+		blobs = append(blobs, st.f.encodeCts(root))
 		merged.merge(tree.Stats())
 	}
 	payload, err := flnet.EncodeGroupAgg(sizes, blobs)
@@ -1366,7 +1383,7 @@ func (st *roundState) aggregateGrouped() error {
 	}
 	blobs := make([][]byte, len(sums))
 	for g, cts := range sums {
-		blobs[g] = encodeCiphertexts(cts)
+		blobs[g] = st.f.encodeCts(cts)
 	}
 	payload, err := flnet.EncodeGroupAgg(sizes, blobs)
 	if err != nil {
@@ -1613,6 +1630,34 @@ func encodeCiphertexts(cts []paillier.Ciphertext) []byte {
 		nats[i] = c.C
 	}
 	return flnet.EncodeNats(nats)
+}
+
+// encodeCts is encodeCiphertexts through the federation's wire arena: the
+// nat scratch is pooled, the returned payload is always fresh bytes (the
+// transport may hold a delivered payload beyond the round).
+func (f *Federation) encodeCts(cts []paillier.Ciphertext) []byte {
+	nats := f.arena.getNats(len(cts))
+	for _, c := range cts {
+		nats = append(nats, c.C)
+	}
+	payload := flnet.EncodeNats(nats)
+	f.arena.putNats(nats)
+	return payload
+}
+
+// decodeCts parses a batch into an arena-pooled ciphertext slice; the slice
+// returns to the pool once the round's aggregate retires it.
+func (f *Federation) decodeCts(b []byte) ([]paillier.Ciphertext, error) {
+	nats, err := flnet.DecodeNatsInto(f.arena.getNats(0), b)
+	if err != nil {
+		return nil, err
+	}
+	cts := f.arena.getCts(len(nats))
+	for _, n := range nats {
+		cts = append(cts, paillier.Ciphertext{C: n})
+	}
+	f.arena.putNats(nats)
+	return cts, nil
 }
 
 // decodeCiphertexts parses a batch framed by encodeCiphertexts.

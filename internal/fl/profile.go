@@ -58,6 +58,12 @@ type Profile struct {
 	FineRM bool
 	// Device is the GPU model for GPU profiles.
 	Device gpu.Config
+	// Devices is the simulated device count for GPU profiles: values of 1 or
+	// more build a gpu.DeviceSet of that many Device-configured members and
+	// shard every vector HE op across them (work stealing under faults, merged
+	// max-over-devices clock). Zero keeps the classic single-device engine.
+	// Ignored on CPU profiles.
+	Devices int
 	// Seed drives every random choice for reproducibility.
 	Seed uint64
 	// Chunk is the streamed-pipeline chunk size in plaintexts per chunk:
@@ -199,6 +205,10 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("fl: negative pipeline chunk size %d", p.Chunk)
 	case p.NoncePool < 0:
 		return fmt.Errorf("fl: negative nonce pool depth %d", p.NoncePool)
+	case p.Devices < 0:
+		return fmt.Errorf("fl: negative device count %d", p.Devices)
+	case p.Devices > gpu.MaxDevices:
+		return fmt.Errorf("fl: device count %d exceeds %d", p.Devices, gpu.MaxDevices)
 	case p.Overlap.CompSimPerValue < 0:
 		return fmt.Errorf("fl: negative model-compute cost %v per value", p.Overlap.CompSimPerValue)
 	}

@@ -295,25 +295,40 @@ func (t *SimTransport) Close() error {
 // so a batch's wire size directly reflects key size × element count — the
 // quantity batch compression shrinks.
 
-// EncodeNats frames a batch of multi-precision integers.
+// EncodeNats frames a batch of multi-precision integers in exactly one
+// allocation, sized from the values' bit lengths.
 func EncodeNats(v []mpint.Nat) []byte {
 	size := 4
-	enc := make([][]byte, len(v))
-	for i, x := range v {
-		enc[i] = x.Bytes()
-		size += 4 + len(enc[i])
+	for _, x := range v {
+		size += 4 + (x.BitLen()+7)/8
 	}
-	buf := make([]byte, 0, size)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
-	for _, e := range enc {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e)))
-		buf = append(buf, e...)
+	return AppendNats(make([]byte, 0, size), v)
+}
+
+// AppendNats appends the EncodeNats framing of v to dst and returns the
+// extended slice — the zero-extra-allocation form for callers that reuse an
+// encode buffer.
+func AppendNats(dst []byte, v []mpint.Nat) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+	for _, x := range v {
+		at := len(dst)
+		dst = append(dst, 0, 0, 0, 0)
+		dst = x.AppendBytes(dst)
+		binary.LittleEndian.PutUint32(dst[at:], uint32(len(dst)-at-4))
 	}
-	return buf
+	return dst
 }
 
 // DecodeNats parses a batch framed by EncodeNats.
 func DecodeNats(b []byte) ([]mpint.Nat, error) {
+	return DecodeNatsInto(nil, b)
+}
+
+// DecodeNatsInto parses a batch framed by EncodeNats, appending into
+// dst[:0] — callers with a pooled scratch slice skip the output allocation.
+// The parsed values are freshly allocated either way; only the slice header
+// array is reused.
+func DecodeNatsInto(dst []mpint.Nat, b []byte) ([]mpint.Nat, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("flnet: nat batch truncated header")
 	}
@@ -325,7 +340,10 @@ func DecodeNats(b []byte) ([]mpint.Nat, error) {
 	if uint64(n) > uint64(len(b))/4 {
 		return nil, fmt.Errorf("flnet: nat batch count %d exceeds %d-byte body", n, len(b))
 	}
-	out := make([]mpint.Nat, 0, n)
+	out := dst[:0]
+	if cap(out) < int(n) {
+		out = make([]mpint.Nat, 0, n)
+	}
 	for i := uint32(0); i < n; i++ {
 		if len(b) < 4 {
 			return nil, fmt.Errorf("flnet: nat %d truncated length", i)

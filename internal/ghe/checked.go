@@ -38,6 +38,12 @@ type CheckedConfig struct {
 	VerifyFraction float64
 	// VerifySeed drives the sampling of verified indices.
 	VerifySeed uint64
+	// NoHostFallback disables the CPU fallback entirely: an op that exhausts
+	// its retry budget, or hits a Failed device, surfaces its typed
+	// *gpu.KernelError instead of being served by the host. This is the mode
+	// a DeviceSet member runs in — the shard scheduler owns failover, and a
+	// per-device silent fallback would hide the fault from it.
+	NoHostFallback bool
 }
 
 // withDefaults fills unset fields.
@@ -163,8 +169,12 @@ func (c *CheckedEngine) execute(op string, n int, gpuOp, hostOp func() error, ex
 	fellBack := c.stats.FellBack
 	c.mu.Unlock()
 	if fellBack {
+		if c.cfg.NoHostFallback {
+			return &gpu.KernelError{Kind: gpu.FaultDeviceFailed, Kernel: op}
+		}
 		return c.runHost(hostOp)
 	}
+	var lastKerr *gpu.KernelError
 	for attempt := 0; ; attempt++ {
 		err := gpuOp()
 		if err != nil {
@@ -174,6 +184,7 @@ func (c *CheckedEngine) execute(op string, n int, gpuOp, hostOp func() error, ex
 			if !errors.As(err, &kerr) {
 				return err
 			}
+			lastKerr = kerr
 			c.mu.Lock()
 			c.stats.LaunchFaults++
 			c.mu.Unlock()
@@ -183,16 +194,24 @@ func (c *CheckedEngine) execute(op string, n int, gpuOp, hostOp func() error, ex
 			// The kernel reported success with corrupted contents: feed the
 			// detection back into the device health machine and retry.
 			c.dev.ReportFailure(op, gpu.FaultCorrupt)
+			lastKerr = &gpu.KernelError{Kind: gpu.FaultCorrupt, Kernel: op}
 		}
 		if c.dev.Health() == gpu.DeviceFailed {
 			c.mu.Lock()
 			c.stats.FellBack = true
 			c.mu.Unlock()
+			if c.cfg.NoHostFallback {
+				return lastKerr
+			}
 			return c.runHost(hostOp)
 		}
 		if attempt >= c.cfg.MaxRetries {
-			// Retry budget spent without the device being declared dead:
-			// serve this op from the host but keep the device in rotation.
+			// Retry budget spent without the device being declared dead: serve
+			// this op from the host but keep the device in rotation — unless
+			// failover belongs to the layer above.
+			if c.cfg.NoHostFallback {
+				return lastKerr
+			}
 			return c.runHost(hostOp)
 		}
 		backoff := c.cfg.Backoff << uint(attempt)

@@ -28,6 +28,7 @@ type Device struct {
 
 	rec      *obs.Recorder // nil when tracing is off: every record is one nil check
 	recParty string        // trace process the device's spans belong to
+	devID    string        // device label inside a DeviceSet ("dev0"…); empty standalone
 }
 
 // Stats aggregates device activity.
@@ -160,6 +161,21 @@ func (d *Device) SetRecorder(rec *obs.Recorder, party string) {
 	d.recParty = party
 }
 
+// SetDeviceLabel names the device inside a multi-device set; the label tags
+// every kernel/copy/fault span the device emits.
+func (d *Device) SetDeviceLabel(id string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.devID = id
+}
+
+// DeviceLabel returns the device's set label, empty for a standalone device.
+func (d *Device) DeviceLabel() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.devID
+}
+
 // obsRecorder returns the attached recorder and party label.
 func (d *Device) obsRecorder() (*obs.Recorder, string) {
 	d.mu.Lock()
@@ -173,14 +189,19 @@ func (d *Device) recordLocked(phase, lane string, start, dur time.Duration) {
 	if d.rec == nil || dur <= 0 {
 		return
 	}
-	d.rec.Record(obs.Span{Phase: phase, Party: d.recParty, Lane: lane, Start: start, Dur: dur})
+	d.rec.Record(obs.Span{Phase: phase, Party: d.recParty, Lane: lane, Device: d.devID, Start: start, Dur: dur})
 }
 
 // PublishMetrics snapshots the device counters into a metrics registry
 // under the given prefix — launches, bytes, fault/watchdog events, stream
 // clocks, the DESIGN.md §9 pull-publishing contract.
 func (d *Device) PublishMetrics(reg *obs.Registry, prefix string) {
-	s := d.Stats()
+	publishDeviceStats(reg, prefix, d.Stats())
+}
+
+// publishDeviceStats writes one Stats snapshot under a prefix — shared by
+// standalone devices, DeviceSet members, and the set's aggregate row.
+func publishDeviceStats(reg *obs.Registry, prefix string, s Stats) {
 	reg.Set(prefix+".launches", s.KernelLaunches)
 	reg.Set(prefix+".threads", s.ThreadsExecuted)
 	reg.Set(prefix+".warps", s.WarpsExecuted)

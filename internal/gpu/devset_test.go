@@ -1,0 +1,447 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// checkShardCover fails unless shards tile [0, n) exactly with contiguous,
+// non-empty ranges.
+func checkShardCover(t *testing.T, shards []Shard, n int) {
+	t.Helper()
+	lo := 0
+	for i, sh := range shards {
+		if sh.Lo != lo {
+			t.Fatalf("shard %d starts at %d, want %d", i, sh.Lo, lo)
+		}
+		if sh.Len() <= 0 {
+			t.Fatalf("shard %d is empty: %+v", i, sh)
+		}
+		lo = sh.Hi
+	}
+	if lo != n {
+		t.Fatalf("shards cover [0,%d), want [0,%d)", lo, n)
+	}
+}
+
+func TestSplitShards(t *testing.T) {
+	cases := []struct{ n, parts, want int }{
+		{0, 4, 0},
+		{-3, 4, 0},
+		{10, 0, 0},
+		{10, -1, 0},
+		{10, 1, 1},
+		{10, 3, 3},
+		{10, 10, 10},
+		{3, 8, 3}, // parts > n collapses to n singleton shards
+		{1, 1, 1},
+		{97, 8, 8},
+	}
+	for _, c := range cases {
+		shards := SplitShards(c.n, c.parts)
+		if len(shards) != c.want {
+			t.Fatalf("SplitShards(%d,%d) = %d shards, want %d", c.n, c.parts, len(shards), c.want)
+		}
+		if c.want > 0 {
+			checkShardCover(t, shards, c.n)
+			// Near-equal: sizes differ by at most one.
+			min, max := shards[0].Len(), shards[0].Len()
+			for _, sh := range shards {
+				if sh.Len() < min {
+					min = sh.Len()
+				}
+				if sh.Len() > max {
+					max = sh.Len()
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("SplitShards(%d,%d) sizes span [%d,%d], want near-equal", c.n, c.parts, min, max)
+			}
+		}
+	}
+}
+
+func FuzzSplitShards(f *testing.F) {
+	f.Add(0, 0)
+	f.Add(1, 1)
+	f.Add(100, 7)
+	f.Add(3, 64)
+	f.Add(-5, 3)
+	f.Add(1<<20, 64)
+	f.Fuzz(func(t *testing.T, n, parts int) {
+		if n > 1<<22 || parts > 1<<22 {
+			t.Skip("cap work per input")
+		}
+		shards := SplitShards(n, parts)
+		if n <= 0 || parts <= 0 {
+			if shards != nil {
+				t.Fatalf("SplitShards(%d,%d) = %v, want nil", n, parts, shards)
+			}
+			return
+		}
+		want := parts
+		if want > n {
+			want = n
+		}
+		if len(shards) != want {
+			t.Fatalf("SplitShards(%d,%d) = %d shards, want %d", n, parts, len(shards), want)
+		}
+		lo := 0
+		for i, sh := range shards {
+			if sh.Lo != lo || sh.Len() <= 0 {
+				t.Fatalf("shard %d = %+v breaks contiguity at %d", i, sh, lo)
+			}
+			lo = sh.Hi
+		}
+		if lo != n {
+			t.Fatalf("shards cover [0,%d), want [0,%d)", lo, n)
+		}
+	})
+}
+
+// testSet builds a small D-device set.
+func testSet(t *testing.T, d int) *DeviceSet {
+	t.Helper()
+	s, err := NewDeviceSet(SmallTestDevice(), true, d)
+	if err != nil {
+		t.Fatalf("NewDeviceSet(%d): %v", d, err)
+	}
+	return s
+}
+
+// doubleOp builds a sharded op computing out[i] = in[i]*2 through the real
+// device kernel path (H2D, launch, D2H) so clocks and fault injection engage.
+func doubleOp(s *DeviceSet, in, out []int64) ShardOp {
+	return ShardOp{
+		Name:         "double",
+		Items:        len(in),
+		BytesPerItem: 8,
+		Run: func(devID int, sh Shard) error {
+			dev := s.Device(devID)
+			dev.CopyToDevice(int64(sh.Len()) * 8)
+			k := Kernel{Name: "double", Items: sh.Len(), RegsPerThread: 16, WordOps: 4}
+			if _, err := dev.Launch(k, func(i int) {
+				out[sh.Lo+i] = in[sh.Lo+i] * 2
+			}); err != nil {
+				return err
+			}
+			dev.CopyFromDevice(int64(sh.Len()) * 8)
+			return nil
+		},
+		Host: func(sh Shard) error {
+			for i := sh.Lo; i < sh.Hi; i++ {
+				out[i] = in[i] * 2
+			}
+			return nil
+		},
+	}
+}
+
+func seqInput(n int) []int64 {
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(i*i + 3)
+	}
+	return in
+}
+
+func TestDeviceSetValidation(t *testing.T) {
+	if _, err := NewDeviceSet(SmallTestDevice(), true, 0); err == nil {
+		t.Fatal("0 devices must be rejected")
+	}
+	if _, err := NewDeviceSet(SmallTestDevice(), true, MaxDevices+1); err == nil {
+		t.Fatal("MaxDevices+1 must be rejected")
+	}
+	s := testSet(t, 3)
+	for i := 0; i < 3; i++ {
+		want := fmt.Sprintf("dev%d", i)
+		if got := s.Device(i).DeviceLabel(); got != want {
+			t.Fatalf("device %d label = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestDeviceSetRunMatchesSequential(t *testing.T) {
+	const n = 37
+	in := seqInput(n)
+	want := make([]int64, n)
+	for i := range want {
+		want[i] = in[i] * 2
+	}
+	for _, d := range []int{1, 2, 4, 8} {
+		s := testSet(t, d)
+		out := make([]int64, n)
+		if err := s.Run(doubleOp(s, in, out)); err != nil {
+			t.Fatalf("D=%d: %v", d, err)
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("D=%d: out[%d] = %d, want %d", d, i, out[i], want[i])
+			}
+		}
+		st := s.Stats()
+		if st.Ops != 1 || st.Shards != int64(min(d, n)) {
+			t.Fatalf("D=%d: stats = %+v, want 1 op, %d shards", d, st, min(d, n))
+		}
+		if st.SimParallelTime <= 0 || st.SimSequentialTime < st.SimParallelTime {
+			t.Fatalf("D=%d: parallel %v vs sequential %v out of order", d, st.SimParallelTime, st.SimSequentialTime)
+		}
+	}
+}
+
+// TestDeviceSetParallelSpeedup: the same work on D=4 must cost roughly 1/4
+// of its sequential span on the merged parallel clock — the cost model's
+// occupancy is shard-size-independent, so scaling is near-linear.
+func TestDeviceSetParallelSpeedup(t *testing.T) {
+	const n = 256
+	in := seqInput(n)
+	out := make([]int64, n)
+	s := testSet(t, 4)
+	if err := s.Run(doubleOp(s, in, out)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	ratio := float64(st.SimSequentialTime) / float64(st.SimParallelTime)
+	if ratio < 3.5 {
+		t.Fatalf("D=4 speedup %.2fx, want ≥3.5x (par %v, seq %v)", ratio, st.SimParallelTime, st.SimSequentialTime)
+	}
+}
+
+func TestDeviceSetWorkStealingOnKill(t *testing.T) {
+	const n = 64
+	in := seqInput(n)
+	want := make([]int64, n)
+	for i := range want {
+		want[i] = in[i] * 2
+	}
+	s := testSet(t, 4)
+	// Device 1 dies at its first launch: every attempt aborts.
+	s.Device(1).SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 7, KillAtLaunch: 1}))
+	out := make([]int64, n)
+	if err := s.Run(doubleOp(s, in, out)); err != nil {
+		t.Fatalf("Run with dead device: %v", err)
+	}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d (bit-exactness must survive migration)", i, out[i], want[i])
+		}
+	}
+	st := s.Stats()
+	if st.Steals == 0 {
+		t.Fatalf("expected stolen shards, stats = %+v", st)
+	}
+	if st.RebalanceSim <= 0 {
+		t.Fatalf("rework wave must charge RebalanceSim, stats = %+v", st)
+	}
+	if st.HostShards != 0 {
+		t.Fatalf("healthy peers should absorb the work, not the host: %+v", st)
+	}
+	// The dead device recorded its failed launch.
+	if s.Device(1).Stats().FaultAborts == 0 {
+		t.Fatal("device 1 should have recorded the abort")
+	}
+}
+
+func TestDeviceSetHostFallbackWhenAllDevicesDie(t *testing.T) {
+	const n = 16
+	in := seqInput(n)
+	s := testSet(t, 2)
+	for i := 0; i < 2; i++ {
+		s.Device(i).SetFaultInjector(NewFaultInjector(FaultConfig{Seed: uint64(i + 1), KillAtLaunch: 1}))
+	}
+	out := make([]int64, n)
+	if err := s.Run(doubleOp(s, in, out)); err != nil {
+		t.Fatalf("Run with all devices dead: %v", err)
+	}
+	for i := range out {
+		if out[i] != in[i]*2 {
+			t.Fatalf("host fallback out[%d] = %d, want %d", i, out[i], in[i]*2)
+		}
+	}
+	st := s.Stats()
+	if st.HostShards == 0 || st.HostSim <= 0 {
+		t.Fatalf("expected host-fallback shards with charged time: %+v", st)
+	}
+	if st.SimParallelTime+st.HostSim != s.SimTime() {
+		t.Fatalf("SimTime %v != parallel %v + host %v", s.SimTime(), st.SimParallelTime, st.HostSim)
+	}
+}
+
+func TestDeviceSetFatalErrorAborts(t *testing.T) {
+	s := testSet(t, 2)
+	wantErr := errors.New("caller bug")
+	err := s.Run(ShardOp{
+		Name:  "broken",
+		Items: 8,
+		Run: func(devID int, sh Shard) error {
+			return wantErr
+		},
+	})
+	if err == nil || !errors.Is(err, wantErr) {
+		t.Fatalf("fatal error must surface, got %v", err)
+	}
+}
+
+func TestDeviceSetNoHostFnSurfacesLastError(t *testing.T) {
+	s := testSet(t, 1)
+	s.Device(0).SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 3, KillAtLaunch: 1}))
+	in := seqInput(4)
+	op := doubleOp(s, in, make([]int64, 4))
+	op.Host = nil
+	if err := s.Run(op); err == nil {
+		t.Fatal("no host fallback and no eligible device must error")
+	}
+}
+
+// TestSetPipelineNoIdleDoubleCharge is the satellite-2 regression test: when
+// every member device runs its own stream pipeline inside one sharded op,
+// the set must charge the measured parallel span — the max over the devices'
+// overlapped deltas — and never the sum, which would double-charge the idle
+// time a device spends waiting for the slowest peer.
+func TestSetPipelineNoIdleDoubleCharge(t *testing.T) {
+	const n = 48
+	s := testSet(t, 4)
+	base := make([]time.Duration, 4)
+	for i := range base {
+		base[i] = s.Device(i).Stats().SimTimeOverlapped()
+	}
+	op := ShardOp{
+		Name:  "piped",
+		Items: n,
+		Run: func(devID int, sh Shard) error {
+			dev := s.Device(devID)
+			pipe := dev.NewPipeline(2)
+			for lo := sh.Lo; lo < sh.Hi; lo += 4 {
+				hi := lo + 4
+				if hi > sh.Hi {
+					hi = sh.Hi
+				}
+				pipe.Begin()
+				dev.CopyToDevice(int64(hi-lo) * 8)
+				k := Kernel{Name: "piped", Items: hi - lo, RegsPerThread: 16, WordOps: 64}
+				if _, err := dev.Launch(k, func(int) {}); err != nil {
+					pipe.Close()
+					return err
+				}
+				dev.CopyFromDevice(int64(hi-lo) * 8)
+				pipe.End()
+			}
+			pipe.Close()
+			return nil
+		},
+	}
+	if err := s.Run(op); err != nil {
+		t.Fatal(err)
+	}
+	var sum, max time.Duration
+	for i := range base {
+		delta := s.Device(i).Stats().SimTimeOverlapped() - base[i]
+		sum += delta
+		if delta > max {
+			max = delta
+		}
+	}
+	st := s.Stats()
+	if st.SimParallelTime != max {
+		t.Fatalf("set parallel time %v, want max-over-devices %v", st.SimParallelTime, max)
+	}
+	if st.SimSequentialTime != sum {
+		t.Fatalf("set sequential time %v, want sum-over-devices %v", st.SimSequentialTime, sum)
+	}
+	if st.SimParallelTime >= sum {
+		t.Fatalf("parallel span %v must be strictly below the naive sum %v", st.SimParallelTime, sum)
+	}
+	// Each device streamed its chunks: the overlapped delta must be below its
+	// own sequential stage sum too.
+	for i := range base {
+		ds := s.Device(i).Stats()
+		if ds.SimStreamTime >= ds.SimStreamSeqTime {
+			t.Fatalf("dev%d streamed span %v not below sequential %v", i, ds.SimStreamTime, ds.SimStreamSeqTime)
+		}
+	}
+}
+
+func TestDeviceSetP2PMigrationCharged(t *testing.T) {
+	const n = 64
+	in := seqInput(n)
+	run := func(p2p bool) SetStats {
+		s := testSet(t, 4)
+		if p2p {
+			s.SetP2P(5e-6, 25e9)
+		}
+		s.Device(1).SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 7, KillAtLaunch: 1}))
+		out := make([]int64, n)
+		if err := s.Run(doubleOp(s, in, out)); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats()
+	}
+	without := run(false)
+	with := run(true)
+	if with.Steals != without.Steals {
+		t.Fatalf("steals differ with topology: %d vs %d", with.Steals, without.Steals)
+	}
+	if with.RebalanceSim <= without.RebalanceSim {
+		t.Fatalf("p2p migration must add modelled cost: %v vs %v", with.RebalanceSim, without.RebalanceSim)
+	}
+}
+
+func TestDeviceSetBeginOffline(t *testing.T) {
+	const n = 32
+	in := seqInput(n)
+	s := testSet(t, 2)
+	finish := s.BeginOffline()
+	out := make([]int64, n)
+	if err := s.Run(doubleOp(s, in, out)); err != nil {
+		t.Fatal(err)
+	}
+	if s.SimTime() <= 0 {
+		t.Fatal("online clock should have accrued before reclassification")
+	}
+	moved := finish()
+	if moved <= 0 {
+		t.Fatal("reclassification should move accrued time")
+	}
+	if got := s.SimTime(); got != 0 {
+		t.Fatalf("online clock after reclassification = %v, want 0", got)
+	}
+	st := s.Stats()
+	if st.SimPrecomputeTime != moved {
+		t.Fatalf("set precompute %v, want %v", st.SimPrecomputeTime, moved)
+	}
+	for i := 0; i < 2; i++ {
+		ds := s.Device(i).Stats()
+		if ds.SimTime() != 0 || ds.SimPrecomputeTime <= 0 {
+			t.Fatalf("dev%d not reclassified: %+v", i, ds)
+		}
+	}
+}
+
+func TestDeviceSetResetStatsPreservesHealth(t *testing.T) {
+	s := testSet(t, 2)
+	s.Device(1).SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 1, KillAtLaunch: 1}))
+	in := seqInput(8)
+	if err := s.Run(doubleOp(s, in, make([]int64, 8))); err != nil {
+		t.Fatal(err)
+	}
+	health := s.Device(1).Health()
+	if health == DeviceHealthy {
+		t.Fatal("device 1 should have degraded")
+	}
+	s.ResetStats()
+	if got := s.Stats(); got != (SetStats{}) {
+		t.Fatalf("set stats after reset = %+v", got)
+	}
+	if s.Device(1).Health() != health {
+		t.Fatal("health must survive ResetStats")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

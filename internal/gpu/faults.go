@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -49,6 +50,13 @@ type KernelError struct {
 // Error implements error.
 func (e *KernelError) Error() string {
 	return fmt.Sprintf("gpu: kernel %q launch %d failed: %s", e.Kernel, e.Attempt, e.Kind)
+}
+
+// IsKernelError reports whether err is (or wraps) a typed device fault — the
+// retryable/re-queueable class, as opposed to a caller bug.
+func IsKernelError(err error) bool {
+	var ke *KernelError
+	return errors.As(err, &ke)
 }
 
 // HealthState is the device health machine's state.

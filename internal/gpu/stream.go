@@ -82,6 +82,7 @@ type Pipeline struct {
 
 	rec      *obs.Recorder // device recorder at open time (nil = tracing off)
 	recParty string
+	recDev   string        // device label at open time, tags every stage span
 	origin   time.Duration // device sim clock when the pipeline opened
 }
 
@@ -100,6 +101,7 @@ func (d *Device) NewPipeline(depth int) *Pipeline {
 		d2h:      NewStream("d2h"),
 		rec:      rec,
 		recParty: party,
+		recDev:   d.DeviceLabel(),
 		origin:   d.Stats().SimTime(),
 	}
 }
@@ -178,7 +180,7 @@ func (p *Pipeline) recordStage(chunk, lane string, end, dur time.Duration) {
 		return
 	}
 	p.rec.Record(obs.Span{
-		Phase: chunk, Party: p.recParty, Lane: lane,
+		Phase: chunk, Party: p.recParty, Lane: lane, Device: p.recDev,
 		Start: p.origin + end - dur, Dur: dur,
 	})
 }

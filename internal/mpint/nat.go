@@ -338,27 +338,32 @@ func ParseDecimal(s string) (Nat, error) {
 // Bytes returns the big-endian byte encoding of x with no leading zeros;
 // Bytes(0) is an empty slice.
 func (x Nat) Bytes() []byte {
+	return x.AppendBytes(nil)
+}
+
+// AppendBytes appends the big-endian byte encoding of x (no leading zeros)
+// to dst and returns the extended slice; zero appends nothing. Encoders with
+// a reusable buffer avoid the per-value allocation Bytes pays.
+func (x Nat) AppendBytes(dst []byte) []byte {
 	x = trim(x)
 	if len(x) == 0 {
-		return nil
+		return dst
 	}
-	buf := make([]byte, len(x)*4)
-	for i, w := range x {
-		off := len(buf) - 4*i
-		buf[off-1] = byte(w)
-		buf[off-2] = byte(w >> 8)
-		buf[off-3] = byte(w >> 16)
-		buf[off-4] = byte(w >> 24)
+	switch top := x[len(x)-1]; {
+	case top >= 1<<24:
+		dst = append(dst, byte(top>>24), byte(top>>16), byte(top>>8), byte(top))
+	case top >= 1<<16:
+		dst = append(dst, byte(top>>16), byte(top>>8), byte(top))
+	case top >= 1<<8:
+		dst = append(dst, byte(top>>8), byte(top))
+	default:
+		dst = append(dst, byte(top))
 	}
-	// strip leading zeros
-	i := 0
-	for i < len(buf)-1 && buf[i] == 0 {
-		i++
+	for i := len(x) - 2; i >= 0; i-- {
+		w := x[i]
+		dst = append(dst, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
 	}
-	if buf[i] == 0 {
-		return nil
-	}
-	return buf[i:]
+	return dst
 }
 
 // FromBytes parses a big-endian byte slice into a Nat.

@@ -22,6 +22,9 @@ type Span struct {
 	// Lane is the execution lane within the party: "gpu.kernel", "gpu.h2d",
 	// "fl.encrypt", "fl.send", "fl.round", ...
 	Lane string
+	// Device identifies which member of a multi-device set emitted the span
+	// ("dev0"…). Empty for single-device and non-device spans.
+	Device string
 	// Start and Dur locate the span on the simulated clock. Wall time never
 	// appears here — that is what keeps same-seed traces byte-identical.
 	Start time.Duration
@@ -110,6 +113,9 @@ func (r *Recorder) Spans() []Span {
 		if a.Phase != b.Phase {
 			return a.Phase < b.Phase
 		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
 		return a.Dur < b.Dur
 	})
 	return out
@@ -191,6 +197,11 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 		}
 	}
 	for _, s := range spans {
+		if s.Device != "" {
+			emit(`{"name":%s,"cat":"sim","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"device_id":%s}}`,
+				jstr(s.Phase), pid[s.Party], tid[s.Party][s.Lane], usec(s.Start), usec(s.Dur), jstr(s.Device))
+			continue
+		}
 		emit(`{"name":%s,"cat":"sim","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s}`,
 			jstr(s.Phase), pid[s.Party], tid[s.Party][s.Lane], usec(s.Start), usec(s.Dur))
 	}

@@ -125,14 +125,21 @@ func (p *NoncePool) Prefill(count int) (time.Duration, error) {
 	dev := p.eng.StreamDevice()
 	var mark gpu.Stats
 	var pipe *gpu.Pipeline
+	var finish func() time.Duration
 	if dev != nil {
 		mark = dev.Stats()
 		pipe = dev.NewPipeline(2)
+	} else if off, ok := p.eng.(ghe.OfflineEngine); ok {
+		// Deviceless but clocked (a sharded multi-device engine): bracket the
+		// whole refill and reclassify the set's accrued cost as precompute.
+		finish = off.BeginOffline()
 	}
 	refillErr := func(err error) (time.Duration, error) {
 		if pipe != nil {
 			pipe.Close()
 			p.stats.RefillSim += dev.ReclassifyPrecompute(mark)
+		} else if finish != nil {
+			p.stats.RefillSim += finish()
 		}
 		return 0, err
 	}
@@ -165,6 +172,9 @@ func (p *NoncePool) Prefill(count int) (time.Duration, error) {
 	if pipe != nil {
 		pipe.Close()
 		moved = dev.ReclassifyPrecompute(mark)
+		p.stats.RefillSim += moved
+	} else if finish != nil {
+		moved = finish()
 		p.stats.RefillSim += moved
 	}
 	return moved, nil

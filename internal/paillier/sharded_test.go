@@ -1,0 +1,220 @@
+package paillier
+
+import (
+	"testing"
+
+	"flbooster/internal/ghe"
+	"flbooster/internal/gpu"
+	"flbooster/internal/mpint"
+)
+
+// shardedBackend builds a GPUBackend over a D-device sharded engine.
+func shardedBackend(t testing.TB, d int) (*GPUBackend, *ghe.ShardedEngine) {
+	t.Helper()
+	set, err := gpu.NewDeviceSet(gpu.SmallTestDevice(), true, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ghe.NewShardedEngine(set, ghe.CheckedConfig{VerifyFraction: 0.1, VerifySeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGPUBackend(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, eng
+}
+
+// singleBackend is the sequential reference: one device, no sharding.
+func singleBackend(t testing.TB) *GPUBackend {
+	t.Helper()
+	b, err := NewGPUBackend(ghe.MustEngine(gpu.MustNew(gpu.SmallTestDevice(), true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sameCts(t *testing.T, tag string, got, want []Ciphertext) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		if mpint.Cmp(got[i].C, want[i].C) != 0 {
+			t.Fatalf("%s: ciphertext %d differs", tag, i)
+		}
+	}
+}
+
+// TestShardedBackendBitExact: the full Paillier vector API through a device
+// set matches the single-device backend bit-for-bit across D ∈ {1,2,4,8}.
+func TestShardedBackendBitExact(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	rng := mpint.NewRNG(21)
+	const n = 19
+	ms := make([]mpint.Nat, n)
+	for i := range ms {
+		ms[i] = rng.RandBelow(pk.N)
+	}
+	ref := singleBackend(t)
+	wantCts, err := ref.EncryptVec(pk, ms, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum, err := ref.AddVec(pk, wantCts, wantCts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range []int{1, 2, 4, 8} {
+		b, _ := shardedBackend(t, d)
+		cts, err := b.EncryptVec(pk, ms, 42)
+		if err != nil {
+			t.Fatalf("D=%d EncryptVec: %v", d, err)
+		}
+		sameCts(t, "encrypt", cts, wantCts)
+		sum, err := b.AddVec(pk, cts, cts)
+		if err != nil {
+			t.Fatalf("D=%d AddVec: %v", d, err)
+		}
+		sameCts(t, "add", sum, wantSum)
+		dec, err := b.DecryptVec(sk, sum)
+		if err != nil {
+			t.Fatalf("D=%d DecryptVec: %v", d, err)
+		}
+		for i := range dec {
+			want := mpint.Mod(mpint.Add(ms[i], ms[i]), pk.N)
+			if mpint.Cmp(dec[i], want) != 0 {
+				t.Fatalf("D=%d decrypt[%d] mismatch", d, i)
+			}
+		}
+	}
+}
+
+// TestShardedBackendPooledNoncesBitExact: a prefilled pool over the sharded
+// engine serves the same global-index stream, so pooled encryption equals
+// unpooled encryption equals the single-device reference.
+func TestShardedBackendPooledNoncesBitExact(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	rng := mpint.NewRNG(22)
+	const n = 17
+	ms := make([]mpint.Nat, n)
+	for i := range ms {
+		ms[i] = rng.RandBelow(pk.N)
+	}
+	ref := singleBackend(t)
+	want, err := ref.EncryptVec(pk, ms, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, eng := shardedBackend(t, 4)
+	pool, err := NewNoncePool(pk, eng, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Chunk = 5 // uneven chunks stress the global-index stitching
+	moved, err := pool.Prefill(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved <= 0 {
+		t.Fatal("sharded prefill should reclassify accrued set time")
+	}
+	if got := eng.Set().SimTime(); got != 0 {
+		t.Fatalf("online set clock after prefill = %v, want 0", got)
+	}
+	if st := eng.Set().Stats(); st.SimPrecomputeTime != moved {
+		t.Fatalf("set precompute %v, want %v", st.SimPrecomputeTime, moved)
+	}
+
+	b.Pool = pool
+	got, err := b.EncryptVec(pk, ms, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCts(t, "pooled encrypt", got, want)
+	if st := pool.Stats(); st.Hits != int64(n) {
+		t.Fatalf("pool hits = %d, want %d (stats %+v)", st.Hits, n, st)
+	}
+}
+
+// TestShardedSessionSeqCost: chunked sessions over a sharded engine have no
+// single-device pipeline, but each chunk still reports a modelled cost from
+// the set's merged clock — and stays bit-exact with the whole-batch path.
+func TestShardedSessionSeqCost(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	rng := mpint.NewRNG(23)
+	const n = 12
+	ms := make([]mpint.Nat, n)
+	for i := range ms {
+		ms[i] = rng.RandBelow(pk.N)
+	}
+	b, _ := shardedBackend(t, 2)
+	want, err := b.EncryptVec(pk, ms, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := b.BeginEncrypt(pk, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var got []Ciphertext
+	for lo := 0; lo < n; lo += 5 {
+		hi := lo + 5
+		if hi > n {
+			hi = n
+		}
+		cts, seq, err := sess.Next(ms[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq <= 0 {
+			t.Fatalf("chunk [%d,%d) reported no modelled cost", lo, hi)
+		}
+		got = append(got, cts...)
+	}
+	sameCts(t, "session", got, want)
+}
+
+// TestShardedBackendMidBatchKill: killing one of four devices mid-encrypt
+// leaves the ciphertexts bit-exact with the healthy reference.
+func TestShardedBackendMidBatchKill(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	rng := mpint.NewRNG(24)
+	const n = 16
+	ms := make([]mpint.Nat, n)
+	for i := range ms {
+		ms[i] = rng.RandBelow(pk.N)
+	}
+	ref := singleBackend(t)
+	want, err := ref.EncryptVec(pk, ms, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, eng := shardedBackend(t, 4)
+	// The kill lands mid-batch: the first launches succeed, then device 1
+	// aborts everything from its third launch on.
+	eng.Set().Device(1).SetFaultInjector(gpu.NewFaultInjector(gpu.FaultConfig{Seed: 2, KillAtLaunch: 3}))
+	got, err := b.EncryptVec(pk, ms, 13)
+	if err != nil {
+		t.Fatalf("EncryptVec under mid-batch kill: %v", err)
+	}
+	sameCts(t, "encrypt under kill", got, want)
+	dec, err := b.DecryptVec(sk, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		if mpint.Cmp(dec[i], ms[i]) != 0 {
+			t.Fatalf("decrypt[%d] mismatch after kill", i)
+		}
+	}
+}

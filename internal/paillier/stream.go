@@ -91,6 +91,11 @@ func (g *GPUBackend) BeginEncrypt(pk *PublicKey, seed uint64) (EncryptSession, e
 	s := &gpuEncryptSession{g: g, pk: pk, seed: seed, eng: se}
 	if dev := se.StreamDevice(); dev != nil {
 		s.pipe = dev.NewPipeline(2)
+	} else if clk, ok := g.Engine.(ghe.SimClock); ok {
+		// No single device to pipeline on (a sharded multi-device engine),
+		// but the substrate still keeps a modelled clock: per-chunk cost is
+		// read as SimNow deltas instead of pipeline chunks.
+		s.clk = clk
 	}
 	return s, nil
 }
@@ -101,6 +106,7 @@ type gpuEncryptSession struct {
 	seed uint64
 	eng  ghe.StreamEngine
 	pipe *gpu.Pipeline // nil when the engine runs without a device
+	clk  ghe.SimClock  // set when pipe is nil but the engine has a clock
 	base int
 	done bool
 }
@@ -118,6 +124,10 @@ func (s *gpuEncryptSession) Next(ms []mpint.Nat) ([]Ciphertext, time.Duration, e
 	if s.pipe != nil {
 		s.pipe.Begin()
 	}
+	var clkMark time.Duration
+	if s.clk != nil {
+		clkMark = s.clk.SimNow()
+	}
 	rn, err := s.g.nonceTerms(s.pk, s.base, len(ms), s.seed)
 	if err != nil {
 		return nil, 0, fmt.Errorf("paillier: gpu EncryptSession: %w", err)
@@ -133,6 +143,8 @@ func (s *gpuEncryptSession) Next(ms []mpint.Nat) ([]Ciphertext, time.Duration, e
 	var seq time.Duration
 	if s.pipe != nil {
 		seq, _ = s.pipe.End()
+	} else if s.clk != nil {
+		seq = s.clk.SimNow() - clkMark
 	}
 	out := make([]Ciphertext, len(ms))
 	for i := range prod {
